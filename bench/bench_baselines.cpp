@@ -1,0 +1,117 @@
+// Experiment E9 — cross-protocol comparison on identical churn workloads:
+// RGB vs tree hierarchy (CONGRESS-like) vs flat ring (Totem-like) vs
+// SWIM-style gossip. Reports total messages, bytes, convergence, and the
+// idle-period cost (messages sent during 30 quiet seconds after the churn).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "flatring/flat_ring.hpp"
+#include "gossip/gossip_membership.hpp"
+#include "tree/tree_membership.hpp"
+#include "workload/churn.hpp"
+
+namespace {
+
+using namespace rgb;  // NOLINT
+
+struct Outcome {
+  std::uint64_t messages;
+  std::uint64_t kbytes;
+  bool converged;
+  std::uint64_t idle_messages;
+};
+
+workload::ChurnConfig churn_config() {
+  workload::ChurnConfig config;
+  config.initial_members = 40;
+  config.join_rate = 4.0;
+  config.leave_rate = 2.0;
+  config.handoff_rate = 8.0;
+  config.fail_rate = 1.0;
+  config.duration = sim::sec(10);
+  config.seed = 77;
+  return config;
+}
+
+template <typename System, typename ApsFn, typename ConvergedFn>
+Outcome drive(sim::Simulator& simulator, net::Network& network,
+              System& system, ApsFn aps, ConvergedFn converged) {
+  workload::ChurnWorkload churn{simulator, system, aps(), churn_config()};
+  churn.start();
+  simulator.run_until(sim::sec(60));
+  const auto busy = network.metrics().sent;
+  const auto kb = network.metrics().bytes_sent / 1024;
+  simulator.run_until(sim::sec(90));
+  const auto idle = network.metrics().sent - busy;
+  return Outcome{busy, kb, converged(), idle};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E9 — protocol comparison under identical churn (16 APs, ~40 members,"
+      " 10s churn)",
+      "messages/bytes during churn+settle; idle = messages in 30 quiet\n"
+      "seconds afterwards. All protocols must converge to the same view.");
+
+  common::TextTable table(
+      {"protocol", "messages", "KiB", "converged", "idle msgs (30s)"});
+
+  {
+    sim::Simulator simulator;
+    net::Network network{simulator, common::RngStream{5}};
+    core::RgbSystem sys{network, core::RgbConfig{},
+                        core::HierarchyLayout{2, 4}};
+    const auto out = drive(
+        simulator, network, sys, [&] { return sys.aps(); },
+        [&] { return sys.membership_converged(); });
+    table.add_row({"RGB (h=2, r=4)", common::cell(out.messages),
+                   common::cell(out.kbytes), out.converged ? "yes" : "NO",
+                   common::cell(out.idle_messages)});
+  }
+  {
+    sim::Simulator simulator;
+    net::Network network{simulator, common::RngStream{5}};
+    tree::TreeSystem sys{network, tree::TreeConfig{3, 4, true}};
+    const auto out = drive(
+        simulator, network, sys, [&] { return sys.leaves(); },
+        [&] { return sys.converged(); });
+    table.add_row({"tree (CONGRESS-like)", common::cell(out.messages),
+                   common::cell(out.kbytes), out.converged ? "yes" : "NO",
+                   common::cell(out.idle_messages)});
+  }
+  {
+    sim::Simulator simulator;
+    net::Network network{simulator, common::RngStream{5}};
+    flatring::FlatRingSystem sys{network, flatring::FlatRingConfig{16}};
+    const auto out = drive(
+        simulator, network, sys, [&] { return sys.aps(); },
+        [&] { return sys.converged(); });
+    table.add_row({"flat ring (Totem-like)", common::cell(out.messages),
+                   common::cell(out.kbytes), out.converged ? "yes" : "NO",
+                   common::cell(out.idle_messages)});
+  }
+  {
+    sim::Simulator simulator;
+    net::Network network{simulator, common::RngStream{5}};
+    gossip::GossipSystem sys{network, gossip::GossipConfig{.nodes = 16},
+                             common::RngStream{6}};
+    sys.start();
+    const auto out = drive(
+        simulator, network, sys, [&] { return sys.aps(); },
+        [&] { return sys.converged(); });
+    table.add_row({"gossip (SWIM-like)", common::cell(out.messages),
+                   common::cell(out.kbytes), out.converged ? "yes" : "NO",
+                   common::cell(out.idle_messages)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check: the event-driven protocols (RGB, tree, flat\n"
+               "ring) are silent when idle; gossip pays its periodic probe\n"
+               "cost forever. RGB spends more than the bare tree flood per\n"
+               "change (token circles + acks) but brings repair/failover,\n"
+               "which the tree lacks (E2/E9 reliability story).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment E11 (extension figure) — convergence latency and message cost
+// vs group size: how long one membership change takes to reach every node
+// as the hierarchy grows, RGB vs the tree baseline vs a flat ring.
+//
+// Complements E4 (fixed n, varying ring size) with the scaling dimension:
+// RGB's depth grows logarithmically, so convergence time grows ~linearly in
+// r*h while flat-ring time grows linearly in n.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "flatring/flat_ring.hpp"
+#include "tree/tree_membership.hpp"
+
+namespace {
+
+using namespace rgb;  // NOLINT
+
+double rgb_converge_ms(int h, int r) {
+  sim::Simulator simulator;
+  net::Network network{simulator, common::RngStream{9}};
+  core::RgbSystem sys{network, core::RgbConfig{}, core::HierarchyLayout{h, r}};
+  sys.join(common::Guid{1}, sys.aps().front());
+  simulator.run();
+  return sim::to_ms(simulator.now());
+}
+
+double tree_converge_ms(int h, int r) {
+  sim::Simulator simulator;
+  net::Network network{simulator, common::RngStream{9}};
+  tree::TreeSystem sys{network, tree::TreeConfig{h, r, true}};
+  sys.join(common::Guid{1}, sys.leaves().front());
+  simulator.run();
+  return sim::to_ms(simulator.now());
+}
+
+double flat_converge_ms(int n) {
+  sim::Simulator simulator;
+  net::Network network{simulator, common::RngStream{9}};
+  flatring::FlatRingSystem sys{network, flatring::FlatRingConfig{n}};
+  sys.join(common::Guid{1}, sys.aps().front());
+  simulator.run();
+  return sim::to_ms(simulator.now());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E11 / extension figure — convergence latency vs group size (1ms "
+      "links)",
+      "time until every node holds the change; RGB h=ring tiers, r=5.");
+
+  common::TextTable table({"n (APs)", "RGB (h,r)", "RGB ms", "tree ms",
+                           "flat ring ms"});
+  const struct {
+    int h;
+    int r;
+  } shapes[] = {{1, 5}, {2, 5}, {3, 5}, {4, 5}};
+  for (const auto& s : shapes) {
+    std::uint64_t n = 1;
+    for (int i = 0; i < s.h; ++i) n *= static_cast<std::uint64_t>(s.r);
+    table.add_row({common::cell(n),
+                   "(" + std::to_string(s.h) + "," + std::to_string(s.r) + ")",
+                   common::cell(rgb_converge_ms(s.h, s.r), 1),
+                   common::cell(tree_converge_ms(s.h + 1, s.r), 1),
+                   common::cell(flat_converge_ms(static_cast<int>(n)), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check: flat-ring latency is linear in n (625 nodes\n"
+               "=> ~624ms); RGB and the tree both stay logarithmic-ish\n"
+               "(sequential rings/levels along one root-to-leaf path), with\n"
+               "RGB paying a small constant factor for full token circles\n"
+               "versus the tree's straight flood.\n";
+  return 0;
+}

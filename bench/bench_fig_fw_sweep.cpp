@@ -1,0 +1,47 @@
+// Experiment E7 — figure-style series extending Table II: Function-Well
+// probability vs node fault probability, per allowed-partition budget k
+// and per hierarchy scale. Shows the small-vs-large-hierarchy robustness
+// gap the paper's conclusion (3) highlights.
+#include <iostream>
+
+#include "analysis/reliability.hpp"
+#include "analysis/series.hpp"
+#include "analysis/scalability.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace rgb;  // NOLINT
+  bench::banner(
+      "E7 / figure: Function-Well probability vs f (formula (8))",
+      "two hierarchy scales (n=125 and n=1000), k in {1,2,3}.");
+
+  for (const int r : {5, 10}) {
+    const auto n = analysis::ring_ap_count(3, r);
+    common::TextTable table({"f(%)", "fw k=1 (%)", "fw k=2 (%)", "fw k=3 (%)"});
+    analysis::Series series{"fw_vs_f_r" + std::to_string(r),
+                            {"f", "fw_k1", "fw_k2", "fw_k3"}};
+    for (const double f : {0.0001, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02,
+                           0.03, 0.05}) {
+      const double k1 = analysis::prob_fw_hierarchy(3, r, f, 1);
+      const double k2 = analysis::prob_fw_hierarchy(3, r, f, 2);
+      const double k3 = analysis::prob_fw_hierarchy(3, r, f, 3);
+      table.add_row({common::cell(f * 100.0, 2), common::percent_cell(k1),
+                     common::percent_cell(k2), common::percent_cell(k3)});
+      series.add_row({f, k1, k2, k3});
+    }
+    std::cout << "n = " << n << " (h=3, r=" << r << ")\n";
+    table.print(std::cout);
+    if (const auto path = series.save_csv_if_configured()) {
+      std::cout << "(csv written to " << *path << ")\n";
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "shape check (paper conclusions): at f=0.1% both scales are\n"
+               ">99.5% even with k=1; at f=2% the 125-AP hierarchy holds\n"
+               ">99.5% with k=3 while the 1000-AP hierarchy collapses to\n"
+               "~72% — larger deployments need smaller fault rates or more\n"
+               "partition tolerance.\n";
+  return 0;
+}

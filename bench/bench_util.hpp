@@ -1,0 +1,39 @@
+// Shared helpers for the bench binaries: proposal-hop counting and run
+// harness glue. Every bench prints the paper-style table it regenerates
+// plus a short header naming the experiment id from DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "net/network.hpp"
+#include "rgb/rgb.hpp"
+
+namespace rgb::bench {
+
+/// Sum of proposal-plane sends (token circulation + inter-ring
+/// notifications) — the quantity the paper's HopCount analysis prices.
+inline std::uint64_t proposal_hops(const net::Network& network) {
+  std::uint64_t hops = 0;
+  for (const auto& [kind, count] : network.metrics().sent_per_kind) {
+    if (core::kind::is_proposal_kind(kind)) hops += count;
+  }
+  return hops;
+}
+
+/// Sends metered under one specific kind.
+inline std::uint64_t sent_of_kind(const net::Network& network,
+                                  net::MessageKind kind) {
+  const auto it = network.metrics().sent_per_kind.find(kind);
+  return it == network.metrics().sent_per_kind.end() ? 0 : it->second;
+}
+
+inline void banner(const std::string& experiment,
+                   const std::string& description) {
+  std::cout << "\n=== " << experiment << " ===\n"
+            << description << "\n\n";
+}
+
+}  // namespace rgb::bench

@@ -1,0 +1,86 @@
+#include "analysis/reliability.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "analysis/scalability.hpp"
+
+namespace rgb::analysis {
+
+double prob_fw_ring(int r, double f) {
+  assert(r >= 2);
+  assert(f >= 0.0 && f <= 1.0);
+  const double rf = static_cast<double>(r);
+  return (1.0 - f + rf * f) * std::pow(1.0 - f, rf - 1.0);
+}
+
+double choose(std::uint64_t n, std::uint64_t i) {
+  if (i > n) return 0.0;
+  if (i > n - i) i = n - i;
+  double c = 1.0;
+  for (std::uint64_t j = 0; j < i; ++j) {
+    c *= static_cast<double>(n - j);
+    c /= static_cast<double>(j + 1);
+  }
+  return c;
+}
+
+double prob_fw_hierarchy(int h, int r, double f, int k) {
+  assert(k >= 1);
+  const std::uint64_t tn = ring_count(h, r);
+  const double t = prob_fw_ring(r, f);
+  double fw = 0.0;
+  for (int i = 0; i < k; ++i) {
+    fw += choose(tn, static_cast<std::uint64_t>(i)) *
+          std::pow(t, static_cast<double>(tn - static_cast<std::uint64_t>(i))) *
+          std::pow(1.0 - t, static_cast<double>(i));
+  }
+  return fw;
+}
+
+double prob_fw_hierarchy_paper(int h, int r, double f, int k) {
+  return prob_fw_ring(r, f) * prob_fw_hierarchy(h, r, f, k);
+}
+
+std::vector<TableIIRow> paper_table2() {
+  std::vector<TableIIRow> rows;
+  const double faults[] = {0.001, 0.005, 0.02};
+  const int h = 3;
+  for (const int r : {5, 10}) {
+    const std::uint64_t n = ring_ap_count(h, r);
+    for (const double f : faults) {
+      for (int k = 1; k <= 3; ++k) {
+        rows.push_back(
+            TableIIRow{n, f, k, prob_fw_hierarchy_paper(h, r, f, k)});
+      }
+    }
+  }
+  return rows;
+}
+
+MonteCarloEstimate monte_carlo_fw(int h, int r, double f, int k,
+                                  std::uint64_t trials,
+                                  common::RngStream& rng) {
+  assert(trials > 0);
+  const std::uint64_t tn = ring_count(h, r);
+  std::uint64_t fw_trials = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    std::uint64_t broken_rings = 0;
+    for (std::uint64_t ring = 0; ring < tn && broken_rings < static_cast<std::uint64_t>(k); ++ring) {
+      int faults_in_ring = 0;
+      for (int node = 0; node < r; ++node) {
+        if (rng.chance(f)) {
+          if (++faults_in_ring >= 2) break;  // already partitioned
+        }
+      }
+      if (faults_in_ring >= 2) ++broken_rings;
+    }
+    if (broken_rings < static_cast<std::uint64_t>(k)) ++fw_trials;
+  }
+  const double p =
+      static_cast<double>(fw_trials) / static_cast<double>(trials);
+  const double se = std::sqrt(p * (1.0 - p) / static_cast<double>(trials));
+  return MonteCarloEstimate{p, se, trials};
+}
+
+}  // namespace rgb::analysis

@@ -1,0 +1,65 @@
+// Closed-form reliability model of Section 5.2 (formulae (7)-(8), Table II)
+// plus a Monte-Carlo estimator that validates the formulae by direct fault
+// injection on the hierarchy structure.
+//
+// Model recap: node faults are uniform and independent with probability f.
+// A logical ring of r nodes "functions well" (fw) if it suffers at most one
+// node fault — a single fault is detected by token retransmission and locally
+// repaired by excluding the node (Section 5.2); two or more faults partition
+// the ring. A full hierarchy of tn rings is Function-Well when fewer than k
+// rings are partitioned ("at most k partitions allowed").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rgb::analysis {
+
+/// Formula (7): fw probability of one ring of `r` nodes with node fault
+/// probability `f`:  t = (1 - f + r f) (1 - f)^{r-1}.
+double prob_fw_ring(int r, double f);
+
+/// Formula (8): fw probability of the full hierarchy (worst case: every tier
+/// full): sum_{i=0}^{k-1} C(tn, i) t^{tn-i} (1-t)^i.
+double prob_fw_hierarchy(int h, int r, double f, int k);
+
+/// The paper's *numerical evaluation* of Table II. Reverse-engineering the
+/// printed table shows every cell equals t * formula(8), i.e.
+/// sum_{i=0}^{k-1} C(tn, i) t^{tn-i+1} (1-t)^i — one extra ring-FW factor
+/// beyond the printed formula (for k=1 this is exactly t^(tn+1), as if the
+/// hierarchy had tn+1 rings). We reproduce the printed numbers with this
+/// variant and report the discrepancy in EXPERIMENTS.md; the pure formula
+/// is `prob_fw_hierarchy`, cross-validated by Monte Carlo.
+double prob_fw_hierarchy_paper(int h, int r, double f, int k);
+
+/// One row of Table II.
+struct TableIIRow {
+  std::uint64_t n;  ///< bottom-tier AP count r^h
+  double f;         ///< node fault probability
+  int k;            ///< maximal number of allowed partitions
+  double fw;        ///< Function-Well probability
+};
+
+/// The 18 rows of Table II (left block h=3,r=5; right block h=3,r=10).
+std::vector<TableIIRow> paper_table2();
+
+/// Result of a Monte-Carlo estimate with a binomial std-error bar.
+struct MonteCarloEstimate {
+  double probability = 0.0;
+  double std_error = 0.0;
+  std::uint64_t trials = 0;
+};
+
+/// Estimates formula (8) by direct sampling: build tn rings of r nodes,
+/// fault each node independently with probability f, count rings with >= 2
+/// faults, and declare Function-Well when that count is < k.
+MonteCarloEstimate monte_carlo_fw(int h, int r, double f, int k,
+                                  std::uint64_t trials,
+                                  common::RngStream& rng);
+
+/// Binomial coefficient as double (exact for the small i used here).
+double choose(std::uint64_t n, std::uint64_t i);
+
+}  // namespace rgb::analysis

@@ -1,0 +1,93 @@
+#include "analysis/scalability.hpp"
+
+#include <cassert>
+
+namespace rgb::analysis {
+
+namespace {
+std::uint64_t ipow(std::uint64_t base, int exp) {
+  std::uint64_t out = 1;
+  for (int i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+/// sum_{j=0}^{upto} r^j; zero when upto < 0 (empty sum in formula (2)).
+std::uint64_t geometric_sum(int r, int upto) {
+  std::uint64_t s = 0;
+  for (int j = 0; j <= upto; ++j) s += ipow(static_cast<std::uint64_t>(r), j);
+  return s;
+}
+}  // namespace
+
+std::uint64_t tree_leaf_count(int h, int r) {
+  assert(h >= 3 && r >= 2);
+  return ipow(static_cast<std::uint64_t>(r), h - 1);
+}
+
+std::uint64_t ring_ap_count(int h, int r) {
+  assert(h >= 2 && r >= 2);
+  return ipow(static_cast<std::uint64_t>(r), h);
+}
+
+std::uint64_t ring_count(int h, int r) {
+  assert(h >= 1 && r >= 2);
+  return geometric_sum(r, h - 1);
+}
+
+std::uint64_t hopcount_tree_plain(int h, int r) {
+  assert(h >= 3 && r >= 2);
+  std::uint64_t hops = 0;
+  for (int i = 0; i <= h - 2; ++i) {
+    hops += ipow(static_cast<std::uint64_t>(r), i + 1);
+  }
+  return tree_leaf_count(h, r) * hops;
+}
+
+std::uint64_t hopcount_tree_removed(int h, int r) {
+  assert(h >= 3 && r >= 2);
+  std::uint64_t removed = 0;
+  for (int i = 0; i <= h - 3; ++i) {
+    const std::uint64_t nodes =
+        ipow(static_cast<std::uint64_t>(r), i) - geometric_sum(r, i - 1);
+    removed += static_cast<std::uint64_t>(h - i - 2) * nodes;
+  }
+  return tree_leaf_count(h, r) * removed;
+}
+
+std::uint64_t hopcount_tree(int h, int r) {
+  return hopcount_tree_plain(h, r) - hopcount_tree_removed(h, r);
+}
+
+std::uint64_t hcn_tree(int h, int r) {
+  return hopcount_tree(h, r) / tree_leaf_count(h, r);
+}
+
+std::uint64_t hopcount_ring(int h, int r) {
+  assert(h >= 2 && r >= 2);
+  return ring_ap_count(h, r) *
+         ((static_cast<std::uint64_t>(r) + 1) * ring_count(h, r) - 1);
+}
+
+std::uint64_t hcn_ring(int h, int r) {
+  return (static_cast<std::uint64_t>(r) + 1) * ring_count(h, r) - 1;
+}
+
+std::vector<TableIRow> paper_table1() {
+  // Tree configs (n, h, r) and ring configs (n, h, r) paired row-by-row as
+  // printed in the paper; n matches between the two columns of each row.
+  const int configs[][3] = {
+      // {h_tree, h_ring, r}
+      {3, 2, 5}, {4, 3, 5}, {5, 4, 5}, {3, 2, 10}, {4, 3, 10}, {5, 4, 10},
+  };
+  std::vector<TableIRow> rows;
+  rows.reserve(std::size(configs));
+  for (const auto& c : configs) {
+    const int ht = c[0], hr = c[1], r = c[2];
+    rows.push_back(TableIRow{
+        tree_leaf_count(ht, r), ht, r, hcn_tree(ht, r),
+        ring_ap_count(hr, r), hr, hcn_ring(hr, r)});
+  }
+  return rows;
+}
+
+}  // namespace rgb::analysis

@@ -1,0 +1,65 @@
+// Closed-form scalability model of Section 5.1 (formulae (1)-(6), Table I).
+//
+// The paper compares the total number of message hops needed to propagate a
+// single membership-change message in
+//   * a tree-based hierarchy of membership servers (CONGRESS-like, [4]),
+//     with and without representatives, and
+//   * the RGB ring-based hierarchy.
+// HopCount is "approximate to n times the number of proposal message hops";
+// dividing by n yields the normalised HCN values tabulated in Table I.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rgb::analysis {
+
+/// Number of leaf LMSs in a tree of height h >= 3 with branching r >= 2:
+/// n = r^(h-1).
+std::uint64_t tree_leaf_count(int h, int r);
+
+/// Number of bottom-tier APs in a ring hierarchy of height h >= 2 with ring
+/// size r >= 2: n = r^h.
+std::uint64_t ring_ap_count(int h, int r);
+
+/// Total number of logical rings: tn = sum_{i=0}^{h-1} r^i.
+std::uint64_t ring_count(int h, int r);
+
+/// Formula (1): HopCount of the tree-based hierarchy WITHOUT
+/// representatives: n * sum_{i=0}^{h-2} r^{i+1}.
+std::uint64_t hopcount_tree_plain(int h, int r);
+
+/// Formula (2): hops removed when representatives collapse physical
+/// transfers: n * sum_{i=0}^{h-3} (h-i-2) * (r^i - sum_{j=0}^{i-1} r^j).
+std::uint64_t hopcount_tree_removed(int h, int r);
+
+/// Formula (3): HopCount of the tree-based hierarchy WITH representatives
+/// = (1) - (2).
+std::uint64_t hopcount_tree(int h, int r);
+
+/// Formula (4): normalised tree hop count HCN_Tree = HopCount_tree / n.
+std::uint64_t hcn_tree(int h, int r);
+
+/// Formula (5): HopCount of the ring-based hierarchy:
+/// n * ((r+1) * tn - 1).
+std::uint64_t hopcount_ring(int h, int r);
+
+/// Formula (6): normalised ring hop count HCN_Ring = (r+1)*tn - 1.
+std::uint64_t hcn_ring(int h, int r);
+
+/// One row of Table I: a (tree config, ring config) pair with equal r and
+/// comparable n, plus both normalised hop counts.
+struct TableIRow {
+  std::uint64_t n_tree;
+  int h_tree;
+  int r;
+  std::uint64_t hcn_tree;
+  std::uint64_t n_ring;
+  int h_ring;
+  std::uint64_t hcn_ring;
+};
+
+/// The six rows of Table I exactly as printed in the paper.
+std::vector<TableIRow> paper_table1();
+
+}  // namespace rgb::analysis

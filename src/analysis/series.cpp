@@ -1,0 +1,57 @@
+#include "analysis/series.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+namespace rgb::analysis {
+
+Series::Series(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  assert(!columns_.empty());
+}
+
+void Series::add_row(const std::vector<double>& values) {
+  assert(values.size() == columns_.size());
+  rows_.push_back(values);
+}
+
+double Series::at(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+void Series::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) os << ',';
+    os << columns_[c];
+  }
+  os << '\n';
+  const auto precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  }
+  os.precision(precision);
+}
+
+std::optional<std::string> Series::save_csv(const std::string& dir) const {
+  const std::string path = dir + "/" + name_ + ".csv";
+  std::ofstream file(path);
+  if (!file) return std::nullopt;
+  write_csv(file);
+  return path;
+}
+
+std::optional<std::string> Series::save_csv_if_configured() const {
+  const char* dir = std::getenv("RGB_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return save_csv(dir);
+}
+
+}  // namespace rgb::analysis

@@ -1,0 +1,51 @@
+// Experiment series recorder: collects rows of named values across a
+// parameter sweep and renders them as CSV (for plotting) or as an aligned
+// text table (for terminal output). The bench binaries print tables by
+// default and dump CSV next to the binary when RGB_BENCH_CSV_DIR is set,
+// so figure-style experiments can feed straight into plotting scripts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rgb::analysis {
+
+/// A growing table of doubles keyed by column name; one `row()` call per
+/// sweep point. Column order is fixed at construction.
+class Series {
+ public:
+  Series(std::string name, std::vector<std::string> columns);
+
+  /// Appends one row; `values.size()` must equal the column count.
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  /// RFC-4180-ish CSV: header line then one line per row; numbers printed
+  /// with enough digits to round-trip.
+  void write_csv(std::ostream& os) const;
+
+  /// Writes `<dir>/<name>.csv`. Returns the path written, or nullopt when
+  /// the file could not be opened.
+  [[nodiscard]] std::optional<std::string> save_csv(
+      const std::string& dir) const;
+
+  /// Convenience: saves into $RGB_BENCH_CSV_DIR when that variable is set.
+  /// Returns the written path if any.
+  [[nodiscard]] std::optional<std::string> save_csv_if_configured() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace rgb::analysis

@@ -1,0 +1,37 @@
+#include "common/ids.hpp"
+
+#include <ostream>
+
+namespace rgb::common {
+
+namespace {
+template <typename Tag>
+std::ostream& print(std::ostream& os, const StrongId<Tag>& id,
+                    const char* prefix) {
+  if (!id.valid()) return os << prefix << "<invalid>";
+  return os << prefix << id.value();
+}
+}  // namespace
+
+template <>
+std::ostream& operator<<(std::ostream& os, const NodeId& id) {
+  return print(os, id, "ne");
+}
+template <>
+std::ostream& operator<<(std::ostream& os, const GroupId& id) {
+  return print(os, id, "grp");
+}
+template <>
+std::ostream& operator<<(std::ostream& os, const Guid& id) {
+  return print(os, id, "mh");
+}
+template <>
+std::ostream& operator<<(std::ostream& os, const Luid& id) {
+  return print(os, id, "luid");
+}
+template <>
+std::ostream& operator<<(std::ostream& os, const RingId& id) {
+  return print(os, id, "ring");
+}
+
+}  // namespace rgb::common

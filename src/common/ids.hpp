@@ -1,0 +1,73 @@
+// Strongly-typed identifiers used across the RGB membership stack.
+//
+// The paper's data structures (Section 4.2) name several identity spaces:
+//   GID   - group identity (e.g. an IP multicast class-D address)
+//   NodeID - network-entity identity (AP/AG/BR, e.g. its IP address)
+//   GUID  - globally unique mobile-host identity (e.g. Mobile IP home address)
+//   LUID  - locally unique mobile-host identity (e.g. Mobile IP care-of addr.)
+//
+// We model each as a distinct strong type so they cannot be mixed up at call
+// sites; all are cheap value types backed by a 64-bit integer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+
+namespace rgb::common {
+
+/// CRTP-free strong id: `Tag` makes each instantiation a distinct type.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint64_t;
+
+  /// Sentinel meaning "no id assigned".
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  /// Named constructor for the invalid sentinel (reads better at call sites).
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, const StrongId<Tag>& id);
+
+struct NodeIdTag {};
+struct GroupIdTag {};
+struct GuidTag {};
+struct LuidTag {};
+struct RingIdTag {};
+
+/// Identity of a network entity (AP, AG or BR) — the paper's `NodeID`.
+using NodeId = StrongId<NodeIdTag>;
+/// Group identity — the paper's `GID`.
+using GroupId = StrongId<GroupIdTag>;
+/// Globally unique mobile-host identity — the paper's `GUID`.
+using Guid = StrongId<GuidTag>;
+/// Locally unique mobile-host identity — the paper's `LUID`.
+using Luid = StrongId<LuidTag>;
+/// Identity of a logical ring in the hierarchy (implementation concept).
+using RingId = StrongId<RingIdTag>;
+
+}  // namespace rgb::common
+
+namespace std {
+template <typename Tag>
+struct hash<rgb::common::StrongId<Tag>> {
+  size_t operator()(const rgb::common::StrongId<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

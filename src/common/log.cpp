@@ -1,0 +1,58 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rgb::common {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "off";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  if (text == "error") return LogLevel::kError;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "debug") return LogLevel::kDebug;
+  return LogLevel::kOff;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::init_from_environment() {
+  if (const char* env = std::getenv("RGB_LOG_LEVEL")) {
+    level_ = parse_log_level(env);
+  }
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::reset_sink() { sink_ = nullptr; }
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (sink_) {
+    sink_(level, component, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", to_string(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace rgb::common

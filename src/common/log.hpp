@@ -1,0 +1,96 @@
+// Minimal structured logging for protocol debugging.
+//
+// Simulation code logs through `RGB_LOG(level, component)` streams; output
+// is off by default and enabled per-run via `Logger::set_level` or the
+// RGB_LOG_LEVEL environment variable (error|warn|info|debug). Each line
+// carries the component tag so greps like "repair" or "merge" isolate one
+// machinery. The logger is process-global and not thread-safe by design —
+// the simulator is single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rgb::common {
+
+enum class LogLevel : std::uint8_t {
+  kOff = 0,
+  kError,
+  kWarn,
+  kInfo,
+  kDebug,
+};
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// Parses "error"/"warn"/"info"/"debug" (anything else -> kOff).
+[[nodiscard]] LogLevel parse_log_level(std::string_view text);
+
+class Logger {
+ public:
+  /// Process-global instance.
+  static Logger& instance();
+
+  /// Current threshold; messages above it are discarded cheaply.
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  /// Redirects output (default: stderr). Used by tests to capture lines.
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+  void set_sink(Sink sink);
+  void reset_sink();
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level_ >= level && level != LogLevel::kOff;
+  }
+
+  /// Reads RGB_LOG_LEVEL once at startup (called lazily by instance()).
+  void init_from_environment();
+
+ private:
+  Logger() { init_from_environment(); }
+
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+/// Stream-style helper: builds the message only when the level is enabled.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component),
+        enabled_(Logger::instance().enabled(level)) {}
+  ~LogLine() {
+    if (enabled_) {
+      Logger::instance().write(level_, component_, stream_.str());
+    }
+  }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rgb::common
+
+/// Usage: RGB_LOG(kInfo, "repair") << "spliced out " << faulty;
+#define RGB_LOG(level, component) \
+  ::rgb::common::LogLine(::rgb::common::LogLevel::level, component)

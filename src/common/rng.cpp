@@ -1,0 +1,106 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rgb::common {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+RngStream::RngStream(std::uint64_t seed) {
+  // xoshiro256** must not be seeded all-zero; SplitMix64 expansion guarantees
+  // a well-mixed non-degenerate state for any seed, including zero.
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+RngStream RngStream::fork(std::string_view label) const {
+  // Combine the current state (not advanced) with the label hash so that
+  // forks are independent of each other and of the parent's future output.
+  const std::uint64_t mix =
+      state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^ state_[3];
+  return RngStream{mix ^ fnv1a(label)};
+}
+
+std::uint64_t RngStream::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t RngStream::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire-style rejection: retry while in the biased zone.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double RngStream::next_double() {
+  // 53 random mantissa bits -> uniform in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+bool RngStream::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double RngStream::exponential(double mean) {
+  assert(mean > 0.0);
+  // -mean * ln(U), with U in (0,1] to avoid log(0).
+  const double u = 1.0 - next_double();
+  return -mean * std::log(u);
+}
+
+double RngStream::normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return mean + stddev * (u * factor);
+}
+
+}  // namespace rgb::common

@@ -1,0 +1,74 @@
+// Deterministic random-number streams.
+//
+// Every stochastic component of the simulator (link latency, fault injector,
+// workload generator, ...) owns its own `RngStream`, forked from a master
+// seed by a stable label. Two runs with the same master seed therefore
+// produce bit-identical event sequences regardless of how many components
+// exist or in which order they were created — a property the determinism
+// tests assert.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rgb::common {
+
+/// xoshiro256** PRNG seeded via SplitMix64. Small, fast and reproducible
+/// across platforms (unlike std::mt19937 + std::distributions whose output
+/// is implementation-defined for some distributions).
+class RngStream {
+ public:
+  /// Seeds the stream from `seed` (expanded through SplitMix64).
+  explicit RngStream(std::uint64_t seed = 0xC0FFEE5EEDULL);
+
+  /// Derives an independent child stream; `label` is hashed (FNV-1a) into
+  /// the seed so forks are stable by name, not by creation order.
+  [[nodiscard]] RngStream fork(std::string_view label) const;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of a random-access range.
+  template <typename Container>
+  void shuffle(Container& c) {
+    const auto n = c.size();
+    if (n < 2) return;
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+/// SplitMix64 step — exposed for tests and for seed derivation elsewhere.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a 64-bit hash of a string label.
+std::uint64_t fnv1a(std::string_view s);
+
+}  // namespace rgb::common

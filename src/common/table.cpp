@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rgb::common {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == '%' || c == 'e' || c == 'E' ||
+          c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ';
+      const bool right = looks_numeric(row[c]);
+      if (right) {
+        os << std::setw(static_cast<int>(widths[c])) << std::right << row[c];
+      } else {
+        os << std::setw(static_cast<int>(widths[c])) << std::left << row[c];
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  os << "|";
+  for (const std::size_t w : widths) {
+    os << std::string(w + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string cell(double value, int digits) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(digits) << value;
+  return oss.str();
+}
+
+std::string cell(std::uint64_t value) { return std::to_string(value); }
+std::string cell(std::int64_t value) { return std::to_string(value); }
+std::string cell(int value) { return std::to_string(value); }
+
+std::string percent_cell(double probability, int digits) {
+  return cell(probability * 100.0, digits);
+}
+
+}  // namespace rgb::common

@@ -1,0 +1,41 @@
+// ASCII table printer used by the bench binaries to emit paper-style tables
+// (Table I, Table II) with aligned columns.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rgb::common {
+
+/// Column-aligned text table. Add a header row, then data rows (all as
+/// strings; use the `cell()` helpers for numeric formatting), then `print`.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header separator. Cells are right-aligned when they look
+  /// numeric, left-aligned otherwise.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string cell(double value, int digits);
+/// Formats an integer.
+std::string cell(std::uint64_t value);
+std::string cell(std::int64_t value);
+std::string cell(int value);
+/// Formats a probability as a percentage with `digits` decimals (paper style:
+/// "99.500").
+std::string percent_cell(double probability, int digits = 3);
+
+}  // namespace rgb::common

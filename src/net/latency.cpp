@@ -1,0 +1,37 @@
+#include "net/latency.hpp"
+
+#include <cassert>
+
+namespace rgb::net {
+
+LatencyModel LatencyModel::fixed(sim::Duration d) {
+  return LatencyModel{Kind::kFixed, d, 0};
+}
+
+LatencyModel LatencyModel::uniform(sim::Duration lo, sim::Duration hi) {
+  assert(lo <= hi);
+  return LatencyModel{Kind::kUniform, lo, hi};
+}
+
+LatencyModel LatencyModel::shifted_exponential(sim::Duration min,
+                                               sim::Duration mean_extra) {
+  return LatencyModel{Kind::kShiftedExp, min, mean_extra};
+}
+
+sim::Duration LatencyModel::sample(common::RngStream& rng) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return a_;
+    case Kind::kUniform: {
+      if (a_ == b_) return a_;
+      return a_ + rng.next_below(b_ - a_ + 1);
+    }
+    case Kind::kShiftedExp: {
+      const double extra = rng.exponential(static_cast<double>(b_));
+      return a_ + static_cast<sim::Duration>(extra);
+    }
+  }
+  return a_;  // unreachable
+}
+
+}  // namespace rgb::net

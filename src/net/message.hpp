@@ -1,0 +1,31 @@
+// Message envelope carried by the simulated network.
+//
+// The network layer is protocol-agnostic: payloads are type-erased and each
+// protocol family casts them back in its `deliver` handler. A small integer
+// `kind` rides along for metering (per-message-type counters in benches)
+// without forcing the network to know protocol types.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "common/ids.hpp"
+
+namespace rgb::net {
+
+using common::NodeId;
+
+/// Per-message metering category. Values are protocol-defined; the network
+/// only aggregates counts per kind. Kind 0 means "uncategorised".
+using MessageKind = std::uint32_t;
+
+struct Envelope {
+  NodeId src;
+  NodeId dst;
+  MessageKind kind = 0;
+  /// Approximate wire size; used only by byte counters, not by latency.
+  std::uint32_t size_bytes = 64;
+  std::any payload;
+};
+
+}  // namespace rgb::net

@@ -1,0 +1,115 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rgb::net {
+
+Network::Network(sim::Simulator& simulator, common::RngStream rng,
+                 LinkConfig default_link)
+    : sim_(simulator), rng_(std::move(rng)), default_link_(default_link) {}
+
+void Network::attach(NodeId id, Endpoint* endpoint) {
+  assert(id.valid());
+  assert(endpoint != nullptr);
+  endpoints_[id] = endpoint;
+}
+
+void Network::detach(NodeId id) { endpoints_.erase(id); }
+
+bool Network::is_attached(NodeId id) const {
+  return endpoints_.count(id) != 0;
+}
+
+std::uint64_t Network::link_key(NodeId a, NodeId b) {
+  auto lo = a.value(), hi = b.value();
+  if (lo > hi) std::swap(lo, hi);
+  // Links connect at most a few thousand simulated nodes; 32 bits per side
+  // is ample and keeps the key a single integer.
+  return (lo << 32) | (hi & 0xFFFFFFFFULL);
+}
+
+void Network::set_link(NodeId a, NodeId b, LinkConfig cfg) {
+  links_[link_key(a, b)] = cfg;
+}
+
+const LinkConfig& Network::link_between(NodeId a, NodeId b) const {
+  const auto it = links_.find(link_key(a, b));
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void Network::crash(NodeId id) { crashed_[id] = true; }
+
+void Network::recover(NodeId id) { crashed_.erase(id); }
+
+bool Network::is_crashed(NodeId id) const {
+  const auto it = crashed_.find(id);
+  return it != crashed_.end() && it->second;
+}
+
+void Network::set_partition(NodeId id, int partition) {
+  partitions_[id] = partition;
+}
+
+void Network::clear_partitions() { partitions_.clear(); }
+
+int Network::partition_of(NodeId id) const {
+  const auto it = partitions_.find(id);
+  return it == partitions_.end() ? 0 : it->second;
+}
+
+void Network::reset_metrics() { metrics_ = Metrics{}; }
+
+void Network::send(Envelope env) {
+  assert(env.src.valid() && env.dst.valid());
+
+  // A crashed source produces nothing at all — not even metered traffic.
+  if (is_crashed(env.src)) {
+    ++metrics_.dropped_crash;
+    if (tap_) tap_(env, false);
+    return;
+  }
+
+  ++metrics_.sent;
+  metrics_.bytes_sent += env.size_bytes;
+  ++metrics_.sent_per_kind[env.kind];
+
+  const LinkConfig& link = link_between(env.src, env.dst);
+
+  if (partition_of(env.src) != partition_of(env.dst)) {
+    ++metrics_.dropped_partition;
+    if (tap_) tap_(env, false);
+    return;
+  }
+  if (link.drop_probability > 0.0 && rng_.chance(link.drop_probability)) {
+    ++metrics_.dropped_loss;
+    if (tap_) tap_(env, false);
+    return;
+  }
+
+  const sim::Duration delay = link.latency.sample(rng_);
+  const sim::Time sent_at = sim_.now();
+
+  sim_.schedule_after(delay, [this, env = std::move(env), sent_at]() {
+    // Re-check at delivery time: the destination may have crashed or
+    // detached while the message was in flight.
+    if (is_crashed(env.dst)) {
+      ++metrics_.dropped_crash;
+      if (tap_) tap_(env, false);
+      return;
+    }
+    const auto it = endpoints_.find(env.dst);
+    if (it == endpoints_.end()) {
+      ++metrics_.dropped_unattached;
+      if (tap_) tap_(env, false);
+      return;
+    }
+    ++metrics_.delivered;
+    metrics_.delivery_latency_us.add(
+        static_cast<double>(sim_.now() - sent_at));
+    if (tap_) tap_(env, true);
+    it->second->deliver(env);
+  });
+}
+
+}  // namespace rgb::net

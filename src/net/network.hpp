@@ -1,0 +1,116 @@
+// Simulated message-passing network: the substrate standing in for the
+// mobile Internet of the paper's 4-tier architecture.
+//
+// Responsibilities:
+//   * asynchronous, unordered delivery with per-link latency models,
+//   * message loss (per-link drop probability),
+//   * node crash/recover fault injection (the paper's analysis assumes node
+//     faults only and simulates link faults by node faults — Section 5.2;
+//     we support both, and the reliability benches use node faults),
+//   * network partitions (reachability classes),
+//   * metering: messages sent/delivered/dropped, bytes, per-kind counters —
+//     this is what the scalability benches read to count "message hops".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace rgb::net {
+
+/// Anything attachable to the network: protocol processes, hosts, probes.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Called at the delivery time of a message addressed to this endpoint.
+  virtual void deliver(const Envelope& env) = 0;
+};
+
+/// Per-link behaviour. Links are symmetric; the default applies to every
+/// pair without an explicit override.
+struct LinkConfig {
+  LatencyModel latency = LatencyModel::fixed(sim::msec(1));
+  double drop_probability = 0.0;
+};
+
+class Network {
+ public:
+  struct Metrics {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_loss = 0;
+    std::uint64_t dropped_crash = 0;
+    std::uint64_t dropped_partition = 0;
+    std::uint64_t dropped_unattached = 0;
+    std::uint64_t bytes_sent = 0;
+    std::unordered_map<MessageKind, std::uint64_t> sent_per_kind;
+    common::Accumulator delivery_latency_us;
+  };
+
+  Network(sim::Simulator& simulator, common::RngStream rng,
+          LinkConfig default_link = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attaches an endpoint under `id`. The endpoint must outlive the network
+  /// or detach first. Attaching over an existing id replaces it.
+  void attach(NodeId id, Endpoint* endpoint);
+  void detach(NodeId id);
+  [[nodiscard]] bool is_attached(NodeId id) const;
+
+  /// Overrides the link model between `a` and `b` (symmetric).
+  void set_link(NodeId a, NodeId b, LinkConfig cfg);
+
+  /// Queues `env` for delivery. No-op (metered as a drop) if the source is
+  /// crashed. Loss/partition/crash checks happen per the rules above.
+  void send(Envelope env);
+
+  // --- fault injection -----------------------------------------------------
+
+  /// Crashes a node: it stops sending and receiving until `recover`.
+  void crash(NodeId id);
+  void recover(NodeId id);
+  [[nodiscard]] bool is_crashed(NodeId id) const;
+
+  /// Places `id` into reachability class `partition`. Messages cross only
+  /// between nodes of the same class. Default class is 0 for everyone.
+  void set_partition(NodeId id, int partition);
+  void clear_partitions();
+  [[nodiscard]] int partition_of(NodeId id) const;
+
+  // --- metering ------------------------------------------------------------
+
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  void reset_metrics();
+
+  /// Test/trace hook, called for every send attempt with the final verdict.
+  using Tap = std::function<void(const Envelope&, bool delivered)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  [[nodiscard]] const LinkConfig& link_between(NodeId a, NodeId b) const;
+  static std::uint64_t link_key(NodeId a, NodeId b);
+
+  sim::Simulator& sim_;
+  common::RngStream rng_;
+  LinkConfig default_link_;
+  std::unordered_map<NodeId, Endpoint*> endpoints_;
+  std::unordered_map<NodeId, int> partitions_;
+  std::unordered_map<NodeId, bool> crashed_;
+  std::unordered_map<std::uint64_t, LinkConfig> links_;
+  Metrics metrics_;
+  Tap tap_;
+};
+
+}  // namespace rgb::net

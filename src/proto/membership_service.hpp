@@ -1,0 +1,78 @@
+// Protocol-agnostic membership service interface.
+//
+// RGB and every baseline (tree hierarchy, flat ring, gossip) implement this
+// interface so that workloads, benches and examples can drive any of them
+// interchangeably: the paper's comparisons (Table I, the §6 delay claim,
+// and our extension benches) all run the same scenario against multiple
+// implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace rgb::proto {
+
+using common::GroupId;
+using common::Guid;
+using common::NodeId;
+
+/// The operational status of a mobile host, per the paper's MH data
+/// structure (Section 4.2).
+enum class MemberStatus : std::uint8_t {
+  kOperational,
+  kDisconnected,
+  kFailed,
+};
+
+/// A membership record for one mobile host.
+struct MemberRecord {
+  Guid guid;                 ///< globally unique MH identity
+  NodeId access_proxy;       ///< AP the MH is currently attached to
+  MemberStatus status = MemberStatus::kOperational;
+
+  friend bool operator==(const MemberRecord&, const MemberRecord&) = default;
+};
+
+/// Membership-maintenance scheme for queries (paper Section 4.4).
+enum class QueryScheme : std::uint8_t {
+  kBottommost,    ///< BMS: fan out to bottommost AP leaders
+  kTopmost,       ///< TMS: answer from the topmost ring
+  kIntermediate,  ///< IMS: answer from an intermediate tier (AGs)
+};
+
+/// Verbs every membership protocol under test must support. All calls are
+/// initiated "from the edge": they inject the corresponding event at the
+/// appropriate access point and return immediately; effects propagate
+/// through simulated messages.
+class MembershipService {
+ public:
+  virtual ~MembershipService() = default;
+
+  /// MH `mh` asks to join the group via access proxy `ap`.
+  virtual void join(Guid mh, NodeId ap) = 0;
+
+  /// MH `mh` leaves voluntarily.
+  virtual void leave(Guid mh) = 0;
+
+  /// MH `mh` hands off from its current AP to `new_ap`.
+  virtual void handoff(Guid mh, NodeId new_ap) = 0;
+
+  /// MH `mh` fails (faulty disconnection); detected at its AP.
+  virtual void fail(Guid mh) = 0;
+
+  /// The authoritative membership view of the protocol at this instant,
+  /// according to `scheme`. Implementations that have a single natural view
+  /// may ignore `scheme`.
+  [[nodiscard]] virtual std::vector<MemberRecord> membership(
+      QueryScheme scheme) const = 0;
+
+  /// Convenience: TMS view.
+  [[nodiscard]] std::vector<MemberRecord> membership() const {
+    return membership(QueryScheme::kTopmost);
+  }
+};
+
+}  // namespace rgb::proto

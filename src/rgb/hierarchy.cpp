@@ -1,0 +1,305 @@
+#include "rgb/hierarchy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rgb::core {
+
+std::uint64_t HierarchyLayout::ap_count() const {
+  std::uint64_t n = 1;
+  for (int i = 0; i < ring_tiers; ++i) n *= static_cast<std::uint64_t>(ring_size);
+  return n;
+}
+
+std::uint64_t HierarchyLayout::ring_count() const {
+  std::uint64_t tn = 0, pow = 1;
+  for (int i = 0; i < ring_tiers; ++i) {
+    tn += pow;
+    pow *= static_cast<std::uint64_t>(ring_size);
+  }
+  return tn;
+}
+
+std::uint64_t HierarchyLayout::ne_count() const {
+  return ring_count() * static_cast<std::uint64_t>(ring_size);
+}
+
+RgbSystem::RgbSystem(net::Network& network, RgbConfig config,
+                     HierarchyLayout layout, std::uint64_t first_node_id)
+    : network_(network),
+      config_(config),
+      layout_(layout),
+      first_node_id_(first_node_id) {
+  assert(layout_.ring_tiers >= 1);
+  assert(layout_.ring_size >= 1);
+  build();
+}
+
+RgbSystem::~RgbSystem() = default;
+
+namespace {
+NeRole role_for_tier(int tier, int tiers) {
+  if (tier == 0) return NeRole::kBorderRouter;
+  if (tier == tiers - 1) return NeRole::kAccessProxy;
+  return NeRole::kAccessGateway;
+}
+}  // namespace
+
+void RgbSystem::build() {
+  std::uint64_t next_id = first_node_id_;
+  tiers_.resize(static_cast<std::size_t>(layout_.ring_tiers));
+
+  // Create all NEs tier by tier; ids ascend within each ring so the first
+  // node of a ring is its deterministic leader.
+  std::uint64_t rings_in_tier = 1;
+  for (int tier = 0; tier < layout_.ring_tiers; ++tier) {
+    auto& rings = tiers_[static_cast<std::size_t>(tier)];
+    rings.resize(rings_in_tier);
+    for (auto& ring : rings) {
+      ring.reserve(static_cast<std::size_t>(layout_.ring_size));
+      for (int pos = 0; pos < layout_.ring_size; ++pos) {
+        const NodeId id{next_id++};
+        auto ne = std::make_unique<NetworkEntity>(
+            id, role_for_tier(tier, layout_.ring_tiers), tier, network_,
+            config_, metrics_);
+        by_id_.emplace(id, ne.get());
+        entities_.push_back(std::move(ne));
+        ring.push_back(id);
+      }
+    }
+    rings_in_tier *= static_cast<std::uint64_t>(layout_.ring_size);
+  }
+
+  // Configure rings and wire parent/child pointers. The j-th ring of tier
+  // t+1 hangs off the j-th node (in tier order) of tier t.
+  for (int tier = 0; tier < layout_.ring_tiers; ++tier) {
+    const auto& rings = tiers_[static_cast<std::size_t>(tier)];
+    for (std::size_t ring_idx = 0; ring_idx < rings.size(); ++ring_idx) {
+      const auto& roster = rings[ring_idx];
+      const NodeId leader = roster.front();
+      for (const NodeId id : roster) {
+        by_id_.at(id)->configure_ring(roster, leader);
+      }
+      if (tier > 0) {
+        // Parent: the (ring_idx)-th node of the tier above, flattened.
+        const auto& above = tiers_[static_cast<std::size_t>(tier - 1)];
+        const std::size_t per_ring = above.front().size();
+        const NodeId parent =
+            above[ring_idx / per_ring][ring_idx % per_ring];
+        for (const NodeId id : roster) by_id_.at(id)->set_parent(parent);
+        by_id_.at(parent)->set_child(leader);
+      }
+    }
+  }
+
+  // Collect the access proxies (bottom tier) in id order.
+  for (const auto& ring : tiers_.back()) {
+    aps_.insert(aps_.end(), ring.begin(), ring.end());
+  }
+}
+
+// --------------------------------------------------------------------------
+// MembershipService
+// --------------------------------------------------------------------------
+
+void RgbSystem::join(Guid mh, NodeId ap) {
+  NetworkEntity* ne = entity(ap);
+  assert(ne != nullptr && "join via unknown AP");
+  attachments_[mh] = ap;
+  ne->local_member_join(mh);
+}
+
+void RgbSystem::leave(Guid mh) {
+  const auto it = attachments_.find(mh);
+  if (it == attachments_.end()) return;
+  NetworkEntity* ne = entity(it->second);
+  attachments_.erase(it);
+  if (ne != nullptr) ne->local_member_leave(mh);
+}
+
+void RgbSystem::handoff(Guid mh, NodeId new_ap) {
+  const auto it = attachments_.find(mh);
+  if (it == attachments_.end()) return;
+  const NodeId old_ap = it->second;
+  if (old_ap == new_ap) return;
+  NetworkEntity* ne = entity(new_ap);
+  assert(ne != nullptr && "handoff to unknown AP");
+  it->second = new_ap;
+  ne->local_member_handoff_in(mh, old_ap);
+}
+
+void RgbSystem::fail(Guid mh) {
+  const auto it = attachments_.find(mh);
+  if (it == attachments_.end()) return;
+  NetworkEntity* ne = entity(it->second);
+  attachments_.erase(it);
+  // The failure is detected and reported at the member's access proxy.
+  if (ne != nullptr) ne->local_member_fail(mh);
+}
+
+std::vector<proto::MemberRecord> RgbSystem::membership(
+    proto::QueryScheme scheme) const {
+  const QueryPlan plan = query_plan(scheme);
+  MemberTable combined;
+  for (const NodeId target : plan.targets) {
+    const NetworkEntity* ne = entity(target);
+    if (ne == nullptr || network_.is_crashed(target)) continue;
+    for (const auto& rec : ne->ring_members().snapshot()) {
+      if (!combined.find(rec.guid)) combined.upsert(rec);
+    }
+  }
+  return combined.snapshot();
+}
+
+// --------------------------------------------------------------------------
+// Topology
+// --------------------------------------------------------------------------
+
+NetworkEntity* RgbSystem::entity(NodeId id) {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+const NetworkEntity* RgbSystem::entity(NodeId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<NodeId> RgbSystem::all_nes() const {
+  std::vector<NodeId> out;
+  out.reserve(entities_.size());
+  for (const auto& ne : entities_) out.push_back(ne->id());
+  return out;
+}
+
+const std::vector<std::vector<NodeId>>& RgbSystem::rings(int tier) const {
+  return tiers_.at(static_cast<std::size_t>(tier));
+}
+
+std::vector<NodeId> RgbSystem::ring_leaders(int tier) const {
+  std::vector<NodeId> leaders;
+  for (const auto& ring : rings(tier)) {
+    // Report the *current* leader as known by an alive ring member, so
+    // callers get correct targets after failovers.
+    for (const NodeId id : ring) {
+      const NetworkEntity* ne = entity(id);
+      if (ne != nullptr && !network_.is_crashed(id)) {
+        leaders.push_back(ne->leader().valid() ? ne->leader() : id);
+        break;
+      }
+    }
+  }
+  return leaders;
+}
+
+QueryPlan RgbSystem::query_plan(proto::QueryScheme scheme) const {
+  QueryPlan plan;
+  switch (scheme) {
+    case proto::QueryScheme::kTopmost:
+      plan.target_tier = 0;
+      break;
+    case proto::QueryScheme::kIntermediate:
+      plan.target_tier = layout_.ring_tiers >= 3 ? 1 : 0;
+      break;
+    case proto::QueryScheme::kBottommost:
+      plan.target_tier = layout_.ring_tiers - 1;
+      break;
+  }
+  plan.targets = ring_leaders(plan.target_tier);
+  return plan;
+}
+
+// --------------------------------------------------------------------------
+// Faults, metrics, invariants
+// --------------------------------------------------------------------------
+
+void RgbSystem::crash_ne(NodeId id) { network_.crash(id); }
+
+void RgbSystem::recover_ne(NodeId id) { network_.recover(id); }
+
+void RgbSystem::start_probing() {
+  for (const auto& ne : entities_) ne->start_probing();
+}
+
+std::vector<proto::MemberRecord> RgbSystem::expected_membership() const {
+  std::vector<proto::MemberRecord> out;
+  out.reserve(attachments_.size());
+  for (const auto& [guid, ap] : attachments_) {
+    out.push_back(
+        proto::MemberRecord{guid, ap, proto::MemberStatus::kOperational});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const proto::MemberRecord& a, const proto::MemberRecord& b) {
+              return a.guid < b.guid;
+            });
+  return out;
+}
+
+bool RgbSystem::membership_converged() const {
+  const auto expected = expected_membership();
+  for (const auto& ne : entities_) {
+    if (network_.is_crashed(ne->id())) continue;
+    // Under TMS with downward dissemination every NE converges to the
+    // global view; under IMS/BMS only tiers at/below the retention tier see
+    // everything that concerns them, so restrict the strict check.
+    const bool should_hold_global =
+        config_.disseminate_down && config_.retain_tier == 0;
+    if (should_hold_global) {
+      if (ne->ring_members().snapshot() != expected) return false;
+    } else if (ne->tier() == layout_.ring_tiers - 1) {
+      // APs always know their own local members.
+      for (const auto& rec : expected) {
+        if (rec.access_proxy == ne->id() &&
+            !ne->ring_members().contains(rec.guid)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool RgbSystem::rings_consistent() const {
+  for (const auto& tier : tiers_) {
+    for (const auto& ring : tier) {
+      // Collect alive members and check they agree on roster & leader.
+      const NetworkEntity* reference = nullptr;
+      for (const NodeId id : ring) {
+        if (network_.is_crashed(id)) continue;
+        const NetworkEntity* ne = entity(id);
+        if (ne == nullptr || ne->roster().empty()) continue;
+        if (reference == nullptr) {
+          reference = ne;
+          continue;
+        }
+        if (ne->roster() != reference->roster() ||
+            ne->leader() != reference->leader()) {
+          return false;
+        }
+      }
+      if (reference == nullptr) continue;
+      // The agreed roster must contain only alive nodes... it may lag by a
+      // round, so we only require that pointers form a cycle covering the
+      // roster exactly once.
+      const auto& roster = reference->roster();
+      if (roster.empty()) continue;
+      std::size_t steps = 0;
+      NodeId cursor = roster.front();
+      do {
+        const NetworkEntity* ne = entity(cursor);
+        if (ne == nullptr) return false;
+        cursor = ne->next_node();
+        if (++steps > roster.size()) return false;
+      } while (cursor != roster.front());
+      if (steps != roster.size()) return false;
+    }
+  }
+  return true;
+}
+
+NodeId RgbSystem::ap_of(Guid mh) const {
+  const auto it = attachments_.find(mh);
+  return it == attachments_.end() ? NodeId{} : it->second;
+}
+
+}  // namespace rgb::core

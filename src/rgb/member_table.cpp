@@ -1,0 +1,102 @@
+#include "rgb/member_table.hpp"
+
+#include <algorithm>
+
+namespace rgb::core {
+
+bool MemberTable::apply(const MembershipOp& op) {
+  if (!op.is_member_op()) return false;
+
+  auto& entry = records_[op.member.guid];
+  // Idempotent, monotone apply: an op older than what we already reflected
+  // for this member is a duplicate or a stale retransmission.
+  if (entry.last_seq != 0 && op.seq <= entry.last_seq) return false;
+  entry.last_seq = op.seq;
+
+  switch (op.kind) {
+    case OpKind::kMemberJoin:
+      entry.record = op.member;
+      entry.record.status = MemberStatus::kOperational;
+      return true;
+    case OpKind::kMemberHandoff:
+      entry.record = op.member;
+      entry.record.status = MemberStatus::kOperational;
+      return true;
+    case OpKind::kMemberLeave:
+      entry.record = op.member;
+      entry.record.status = MemberStatus::kDisconnected;
+      return true;
+    case OpKind::kMemberFail:
+      entry.record = op.member;
+      entry.record.status = MemberStatus::kFailed;
+      return true;
+    default:
+      return false;
+  }
+}
+
+void MemberTable::upsert(const MemberRecord& rec) {
+  auto& entry = records_[rec.guid];
+  entry.record = rec;
+}
+
+void MemberTable::remove(Guid guid) { records_.erase(guid); }
+
+std::optional<MemberRecord> MemberTable::find(Guid guid) const {
+  const auto it = records_.find(guid);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.record;
+}
+
+bool MemberTable::contains(Guid guid) const {
+  const auto it = records_.find(guid);
+  return it != records_.end() &&
+         it->second.record.status == MemberStatus::kOperational;
+}
+
+std::vector<MemberRecord> MemberTable::snapshot() const {
+  std::vector<MemberRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [guid, entry] : records_) {
+    if (entry.record.status == MemberStatus::kOperational) {
+      out.push_back(entry.record);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MemberRecord& a, const MemberRecord& b) {
+              return a.guid < b.guid;
+            });
+  return out;
+}
+
+std::vector<MemberRecord> MemberTable::members_at(NodeId ap) const {
+  std::vector<MemberRecord> out;
+  for (const auto& [guid, entry] : records_) {
+    if (entry.record.status == MemberStatus::kOperational &&
+        entry.record.access_proxy == ap) {
+      out.push_back(entry.record);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MemberRecord& a, const MemberRecord& b) {
+              return a.guid < b.guid;
+            });
+  return out;
+}
+
+void MemberTable::merge(const MemberTable& other) {
+  for (const auto& [guid, their] : other.records_) {
+    auto it = records_.find(guid);
+    if (it == records_.end() || their.last_seq > it->second.last_seq) {
+      records_[guid] = their;
+    }
+  }
+}
+
+bool operator==(const MemberTable& a, const MemberTable& b) {
+  return a.snapshot() == b.snapshot();
+}
+
+void MemberTable::clear() { records_.clear(); }
+
+}  // namespace rgb::core

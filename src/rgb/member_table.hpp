@@ -1,0 +1,58 @@
+// Membership view held by a network entity: the paper's
+// ListOfLocalMembers / ListOfRingMembers / ListOfNeighborMembers are all
+// instances of this table with different scopes.
+//
+// Applying the same op twice is harmless (idempotent apply keyed by op
+// sequence), which lets retransmitted notifications and merged partitions
+// reconcile without special cases.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rgb/types.hpp"
+
+namespace rgb::core {
+
+class MemberTable {
+ public:
+  /// Applies a member op. Returns true if the table changed. NE ops are
+  /// ignored (tables track mobile hosts only).
+  bool apply(const MembershipOp& op);
+
+  /// Direct record insertion/removal (used by merge reconciliation).
+  void upsert(const MemberRecord& rec);
+  void remove(Guid guid);
+
+  [[nodiscard]] std::optional<MemberRecord> find(Guid guid) const;
+  [[nodiscard]] bool contains(Guid guid) const;
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+  /// Operational members only, sorted by GUID for deterministic comparison.
+  [[nodiscard]] std::vector<MemberRecord> snapshot() const;
+
+  /// Members currently attached to `ap`, sorted by GUID.
+  [[nodiscard]] std::vector<MemberRecord> members_at(NodeId ap) const;
+
+  /// Union-merge with another view (used by query fan-in and ring merge):
+  /// unknown members are inserted; conflicts keep `other`'s record when
+  /// its op sequence is newer.
+  void merge(const MemberTable& other);
+
+  friend bool operator==(const MemberTable& a, const MemberTable& b);
+
+  void clear();
+
+ private:
+  struct Entry {
+    MemberRecord record;
+    std::uint64_t last_seq = 0;  ///< newest op sequence applied to this guid
+  };
+  std::unordered_map<Guid, Entry> records_;
+};
+
+}  // namespace rgb::core

@@ -1,0 +1,141 @@
+#include "rgb/message_queue.hpp"
+
+#include <algorithm>
+
+namespace rgb::core {
+
+namespace {
+/// Provenance of a collapsed op: an echo direction stays suppressed only
+/// if BOTH constituent ops arrived from it. A fresh local op (no
+/// provenance) must make the merged op propagate everywhere again.
+void merge_provenance(MembershipOp& pending, const MembershipOp& op) {
+  if (pending.from_child_of != op.from_child_of) {
+    pending.from_child_of = NodeId{};
+  }
+  if (pending.from_parent_of != op.from_parent_of) {
+    pending.from_parent_of = NodeId{};
+  }
+}
+
+void append_contributors(std::vector<Contributor>& into,
+                         const std::vector<Contributor>& from) {
+  for (const auto& c : from) {
+    if (c.ne.valid() &&
+        std::find(into.begin(), into.end(), c) == into.end()) {
+      into.push_back(c);
+    }
+  }
+}
+}  // namespace
+
+void MessageQueue::insert(MembershipOp op, Contributor contributor) {
+  ++ops_inserted_;
+  std::vector<Contributor> contribs;
+  if (contributor.ne.valid()) contribs.push_back(contributor);
+
+  // Exact duplicate (retransmitted notification): drop, keep the ack owed.
+  for (auto& pending : queue_) {
+    if (pending.op.uid == op.uid) {
+      append_contributors(pending.contributors, contribs);
+      ++ops_collapsed_;
+      return;
+    }
+  }
+
+  if (aggregate_ && op.is_member_op() && try_aggregate(op, contribs)) {
+    ++ops_collapsed_;
+    return;
+  }
+
+  Pending pending;
+  pending.local_origin = !contributor.ne.valid() &&
+                         !op.from_child_of.valid() &&
+                         !op.from_parent_of.valid();
+  pending.op = std::move(op);
+  pending.contributors = std::move(contribs);
+  queue_.push_back(std::move(pending));
+}
+
+bool MessageQueue::try_aggregate(const MembershipOp& op,
+                                 const std::vector<Contributor>& contribs) {
+  // Scan from the back: aggregation applies to *successive* ops on the same
+  // member, and the newest pending op for that guid is the relevant one.
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    Pending& pending = *it;
+    if (!pending.op.is_member_op() ||
+        pending.op.member.guid != op.member.guid) {
+      continue;
+    }
+
+    // A stale op — a disseminated copy of an *older* change racing a newer
+    // pending one — must not chain with (let alone cancel) the newer op:
+    // last-writer-wins by seq. Absorb it; its information is superseded by
+    // the pending op, which is about to propagate with a higher seq anyway.
+    if (op.seq <= pending.op.seq) {
+      append_contributors(pending.contributors, contribs);
+      return true;
+    }
+
+    const OpKind prev = pending.op.kind;
+    const OpKind next = op.kind;
+
+    // Join then Leave/Fail: the member appeared and vanished before anyone
+    // else heard of it — cancel both. Valid ONLY for locally originated,
+    // never-disseminated joins; a disseminated copy is already known
+    // elsewhere and the leave must propagate to erase it.
+    if (prev == OpKind::kMemberJoin && pending.local_origin &&
+        (next == OpKind::kMemberLeave || next == OpKind::kMemberFail)) {
+      append_contributors(orphaned_acks_, pending.contributors);
+      append_contributors(orphaned_acks_, contribs);
+      queue_.erase(std::next(it).base());
+      return true;
+    }
+
+    // Handoff chain: a->b then b->c becomes a->c.
+    if (prev == OpKind::kMemberHandoff && next == OpKind::kMemberHandoff &&
+        pending.op.member.access_proxy == op.old_ap) {
+      pending.op.member.access_proxy = op.member.access_proxy;
+      pending.op.seq = op.seq;  // newest seq wins for idempotence ordering
+      pending.op.uid = op.uid;
+      merge_provenance(pending.op, op);
+      append_contributors(pending.contributors, contribs);
+      return true;
+    }
+
+    // Join at a then handoff to b: join directly at b.
+    if (prev == OpKind::kMemberJoin && next == OpKind::kMemberHandoff) {
+      pending.op.member.access_proxy = op.member.access_proxy;
+      pending.op.seq = op.seq;
+      pending.op.uid = op.uid;
+      merge_provenance(pending.op, op);
+      append_contributors(pending.contributors, contribs);
+      return true;
+    }
+
+    // Any other adjacency (leave then re-join, fail then join, ...) must
+    // stay ordered: collapsing would lose an observable transition.
+    return false;
+  }
+  return false;
+}
+
+MessageQueue::Batch MessageQueue::drain(std::size_t max_ops) {
+  Batch batch;
+  std::size_t limit = aggregate_ ? (max_ops == 0 ? queue_.size() : max_ops)
+                                 : std::size_t{1};
+  limit = std::min(limit, queue_.size());
+  batch.ops.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    Pending& front = queue_.front();
+    batch.ops.push_back(std::move(front.op));
+    append_contributors(batch.contributors, front.contributors);
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+std::vector<Contributor> MessageQueue::take_orphaned_acks() {
+  return std::exchange(orphaned_acks_, {});
+}
+
+}  // namespace rgb::core

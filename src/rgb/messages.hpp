@@ -1,0 +1,184 @@
+// Wire messages of the RGB protocol and their metering kinds.
+//
+// Metering follows the paper's accounting (Section 5.1): only
+// proposal-carrying traffic — token hops and inter-ring notifications — is
+// counted in the HopCount comparison; token acquisition, per-hop acks,
+// holder acknowledgements and MH requests are control traffic, metered
+// under separate kinds so benches can include or exclude them explicitly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "rgb/types.hpp"
+
+namespace rgb::core {
+
+/// Metering categories (net::MessageKind values).
+namespace kind {
+// Proposal-plane: these are the "message hops" of formula (5)/(6).
+inline constexpr net::MessageKind kToken = 1;         ///< token circulation hop
+inline constexpr net::MessageKind kNotifyParent = 2;  ///< leader -> parent MQ
+inline constexpr net::MessageKind kNotifyChild = 3;   ///< NE -> child-ring MQ
+// Control-plane (uncounted by the paper's model).
+inline constexpr net::MessageKind kTokenPassAck = 10;
+inline constexpr net::MessageKind kTokenRequest = 11;
+inline constexpr net::MessageKind kTokenGrant = 12;
+inline constexpr net::MessageKind kTokenRelease = 13;
+inline constexpr net::MessageKind kHolderAck = 14;
+inline constexpr net::MessageKind kRepair = 15;
+inline constexpr net::MessageKind kChildRebind = 16;
+inline constexpr net::MessageKind kProbe = 17;
+inline constexpr net::MessageKind kProbeAck = 18;
+inline constexpr net::MessageKind kMergeOffer = 19;
+inline constexpr net::MessageKind kMergeAccept = 20;
+inline constexpr net::MessageKind kRingReform = 21;
+inline constexpr net::MessageKind kNeJoinRequest = 22;
+inline constexpr net::MessageKind kNeLeaveRequest = 23;
+// Edge-plane (MH <-> AP wireless traffic; also uncounted).
+inline constexpr net::MessageKind kMhRequest = 30;
+inline constexpr net::MessageKind kMhAck = 31;
+inline constexpr net::MessageKind kMhHeartbeat = 32;
+// Query-plane.
+inline constexpr net::MessageKind kQueryRequest = 40;
+inline constexpr net::MessageKind kQueryReply = 41;
+
+/// True for kinds the Table-I hop count includes.
+[[nodiscard]] constexpr bool is_proposal_kind(net::MessageKind k) {
+  return k == kToken || k == kNotifyParent || k == kNotifyChild;
+}
+}  // namespace kind
+
+// --- ring plane -------------------------------------------------------------
+
+struct TokenMsg {
+  Token token;
+};
+
+/// Immediate per-hop receipt ack (reliability of the token pass).
+struct TokenPassAckMsg {
+  std::uint64_t round_id;
+};
+
+/// Asks the ring leader for permission to start a round.
+struct TokenRequestMsg {
+  NodeId requester;
+  /// Set when the requester believes the recipient just became leader
+  /// (previous leader declared faulty by the requester).
+  bool leadership_claim = false;
+};
+
+struct TokenGrantMsg {
+  std::uint64_t round_id;
+};
+
+struct TokenReleaseMsg {
+  std::uint64_t round_id;
+};
+
+// --- inter-ring plane --------------------------------------------------------
+
+/// Notification-to-Parent / Notification-to-Child: inserts `ops` into the
+/// destination NE's MQ. `notify_id` keys the Holder-Acknowledgement.
+struct NotifyMsg {
+  std::vector<MembershipOp> ops;
+  std::uint64_t notify_id = 0;
+  bool downward = false;  ///< true: parent-ring NE -> child-ring leader
+};
+
+/// Figure 3 lines 17-20: the holder acknowledges the NEs whose
+/// notifications were carried by the completed round.
+struct HolderAckMsg {
+  std::vector<std::uint64_t> notify_ids;
+};
+
+// --- maintenance plane --------------------------------------------------------
+
+/// Informs `dst` that its ring-predecessor is now `new_previous` (after a
+/// faulty node was spliced out), and optionally hands it the in-flight
+/// token.
+struct RepairMsg {
+  NodeId new_previous;
+  std::vector<NodeId> faulty;  ///< nodes declared faulty by the repairer
+};
+
+/// Tells a parent NE that the leader of its child ring changed.
+struct ChildRebindMsg {
+  NodeId new_child_leader;
+};
+
+struct ProbeMsg {
+  std::uint64_t probe_id;
+  NodeId origin;
+};
+
+struct ProbeAckMsg {
+  std::uint64_t probe_id;
+};
+
+/// Partition-merge handshake (paper future work, implemented as extension).
+struct MergeOfferMsg {
+  std::vector<NodeId> roster;        ///< offering fragment's alive roster
+  std::vector<MemberRecord> members; ///< offering fragment's member view
+};
+
+struct MergeAcceptMsg {
+  std::vector<NodeId> roster;
+  std::vector<MemberRecord> members;
+};
+
+/// Re-baselines a ring member after a merge, a dynamic join, or recovery:
+/// full roster, leader, and the current member view.
+struct RingReformMsg {
+  std::vector<NodeId> roster;
+  NodeId leader;
+  std::vector<MemberRecord> members;
+};
+
+/// A lone NE asks a ring leader to admit it (Section 4.3 join process).
+struct NeJoinRequestMsg {
+  NodeId joiner;
+  std::uint64_t notify_id = 0;  ///< acked via HolderAck like a notification
+};
+
+/// A ring member asks the leader to disseminate its graceful departure.
+struct NeLeaveRequestMsg {
+  NodeId leaver;
+  std::uint64_t notify_id = 0;
+};
+
+// --- edge plane ---------------------------------------------------------------
+
+enum class MhRequestKind : std::uint8_t { kJoin, kLeave, kHandoff, kFail };
+
+struct MhRequestMsg {
+  MhRequestKind kind;
+  Guid mh;
+  NodeId old_ap;  ///< handoff only
+};
+
+struct MhAckMsg {
+  MhRequestKind kind;
+  Guid mh;
+};
+
+/// Liveness beacon from an attached MH; silence beyond
+/// RgbConfig::mh_failure_timeout is a faulty disconnection.
+struct MhHeartbeatMsg {
+  Guid mh;
+};
+
+// --- query plane ----------------------------------------------------------------
+
+struct QueryRequestMsg {
+  std::uint64_t query_id;
+  NodeId reply_to;
+};
+
+struct QueryReplyMsg {
+  std::uint64_t query_id;
+  std::vector<MemberRecord> members;
+};
+
+}  // namespace rgb::core

@@ -1,0 +1,27 @@
+// Protocol-level metrics shared by all NEs of one RGB instance. Network-level
+// message/hop counts live in net::Network::Metrics; this struct counts
+// protocol events the network cannot see (rounds, repairs, failovers).
+#pragma once
+
+#include "common/stats.hpp"
+
+namespace rgb::core {
+
+struct RgbMetrics {
+  common::Counter rounds_started;
+  common::Counter rounds_completed;
+  common::Counter empty_probe_rounds;
+  common::Counter ops_disseminated;    ///< ops applied via tokens, all NEs
+  common::Counter ops_aggregated;      ///< ops absorbed by MQ aggregation
+  common::Counter token_retransmits;
+  common::Counter repairs;             ///< faulty NEs spliced out of a ring
+  common::Counter leader_failovers;
+  common::Counter notifications_sent;  ///< NotifyParent + NotifyChild
+  common::Counter notify_retransmits;
+  common::Counter holder_acks;
+  common::Counter merges;              ///< ring fragments merged
+  common::Counter ne_joins;
+  common::Counter ne_leaves;
+};
+
+}  // namespace rgb::core

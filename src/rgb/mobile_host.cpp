@@ -1,0 +1,68 @@
+#include "rgb/mobile_host.hpp"
+
+namespace rgb::core {
+
+MobileHost::MobileHost(NodeId node_id, Guid guid, GroupId gid,
+                       net::Network& network, sim::Duration heartbeat_period)
+    : proto::Process(node_id, network),
+      guid_(guid),
+      gid_(gid),
+      heartbeat_period_(heartbeat_period) {}
+
+void MobileHost::request(MhRequestKind kind, NodeId ap, NodeId old_ap) {
+  send(ap, kind::kMhRequest, MhRequestMsg{kind, guid_, old_ap});
+}
+
+void MobileHost::on_heartbeat_tick() {
+  if (status_ != MemberStatus::kOperational || !ap_.valid()) return;
+  send(ap_, kind::kMhHeartbeat, MhHeartbeatMsg{guid_});
+}
+
+void MobileHost::join_via(NodeId ap) {
+  ap_ = ap;
+  luid_ = common::Luid{(id().value() << 16) | ++luid_counter_};
+  status_ = MemberStatus::kOperational;
+  request(MhRequestKind::kJoin, ap);
+  if (heartbeat_period_ > 0) {
+    if (!heartbeat_) {
+      heartbeat_ = std::make_unique<proto::PeriodicTimer>(
+          network(), id(), heartbeat_period_,
+          [this]() { on_heartbeat_tick(); });
+    }
+    heartbeat_->start();
+    on_heartbeat_tick();  // first beacon immediately
+  }
+}
+
+void MobileHost::leave() {
+  if (!ap_.valid()) return;
+  status_ = MemberStatus::kDisconnected;
+  if (heartbeat_) heartbeat_->stop();
+  request(MhRequestKind::kLeave, ap_);
+  ap_ = NodeId{};
+}
+
+void MobileHost::handoff_to(NodeId new_ap) {
+  if (!ap_.valid() || new_ap == ap_) return;
+  const NodeId old_ap = ap_;
+  ap_ = new_ap;
+  luid_ = common::Luid{(id().value() << 16) | ++luid_counter_};
+  // The new AP captures the change (Section 4.3): the request goes there.
+  request(MhRequestKind::kHandoff, new_ap, old_ap);
+  if (heartbeat_period_ > 0) on_heartbeat_tick();  // re-announce at new AP
+}
+
+void MobileHost::fail() {
+  // Faulty disconnection: silence. With heartbeats enabled the attached AP
+  // detects the silence and reports the failure; otherwise the workload or
+  // facade drives the detection.
+  status_ = MemberStatus::kFailed;
+  if (heartbeat_) heartbeat_->stop();
+  ap_ = NodeId{};
+}
+
+void MobileHost::deliver(const net::Envelope& env) {
+  if (env.kind == kind::kMhAck) ++acks_;
+}
+
+}  // namespace rgb::core

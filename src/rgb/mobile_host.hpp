@@ -1,0 +1,72 @@
+// Mobile host agent: the paper's MH data structure (Section 4.2) with the
+// GID / AP / GUID / LUID / Status fields, speaking the MH<->AP edge
+// protocol over the simulated wireless link.
+//
+// Benches that only need the hierarchy drive APs directly through
+// RgbSystem; examples and integration tests use MobileHost to exercise the
+// full edge path (request, wireless latency, AP-side injection, ack).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "proto/process.hpp"
+#include "rgb/messages.hpp"
+#include "rgb/types.hpp"
+
+namespace rgb::core {
+
+class MobileHost : public proto::Process {
+ public:
+  /// `node_id` is the MH's address on the simulated network (distinct id
+  /// space from NEs by convention); `guid` its globally unique identity.
+  /// With `heartbeat_period` > 0 the MH beacons liveness to its AP while
+  /// operational, enabling AP-side faulty-disconnection detection
+  /// (RgbConfig::mh_failure_timeout).
+  MobileHost(NodeId node_id, Guid guid, GroupId gid, net::Network& network,
+             sim::Duration heartbeat_period = 0);
+
+  /// Sends Member-Join via `ap`. The AP is either manually configured or
+  /// dynamically acquired (Section 4.3); here the caller supplies it.
+  void join_via(NodeId ap);
+
+  /// Voluntary disconnection.
+  void leave();
+
+  /// Moves to `new_ap` (handoff); the *new* AP reports the change, carrying
+  /// the old AP so upstream state can be rebound.
+  void handoff_to(NodeId new_ap);
+
+  /// Faulty disconnection: the MH goes silent. Detection/reporting happens
+  /// on the AP side (driven by the workload/facade).
+  void fail();
+
+  void deliver(const net::Envelope& env) override;
+
+  // --- the paper's MH record ---------------------------------------------------
+  [[nodiscard]] Guid guid() const { return guid_; }
+  [[nodiscard]] GroupId gid() const { return gid_; }
+  [[nodiscard]] NodeId current_ap() const { return ap_; }
+  /// LUID: locally unique id, reassigned per attachment (modelled as a
+  /// counter scoped to this MH; a stand-in for a Mobile IP care-of address).
+  [[nodiscard]] common::Luid luid() const { return luid_; }
+  [[nodiscard]] MemberStatus status() const { return status_; }
+
+  [[nodiscard]] std::uint64_t acks_received() const { return acks_; }
+
+ private:
+  void request(MhRequestKind kind, NodeId ap, NodeId old_ap = {});
+  void on_heartbeat_tick();
+
+  Guid guid_;
+  GroupId gid_;
+  NodeId ap_;
+  common::Luid luid_;
+  MemberStatus status_ = MemberStatus::kDisconnected;
+  std::uint64_t luid_counter_ = 0;
+  std::uint64_t acks_ = 0;
+  sim::Duration heartbeat_period_;
+  std::unique_ptr<proto::PeriodicTimer> heartbeat_;
+};
+
+}  // namespace rgb::core

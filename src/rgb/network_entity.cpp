@@ -1,0 +1,1216 @@
+#include "rgb/network_entity.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace rgb::core {
+
+namespace {
+/// Deterministic leadership rule after failures: the lowest NodeId among
+/// alive roster members. Every node evaluates the same rule on the same
+/// (eventually consistent) roster, so leadership converges without an
+/// election protocol.
+NodeId elect_leader(const std::vector<NodeId>& roster) {
+  NodeId best;
+  for (const NodeId n : roster) {
+    if (!best.valid() || n < best) best = n;
+  }
+  return best;
+}
+}  // namespace
+
+NetworkEntity::NetworkEntity(NodeId id, NeRole role, int tier,
+                             net::Network& network, const RgbConfig& config,
+                             RgbMetrics& metrics)
+    : proto::Process(id, network),
+      role_(role),
+      tier_(tier),
+      config_(config),
+      metrics_(metrics),
+      mq_(config.aggregate_mq) {}
+
+// --------------------------------------------------------------------------
+// Wiring
+// --------------------------------------------------------------------------
+
+void NetworkEntity::configure_ring(std::vector<NodeId> roster,
+                                   NodeId leader) {
+  assert(std::find(roster.begin(), roster.end(), id()) != roster.end());
+  assert(std::find(roster.begin(), roster.end(), leader) != roster.end());
+  roster_ = std::move(roster);
+  for (const NodeId n : roster_) {
+    if (std::find(known_peers_.begin(), known_peers_.end(), n) ==
+        known_peers_.end()) {
+      known_peers_.push_back(n);
+    }
+  }
+  leader_ = leader;
+  suspected_faulty_.clear();
+  recompute_pointers();
+  ring_ok_ = true;
+  token_free_ = is_leader();
+}
+
+void NetworkEntity::set_parent(NodeId parent) {
+  parent_ = parent;
+  parent_ok_ = parent_.valid();
+}
+
+void NetworkEntity::set_child(NodeId child_ring_leader) {
+  child_ = child_ring_leader;
+  child_ok_ = child_.valid();
+}
+
+void NetworkEntity::start_probing() {
+  if (config_.probe_period == 0 || probe_timer_) return;
+  probe_timer_ = std::make_unique<proto::PeriodicTimer>(
+      network(), id(), config_.probe_period, [this]() { on_probe_tick(); });
+  probe_timer_->start();
+}
+
+void NetworkEntity::recompute_pointers() {
+  const auto it = std::find(roster_.begin(), roster_.end(), id());
+  if (it == roster_.end() || roster_.size() == 1) {
+    next_ = id();
+    previous_ = id();
+    return;
+  }
+  const std::size_t i =
+      static_cast<std::size_t>(std::distance(roster_.begin(), it));
+  next_ = roster_[(i + 1) % roster_.size()];
+  previous_ = roster_[(i + roster_.size() - 1) % roster_.size()];
+}
+
+// --------------------------------------------------------------------------
+// Sequence generators
+// --------------------------------------------------------------------------
+
+std::uint64_t NetworkEntity::next_op_seq() {
+  // Time-major sequence: later ops (anywhere in the hierarchy) get larger
+  // sequence numbers, which is what MemberTable's monotone apply relies on
+  // to order handoff chains across different APs. The low 16 bits break
+  // same-microsecond ties between NEs.
+  const std::uint64_t base = (now() << 16) | (id().value() & 0xFFFFULL);
+  op_seq_counter_ = std::max(op_seq_counter_ + 1, base);
+  return op_seq_counter_;
+}
+
+std::uint64_t NetworkEntity::next_op_uid() {
+  // Globally unique by construction: origin NE id in the high bits, a
+  // per-node counter in the low 24 (16M ops per NE before wrap).
+  return (id().value() << 24) | (++op_uid_counter_ & 0xFFFFFFULL);
+}
+
+std::uint64_t NetworkEntity::next_round_id() {
+  return (id().value() << 24) | ++round_counter_;
+}
+
+std::uint64_t NetworkEntity::next_notify_id() {
+  return (id().value() << 24) | ++notify_counter_;
+}
+
+// --------------------------------------------------------------------------
+// Local membership events (the AP edge)
+// --------------------------------------------------------------------------
+
+void NetworkEntity::local_member_join(Guid mh) {
+  MembershipOp op;
+  op.kind = OpKind::kMemberJoin;
+  op.seq = next_op_seq();
+  op.uid = next_op_uid();
+  op.member = MemberRecord{mh, id(), MemberStatus::kOperational};
+  enqueue_local_op(std::move(op));
+}
+
+void NetworkEntity::local_member_leave(Guid mh) {
+  MembershipOp op;
+  op.kind = OpKind::kMemberLeave;
+  op.seq = next_op_seq();
+  op.uid = next_op_uid();
+  op.member = MemberRecord{mh, id(), MemberStatus::kDisconnected};
+  enqueue_local_op(std::move(op));
+}
+
+void NetworkEntity::local_member_handoff_in(Guid mh, NodeId old_ap) {
+  MembershipOp op;
+  op.kind = OpKind::kMemberHandoff;
+  op.seq = next_op_seq();
+  op.uid = next_op_uid();
+  op.member = MemberRecord{mh, id(), MemberStatus::kOperational};
+  op.old_ap = old_ap;
+  enqueue_local_op(std::move(op));
+}
+
+void NetworkEntity::local_member_fail(Guid mh) {
+  MembershipOp op;
+  op.kind = OpKind::kMemberFail;
+  op.seq = next_op_seq();
+  op.uid = next_op_uid();
+  op.member = MemberRecord{mh, id(), MemberStatus::kFailed};
+  enqueue_local_op(std::move(op));
+}
+
+void NetworkEntity::enqueue_local_op(MembershipOp op) {
+  enqueue_op(std::move(op), Contributor{});
+}
+
+void NetworkEntity::enqueue_op(MembershipOp op, Contributor contributor) {
+  const std::uint64_t collapsed_before = mq_.ops_collapsed();
+  mq_.insert(std::move(op), contributor);
+  metrics_.ops_aggregated.increment(mq_.ops_collapsed() - collapsed_before);
+  // Ops cancelled by aggregation still owe their contributors an ack.
+  for (const Contributor& orphan : mq_.take_orphaned_acks()) {
+    send(orphan.ne, kind::kHolderAck, HolderAckMsg{{orphan.notify_id}});
+    metrics_.holder_acks.increment();
+  }
+  on_mq_activity();
+}
+
+// --------------------------------------------------------------------------
+// Round engine
+// --------------------------------------------------------------------------
+
+void NetworkEntity::on_mq_activity() {
+  if (mq_.empty() || holding_round_) return;
+  if (!leader_.valid()) return;  // not in a ring yet
+  if (is_leader()) {
+    if (token_free_) {
+      token_free_ = false;
+      active_round_id_ = next_round_id();
+      start_round(active_round_id_);
+    }
+    // else: the running round's completion re-checks our MQ.
+  } else {
+    request_token();
+  }
+}
+
+void NetworkEntity::request_token() {
+  if (token_requested_) return;
+  token_requested_ = true;
+  request_retx_count_ = 0;
+  send_token_request();
+}
+
+void NetworkEntity::send_token_request() {
+  if (!leader_.valid()) {
+    token_requested_ = false;
+    return;
+  }
+  send(leader_, kind::kTokenRequest, TokenRequestMsg{id(), false});
+  request_retx_timer_ = set_timer(config_.round_timeout, [this]() {
+    if (!token_requested_) return;
+    if (++request_retx_count_ <= config_.max_retx) {
+      send_token_request();
+    } else {
+      // The leader is unresponsive: declare it faulty and fail over. Our
+      // queued ops go out once the repaired ring grants us the token.
+      token_requested_ = false;
+      if (leader_.valid() && leader_ != id()) {
+        declare_faulty_and_repair(leader_);
+      }
+      on_mq_activity();
+    }
+  });
+}
+
+void NetworkEntity::handle_token_request(const TokenRequestMsg& msg,
+                                         NodeId from) {
+  if (!is_leader()) {
+    if (msg.leadership_claim && elect_leader(roster_) == id()) {
+      adopt_leadership();
+    } else if (leader_.valid() && leader_ != from && leader_ != id()) {
+      // Stale leader pointer at the requester: relay to the real leader.
+      send(leader_, kind::kTokenRequest, msg);
+      return;
+    } else {
+      return;
+    }
+  }
+  if (token_free_) {
+    token_free_ = false;
+    active_round_id_ = next_round_id();
+    send(msg.requester, kind::kTokenGrant, TokenGrantMsg{active_round_id_});
+    arm_round_watchdog(active_round_id_);
+  } else {
+    if (std::find(pending_grants_.begin(), pending_grants_.end(),
+                  msg.requester) == pending_grants_.end()) {
+      pending_grants_.push_back(msg.requester);
+    }
+  }
+}
+
+void NetworkEntity::handle_token_grant(const TokenGrantMsg& msg) {
+  cancel_timer(request_retx_timer_);
+  token_requested_ = false;
+  if (mq_.empty()) {
+    // Nothing left to send (aggregation may have cancelled everything).
+    send(leader_, kind::kTokenRelease, TokenReleaseMsg{msg.round_id});
+    return;
+  }
+  start_round(msg.round_id);
+}
+
+void NetworkEntity::handle_token_release(const TokenReleaseMsg& msg,
+                                         NodeId /*from*/) {
+  if (!is_leader()) return;
+  if (token_free_ || msg.round_id != active_round_id_) return;
+  cancel_timer(round_watchdog_);
+  token_free_ = true;
+  grant_next();
+}
+
+void NetworkEntity::start_round(std::uint64_t round_id) {
+  MessageQueue::Batch batch = mq_.drain(config_.max_ops_per_token);
+  if (batch.empty()) {
+    if (is_leader()) {
+      token_free_ = true;
+      grant_next();
+    } else {
+      send(leader_, kind::kTokenRelease, TokenReleaseMsg{round_id});
+    }
+    return;
+  }
+  holding_round_ = true;
+  my_round_id_ = round_id;
+  round_contributors_ = std::move(batch.contributors);
+
+  Token token;
+  token.gid = config_.gid;
+  token.holder = id();
+  token.round_id = round_id;
+  token.ops = std::move(batch.ops);
+
+  metrics_.rounds_started.increment();
+  remember_round(token.round_id);
+  apply_ops_and_notify(token);
+  remember_disseminated(token.ops);
+
+  if (next_ == id()) {
+    complete_round(token);
+  } else {
+    send_token_to(next_, std::move(token));
+  }
+}
+
+void NetworkEntity::start_probe_round() {
+  if (!is_leader() || !token_free_ || roster_.size() < 2) return;
+  token_free_ = false;
+  active_round_id_ = next_round_id();
+  holding_round_ = true;
+  my_round_id_ = active_round_id_;
+  round_contributors_.clear();
+
+  Token token;
+  token.gid = config_.gid;
+  token.holder = id();
+  token.round_id = my_round_id_;
+
+  remember_round(token.round_id);
+  ring_ok_ = true;
+  send_token_to(next_, std::move(token));
+}
+
+void NetworkEntity::handle_token(TokenMsg msg, NodeId from) {
+  // Per-hop receipt ack: the sender's retransmission scheme (the paper's
+  // single-fault detector) stops as soon as this arrives.
+  send(from, kind::kTokenPassAck, TokenPassAckMsg{msg.token.round_id});
+
+  if (!leader_.valid()) {
+    // Not configured (yet): a fresh joiner can see the admitting round's
+    // token before its RingReform. Hold the newest token; the reform
+    // replays it.
+    stashed_token_ = std::move(msg);
+    stashed_from_ = from;
+    return;
+  }
+
+  Token& token = msg.token;
+
+  if (token.holder == id()) {
+    if (holding_round_ && token.round_id == my_round_id_) {
+      complete_round(token);
+    }
+    // Otherwise: a stale or duplicated completion — the ack above already
+    // silenced the sender; nothing else to do.
+    return;
+  }
+
+  if (recent_rounds_.count(token.round_id) != 0) {
+    // Duplicate delivery (our TokenPassAck was lost and the hop was
+    // retransmitted). We already applied and forwarded this round.
+    return;
+  }
+  remember_round(token.round_id);
+
+  apply_ops_and_notify(token);
+  remember_disseminated(token.ops);
+
+  if (next_ == id()) {
+    // Degenerate repaired ring: we are alone; the round cannot get back to
+    // its holder. Adopt and complete it here.
+    token.holder = id();
+    holding_round_ = true;
+    my_round_id_ = token.round_id;
+    complete_round(token);
+    return;
+  }
+  send_token_to(next_, std::move(token));
+}
+
+void NetworkEntity::apply_ops_and_notify(const Token& token) {
+  for (const MembershipOp& op : token.ops) {
+    if (op.is_member_op()) {
+      if (ring_members_.apply(op)) metrics_.ops_disseminated.increment();
+    } else {
+      apply_ne_op(op);
+    }
+  }
+  ring_ok_ = true;
+
+  // Figure 3 lines 10-16: notifications fire while the token visits us.
+  if (is_leader() && parent_.valid() && parent_ok_ &&
+      tier_ > config_.retain_tier) {
+    std::vector<MembershipOp> up;
+    for (const MembershipOp& op : token.ops) {
+      if (op.is_member_op() && op.from_parent_of != id()) up.push_back(op);
+    }
+    if (!up.empty()) send_notify(parent_, std::move(up), /*downward=*/false);
+  }
+  if (child_.valid() && child_ok_ && config_.disseminate_down) {
+    std::vector<MembershipOp> down;
+    for (const MembershipOp& op : token.ops) {
+      if (op.is_member_op() && op.from_child_of != id()) down.push_back(op);
+    }
+    if (!down.empty()) send_notify(child_, std::move(down), /*downward=*/true);
+  }
+}
+
+void NetworkEntity::complete_round(const Token& token) {
+  holding_round_ = false;
+
+  // Figure 3 lines 17-20: Holder-Acknowledgement to every NE whose
+  // notification rode this round.
+  std::unordered_map<NodeId, std::vector<std::uint64_t>> acks;
+  for (const Contributor& c : round_contributors_) {
+    acks[c.ne].push_back(c.notify_id);
+  }
+  for (auto& [ne, ids] : acks) {
+    send(ne, kind::kHolderAck, HolderAckMsg{std::move(ids)});
+    metrics_.holder_acks.increment();
+  }
+  round_contributors_.clear();
+
+  if (token.ops.empty()) {
+    metrics_.empty_probe_rounds.increment();
+  } else {
+    metrics_.rounds_completed.increment();
+  }
+
+  if (is_leader()) {
+    cancel_timer(round_watchdog_);
+    token_free_ = true;
+    grant_next();
+  } else {
+    send(leader_, kind::kTokenRelease, TokenReleaseMsg{token.round_id});
+  }
+  // New ops may have queued while the round circulated.
+  on_mq_activity();
+}
+
+void NetworkEntity::grant_next() {
+  while (token_free_ && !pending_grants_.empty()) {
+    const NodeId grantee = pending_grants_.front();
+    pending_grants_.pop_front();
+    if (grantee == id()) {
+      if (!mq_.empty()) {
+        token_free_ = false;
+        active_round_id_ = next_round_id();
+        start_round(active_round_id_);
+      }
+      continue;
+    }
+    token_free_ = false;
+    active_round_id_ = next_round_id();
+    send(grantee, kind::kTokenGrant, TokenGrantMsg{active_round_id_});
+    arm_round_watchdog(active_round_id_);
+  }
+  if (token_free_ && !mq_.empty() && !holding_round_) {
+    token_free_ = false;
+    active_round_id_ = next_round_id();
+    start_round(active_round_id_);
+  }
+}
+
+void NetworkEntity::arm_round_watchdog(std::uint64_t round_id) {
+  cancel_timer(round_watchdog_);
+  round_watchdog_ = set_timer(config_.round_timeout, [this, round_id]() {
+    if (token_free_ || active_round_id_ != round_id) return;
+    // The granted round never released: holder presumed dead. Reclaim; the
+    // contributors of the lost round will retransmit their notifications.
+    RGB_LOG(kWarn, "watchdog")
+        << id() << " reclaims the token from an unresponsive holder";
+    token_free_ = true;
+    grant_next();
+  });
+}
+
+// --------------------------------------------------------------------------
+// Reliable token pass
+// --------------------------------------------------------------------------
+
+void NetworkEntity::send_token_to(NodeId target, Token token) {
+  const net::MessageKind kind =
+      token.ops.empty() ? kind::kProbe : kind::kToken;
+  const std::uint64_t round_id = token.round_id;
+  send(target, kind, TokenMsg{token});
+  InflightHop hop;
+  hop.token = std::move(token);
+  hop.target = target;
+  hop.timer = set_timer(config_.retx_timeout, [this, round_id]() {
+    on_token_retx_timeout(round_id);
+  });
+  inflight_hops_[round_id] = std::move(hop);
+}
+
+void NetworkEntity::handle_token_pass_ack(const TokenPassAckMsg& msg) {
+  const auto it = inflight_hops_.find(msg.round_id);
+  if (it == inflight_hops_.end()) return;
+  cancel_timer(it->second.timer);
+  inflight_hops_.erase(it);
+}
+
+void NetworkEntity::on_token_retx_timeout(std::uint64_t round_id) {
+  const auto it = inflight_hops_.find(round_id);
+  if (it == inflight_hops_.end()) return;
+  InflightHop& hop = it->second;
+  if (++hop.retx <= config_.max_retx) {
+    metrics_.token_retransmits.increment();
+    const net::MessageKind kind =
+        hop.token.ops.empty() ? kind::kProbe : kind::kToken;
+    send(hop.target, kind, TokenMsg{hop.token});
+    hop.timer = set_timer(config_.retx_timeout, [this, round_id]() {
+      on_token_retx_timeout(round_id);
+    });
+    return;
+  }
+  declare_faulty_and_repair(hop.target);
+}
+
+// --------------------------------------------------------------------------
+// Repair & rosters
+// --------------------------------------------------------------------------
+
+void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
+  if (faulty == id() || !faulty.valid()) return;
+  if (std::find(roster_.begin(), roster_.end(), faulty) == roster_.end()) {
+    return;  // already repaired (e.g. several hops detected it at once)
+  }
+  metrics_.repairs.increment();
+  RGB_LOG(kInfo, "repair") << id() << " declares " << faulty
+                           << " faulty and splices it out";
+  suspected_faulty_.insert(faulty);
+  const bool was_leader = (faulty == leader_);
+  remove_from_roster(faulty);
+
+  if (was_leader) {
+    leader_ = elect_leader(roster_);
+    metrics_.leader_failovers.increment();
+    if (leader_ == id()) adopt_leadership();
+  }
+  recompute_pointers();
+
+  // Local repair notice ("local repair by excluding the faulty node from
+  // the ring", Section 5.2) to every surviving ring member: rings are small
+  // (the paper argues for small r), so the control cost is a handful of
+  // messages, and it makes leadership convergence independent of a working
+  // round — essential when the faulty node WAS the leader.
+  for (const NodeId peer : roster_) {
+    if (peer == id()) continue;
+    send(peer, kind::kRepair, RepairMsg{id(), {faulty}});
+  }
+
+  // Disseminate the failure: NE-Failure for the node, Member-Failure for
+  // every member stranded at it.
+  MembershipOp ne_op;
+  ne_op.kind = OpKind::kNeFail;
+  ne_op.seq = next_op_seq();
+  ne_op.uid = next_op_uid();
+  ne_op.ne = faulty;
+  enqueue_op(std::move(ne_op), Contributor{});
+  for (const MemberRecord& rec : ring_members_.members_at(faulty)) {
+    MembershipOp m_op;
+    m_op.kind = OpKind::kMemberFail;
+    m_op.seq = next_op_seq();
+    m_op.uid = next_op_uid();
+    m_op.member = rec;
+    m_op.member.status = MemberStatus::kFailed;
+    enqueue_op(std::move(m_op), Contributor{});
+  }
+
+  // Keep interrupted rounds alive: every hop that was awaiting the faulty
+  // node's ack re-routes to the spliced successor; orphaned rounds (their
+  // holder died) are adopted.
+  std::vector<Token> reroute;
+  for (auto it = inflight_hops_.begin(); it != inflight_hops_.end();) {
+    if (it->second.target == faulty) {
+      cancel_timer(it->second.timer);
+      reroute.push_back(std::move(it->second.token));
+      it = inflight_hops_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (Token& token : reroute) {
+    if (token.holder == faulty) {
+      token.holder = id();
+      holding_round_ = true;
+      my_round_id_ = token.round_id;
+      round_contributors_.clear();
+    }
+    if (next_ == id()) {
+      if (token.holder != id()) {
+        token.holder = id();
+        holding_round_ = true;
+        my_round_id_ = token.round_id;
+      }
+      complete_round(token);
+    } else {
+      send_token_to(next_, std::move(token));
+    }
+  }
+
+  if (was_leader && leader_ != id() && token_requested_) {
+    // Redirect the outstanding token request to the new leader.
+    send(leader_, kind::kTokenRequest, TokenRequestMsg{id(), true});
+  }
+}
+
+void NetworkEntity::adopt_leadership() {
+  RGB_LOG(kInfo, "failover") << id() << " adopts ring leadership";
+  leader_ = id();
+  token_free_ = !holding_round_ && inflight_hops_.empty();
+  token_requested_ = false;
+  cancel_timer(request_retx_timer_);
+  if (parent_.valid()) {
+    send(parent_, kind::kChildRebind, ChildRebindMsg{id()});
+  }
+  grant_next();
+}
+
+void NetworkEntity::remove_from_roster(NodeId node) {
+  roster_.erase(std::remove(roster_.begin(), roster_.end(), node),
+                roster_.end());
+}
+
+void NetworkEntity::handle_repair(const RepairMsg& msg, NodeId from) {
+  for (const NodeId f : msg.faulty) {
+    if (f == id()) continue;  // false accusation; merge reconciles later
+    if (std::find(roster_.begin(), roster_.end(), f) == roster_.end()) {
+      continue;  // already excluded
+    }
+    suspected_faulty_.insert(f);
+    const bool was_leader = (f == leader_);
+    remove_from_roster(f);
+    if (was_leader) {
+      leader_ = elect_leader(roster_);
+      metrics_.leader_failovers.increment();
+      if (leader_ == id()) adopt_leadership();
+    }
+  }
+  // Pointers re-derive from the repaired roster; once every survivor has
+  // processed the broadcast the views agree.
+  recompute_pointers();
+  (void)from;
+}
+
+void NetworkEntity::apply_ne_op(const MembershipOp& op) {
+  switch (op.kind) {
+    case OpKind::kNeFail:
+    case OpKind::kNeLeave: {
+      if (op.ne == id()) {
+        // Our own departure op circulating back, or a false accusation.
+        // Graceful leavers clear their state upon Holder-Ack, not here;
+        // falsely accused nodes stay and reconcile via merge.
+        return;
+      }
+      const bool was_present =
+          std::find(roster_.begin(), roster_.end(), op.ne) != roster_.end();
+      if (!was_present) return;
+      const bool was_leader = (op.ne == leader_);
+      if (op.kind == OpKind::kNeFail) suspected_faulty_.insert(op.ne);
+      remove_from_roster(op.ne);
+      if (was_leader) {
+        leader_ = elect_leader(roster_);
+        if (leader_ == id()) adopt_leadership();
+      }
+      recompute_pointers();
+      if (op.kind == OpKind::kNeLeave) metrics_.ne_leaves.increment();
+      return;
+    }
+    case OpKind::kNeJoin: {
+      if (std::find(roster_.begin(), roster_.end(), op.ne) != roster_.end()) {
+        return;  // duplicate
+      }
+      auto it = std::find(roster_.begin(), roster_.end(), op.ne_after);
+      if (it == roster_.end()) {
+        roster_.push_back(op.ne);
+      } else {
+        roster_.insert(std::next(it), op.ne);
+      }
+      if (std::find(known_peers_.begin(), known_peers_.end(), op.ne) ==
+          known_peers_.end()) {
+        known_peers_.push_back(op.ne);
+      }
+      suspected_faulty_.erase(op.ne);
+      recompute_pointers();
+      if (is_leader()) {
+        // Hand the joiner its initial state.
+        send(op.ne, kind::kRingReform,
+             RingReformMsg{roster_, leader_, ring_members_.snapshot()});
+        metrics_.ne_joins.increment();
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+NodeId NetworkEntity::successor_of(NodeId node) const {
+  const auto it = std::find(roster_.begin(), roster_.end(), node);
+  if (it == roster_.end() || roster_.size() < 2) return id();
+  const std::size_t i =
+      static_cast<std::size_t>(std::distance(roster_.begin(), it));
+  return roster_[(i + 1) % roster_.size()];
+}
+
+NodeId NetworkEntity::predecessor_of(NodeId node) const {
+  const auto it = std::find(roster_.begin(), roster_.end(), node);
+  if (it == roster_.end() || roster_.size() < 2) return id();
+  const std::size_t i =
+      static_cast<std::size_t>(std::distance(roster_.begin(), it));
+  return roster_[(i + roster_.size() - 1) % roster_.size()];
+}
+
+void NetworkEntity::handle_ring_reform(const RingReformMsg& msg) {
+  roster_ = msg.roster;
+  leader_ = msg.leader;
+  for (const NodeId n : roster_) {
+    suspected_faulty_.erase(n);
+    if (std::find(known_peers_.begin(), known_peers_.end(), n) ==
+        known_peers_.end()) {
+      known_peers_.push_back(n);
+    }
+  }
+  for (const MemberRecord& rec : msg.members) ring_members_.upsert(rec);
+  recompute_pointers();
+  ring_ok_ = true;
+  if (is_leader()) {
+    token_free_ = !holding_round_ && inflight_hops_.empty();
+    if (parent_.valid()) {
+      send(parent_, kind::kChildRebind, ChildRebindMsg{id()});
+    }
+    grant_next();
+  } else {
+    token_free_ = false;
+  }
+  if (stashed_token_) {
+    TokenMsg replay = std::move(*stashed_token_);
+    stashed_token_.reset();
+    handle_token(std::move(replay), stashed_from_);
+  }
+  on_mq_activity();
+}
+
+void NetworkEntity::handle_child_rebind(const ChildRebindMsg& msg,
+                                        NodeId /*from*/) {
+  child_ = msg.new_child_leader;
+  child_ok_ = child_.valid();
+}
+
+// --------------------------------------------------------------------------
+// Inter-ring notifications
+// --------------------------------------------------------------------------
+
+void NetworkEntity::send_notify(NodeId dest, std::vector<MembershipOp> ops,
+                                bool downward) {
+  const std::uint64_t nid = next_notify_id();
+  const net::MessageKind kind =
+      downward ? kind::kNotifyChild : kind::kNotifyParent;
+  send(dest, kind, NotifyMsg{ops, nid, downward});
+  metrics_.notifications_sent.increment();
+  PendingNotify pending;
+  pending.dest = dest;
+  pending.ops = std::move(ops);
+  pending.downward = downward;
+  pending.timer = set_timer(config_.notify_timeout,
+                            [this, nid]() { on_notify_retx_timeout(nid); });
+  pending_notifies_.emplace(nid, std::move(pending));
+}
+
+void NetworkEntity::on_notify_retx_timeout(std::uint64_t notify_id) {
+  const auto it = pending_notifies_.find(notify_id);
+  if (it == pending_notifies_.end()) return;
+  PendingNotify& pending = it->second;
+  if (++pending.retx <= config_.max_notify_retx) {
+    metrics_.notify_retransmits.increment();
+    const net::MessageKind kind =
+        pending.downward ? kind::kNotifyChild : kind::kNotifyParent;
+    send(pending.dest, kind,
+         NotifyMsg{pending.ops, notify_id, pending.downward});
+    pending.timer = set_timer(config_.notify_timeout, [this, notify_id]() {
+      on_notify_retx_timeout(notify_id);
+    });
+    return;
+  }
+  // The inter-ring edge is down: reflect it in ParentOK/ChildOK (paper
+  // Section 4.2 semantics). Probing/merge may later restore the flag.
+  if (pending.downward) {
+    child_ok_ = false;
+  } else {
+    parent_ok_ = false;
+  }
+  pending_notifies_.erase(it);
+}
+
+void NetworkEntity::handle_notify(const NotifyMsg& msg, NodeId from) {
+  // Already-disseminated batch (our Holder-Ack got lost): ack immediately,
+  // do not re-propagate.
+  bool all_known = true;
+  for (const MembershipOp& op : msg.ops) {
+    if (!already_disseminated(op.uid)) {
+      all_known = false;
+      break;
+    }
+  }
+  if (all_known) {
+    send(from, kind::kHolderAck, HolderAckMsg{{msg.notify_id}});
+    metrics_.holder_acks.increment();
+    return;
+  }
+
+  const Contributor contributor{from, msg.notify_id};
+  for (MembershipOp op : msg.ops) {
+    if (msg.downward) {
+      op.from_parent_of = id();
+      op.from_child_of = NodeId{};
+    } else {
+      op.from_child_of = id();
+      op.from_parent_of = NodeId{};
+    }
+    enqueue_op(std::move(op), contributor);
+  }
+  // Receiving traffic from that edge proves it is alive again.
+  if (msg.downward) {
+    parent_ok_ = true;
+  } else if (from == child_) {
+    child_ok_ = true;
+  }
+}
+
+void NetworkEntity::handle_holder_ack(const HolderAckMsg& msg) {
+  for (const std::uint64_t nid : msg.notify_ids) {
+    if (pending_leave_notify_id_ != 0 && nid == pending_leave_notify_id_) {
+      // Our graceful departure is disseminated; detach from the ring.
+      pending_leave_notify_id_ = 0;
+      clear_ring_state();
+      continue;
+    }
+    const auto it = pending_notifies_.find(nid);
+    if (it == pending_notifies_.end()) continue;
+    cancel_timer(it->second.timer);
+    pending_notifies_.erase(it);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Probing & merge (extension: the paper's future-work
+// Membership-Partition/Merge algorithms)
+// --------------------------------------------------------------------------
+
+void NetworkEntity::on_probe_tick() {
+  if (!is_leader()) return;
+  if (token_free_ && mq_.empty()) start_probe_round();
+  attempt_merge();
+}
+
+void NetworkEntity::attempt_merge() {
+  if (known_peers_.size() <= roster_.size()) return;
+  // Round-robin over peers we once knew but no longer ring with: they may
+  // have recovered or live in another fragment.
+  std::vector<NodeId> candidates;
+  for (const NodeId peer : known_peers_) {
+    if (std::find(roster_.begin(), roster_.end(), peer) == roster_.end()) {
+      candidates.push_back(peer);
+    }
+  }
+  if (candidates.empty()) return;
+  const NodeId target = candidates[merge_probe_cursor_ % candidates.size()];
+  ++merge_probe_cursor_;
+  send(target, kind::kMergeOffer,
+       MergeOfferMsg{roster_, ring_members_.snapshot()});
+}
+
+void NetworkEntity::merge_fragment(const std::vector<NodeId>& their_roster,
+                                   const std::vector<MemberRecord>& members) {
+  // Union roster in sorted order (deterministic on both sides), lowest id
+  // leads, member views union-merge.
+  std::vector<NodeId> merged = roster_;
+  for (const NodeId n : their_roster) {
+    if (std::find(merged.begin(), merged.end(), n) == merged.end()) {
+      merged.push_back(n);
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  const NodeId new_leader = elect_leader(merged);
+
+  for (const MemberRecord& rec : members) {
+    if (!ring_members_.find(rec.guid)) ring_members_.upsert(rec);
+  }
+
+  metrics_.merges.increment();
+  RGB_LOG(kInfo, "merge") << id() << " merges fragments into a ring of "
+                          << merged.size() << " under " << new_leader;
+  roster_ = merged;
+  leader_ = new_leader;
+  for (const NodeId n : merged) suspected_faulty_.erase(n);
+  recompute_pointers();
+  broadcast_ring_reform(merged, new_leader);
+  if (is_leader()) {
+    token_free_ = !holding_round_ && inflight_hops_.empty();
+    if (parent_.valid()) {
+      send(parent_, kind::kChildRebind, ChildRebindMsg{id()});
+    }
+  } else {
+    token_free_ = false;
+  }
+}
+
+void NetworkEntity::handle_merge_offer(const MergeOfferMsg& msg,
+                                       NodeId from) {
+  if (!is_leader()) {
+    const bool i_am_in_offer =
+        std::find(msg.roster.begin(), msg.roster.end(), id()) !=
+        msg.roster.end();
+    if (i_am_in_offer) return;  // the offerer already rings with us
+    if (leader_.valid() && leader_ != id() && leader_ != from) {
+      // A true fragment: relay to our fragment's leader.
+      send(leader_, kind::kMergeOffer, msg);
+    } else {
+      // Stale state: the node we believe leads us is the one telling us we
+      // are not in its ring (e.g. we just recovered from a crash). Offer
+      // ourselves back as a singleton fragment.
+      send(from, kind::kMergeAccept,
+           MergeAcceptMsg{{id()}, ring_members_.snapshot()});
+    }
+    return;
+  }
+  if (std::find(roster_.begin(), roster_.end(), from) != roster_.end()) {
+    return;  // stale offer from a node we already ring with
+  }
+  merge_fragment(msg.roster, msg.members);
+}
+
+void NetworkEntity::handle_merge_accept(const MergeAcceptMsg& msg,
+                                        NodeId from) {
+  if (!is_leader()) return;
+  if (std::find(roster_.begin(), roster_.end(), from) != roster_.end() &&
+      msg.roster.size() <= 1) {
+    return;  // already merged by an earlier accept
+  }
+  merge_fragment(msg.roster, msg.members);
+}
+
+void NetworkEntity::broadcast_ring_reform(const std::vector<NodeId>& roster,
+                                          NodeId leader) {
+  const RingReformMsg reform{roster, leader, ring_members_.snapshot()};
+  for (const NodeId n : roster) {
+    if (n == id()) continue;
+    send(n, kind::kRingReform, reform);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Dynamic NE membership
+// --------------------------------------------------------------------------
+
+void NetworkEntity::request_ring_join(NodeId ring_leader) {
+  const std::uint64_t nid = next_notify_id();
+  send(ring_leader, kind::kNeJoinRequest, NeJoinRequestMsg{id(), nid});
+}
+
+void NetworkEntity::handle_ne_join_request(const NeJoinRequestMsg& msg,
+                                           NodeId from) {
+  if (!is_leader()) {
+    if (leader_.valid() && leader_ != id()) {
+      send(leader_, kind::kNeJoinRequest, msg);
+    }
+    return;
+  }
+  (void)from;
+  MembershipOp op;
+  op.kind = OpKind::kNeJoin;
+  op.seq = next_op_seq();
+  op.uid = next_op_uid();
+  op.ne = msg.joiner;
+  op.ne_after = id();
+  enqueue_op(std::move(op), Contributor{msg.joiner, msg.notify_id});
+}
+
+void NetworkEntity::request_ring_leave() {
+  if (roster_.size() <= 1) {
+    clear_ring_state();
+    return;
+  }
+  if (is_leader()) {
+    // Leadership handover fast path: re-baseline the survivors under the
+    // deterministic successor, then drop our ring state.
+    std::vector<NodeId> rest;
+    for (const NodeId n : roster_) {
+      if (n != id()) rest.push_back(n);
+    }
+    const NodeId successor = elect_leader(rest);
+    const RingReformMsg reform{rest, successor, ring_members_.snapshot()};
+    for (const NodeId n : rest) send(n, kind::kRingReform, reform);
+    if (parent_.valid()) {
+      send(parent_, kind::kChildRebind, ChildRebindMsg{successor});
+    }
+    metrics_.ne_leaves.increment();
+    clear_ring_state();
+    return;
+  }
+  // Non-leader: ask the leader to disseminate NE-Leave. We stay in the ring
+  // until the Holder-Acknowledgement confirms the round completed — while
+  // the round circulates, the other nodes splice us out, so the token never
+  // visits us again.
+  pending_leave_notify_id_ = next_notify_id();
+  send(leader_, kind::kNeLeaveRequest,
+       NeLeaveRequestMsg{id(), pending_leave_notify_id_});
+}
+
+void NetworkEntity::clear_ring_state() {
+  roster_.clear();
+  leader_ = NodeId{};
+  next_ = previous_ = NodeId{};
+  ring_ok_ = false;
+  token_free_ = false;
+  token_requested_ = false;
+  pending_grants_.clear();
+  cancel_timer(request_retx_timer_);
+  cancel_timer(round_watchdog_);
+}
+
+void NetworkEntity::handle_ne_leave_request(const NeLeaveRequestMsg& msg,
+                                            NodeId from) {
+  if (!is_leader()) {
+    if (leader_.valid() && leader_ != id()) {
+      send(leader_, kind::kNeLeaveRequest, msg);
+    }
+    return;
+  }
+  (void)from;
+  MembershipOp op;
+  op.kind = OpKind::kNeLeave;
+  op.seq = next_op_seq();
+  op.uid = next_op_uid();
+  op.ne = msg.leaver;
+  enqueue_op(std::move(op), Contributor{msg.leaver, msg.notify_id});
+}
+
+void NetworkEntity::form_singleton_ring() {
+  configure_ring({id()}, id());
+  if (parent_.valid()) {
+    send(parent_, kind::kChildRebind, ChildRebindMsg{id()});
+  }
+}
+
+// --------------------------------------------------------------------------
+// Queries
+// --------------------------------------------------------------------------
+
+void NetworkEntity::handle_query(const QueryRequestMsg& msg, NodeId from) {
+  const NodeId reply_to = msg.reply_to.valid() ? msg.reply_to : from;
+  send(reply_to, kind::kQueryReply,
+       QueryReplyMsg{msg.query_id, ring_members_.snapshot()},
+       static_cast<std::uint32_t>(64 + 16 * ring_members_.size()));
+}
+
+// --------------------------------------------------------------------------
+// MH liveness monitoring (faulty-disconnection detection, Section 1)
+// --------------------------------------------------------------------------
+
+void NetworkEntity::handle_mh_heartbeat(const MhHeartbeatMsg& msg) {
+  if (config_.mh_failure_timeout == 0) return;
+  mh_last_heard_[msg.mh] = now();
+  if (!mh_sweep_timer_) {
+    mh_sweep_timer_ = std::make_unique<proto::PeriodicTimer>(
+        network(), id(), config_.mh_failure_timeout / 2,
+        [this]() { sweep_silent_members(); });
+    mh_sweep_timer_->start();
+  }
+}
+
+void NetworkEntity::sweep_silent_members() {
+  const sim::Time deadline =
+      now() < config_.mh_failure_timeout
+          ? 0
+          : now() - config_.mh_failure_timeout;
+  for (auto it = mh_last_heard_.begin(); it != mh_last_heard_.end();) {
+    const Guid mh = it->first;
+    if (it->second > deadline) {
+      ++it;
+      continue;
+    }
+    it = mh_last_heard_.erase(it);
+    // Only members still attached here are ours to report; a handed-off
+    // member is monitored by its new AP.
+    const auto record = ring_members_.find(mh);
+    if (record && record->status == MemberStatus::kOperational &&
+        record->access_proxy == id()) {
+      local_member_fail(mh);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Member-list views
+// --------------------------------------------------------------------------
+
+std::vector<MemberRecord> NetworkEntity::local_members() const {
+  return ring_members_.members_at(id());
+}
+
+std::vector<MemberRecord> NetworkEntity::neighbor_members() const {
+  std::vector<MemberRecord> out = ring_members_.members_at(previous_);
+  if (next_ != previous_) {
+    const auto more = ring_members_.members_at(next_);
+    out.insert(out.end(), more.begin(), more.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MemberRecord& a, const MemberRecord& b) {
+              return a.guid < b.guid;
+            });
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Dedup bookkeeping
+// --------------------------------------------------------------------------
+
+void NetworkEntity::remember_disseminated(
+    const std::vector<MembershipOp>& ops) {
+  for (const MembershipOp& op : ops) {
+    if (disseminated_.insert(op.uid).second) {
+      disseminated_order_.push_back(op.uid);
+      if (disseminated_order_.size() > kDisseminatedCap) {
+        disseminated_.erase(disseminated_order_.front());
+        disseminated_order_.pop_front();
+      }
+    }
+  }
+}
+
+bool NetworkEntity::already_disseminated(std::uint64_t uid) const {
+  return disseminated_.count(uid) != 0;
+}
+
+void NetworkEntity::remember_round(std::uint64_t round_id) {
+  if (recent_rounds_.insert(round_id).second) {
+    recent_rounds_order_.push_back(round_id);
+    if (recent_rounds_order_.size() > kRecentRoundsCap) {
+      recent_rounds_.erase(recent_rounds_order_.front());
+      recent_rounds_order_.pop_front();
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------------
+
+void NetworkEntity::deliver(const net::Envelope& env) {
+  switch (env.kind) {
+    case kind::kToken:
+    case kind::kProbe:
+      handle_token(std::any_cast<TokenMsg>(env.payload), env.src);
+      break;
+    case kind::kTokenPassAck:
+      handle_token_pass_ack(std::any_cast<TokenPassAckMsg>(env.payload));
+      break;
+    case kind::kTokenRequest:
+      handle_token_request(std::any_cast<TokenRequestMsg>(env.payload),
+                           env.src);
+      break;
+    case kind::kTokenGrant:
+      handle_token_grant(std::any_cast<TokenGrantMsg>(env.payload));
+      break;
+    case kind::kTokenRelease:
+      handle_token_release(std::any_cast<TokenReleaseMsg>(env.payload),
+                           env.src);
+      break;
+    case kind::kNotifyParent:
+    case kind::kNotifyChild:
+      handle_notify(std::any_cast<NotifyMsg>(env.payload), env.src);
+      break;
+    case kind::kHolderAck:
+      handle_holder_ack(std::any_cast<HolderAckMsg>(env.payload));
+      break;
+    case kind::kRepair:
+      handle_repair(std::any_cast<RepairMsg>(env.payload), env.src);
+      break;
+    case kind::kChildRebind:
+      handle_child_rebind(std::any_cast<ChildRebindMsg>(env.payload),
+                          env.src);
+      break;
+    case kind::kMergeOffer:
+      handle_merge_offer(std::any_cast<MergeOfferMsg>(env.payload), env.src);
+      break;
+    case kind::kMergeAccept:
+      handle_merge_accept(std::any_cast<MergeAcceptMsg>(env.payload),
+                          env.src);
+      break;
+    case kind::kRingReform:
+      handle_ring_reform(std::any_cast<RingReformMsg>(env.payload));
+      break;
+    case kind::kNeJoinRequest:
+      handle_ne_join_request(std::any_cast<NeJoinRequestMsg>(env.payload),
+                             env.src);
+      break;
+    case kind::kNeLeaveRequest:
+      handle_ne_leave_request(std::any_cast<NeLeaveRequestMsg>(env.payload),
+                              env.src);
+      break;
+    case kind::kMhRequest: {
+      const auto req = std::any_cast<MhRequestMsg>(env.payload);
+      switch (req.kind) {
+        case MhRequestKind::kJoin:
+          local_member_join(req.mh);
+          break;
+        case MhRequestKind::kLeave:
+          local_member_leave(req.mh);
+          break;
+        case MhRequestKind::kHandoff:
+          local_member_handoff_in(req.mh, req.old_ap);
+          break;
+        case MhRequestKind::kFail:
+          local_member_fail(req.mh);
+          break;
+      }
+      send(env.src, kind::kMhAck, MhAckMsg{req.kind, req.mh});
+      break;
+    }
+    case kind::kMhHeartbeat:
+      handle_mh_heartbeat(std::any_cast<MhHeartbeatMsg>(env.payload));
+      break;
+    case kind::kQueryRequest:
+      handle_query(std::any_cast<QueryRequestMsg>(env.payload), env.src);
+      break;
+    default:
+      break;  // unknown kinds are ignored (forward compatibility)
+  }
+}
+
+}  // namespace rgb::core

@@ -1,0 +1,293 @@
+// The RGB Network Entity (NE): an Access Proxy, Access Gateway or Border
+// Router participating in one logical ring of the ring-based hierarchy
+// (paper Section 4).
+//
+// Each NE keeps only local knowledge — its leader, previous, next, parent
+// and child neighbours plus the ring roster — and runs the One-Round Token
+// Passing Membership algorithm of Figure 3:
+//
+//   * membership changes enter the NE's aggregating MQ (from attached MHs,
+//     from its child ring's leader, or from its parent);
+//   * the NE acquires the ring token from the leader and launches a round;
+//     the token visits every ring member exactly once;
+//   * while the token passes a node, that node applies the aggregated ops,
+//     sets RingOK, and emits Notification-to-Parent (leaders only) and
+//     Notification-to-Child (nodes with a child ring), never echoing an op
+//     back over the edge it arrived on;
+//   * when the token returns to the holder, the holder acknowledges the
+//     contributors (Holder-Acknowledgement) and releases the token.
+//
+// Fault tolerance: every token hop is acknowledged and retransmitted; after
+// max_retx failures the sender declares its successor faulty, splices it out
+// of the ring (the paper's "locally repaired by excluding the faulty node"),
+// emits NE-Failure plus Member-Failure ops for the members stranded at the
+// failed NE, and re-routes the token. Leader failures are detected through
+// unanswered token requests and resolved by a deterministic leadership rule
+// (lowest NodeId among alive roster members). Partition probing and ring
+// merging — the paper's future work — are implemented as extensions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/process.hpp"
+#include "rgb/member_table.hpp"
+#include "rgb/message_queue.hpp"
+#include "rgb/messages.hpp"
+#include "rgb/metrics.hpp"
+#include "rgb/types.hpp"
+
+namespace rgb::core {
+
+class NetworkEntity : public proto::Process {
+ public:
+  /// `tier` counts from the top: 0 = BR ring tier. `metrics` may be shared
+  /// across all NEs of a deployment; it must outlive the NE.
+  NetworkEntity(NodeId id, NeRole role, int tier, net::Network& network,
+                const RgbConfig& config, RgbMetrics& metrics);
+
+  // --- wiring (HierarchyBuilder / dynamic join) ------------------------------
+
+  /// Installs the ring: `roster` in ring order (must contain this NE),
+  /// `leader` one of its members. Pointers (previous/next) are derived.
+  void configure_ring(std::vector<NodeId> roster, NodeId leader);
+
+  /// Sets the upper-tier NE this ring reports to (same value for every ring
+  /// member; only the leader sends to it).
+  void set_parent(NodeId parent);
+
+  /// Sets the child ring's leader (the paper's `Child` pointer); invalid id
+  /// clears it.
+  void set_child(NodeId child_ring_leader);
+
+  /// Starts periodic ring probing (leader only does the probing; safe to
+  /// call on every NE).
+  void start_probing();
+
+  // --- local membership events (AP tier) -------------------------------------
+
+  /// An MH joined / left / failed at this AP, or handed off to this AP from
+  /// `old_ap`. These inject ops exactly like MH-originated requests do.
+  void local_member_join(Guid mh);
+  void local_member_leave(Guid mh);
+  void local_member_handoff_in(Guid mh, NodeId old_ap);
+  void local_member_fail(Guid mh);
+
+  // --- dynamic NE membership (Section 4.3) -----------------------------------
+
+  /// Asks `ring_leader` to admit this NE into its ring.
+  void request_ring_join(NodeId ring_leader);
+
+  /// Gracefully leaves the ring (NE-Leave op disseminated first).
+  void request_ring_leave();
+
+  /// Forms a singleton ring with this NE as leader (the paper's fallback
+  /// when no APR can be contacted).
+  void form_singleton_ring();
+
+  // --- endpoint ---------------------------------------------------------------
+
+  void deliver(const net::Envelope& env) override;
+
+  // --- introspection (tests, benches, facade) ---------------------------------
+
+  [[nodiscard]] NeRole role() const { return role_; }
+  [[nodiscard]] int tier() const { return tier_; }
+  [[nodiscard]] NodeId leader() const { return leader_; }
+  [[nodiscard]] NodeId next_node() const { return next_; }
+  [[nodiscard]] NodeId previous_node() const { return previous_; }
+  [[nodiscard]] NodeId parent() const { return parent_; }
+  [[nodiscard]] NodeId child() const { return child_; }
+  [[nodiscard]] bool ring_ok() const { return ring_ok_; }
+  [[nodiscard]] bool parent_ok() const { return parent_ok_; }
+  [[nodiscard]] bool child_ok() const { return child_ok_; }
+  [[nodiscard]] bool is_leader() const { return leader_ == id(); }
+  [[nodiscard]] const std::vector<NodeId>& roster() const { return roster_; }
+
+  /// The paper's ListOfRingMembers: all members within the coverage of this
+  /// NE's ring (at an AP ring: members of all its APs; higher up: subtree).
+  [[nodiscard]] const MemberTable& ring_members() const {
+    return ring_members_;
+  }
+  /// The paper's ListOfLocalMembers: members attached to this NE.
+  [[nodiscard]] std::vector<MemberRecord> local_members() const;
+  /// The paper's ListOfNeighborMembers: members at the previous and next
+  /// ring neighbours (fast-handoff candidates).
+  [[nodiscard]] std::vector<MemberRecord> neighbor_members() const;
+
+  [[nodiscard]] const MessageQueue& message_queue() const { return mq_; }
+  [[nodiscard]] bool round_in_flight() const { return holding_round_; }
+  [[nodiscard]] bool token_parked_here() const {
+    return is_leader() && token_free_;
+  }
+
+ private:
+  // --- MQ intake -------------------------------------------------------------
+  void enqueue_local_op(MembershipOp op);
+  void enqueue_op(MembershipOp op, Contributor contributor);
+  void on_mq_activity();
+  std::uint64_t next_op_seq();
+  std::uint64_t next_op_uid();
+  std::uint64_t next_round_id();
+  std::uint64_t next_notify_id();
+
+  // --- round engine ----------------------------------------------------------
+  void request_token();
+  void send_token_request();
+  void clear_ring_state();
+  void handle_token_request(const TokenRequestMsg& msg, NodeId from);
+  void handle_token_grant(const TokenGrantMsg& msg);
+  void handle_token_release(const TokenReleaseMsg& msg, NodeId from);
+  void start_round(std::uint64_t round_id);
+  void start_probe_round();
+  void handle_token(TokenMsg msg, NodeId from);
+  void apply_ops_and_notify(const Token& token);
+  void complete_round(const Token& token);
+  void release_token_to_leader();
+  void grant_next();
+  void arm_round_watchdog(std::uint64_t round_id);
+
+  // --- reliable token pass -----------------------------------------------------
+  void send_token_to(NodeId target, Token token);
+  void handle_token_pass_ack(const TokenPassAckMsg& msg);
+
+  // --- repair & rosters ---------------------------------------------------------
+  void declare_faulty_and_repair(NodeId faulty);
+  void handle_repair(const RepairMsg& msg, NodeId from);
+  void apply_ne_op(const MembershipOp& op);
+  [[nodiscard]] NodeId successor_of(NodeId node) const;
+  [[nodiscard]] NodeId predecessor_of(NodeId node) const;
+  void recompute_pointers();
+  void adopt_leadership();
+  void remove_from_roster(NodeId node);
+  void handle_ring_reform(const RingReformMsg& msg);
+  void handle_child_rebind(const ChildRebindMsg& msg, NodeId from);
+
+  // --- inter-ring notifications ---------------------------------------------------
+  void send_notifications(const std::vector<MembershipOp>& ops);
+  void send_notify(NodeId dest, std::vector<MembershipOp> ops, bool downward);
+  void handle_notify(const NotifyMsg& msg, NodeId from);
+  void handle_holder_ack(const HolderAckMsg& msg);
+  void on_notify_retx_timeout(std::uint64_t notify_id);
+
+  // --- probing & merge (extension) ---------------------------------------------
+  void on_probe_tick();
+  void attempt_merge();
+  void merge_fragment(const std::vector<NodeId>& their_roster,
+                      const std::vector<MemberRecord>& members);
+  void handle_merge_offer(const MergeOfferMsg& msg, NodeId from);
+  void handle_merge_accept(const MergeAcceptMsg& msg, NodeId from);
+
+  // --- NE join/leave -----------------------------------------------------------
+  void handle_ne_join_request(const NeJoinRequestMsg& msg, NodeId from);
+  void handle_ne_leave_request(const NeLeaveRequestMsg& msg, NodeId from);
+  void broadcast_ring_reform(const std::vector<NodeId>& roster,
+                             NodeId leader);
+
+  // --- queries -------------------------------------------------------------------
+  void handle_query(const QueryRequestMsg& msg, NodeId from);
+
+  void remember_disseminated(const std::vector<MembershipOp>& ops);
+  [[nodiscard]] bool already_disseminated(std::uint64_t uid) const;
+
+  // --- identity & config ---------------------------------------------------------
+  NeRole role_;
+  int tier_;
+  const RgbConfig& config_;
+  RgbMetrics& metrics_;
+
+  // --- paper data structure (Section 4.2) -----------------------------------------
+  NodeId leader_;
+  NodeId previous_;
+  NodeId next_;
+  NodeId parent_;
+  NodeId child_;
+  bool ring_ok_ = false;
+  bool parent_ok_ = false;
+  bool child_ok_ = false;
+  MemberTable ring_members_;
+  MessageQueue mq_;
+
+  /// Ring order as known locally; repaired views may lag one round.
+  std::vector<NodeId> roster_;
+  /// Full historical roster — merge candidates after fragmentation.
+  std::vector<NodeId> known_peers_;
+  std::unordered_set<NodeId> suspected_faulty_;
+
+  // --- leader state -----------------------------------------------------------------
+  bool token_free_ = false;  ///< leader: token parked and grantable
+  std::deque<NodeId> pending_grants_;
+  std::uint64_t active_round_id_ = 0;
+  sim::EventId round_watchdog_{};
+
+  // --- holder state ------------------------------------------------------------------
+  std::uint64_t pending_leave_notify_id_ = 0;
+  bool token_requested_ = false;
+  sim::EventId request_retx_timer_{};
+  int request_retx_count_ = 0;
+  bool holding_round_ = false;
+  std::uint64_t my_round_id_ = 0;
+  std::vector<Contributor> round_contributors_;
+
+  // --- token received before this NE was configured (a fresh joiner can be
+  // visited by the admitting round before its RingReform arrives) ----------
+  std::optional<TokenMsg> stashed_token_;
+  NodeId stashed_from_;
+
+  // --- in-flight token passes (one per round being forwarded/held: a node
+  // can be granted its own round while still awaiting the pass-ack of a
+  // round it forwarded) ------------------------------------------------------
+  struct InflightHop {
+    Token token;
+    NodeId target;
+    int retx = 0;
+    sim::EventId timer{};
+  };
+  std::unordered_map<std::uint64_t, InflightHop> inflight_hops_;
+  void on_token_retx_timeout(std::uint64_t round_id);
+
+  // --- notification reliability ----------------------------------------------------------
+  struct PendingNotify {
+    NodeId dest;
+    std::vector<MembershipOp> ops;
+    bool downward = false;
+    int retx = 0;
+    sim::EventId timer{};
+  };
+  std::unordered_map<std::uint64_t, PendingNotify> pending_notifies_;
+
+  // --- dedup of disseminated ops ------------------------------------------------------------
+  std::unordered_set<std::uint64_t> disseminated_;
+  std::deque<std::uint64_t> disseminated_order_;
+  static constexpr std::size_t kDisseminatedCap = 8192;
+
+  // --- dedup of token rounds already processed at this node (guards against
+  // duplicate deliveries when a TokenPassAck is lost and the hop resent) ----
+  std::unordered_set<std::uint64_t> recent_rounds_;
+  std::deque<std::uint64_t> recent_rounds_order_;
+  static constexpr std::size_t kRecentRoundsCap = 1024;
+  void remember_round(std::uint64_t round_id);
+
+  // --- probing ----------------------------------------------------------------------------
+  std::unique_ptr<proto::PeriodicTimer> probe_timer_;
+  std::size_t merge_probe_cursor_ = 0;
+
+  // --- MH liveness monitoring (faulty-disconnection detection) ----------------
+  void handle_mh_heartbeat(const MhHeartbeatMsg& msg);
+  void sweep_silent_members();
+  std::unordered_map<Guid, sim::Time> mh_last_heard_;
+  std::unique_ptr<proto::PeriodicTimer> mh_sweep_timer_;
+
+  // --- counters ---------------------------------------------------------------------------
+  std::uint64_t op_seq_counter_ = 0;
+  std::uint64_t op_uid_counter_ = 0;
+  std::uint64_t round_counter_ = 0;
+  std::uint64_t notify_counter_ = 0;
+};
+
+}  // namespace rgb::core

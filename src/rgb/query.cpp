@@ -1,0 +1,61 @@
+#include "rgb/query.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rgb::core {
+
+QueryClient::QueryClient(NodeId id, net::Network& network)
+    : proto::Process(id, network) {}
+
+void QueryClient::issue(const QueryPlan& plan, sim::Duration timeout,
+                        std::function<void(Result)> on_done) {
+  assert(active_query_ == 0 && "one outstanding query per client");
+  active_query_ = next_query_id_++;
+  issued_at_ = now();
+  expected_replies_ = plan.targets.size();
+  pending_result_ = Result{};
+  pending_result_.targets = plan.targets.size();
+  collected_.clear();
+  on_done_ = std::move(on_done);
+
+  if (plan.targets.empty()) {
+    finish(true);
+    return;
+  }
+  for (const NodeId target : plan.targets) {
+    send(target, kind::kQueryRequest, QueryRequestMsg{active_query_, id()});
+    ++pending_result_.messages;
+  }
+  timeout_timer_ = set_timer(timeout, [this]() {
+    if (active_query_ != 0) finish(false);
+  });
+}
+
+void QueryClient::deliver(const net::Envelope& env) {
+  if (env.kind != kind::kQueryReply || active_query_ == 0) return;
+  const auto reply = std::any_cast<QueryReplyMsg>(env.payload);
+  if (reply.query_id != active_query_) return;
+
+  ++pending_result_.messages;
+  ++pending_result_.replies;
+  for (const MemberRecord& rec : reply.members) {
+    if (!collected_.find(rec.guid)) collected_.upsert(rec);
+  }
+  if (pending_result_.replies >= expected_replies_) finish(true);
+}
+
+void QueryClient::finish(bool complete) {
+  cancel_timer(timeout_timer_);
+  active_query_ = 0;
+  pending_result_.complete = complete;
+  pending_result_.latency = now() - issued_at_;
+  pending_result_.members = collected_.snapshot();
+  if (on_done_) {
+    auto cb = std::move(on_done_);
+    on_done_ = nullptr;
+    cb(std::move(pending_result_));
+  }
+}
+
+}  // namespace rgb::core

@@ -1,0 +1,57 @@
+// The Membership-Query algorithm (paper Section 4.4).
+//
+// A QueryClient contacts the ring leaders designated by a QueryPlan (TMS:
+// the topmost leader; IMS: the intermediate-tier leaders; BMS: every
+// bottommost AP-ring leader), unions the replies and reports cost metrics
+// (messages and latency), which is exactly the trade-off the paper
+// discusses: TMS queries are cheap but maintenance is expensive; BMS the
+// reverse.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/process.hpp"
+#include "rgb/member_table.hpp"
+#include "rgb/messages.hpp"
+#include "rgb/types.hpp"
+
+namespace rgb::core {
+
+class QueryClient : public proto::Process {
+ public:
+  struct Result {
+    std::vector<MemberRecord> members;
+    sim::Duration latency = 0;      ///< issue -> last (or timeout) reply
+    std::uint64_t messages = 0;     ///< requests sent + replies received
+    std::size_t replies = 0;
+    std::size_t targets = 0;
+    bool complete = false;          ///< all targets replied before timeout
+  };
+
+  QueryClient(NodeId id, net::Network& network);
+
+  /// Issues one query per plan target; `on_done` fires when all replies
+  /// arrived or `timeout` elapsed. One outstanding query at a time per
+  /// client.
+  void issue(const QueryPlan& plan, sim::Duration timeout,
+             std::function<void(Result)> on_done);
+
+  void deliver(const net::Envelope& env) override;
+
+ private:
+  void finish(bool complete);
+
+  std::uint64_t next_query_id_ = 1;
+  std::uint64_t active_query_ = 0;
+  sim::Time issued_at_ = 0;
+  std::size_t expected_replies_ = 0;
+  Result pending_result_;
+  MemberTable collected_;
+  std::function<void(Result)> on_done_;
+  sim::EventId timeout_timer_{};
+};
+
+}  // namespace rgb::core

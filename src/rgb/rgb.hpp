@@ -1,0 +1,24 @@
+// Umbrella header for the RGB membership protocol library.
+//
+// Typical use:
+//
+//   sim::Simulator simulator;
+//   net::Network network{simulator, common::RngStream{seed}};
+//   core::RgbConfig config;                       // TMS, aggregation on
+//   core::HierarchyLayout layout{.ring_tiers = 3, .ring_size = 5};
+//   core::RgbSystem rgb{network, config, layout}; // 125-AP hierarchy
+//
+//   rgb.join(common::Guid{1}, rgb.aps().front()); // Member-Join at an AP
+//   simulator.run();                              // propagate
+//   auto members = rgb.membership();              // TMS view
+#pragma once
+
+#include "rgb/hierarchy.hpp"       // IWYU pragma: export
+#include "rgb/member_table.hpp"    // IWYU pragma: export
+#include "rgb/message_queue.hpp"   // IWYU pragma: export
+#include "rgb/messages.hpp"        // IWYU pragma: export
+#include "rgb/metrics.hpp"         // IWYU pragma: export
+#include "rgb/mobile_host.hpp"     // IWYU pragma: export
+#include "rgb/network_entity.hpp"  // IWYU pragma: export
+#include "rgb/query.hpp"           // IWYU pragma: export
+#include "rgb/types.hpp"           // IWYU pragma: export

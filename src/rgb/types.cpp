@@ -1,0 +1,25 @@
+#include "rgb/types.hpp"
+
+namespace rgb::core {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMemberJoin:
+      return "Member-Join";
+    case OpKind::kMemberLeave:
+      return "Member-Leave";
+    case OpKind::kMemberHandoff:
+      return "Member-Handoff";
+    case OpKind::kMemberFail:
+      return "Member-Failure";
+    case OpKind::kNeJoin:
+      return "NE-Join";
+    case OpKind::kNeLeave:
+      return "NE-Leave";
+    case OpKind::kNeFail:
+      return "NE-Failure";
+  }
+  return "?";
+}
+
+}  // namespace rgb::core

@@ -1,0 +1,152 @@
+// Core value types of the RGB protocol (paper Section 4.2):
+// membership-change operations, the circulating Token, tier/role labels and
+// the protocol configuration knobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "proto/membership_service.hpp"
+#include "sim/time.hpp"
+
+namespace rgb::core {
+
+using common::GroupId;
+using common::Guid;
+using common::NodeId;
+using common::RingId;
+using proto::MemberRecord;
+using proto::MemberStatus;
+using proto::QueryScheme;
+
+/// Network-entity role in the 4-tier architecture. Tier index grows
+/// downwards: BR=0 (topmost ring tier), AG=1, AP=2 for the canonical
+/// three-ring-tier hierarchy; deeper hierarchies extend the pattern with
+/// intermediate gateway tiers.
+enum class NeRole : std::uint8_t {
+  kBorderRouter,
+  kAccessGateway,
+  kAccessProxy,
+};
+
+/// Type of an aggregated token operation — the paper's
+/// `OP: TypeOfAggregatedOperations`.
+enum class OpKind : std::uint8_t {
+  kMemberJoin,
+  kMemberLeave,
+  kMemberHandoff,
+  kMemberFail,
+  kNeJoin,
+  kNeLeave,
+  kNeFail,
+};
+
+[[nodiscard]] const char* to_string(OpKind kind);
+
+/// One membership-change operation. Member ops carry the affected member
+/// record; NE ops carry the affected network entity.
+///
+/// Two distinct identifiers with distinct jobs:
+///  * `uid`  — globally unique identity (origin NE id x local counter),
+///             used for idempotent dissemination/dedup bookkeeping;
+///  * `seq`  — time-major sequence used to order conflicting ops on the
+///             same member (e.g. a handoff supersedes the earlier join even
+///             when deliveries reorder across rings). Seqs of ops emitted
+///             at the same virtual microsecond by different NEs may
+///             collide; uniqueness there is uid's job, not seq's.
+struct MembershipOp {
+  OpKind kind = OpKind::kMemberJoin;
+  std::uint64_t uid = 0;
+  std::uint64_t seq = 0;
+
+  // Member ops.
+  MemberRecord member;
+  NodeId old_ap;  ///< kMemberHandoff: the AP the member moved away from
+
+  // NE ops.
+  NodeId ne;          ///< affected network entity
+  NodeId ne_after;    ///< kNeJoin: insert the new NE after this ring member
+
+  // Per-ring propagation provenance (rewritten each time the op enters a new
+  // ring): which ring member's child/parent contributed the op. Used to
+  // avoid echoing a change back over the edge it arrived on.
+  NodeId from_child_of;   ///< valid: op arrived via this member's child ring
+  NodeId from_parent_of;  ///< valid: op arrived via this member's parent
+
+  [[nodiscard]] bool is_member_op() const {
+    return kind == OpKind::kMemberJoin || kind == OpKind::kMemberLeave ||
+           kind == OpKind::kMemberHandoff || kind == OpKind::kMemberFail;
+  }
+  [[nodiscard]] bool is_ne_op() const { return !is_member_op(); }
+};
+
+/// The token circulating a logical ring (paper Section 4.2). One round =
+/// the token visits every ring member once, starting and ending at
+/// `holder`.
+struct Token {
+  GroupId gid;
+  NodeId holder;              ///< the NE that initiated this round
+  std::uint64_t round_id = 0; ///< unique per (ring, round) for retx matching
+  std::vector<MembershipOp> ops;
+};
+
+/// Identifies where a query may be answered — derived from QueryScheme and
+/// the hierarchy depth by the facade.
+struct QueryPlan {
+  int target_tier = 0;                  ///< tier whose ring leaders answer
+  std::vector<NodeId> targets;          ///< the leaders to contact
+};
+
+/// Protocol configuration. Defaults reproduce the paper's setting: TMS
+/// maintenance (global membership kept at the top), full downward
+/// dissemination (every NE learns every change — the cost model behind
+/// formula (6)), aggregation enabled.
+struct RgbConfig {
+  GroupId gid{1};
+
+  /// Per-hop token retransmission timeout; the paper's single-fault
+  /// detection mechanism ("detected quickly by Token retransmission
+  /// schemes", Section 5.2).
+  sim::Duration retx_timeout = sim::msec(60);
+  int max_retx = 2;
+
+  /// Leader-side round watchdog: if a granted round does not complete
+  /// within this bound the leader reclaims the token (holder crash).
+  sim::Duration round_timeout = sim::msec(2000);
+
+  /// Inter-ring notification retransmission (NotifyParent/NotifyChild wait
+  /// for Holder-Acknowledgement).
+  sim::Duration notify_timeout = sim::msec(1500);
+  int max_notify_retx = 3;
+
+  /// Tier index (0 = topmost) up to which membership changes propagate and
+  /// are retained. 0 => TMS; (tiers-1) => BMS; in between => IMS.
+  int retain_tier = 0;
+
+  /// Whether changes are also disseminated downwards to every ring
+  /// (Notification-to-Child). True matches the formula-(6) cost model.
+  bool disseminate_down = true;
+
+  /// Self-optimising MQ aggregation (Section 4.2). When false, each round
+  /// carries exactly one queued op — the ablation baseline for E8.
+  bool aggregate_mq = true;
+
+  /// Period of the leader's ring-integrity probe; 0 disables probing
+  /// (partition detection & merge are an extension — paper future work).
+  sim::Duration probe_period = 0;
+
+  /// Per-ring cap of ops carried by one token (0 = unlimited). Guards
+  /// against unbounded token growth under extreme churn.
+  std::size_t max_ops_per_token = 0;
+
+  /// AP-side detection of faulty disconnections (Section 1): a local member
+  /// that has heartbeated at least once and then stays silent for this long
+  /// is declared failed (Member-Failure op). 0 disables monitoring.
+  /// Members injected through the facade without an MH agent are never
+  /// subject to it (they never heartbeat).
+  sim::Duration mh_failure_timeout = 0;
+};
+
+}  // namespace rgb::core

@@ -1,0 +1,72 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rgb::sim {
+
+EventId Simulator::schedule_at(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  assert(cb && "empty callback");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{t, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  return EventId{seq};
+}
+
+EventId Simulator::schedule_after(Duration delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Simulator::cancel(EventId id) {
+  if (!id.valid()) return;
+  auto it = callbacks_.find(id.seq);
+  if (it == callbacks_.end()) return;  // already fired or cancelled
+  callbacks_.erase(it);
+  cancelled_.insert(id.seq);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    queue_.pop();
+    if (auto cit = cancelled_.find(top.seq); cit != cancelled_.end()) {
+      cancelled_.erase(cit);
+      continue;
+    }
+    auto it = callbacks_.find(top.seq);
+    assert(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time deadline, std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && !queue_.empty()) {
+    // Skip cancelled tombstones without advancing the clock.
+    if (cancelled_.count(queue_.top().seq) != 0) {
+      cancelled_.erase(queue_.top().seq);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > deadline) break;
+    step();
+    ++n;
+  }
+  now_ = std::max(now_, deadline);
+  return n;
+}
+
+}  // namespace rgb::sim

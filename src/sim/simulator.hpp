@@ -1,0 +1,92 @@
+// Deterministic discrete-event simulation kernel.
+//
+// All protocol activity in this repository — token passing, retransmission
+// timers, mobility, fault injection — is expressed as events on one
+// `Simulator`. Events at equal timestamps execute in scheduling order
+// (FIFO by a monotonically increasing sequence number), which makes every
+// run a deterministic function of (seed, scenario).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rgb::sim {
+
+/// Opaque handle to a scheduled event; usable to cancel it.
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] bool valid() const { return seq != 0; }
+  auto operator<=>(const EventId&) const = default;
+};
+
+/// Single-threaded discrete-event scheduler.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time. Starts at 0.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` after `delay` from now.
+  EventId schedule_after(Duration delay, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid id is a
+  /// harmless no-op (protocols routinely race timers against messages).
+  void cancel(EventId id);
+
+  /// Executes the next pending event, if any. Returns false when the queue
+  /// is drained.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` have executed.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = kDefaultMaxEvents);
+
+  /// Runs events with timestamp <= `deadline`. Afterwards now() ==
+  /// max(now, deadline) even if the queue drained early, so callers can
+  /// advance the clock through quiet periods.
+  std::uint64_t run_until(Time deadline,
+                          std::uint64_t max_events = kDefaultMaxEvents);
+
+  [[nodiscard]] std::size_t pending_events() const {
+    return queue_.size() - cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  /// Safety valve: simulations in tests should never need more.
+  static constexpr std::uint64_t kDefaultMaxEvents = 500'000'000ULL;
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    // Ordered min-heap: earliest time first, FIFO within a timestamp.
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Callbacks are stored out of the heap so cancellation is O(1).
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace rgb::sim

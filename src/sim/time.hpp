@@ -1,0 +1,36 @@
+// Virtual time for the discrete-event simulator.
+//
+// Time is an integer count of microseconds since simulation start. Integer
+// time (rather than floating point) keeps event ordering exact and runs
+// reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace rgb::sim {
+
+/// Absolute virtual time in microseconds.
+using Time = std::uint64_t;
+/// Relative virtual duration in microseconds.
+using Duration = std::uint64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Constructs durations readably: `usec(5)`, `msec(10)`, `sec(2)`.
+constexpr Duration usec(std::uint64_t n) { return n * kMicrosecond; }
+constexpr Duration msec(std::uint64_t n) { return n * kMillisecond; }
+constexpr Duration sec(std::uint64_t n) { return n * kSecond; }
+
+/// Converts a virtual time/duration to fractional milliseconds (for output).
+constexpr double to_ms(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Converts fractional milliseconds to a duration (rounds down).
+constexpr Duration from_ms(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+}  // namespace rgb::sim

@@ -1,0 +1,133 @@
+// Tree-based hierarchy of membership servers — the scalability baseline of
+// Section 5.1, modelled on the CONGRESS hierarchy [4] that the paper
+// compares against.
+//
+// Structure: a full r-ary tree of height h. Leaves are Local Membership
+// Servers (LMSs, the paper's n = r^(h-1) scalability parameter); internal
+// nodes are Global Membership Servers (GMSs).
+//
+// Representatives: in CONGRESS "the higher-level logical GMSs are indeed
+// the lowest-level physical ones" — every internal GMS is co-located with
+// the physical server of its first child, chained down to the lowest GMS
+// level (h-2). Messages between co-located logical nodes cost no network
+// hop, which is exactly the correction formula (2) applies to the plain
+// hop count of formula (1).
+//
+// Dissemination: a membership change entering at a leaf is flooded over
+// every tree edge (up to the root and down every other branch), matching
+// the paper's cost model "HopCount is approximate to n times the number of
+// edges in the hierarchy".
+//
+// Fault model: no repair. A crashed node silently cuts off its subtree —
+// the behaviour the paper's reliability argument (Section 5.2) holds
+// against the tree: one representative fault is several logical faults.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "proto/membership_service.hpp"
+#include "proto/process.hpp"
+#include "rgb/member_table.hpp"
+
+namespace rgb::tree {
+
+using common::Guid;
+using common::NodeId;
+using core::MemberTable;
+using core::MembershipOp;
+using proto::MemberRecord;
+
+/// Metering kind for the flooded proposal messages (the counted hops).
+inline constexpr net::MessageKind kTreeProposal = 101;
+/// Edge-plane: client request injection (uncounted, like MH->AP in RGB).
+inline constexpr net::MessageKind kTreeQuery = 102;
+inline constexpr net::MessageKind kTreeQueryReply = 103;
+
+struct TreeConfig {
+  int height = 3;      ///< h >= 3 (root .. leaves)
+  int branching = 5;   ///< r >= 2
+  bool representatives = true;  ///< CONGRESS-style co-location
+};
+
+/// One logical membership server (LMS leaf or GMS internal node).
+class TreeServer : public proto::Process {
+ public:
+  TreeServer(NodeId id, int level, net::Network& network);
+
+  void set_parent(TreeServer* parent) { parent_ = parent; }
+  void add_child(TreeServer* child) { children_.push_back(child); }
+  void set_physical(NodeId phys) { physical_ = phys; }
+
+  /// Injects a membership change at this server (leaves only in normal
+  /// operation) and floods it over the tree.
+  void originate(const MembershipOp& op);
+
+  void deliver(const net::Envelope& env) override;
+
+  [[nodiscard]] int level() const { return level_; }
+  [[nodiscard]] NodeId physical() const { return physical_; }
+  [[nodiscard]] const MemberTable& members() const { return members_; }
+  [[nodiscard]] TreeServer* parent() const { return parent_; }
+  [[nodiscard]] const std::vector<TreeServer*>& children() const {
+    return children_;
+  }
+
+ private:
+  friend class TreeSystem;
+  /// Applies and re-floods to all tree neighbours except `from` (invalid =
+  /// locally originated). Co-located edges are direct calls, not messages.
+  void propagate(const MembershipOp& op, NodeId from);
+  void forward(TreeServer* to, const MembershipOp& op);
+
+  int level_;
+  NodeId physical_;
+  TreeServer* parent_ = nullptr;
+  std::vector<TreeServer*> children_;
+  MemberTable members_;
+  std::unordered_map<std::uint64_t, bool> seen_;
+};
+
+/// Facade: builds the tree and implements the common membership interface.
+class TreeSystem : public proto::MembershipService {
+ public:
+  TreeSystem(net::Network& network, TreeConfig config,
+             std::uint64_t first_node_id = 100000);
+  ~TreeSystem() override;
+
+  void join(Guid mh, NodeId leaf) override;
+  void leave(Guid mh) override;
+  void handoff(Guid mh, NodeId new_leaf) override;
+  void fail(Guid mh) override;
+  using proto::MembershipService::membership;
+  [[nodiscard]] std::vector<MemberRecord> membership(
+      proto::QueryScheme scheme) const override;
+
+  /// Leaf LMS node ids in id order — the injection points.
+  [[nodiscard]] const std::vector<NodeId>& leaves() const { return leaves_; }
+  [[nodiscard]] TreeServer* server(NodeId id);
+  [[nodiscard]] const TreeServer* root() const { return root_; }
+  [[nodiscard]] const TreeConfig& config() const { return config_; }
+
+  /// True when every server's view equals the root's view (fault-free
+  /// convergence check).
+  [[nodiscard]] bool converged() const;
+
+ private:
+  TreeServer* build_subtree(int level, std::uint64_t& next_id);
+  void assign_physical(TreeServer* node);
+
+  net::Network& network_;
+  TreeConfig config_;
+  std::vector<std::unique_ptr<TreeServer>> servers_;
+  std::unordered_map<NodeId, TreeServer*> by_id_;
+  std::vector<NodeId> leaves_;
+  TreeServer* root_ = nullptr;
+  std::unordered_map<Guid, NodeId> attachments_;
+  std::uint64_t op_seq_ = 0;
+};
+
+}  // namespace rgb::tree

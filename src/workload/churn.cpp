@@ -1,0 +1,143 @@
+#include "workload/churn.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rgb::workload {
+
+ChurnWorkload::ChurnWorkload(sim::Simulator& simulator,
+                             proto::MembershipService& service,
+                             std::vector<NodeId> aps, ChurnConfig config)
+    : sim_(simulator),
+      service_(service),
+      aps_(std::move(aps)),
+      config_(config),
+      rng_(common::RngStream{config.seed}.fork("churn")),
+      next_guid_(config.first_guid) {
+  assert(!aps_.empty());
+}
+
+NodeId ChurnWorkload::random_ap() {
+  return aps_[static_cast<std::size_t>(rng_.next_below(aps_.size()))];
+}
+
+Guid ChurnWorkload::pick_live_member() {
+  while (!live_order_.empty()) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng_.next_below(live_order_.size()));
+    const Guid g = live_order_[i];
+    if (live_.count(g) != 0) return g;
+    // Lazily compact tombstones left by removals.
+    live_order_[i] = live_order_.back();
+    live_order_.pop_back();
+  }
+  return Guid{};
+}
+
+void ChurnWorkload::fire(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJoin: {
+      const Guid g{next_guid_++};
+      const NodeId ap = random_ap();
+      live_.emplace(g, ap);
+      live_order_.push_back(g);
+      service_.join(g, ap);
+      ++stats_.joins;
+      return;
+    }
+    case EventKind::kLeave: {
+      const Guid g = pick_live_member();
+      if (!g.valid()) return;
+      live_.erase(g);
+      service_.leave(g);
+      ++stats_.leaves;
+      return;
+    }
+    case EventKind::kHandoff: {
+      const Guid g = pick_live_member();
+      if (!g.valid()) return;
+      NodeId target = random_ap();
+      if (target == live_[g] && aps_.size() > 1) {
+        target = aps_[(static_cast<std::size_t>(
+                           std::find(aps_.begin(), aps_.end(), target) -
+                           aps_.begin()) +
+                       1) %
+                      aps_.size()];
+      }
+      if (target == live_[g]) return;
+      live_[g] = target;
+      service_.handoff(g, target);
+      ++stats_.handoffs;
+      return;
+    }
+    case EventKind::kFail: {
+      const Guid g = pick_live_member();
+      if (!g.valid()) return;
+      live_.erase(g);
+      service_.fail(g);
+      ++stats_.fails;
+      return;
+    }
+  }
+}
+
+void ChurnWorkload::start() {
+  assert(!started_);
+  started_ = true;
+
+  for (int i = 0; i < config_.initial_members; ++i) {
+    fire(EventKind::kJoin);
+  }
+
+  // Pre-draw the whole Poisson-merged event schedule; scheduling up front
+  // keeps the generator independent of protocol timing.
+  struct Rate {
+    EventKind kind;
+    double rate;
+  };
+  const Rate rates[] = {
+      {EventKind::kJoin, config_.join_rate},
+      {EventKind::kLeave, config_.leave_rate},
+      {EventKind::kHandoff, config_.handoff_rate},
+      {EventKind::kFail, config_.fail_rate},
+  };
+  double total_rate = 0.0;
+  for (const Rate& r : rates) total_rate += r.rate;
+  if (total_rate <= 0.0) return;
+
+  const double mean_gap_us =
+      static_cast<double>(sim::kSecond) / total_rate;
+  sim::Time t = sim_.now();
+  const sim::Time end = sim_.now() + config_.duration;
+  for (;;) {
+    t += static_cast<sim::Duration>(rng_.exponential(mean_gap_us));
+    if (t >= end) break;
+    // Choose the class proportionally to its rate.
+    double x = rng_.uniform(0.0, total_rate);
+    EventKind kind = EventKind::kJoin;
+    for (const Rate& r : rates) {
+      if (x < r.rate) {
+        kind = r.kind;
+        break;
+      }
+      x -= r.rate;
+    }
+    sim_.schedule_at(t, [this, kind]() { fire(kind); });
+  }
+}
+
+std::vector<proto::MemberRecord> ChurnWorkload::expected_membership() const {
+  std::vector<proto::MemberRecord> out;
+  out.reserve(live_.size());
+  for (const auto& [guid, ap] : live_) {
+    out.push_back(
+        proto::MemberRecord{guid, ap, proto::MemberStatus::kOperational});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const proto::MemberRecord& a, const proto::MemberRecord& b) {
+              return a.guid < b.guid;
+            });
+  return out;
+}
+
+}  // namespace rgb::workload

@@ -1,0 +1,81 @@
+// Churn workload generator: drives any proto::MembershipService with a
+// Poisson mix of Member-Join / Leave / Handoff / Failure events — the event
+// classes the paper's Section 1 motivates (frequent disconnection, frequent
+// handoff, frequent failure occurrence).
+//
+// The generator is deterministic given its seed and keeps its own ground
+// truth of who should be a member where, so benches can measure convergence
+// of any protocol against the same expected view.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "proto/membership_service.hpp"
+#include "sim/simulator.hpp"
+
+namespace rgb::workload {
+
+using common::Guid;
+using common::NodeId;
+
+struct ChurnConfig {
+  /// Events per simulated second, per class.
+  double join_rate = 2.0;
+  double leave_rate = 1.0;
+  double handoff_rate = 4.0;
+  double fail_rate = 0.5;
+  /// Members present (joined, never churned) before the clock starts.
+  int initial_members = 20;
+  /// Workload duration; events are scheduled across [start, start+duration].
+  sim::Duration duration = sim::sec(10);
+  std::uint64_t seed = 1;
+  /// First GUID value to allocate.
+  std::uint64_t first_guid = 1;
+};
+
+class ChurnWorkload {
+ public:
+  struct Stats {
+    std::uint64_t joins = 0;
+    std::uint64_t leaves = 0;
+    std::uint64_t handoffs = 0;
+    std::uint64_t fails = 0;
+    [[nodiscard]] std::uint64_t total() const {
+      return joins + leaves + handoffs + fails;
+    }
+  };
+
+  ChurnWorkload(sim::Simulator& simulator, proto::MembershipService& service,
+                std::vector<NodeId> aps, ChurnConfig config);
+
+  /// Injects the initial members (immediately) and schedules the churn
+  /// events. Call once.
+  void start();
+
+  /// Ground truth after all scheduled events have fired.
+  [[nodiscard]] std::vector<proto::MemberRecord> expected_membership() const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  enum class EventKind { kJoin, kLeave, kHandoff, kFail };
+  void fire(EventKind kind);
+  [[nodiscard]] NodeId random_ap();
+  [[nodiscard]] Guid pick_live_member();
+
+  sim::Simulator& sim_;
+  proto::MembershipService& service_;
+  std::vector<NodeId> aps_;
+  ChurnConfig config_;
+  common::RngStream rng_;
+  std::unordered_map<Guid, NodeId> live_;
+  std::vector<Guid> live_order_;  ///< for O(1) random selection
+  std::uint64_t next_guid_;
+  Stats stats_;
+  bool started_ = false;
+};
+
+}  // namespace rgb::workload

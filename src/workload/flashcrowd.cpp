@@ -1,0 +1,59 @@
+#include "workload/flashcrowd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rgb::workload {
+
+FlashCrowd::FlashCrowd(sim::Simulator& simulator,
+                       proto::MembershipService& service,
+                       std::vector<NodeId> aps, FlashCrowdConfig config)
+    : sim_(simulator),
+      service_(service),
+      aps_(std::move(aps)),
+      config_(config),
+      rng_(common::RngStream{config.seed}.fork("flashcrowd")) {
+  assert(!aps_.empty());
+  assert(config_.members > 0);
+}
+
+void FlashCrowd::start() {
+  assert(!started_);
+  started_ = true;
+
+  const sim::Time base = sim_.now();
+  join_end_ = base + config_.join_window;
+  const sim::Time leave_base = join_end_ + config_.hold;
+  leave_end_ = leave_base + config_.leave_window;
+
+  peak_.reserve(static_cast<std::size_t>(config_.members));
+  for (int i = 0; i < config_.members; ++i) {
+    const Guid guid{config_.first_guid + static_cast<std::uint64_t>(i)};
+    const NodeId ap =
+        aps_[static_cast<std::size_t>(rng_.next_below(aps_.size()))];
+    peak_.push_back(
+        proto::MemberRecord{guid, ap, proto::MemberStatus::kOperational});
+
+    const sim::Time join_at =
+        base + rng_.next_below(config_.join_window + 1);
+    sim_.schedule_at(join_at, [this, guid, ap]() { service_.join(guid, ap); });
+
+    const sim::Time leave_at =
+        leave_base + rng_.next_below(config_.leave_window + 1);
+    if (rng_.chance(config_.failure_fraction)) {
+      sim_.schedule_at(leave_at, [this, guid]() { service_.fail(guid); });
+    } else {
+      sim_.schedule_at(leave_at, [this, guid]() { service_.leave(guid); });
+    }
+  }
+  std::sort(peak_.begin(), peak_.end(),
+            [](const proto::MemberRecord& a, const proto::MemberRecord& b) {
+              return a.guid < b.guid;
+            });
+}
+
+std::vector<proto::MemberRecord> FlashCrowd::peak_membership() const {
+  return peak_;
+}
+
+}  // namespace rgb::workload

@@ -1,0 +1,67 @@
+// Flash-crowd workload: a surge of near-simultaneous joins (e.g. a lecture
+// or broadcast event starting) followed by an equally sharp mass departure.
+//
+// This is the stress case for the MQ aggregation of Section 4.2: thousands
+// of changes arrive within a few round-trip times, and the protocol should
+// batch them into O(rings) rounds instead of O(members) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "proto/membership_service.hpp"
+#include "sim/simulator.hpp"
+
+namespace rgb::workload {
+
+using common::Guid;
+using common::NodeId;
+
+struct FlashCrowdConfig {
+  int members = 200;
+  /// All joins land within this window (uniformly distributed).
+  sim::Duration join_window = sim::msec(200);
+  /// Quiet gap between the join surge and the departure surge.
+  sim::Duration hold = sim::sec(5);
+  /// All leaves land within this window.
+  sim::Duration leave_window = sim::msec(200);
+  /// Fraction of departures that are failures instead of graceful leaves.
+  double failure_fraction = 0.1;
+  std::uint64_t seed = 3;
+  std::uint64_t first_guid = 5000;
+};
+
+class FlashCrowd {
+ public:
+  FlashCrowd(sim::Simulator& simulator, proto::MembershipService& service,
+             std::vector<NodeId> aps, FlashCrowdConfig config);
+
+  /// Schedules the whole surge. Call once.
+  void start();
+
+  /// Virtual time at which the last join lands / the last leave lands.
+  [[nodiscard]] sim::Time join_surge_end() const { return join_end_; }
+  [[nodiscard]] sim::Time leave_surge_end() const { return leave_end_; }
+
+  /// After both surges the group should be empty.
+  [[nodiscard]] std::vector<proto::MemberRecord> expected_membership() const {
+    return {};
+  }
+
+  /// Ground truth at the hold point (everyone joined, nobody left).
+  [[nodiscard]] std::vector<proto::MemberRecord> peak_membership() const;
+
+ private:
+  sim::Simulator& sim_;
+  proto::MembershipService& service_;
+  std::vector<NodeId> aps_;
+  FlashCrowdConfig config_;
+  common::RngStream rng_;
+  std::vector<proto::MemberRecord> peak_;
+  sim::Time join_end_ = 0;
+  sim::Time leave_end_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace rgb::workload

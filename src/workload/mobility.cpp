@@ -1,0 +1,87 @@
+#include "workload/mobility.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rgb::workload {
+
+GridMobility::GridMobility(sim::Simulator& simulator,
+                           proto::MembershipService& service,
+                           std::vector<NodeId> aps, MobilityConfig config)
+    : sim_(simulator),
+      service_(service),
+      aps_(std::move(aps)),
+      config_(config),
+      rng_(common::RngStream{config.seed}.fork("mobility")) {
+  assert(static_cast<int>(aps_.size()) ==
+         config_.grid_width * config_.grid_height);
+  assert(config_.grid_width >= 1 && config_.grid_height >= 1);
+}
+
+int GridMobility::random_neighbor(int cell) {
+  const int w = config_.grid_width;
+  const int h = config_.grid_height;
+  const int x = cell % w;
+  const int y = cell / w;
+  int candidates[4];
+  int count = 0;
+  if (x > 0) candidates[count++] = cell - 1;
+  if (x < w - 1) candidates[count++] = cell + 1;
+  if (y > 0) candidates[count++] = cell - w;
+  if (y < h - 1) candidates[count++] = cell + w;
+  if (count == 0) return cell;
+  return candidates[rng_.next_below(static_cast<std::uint64_t>(count))];
+}
+
+void GridMobility::start() {
+  end_time_ = sim_.now() + config_.duration;
+  hosts_.reserve(static_cast<std::size_t>(config_.hosts));
+  for (int i = 0; i < config_.hosts; ++i) {
+    const Guid guid{config_.first_guid + static_cast<std::uint64_t>(i)};
+    const int cell = static_cast<int>(rng_.next_below(aps_.size()));
+    hosts_.push_back(Host{guid, cell});
+    service_.join(guid, aps_[static_cast<std::size_t>(cell)]);
+    schedule_move(hosts_.size() - 1);
+  }
+}
+
+void GridMobility::schedule_move(std::size_t host_idx) {
+  const auto dwell = static_cast<sim::Duration>(
+      rng_.exponential(static_cast<double>(config_.mean_dwell)));
+  const sim::Time when = sim_.now() + std::max<sim::Duration>(dwell, 1);
+  if (when >= end_time_) return;
+  sim_.schedule_at(when, [this, host_idx]() {
+    Host& host = hosts_[host_idx];
+    const int target = random_neighbor(host.cell);
+    if (target != host.cell) {
+      host.cell = target;
+      service_.handoff(host.guid, aps_[static_cast<std::size_t>(target)]);
+      ++handoffs_;
+    }
+    schedule_move(host_idx);
+  });
+}
+
+std::vector<proto::MemberRecord> GridMobility::expected_membership() const {
+  std::vector<proto::MemberRecord> out;
+  out.reserve(hosts_.size());
+  for (const Host& host : hosts_) {
+    out.push_back(proto::MemberRecord{
+        host.guid, aps_[static_cast<std::size_t>(host.cell)],
+        proto::MemberStatus::kOperational});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const proto::MemberRecord& a, const proto::MemberRecord& b) {
+              return a.guid < b.guid;
+            });
+  return out;
+}
+
+int GridMobility::cell_of(Guid g) const {
+  for (const Host& host : hosts_) {
+    if (host.guid == g) return host.cell;
+  }
+  return -1;
+}
+
+}  // namespace rgb::workload

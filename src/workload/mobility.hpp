@@ -1,0 +1,70 @@
+// Grid mobility model: mobile hosts roam a rectangular grid of wireless
+// cells, one AP per cell, handing off to 4-neighbour cells after
+// exponentially distributed dwell times.
+//
+// This synthesises the paper's "smaller wireless cells => more frequent
+// handoffs" workload (Section 1): shrinking `mean_dwell` models faster
+// movement / smaller cells, and handoffs are always between *adjacent*
+// cells, which is what makes the ListOfNeighborMembers fast-handoff state
+// relevant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "proto/membership_service.hpp"
+#include "sim/simulator.hpp"
+
+namespace rgb::workload {
+
+using common::Guid;
+using common::NodeId;
+
+struct MobilityConfig {
+  int grid_width = 5;
+  int grid_height = 5;
+  int hosts = 50;
+  /// Mean cell dwell time before a handoff.
+  sim::Duration mean_dwell = sim::sec(2);
+  /// Movement horizon; hosts stop moving afterwards.
+  sim::Duration duration = sim::sec(20);
+  std::uint64_t seed = 7;
+  std::uint64_t first_guid = 1000;
+};
+
+class GridMobility {
+ public:
+  /// `aps` must hold grid_width*grid_height access proxies, row-major.
+  GridMobility(sim::Simulator& simulator, proto::MembershipService& service,
+               std::vector<NodeId> aps, MobilityConfig config);
+
+  /// Joins all hosts at random cells and schedules their movement.
+  void start();
+
+  [[nodiscard]] std::uint64_t handoffs_issued() const { return handoffs_; }
+  [[nodiscard]] std::vector<proto::MemberRecord> expected_membership() const;
+
+  /// Cell index a host is currently in (row-major), or -1 if unknown guid.
+  [[nodiscard]] int cell_of(Guid g) const;
+
+ private:
+  struct Host {
+    Guid guid;
+    int cell;
+  };
+
+  void schedule_move(std::size_t host_idx);
+  [[nodiscard]] int random_neighbor(int cell);
+
+  sim::Simulator& sim_;
+  proto::MembershipService& service_;
+  std::vector<NodeId> aps_;
+  MobilityConfig config_;
+  common::RngStream rng_;
+  std::vector<Host> hosts_;
+  sim::Time end_time_ = 0;
+  std::uint64_t handoffs_ = 0;
+};
+
+}  // namespace rgb::workload

@@ -1,0 +1,140 @@
+// Validates formulae (1)-(6) against every number printed in Table I of the
+// paper.
+#include "analysis/scalability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace rgb::analysis {
+namespace {
+
+TEST(Scalability, LeafAndApCounts) {
+  EXPECT_EQ(tree_leaf_count(3, 5), 25u);
+  EXPECT_EQ(tree_leaf_count(4, 5), 125u);
+  EXPECT_EQ(tree_leaf_count(5, 5), 625u);
+  EXPECT_EQ(ring_ap_count(2, 5), 25u);
+  EXPECT_EQ(ring_ap_count(3, 5), 125u);
+  EXPECT_EQ(ring_ap_count(4, 5), 625u);
+  EXPECT_EQ(ring_ap_count(3, 10), 1000u);
+}
+
+TEST(Scalability, RingCounts) {
+  EXPECT_EQ(ring_count(3, 5), 31u);    // 1 + 5 + 25
+  EXPECT_EQ(ring_count(3, 10), 111u);  // 1 + 10 + 100
+  EXPECT_EQ(ring_count(2, 5), 6u);
+  EXPECT_EQ(ring_count(4, 10), 1111u);
+}
+
+// --- Table I, tree column ---------------------------------------------------
+
+struct TreeCase {
+  int h;
+  int r;
+  std::uint64_t n;
+  std::uint64_t hcn;
+};
+
+class TableITree : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(TableITree, MatchesPaper) {
+  const auto& p = GetParam();
+  EXPECT_EQ(tree_leaf_count(p.h, p.r), p.n);
+  EXPECT_EQ(hcn_tree(p.h, p.r), p.hcn);
+  // HopCount is n * HCN by the normalisation definition.
+  EXPECT_EQ(hopcount_tree(p.h, p.r), p.n * p.hcn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, TableITree,
+    ::testing::Values(TreeCase{3, 5, 25, 29}, TreeCase{4, 5, 125, 149},
+                      TreeCase{5, 5, 625, 750}, TreeCase{3, 10, 100, 109},
+                      TreeCase{4, 10, 1000, 1099},
+                      TreeCase{5, 10, 10000, 11000}));
+
+// --- Table I, ring column ---------------------------------------------------
+
+struct RingCase {
+  int h;
+  int r;
+  std::uint64_t n;
+  std::uint64_t hcn;
+};
+
+class TableIRing : public ::testing::TestWithParam<RingCase> {};
+
+TEST_P(TableIRing, MatchesPaper) {
+  const auto& p = GetParam();
+  EXPECT_EQ(ring_ap_count(p.h, p.r), p.n);
+  EXPECT_EQ(hcn_ring(p.h, p.r), p.hcn);
+  EXPECT_EQ(hopcount_ring(p.h, p.r), p.n * p.hcn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, TableIRing,
+    ::testing::Values(RingCase{2, 5, 25, 35}, RingCase{3, 5, 125, 185},
+                      RingCase{4, 5, 625, 935}, RingCase{2, 10, 100, 120},
+                      RingCase{3, 10, 1000, 1220},
+                      RingCase{4, 10, 10000, 12220}));
+
+// --- structural identities ----------------------------------------------------
+
+TEST(Scalability, RemovedHopsNeverExceedPlainHops) {
+  for (int h = 3; h <= 6; ++h) {
+    for (int r = 2; r <= 12; ++r) {
+      EXPECT_LT(hopcount_tree_removed(h, r), hopcount_tree_plain(h, r))
+          << "h=" << h << " r=" << r;
+    }
+  }
+}
+
+TEST(Scalability, RepresentativesStrictlyHelpWhenDeepEnough) {
+  // For h >= 3 there is at least the root chain to collapse.
+  for (int r = 2; r <= 10; ++r) {
+    EXPECT_GT(hopcount_tree_removed(4, r), 0u);
+    EXPECT_LT(hcn_tree(4, r), hopcount_tree_plain(4, r) / tree_leaf_count(4, r) + 1);
+  }
+}
+
+TEST(Scalability, RingFormulaEqualsCirculationPlusNotifications) {
+  // HCN_Ring = r per ring (token circle) + (tn - 1) notification edges.
+  for (int h = 2; h <= 5; ++h) {
+    for (int r = 2; r <= 10; ++r) {
+      const auto tn = ring_count(h, r);
+      EXPECT_EQ(hcn_ring(h, r),
+                static_cast<std::uint64_t>(r) * tn + tn - 1)
+          << "h=" << h << " r=" << r;
+    }
+  }
+}
+
+TEST(Scalability, ComparableConfigsStayWithinSmallFactor) {
+  // The paper's claim: "the scalability property of the ring-based
+  // hierarchy is almost the same as that of the tree-based hierarchy".
+  const auto rows = paper_table1();
+  for (const auto& row : rows) {
+    const double ratio = static_cast<double>(row.hcn_ring) /
+                         static_cast<double>(row.hcn_tree);
+    EXPECT_GT(ratio, 1.0);   // ring costs a bit more...
+    EXPECT_LT(ratio, 1.35);  // ...but stays within ~1.3x in every row
+  }
+}
+
+TEST(Scalability, PaperTable1HasSixRowsWithMatchingN) {
+  const auto rows = paper_table1();
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.n_tree, row.n_ring);  // same group size per row
+    EXPECT_EQ(row.h_tree, row.h_ring + 1);
+  }
+}
+
+TEST(Scalability, HcnGrowsWithHeight) {
+  EXPECT_LT(hcn_ring(2, 5), hcn_ring(3, 5));
+  EXPECT_LT(hcn_ring(3, 5), hcn_ring(4, 5));
+  EXPECT_LT(hcn_tree(3, 5), hcn_tree(4, 5));
+  EXPECT_LT(hcn_tree(4, 5), hcn_tree(5, 5));
+}
+
+}  // namespace
+}  // namespace rgb::analysis

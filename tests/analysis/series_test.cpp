@@ -1,0 +1,75 @@
+#include "analysis/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rgb::analysis {
+namespace {
+
+TEST(Series, StoresRowsByColumn) {
+  Series s{"fw_vs_f", {"f", "fw_k1", "fw_k2"}};
+  s.add_row({0.001, 0.995, 0.999});
+  s.add_row({0.02, 0.16, 0.45});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 0.995);
+  EXPECT_DOUBLE_EQ(s.at(1, 2), 0.45);
+  EXPECT_EQ(s.columns().size(), 3u);
+}
+
+TEST(Series, CsvHeaderAndRows) {
+  Series s{"t", {"a", "b"}};
+  s.add_row({1.0, 2.5});
+  std::ostringstream oss;
+  s.write_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Series, CsvRoundTripsPrecision) {
+  Series s{"t", {"x"}};
+  s.add_row({0.1234567890123456});
+  std::ostringstream oss;
+  s.write_csv(oss);
+  double parsed = 0.0;
+  std::istringstream iss(oss.str().substr(oss.str().find('\n') + 1));
+  iss >> parsed;
+  EXPECT_DOUBLE_EQ(parsed, 0.1234567890123456);
+}
+
+TEST(Series, SaveCsvWritesFile) {
+  Series s{"series_test_tmp", {"a"}};
+  s.add_row({7.0});
+  const auto path = s.save_csv("/tmp");
+  ASSERT_TRUE(path.has_value());
+  std::ifstream file(*path);
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header, "a");
+  std::remove(path->c_str());
+}
+
+TEST(Series, SaveCsvFailsGracefullyOnBadDir) {
+  Series s{"x", {"a"}};
+  EXPECT_FALSE(s.save_csv("/nonexistent-dir-xyz").has_value());
+}
+
+TEST(Series, EnvGateReturnsNulloptWhenUnset) {
+  unsetenv("RGB_BENCH_CSV_DIR");
+  Series s{"x", {"a"}};
+  EXPECT_FALSE(s.save_csv_if_configured().has_value());
+}
+
+TEST(Series, EnvGateWritesWhenSet) {
+  setenv("RGB_BENCH_CSV_DIR", "/tmp", 1);
+  Series s{"series_env_tmp", {"a"}};
+  s.add_row({1.0});
+  const auto path = s.save_csv_if_configured();
+  ASSERT_TRUE(path.has_value());
+  std::remove(path->c_str());
+  unsetenv("RGB_BENCH_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace rgb::analysis

@@ -1,0 +1,62 @@
+#include "common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace rgb::common {
+namespace {
+
+TEST(StrongId, DefaultConstructedIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(StrongId, ExplicitValueIsValid) {
+  NodeId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_EQ(NodeId{3}, NodeId{3});
+  EXPECT_NE(NodeId{3}, NodeId{4});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, GroupId>);
+  static_assert(!std::is_same_v<Guid, Luid>);
+  static_assert(!std::is_same_v<NodeId, RingId>);
+}
+
+TEST(StrongId, HashableInUnorderedContainers) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId{1});
+  set.insert(NodeId{2});
+  set.insert(NodeId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(NodeId{2}));
+}
+
+TEST(StrongId, StreamsWithTypePrefix) {
+  std::ostringstream oss;
+  oss << NodeId{12} << " " << Guid{3} << " " << GroupId{1};
+  EXPECT_EQ(oss.str(), "ne12 mh3 grp1");
+}
+
+TEST(StrongId, StreamsInvalidMarker) {
+  std::ostringstream oss;
+  oss << NodeId{};
+  EXPECT_EQ(oss.str(), "ne<invalid>");
+}
+
+TEST(StrongId, InvalidSentinelDoesNotCollideWithSmallValues) {
+  EXPECT_NE(NodeId{0}, NodeId::invalid());
+  EXPECT_TRUE(NodeId{0}.valid());
+}
+
+}  // namespace
+}  // namespace rgb::common

@@ -1,0 +1,83 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ids.hpp"
+
+#include <vector>
+
+namespace rgb::common {
+namespace {
+
+struct Captured {
+  LogLevel level;
+  std::string component;
+  std::string message;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() {
+    Logger::instance().set_sink(
+        [this](LogLevel level, std::string_view component,
+               std::string_view message) {
+          lines_.push_back(Captured{level, std::string(component),
+                                    std::string(message)});
+        });
+  }
+  ~LogTest() override {
+    Logger::instance().reset_sink();
+    Logger::instance().set_level(LogLevel::kOff);
+  }
+
+  std::vector<Captured> lines_;
+};
+
+TEST_F(LogTest, OffByDefaultDiscardsEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  RGB_LOG(kError, "test") << "nope";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, LevelThresholdFilters) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  RGB_LOG(kError, "a") << "e";
+  RGB_LOG(kWarn, "b") << "w";
+  RGB_LOG(kInfo, "c") << "i";
+  RGB_LOG(kDebug, "d") << "d";
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[0].component, "a");
+  EXPECT_EQ(lines_[1].component, "b");
+}
+
+TEST_F(LogTest, StreamComposesMessage) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  RGB_LOG(kInfo, "compose") << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].message, "x=42 y=1.5");
+}
+
+TEST_F(LogTest, StrongIdsStreamIntoLogs) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  RGB_LOG(kInfo, "ids") << NodeId{7} << " " << Guid{3};
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].message, "ne7 mh3");
+}
+
+TEST_F(LogTest, ParseLevels) {
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kOff);
+}
+
+TEST_F(LogTest, LevelNamesRoundTrip) {
+  for (const auto level : {LogLevel::kError, LogLevel::kWarn, LogLevel::kInfo,
+                           LogLevel::kDebug}) {
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+  }
+}
+
+}  // namespace
+}  // namespace rgb::common

@@ -1,0 +1,183 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace rgb::common {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  RngStream a{123};
+  RngStream b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedDifferentSequence) {
+  RngStream a{1};
+  RngStream b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  RngStream z{0};
+  // SplitMix64 expansion must avoid the degenerate all-zero xoshiro state.
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 16; ++i) acc |= z.next_u64();
+  EXPECT_NE(acc, 0u);
+}
+
+TEST(Rng, ForkIsStableByLabel) {
+  RngStream parent{99};
+  RngStream f1 = parent.fork("alpha");
+  RngStream f2 = parent.fork("alpha");
+  EXPECT_EQ(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, ForksWithDifferentLabelsDiverge) {
+  RngStream parent{99};
+  RngStream f1 = parent.fork("alpha");
+  RngStream f2 = parent.fork("beta");
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  RngStream a{5};
+  RngStream b{5};
+  (void)a.fork("child");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  RngStream rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  RngStream rng{7};
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  RngStream rng{11};
+  std::array<int, 5> histogram{};
+  for (int i = 0; i < 5000; ++i) {
+    ++histogram[rng.next_below(5)];
+  }
+  for (const int count : histogram) {
+    EXPECT_GT(count, 800);  // ~1000 expected per bucket
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  RngStream rng{13};
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformWithinBounds) {
+  RngStream rng{17};
+  for (int i = 0; i < 500; ++i) {
+    const double d = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  RngStream rng{19};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  RngStream rng{23};
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  RngStream rng{29};
+  double sum = 0.0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kTrials, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  RngStream rng{31};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  RngStream rng{37};
+  double sum = 0.0, sq = 0.0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kTrials;
+  const double var = sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  RngStream rng{41};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleHandlesDegenerateSizes) {
+  RngStream rng{43};
+  std::vector<int> empty;
+  std::vector<int> one{42};
+  rng.shuffle(empty);
+  rng.shuffle(one);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(Rng, SplitMixAdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rgb::common

@@ -1,0 +1,135 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rgb::common {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 5.0);
+  EXPECT_EQ(acc.min(), 5.0);
+  EXPECT_EQ(acc.max(), 5.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator acc;
+  acc.add(-3.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), -3.0);
+  EXPECT_EQ(acc.max(), 3.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream) {
+  Accumulator all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.merge(b);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, SingleValueQuantiles) {
+  Histogram h;
+  h.add(100.0);
+  // Geometric buckets give ~growth-factor relative resolution.
+  EXPECT_NEAR(h.p50(), 100.0, 12.0);
+  EXPECT_NEAR(h.p99(), 100.0, 12.0);
+}
+
+TEST(Histogram, MedianOfUniformRamp) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.p50(), 500.0, 60.0);
+  EXPECT_NEAR(h.quantile(0.9), 900.0, 100.0);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+}
+
+TEST(Histogram, SubUnitValuesLandInFirstBucket) {
+  Histogram h;
+  h.add(0.0);
+  h.add(0.5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.p50(), 1.0);
+}
+
+TEST(Histogram, OverflowClampsToLastBucket) {
+  Histogram h{/*max_value=*/1000.0};
+  h.add(1e18);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.p50(), 900.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  a.add(10.0);
+  b.add(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_LE(a.quantile(0.25), 12.0);
+  EXPECT_GT(a.quantile(0.99), 800.0);
+}
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.increment(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+}  // namespace
+}  // namespace rgb::common

@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rgb::common {
+namespace {
+
+TEST(TextTable, PrintsHeaderAndRows) {
+  TextTable t({"name", "n"});
+  t.add_row({"tree", "25"});
+  t.add_row({"ring", "125"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("tree"), std::string::npos);
+  EXPECT_NE(out.find("125"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAlignToWidestCell) {
+  TextTable t({"x"});
+  t.add_row({"aaaaaaaa"});
+  t.add_row({"b"});
+  std::ostringstream oss;
+  t.print(oss);
+  std::istringstream iss(oss.str());
+  std::string line;
+  std::vector<std::size_t> widths;
+  while (std::getline(iss, line)) widths.push_back(line.size());
+  for (std::size_t i = 1; i < widths.size(); ++i) {
+    EXPECT_EQ(widths[i], widths[0]);
+  }
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"a", "b"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(CellFormat, FixedPointDigits) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(3.0, 3), "3.000");
+  EXPECT_EQ(cell(-1.5, 1), "-1.5");
+}
+
+TEST(CellFormat, Integers) {
+  EXPECT_EQ(cell(std::uint64_t{12220}), "12220");
+  EXPECT_EQ(cell(-5), "-5");
+}
+
+TEST(CellFormat, PercentMatchesPaperStyle) {
+  // The paper prints Function-Well probabilities like "99.500".
+  EXPECT_EQ(percent_cell(0.995), "99.500");
+  EXPECT_EQ(percent_cell(0.99999), "99.999");
+  EXPECT_EQ(percent_cell(0.16094, 3), "16.094");
+}
+
+}  // namespace
+}  // namespace rgb::common

@@ -1,0 +1,102 @@
+// Determinism: a run is a pure function of (seed, scenario). This is what
+// makes every experiment in EXPERIMENTS.md reproducible bit-for-bit.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "workload/churn.hpp"
+
+namespace rgb {
+namespace {
+
+struct RunFingerprint {
+  std::uint64_t events;
+  std::uint64_t sent;
+  std::uint64_t delivered;
+  std::uint64_t rounds;
+  std::vector<proto::MemberRecord> membership;
+
+  friend bool operator==(const RunFingerprint&,
+                         const RunFingerprint&) = default;
+};
+
+RunFingerprint run_scenario(std::uint64_t net_seed,
+                            std::uint64_t churn_seed,
+                            double drop_probability = 0.0) {
+  sim::Simulator simulator;
+  net::LinkConfig link;
+  link.latency = net::LatencyModel::uniform(sim::msec(1), sim::msec(8));
+  link.drop_probability = drop_probability;
+  net::Network network{simulator, common::RngStream{net_seed}, link};
+
+  core::RgbConfig config;
+  config.notify_timeout = sim::msec(300);
+  config.max_notify_retx = 20;
+  config.max_retx = 20;
+  core::RgbSystem sys{network, config, core::HierarchyLayout{2, 4}};
+
+  workload::ChurnConfig churn_config;
+  churn_config.initial_members = 12;
+  churn_config.duration = sim::sec(6);
+  churn_config.seed = churn_seed;
+  workload::ChurnWorkload churn{simulator, sys, sys.aps(), churn_config};
+  churn.start();
+  const auto events = simulator.run();
+
+  return RunFingerprint{events, network.metrics().sent,
+                        network.metrics().delivered,
+                        sys.metrics().rounds_completed.value(),
+                        sys.membership()};
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalRuns) {
+  const auto a = run_scenario(42, 7);
+  const auto b = run_scenario(42, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalRunsUnderLossAndJitter) {
+  const auto a = run_scenario(42, 7, 0.1);
+  const auto b = run_scenario(42, 7, 0.1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentNetworkSeedChangesTimingNotOutcome) {
+  const auto a = run_scenario(1, 7);
+  const auto b = run_scenario(2, 7);
+  // Latency draws differ => different event counts...
+  EXPECT_NE(a.events, b.events);
+  // ...but the same workload converges to the same membership.
+  EXPECT_EQ(a.membership, b.membership);
+}
+
+TEST(Determinism, DifferentChurnSeedChangesOutcome) {
+  const auto a = run_scenario(1, 7);
+  const auto b = run_scenario(1, 8);
+  EXPECT_NE(a.membership, b.membership);
+}
+
+TEST(Determinism, LossyRunStillConvergesToGroundTruth) {
+  sim::Simulator simulator;
+  net::LinkConfig link;
+  link.latency = net::LatencyModel::uniform(sim::msec(1), sim::msec(5));
+  link.drop_probability = 0.15;
+  net::Network network{simulator, common::RngStream{99}, link};
+  core::RgbConfig config;
+  config.retx_timeout = sim::msec(40);
+  config.max_retx = 25;
+  config.notify_timeout = sim::msec(250);
+  config.max_notify_retx = 25;
+  config.round_timeout = sim::msec(1500);
+  core::RgbSystem sys{network, config, core::HierarchyLayout{2, 3}};
+
+  workload::ChurnConfig churn_config;
+  churn_config.initial_members = 8;
+  churn_config.duration = sim::sec(4);
+  workload::ChurnWorkload churn{simulator, sys, sys.aps(), churn_config};
+  churn.start();
+  simulator.run();
+  EXPECT_EQ(sys.membership(), churn.expected_membership());
+}
+
+}  // namespace
+}  // namespace rgb

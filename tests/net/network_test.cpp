@@ -1,0 +1,194 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace rgb::net {
+namespace {
+
+/// Endpoint that records everything delivered to it.
+class Recorder : public Endpoint {
+ public:
+  void deliver(const Envelope& env) override { received.push_back(env); }
+  std::vector<Envelope> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(sim_, common::RngStream{1}) {
+    network_.attach(a_, &ra_);
+    network_.attach(b_, &rb_);
+  }
+
+  void send_ab(MessageKind kind = 0) {
+    network_.send(Envelope{a_, b_, kind, 64, std::string{"hi"}});
+  }
+
+  sim::Simulator sim_;
+  Network network_;
+  NodeId a_{1}, b_{2};
+  Recorder ra_, rb_;
+};
+
+TEST_F(NetworkTest, DeliversWithDefaultLatency) {
+  send_ab();
+  EXPECT_TRUE(rb_.received.empty());  // not before the latency elapses
+  sim_.run();
+  ASSERT_EQ(rb_.received.size(), 1u);
+  EXPECT_EQ(sim_.now(), sim::msec(1));  // default link = fixed 1ms
+  EXPECT_EQ(rb_.received[0].src, a_);
+  EXPECT_EQ(std::any_cast<std::string>(rb_.received[0].payload), "hi");
+}
+
+TEST_F(NetworkTest, MetersSentAndDelivered) {
+  send_ab();
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(network_.metrics().sent, 2u);
+  EXPECT_EQ(network_.metrics().delivered, 2u);
+  EXPECT_EQ(network_.metrics().bytes_sent, 128u);
+}
+
+TEST_F(NetworkTest, MetersPerKind) {
+  send_ab(7);
+  send_ab(7);
+  send_ab(9);
+  sim_.run();
+  EXPECT_EQ(network_.metrics().sent_per_kind.at(7), 2u);
+  EXPECT_EQ(network_.metrics().sent_per_kind.at(9), 1u);
+}
+
+TEST_F(NetworkTest, CrashedDestinationDropsInFlight) {
+  send_ab();
+  network_.crash(b_);
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_EQ(network_.metrics().dropped_crash, 1u);
+}
+
+TEST_F(NetworkTest, CrashedSourceSendsNothing) {
+  network_.crash(a_);
+  send_ab();
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_EQ(network_.metrics().sent, 0u);
+  EXPECT_EQ(network_.metrics().dropped_crash, 1u);
+}
+
+TEST_F(NetworkTest, RecoverRestoresDelivery) {
+  network_.crash(b_);
+  network_.recover(b_);
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(rb_.received.size(), 1u);
+  EXPECT_FALSE(network_.is_crashed(b_));
+}
+
+TEST_F(NetworkTest, PartitionBlocksCrossTraffic) {
+  network_.set_partition(a_, 1);
+  network_.set_partition(b_, 2);
+  send_ab();
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_EQ(network_.metrics().dropped_partition, 1u);
+}
+
+TEST_F(NetworkTest, SamePartitionDelivers) {
+  network_.set_partition(a_, 3);
+  network_.set_partition(b_, 3);
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(rb_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, ClearPartitionsHeals) {
+  network_.set_partition(a_, 1);
+  network_.set_partition(b_, 2);
+  network_.clear_partitions();
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(rb_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, UnattachedDestinationCounted) {
+  network_.send(Envelope{a_, NodeId{99}, 0, 64, 0});
+  sim_.run();
+  EXPECT_EQ(network_.metrics().dropped_unattached, 1u);
+}
+
+TEST_F(NetworkTest, DetachStopsDelivery) {
+  network_.detach(b_);
+  send_ab();
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_FALSE(network_.is_attached(b_));
+}
+
+TEST_F(NetworkTest, PerLinkOverrideAppliesSymmetrically) {
+  network_.set_link(a_, b_, LinkConfig{LatencyModel::fixed(sim::msec(50)), 0.0});
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(sim_.now(), sim::msec(50));
+  // Reverse direction uses the same override.
+  network_.send(Envelope{b_, a_, 0, 64, 0});
+  sim_.run();
+  EXPECT_EQ(sim_.now(), sim::msec(100));
+}
+
+TEST_F(NetworkTest, LossDropsApproximatelyAtConfiguredRate) {
+  network_.set_link(a_, b_, LinkConfig{LatencyModel::fixed(1), 0.3});
+  constexpr int kSends = 5000;
+  for (int i = 0; i < kSends; ++i) send_ab();
+  sim_.run();
+  const double loss_rate =
+      static_cast<double>(network_.metrics().dropped_loss) / kSends;
+  EXPECT_NEAR(loss_rate, 0.3, 0.03);
+  EXPECT_EQ(network_.metrics().delivered + network_.metrics().dropped_loss,
+            static_cast<std::uint64_t>(kSends));
+}
+
+TEST_F(NetworkTest, TapSeesVerdicts) {
+  int delivered = 0, dropped = 0;
+  network_.set_tap([&](const Envelope&, bool ok) {
+    ok ? ++delivered : ++dropped;
+  });
+  send_ab();
+  sim_.run();  // deliver before the crash: in-flight messages would drop
+  network_.crash(b_);
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(dropped, 1);
+}
+
+TEST_F(NetworkTest, DeliveryLatencyAccumulated) {
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(network_.metrics().delivery_latency_us.count(), 1u);
+  EXPECT_DOUBLE_EQ(network_.metrics().delivery_latency_us.mean(),
+                   static_cast<double>(sim::msec(1)));
+}
+
+TEST_F(NetworkTest, ResetMetricsClears) {
+  send_ab();
+  sim_.run();
+  network_.reset_metrics();
+  EXPECT_EQ(network_.metrics().sent, 0u);
+  EXPECT_TRUE(network_.metrics().sent_per_kind.empty());
+}
+
+TEST_F(NetworkTest, AttachReplacesEndpoint) {
+  Recorder rb2;
+  network_.attach(b_, &rb2);
+  send_ab();
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_EQ(rb2.received.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rgb::net

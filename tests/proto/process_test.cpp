@@ -1,0 +1,135 @@
+#include "proto/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rgb::proto {
+namespace {
+
+class Echo : public Process {
+ public:
+  using Process::Process;
+  using Process::send;
+  using Process::set_timer;
+  using Process::cancel_timer;
+
+  void deliver(const net::Envelope& env) override {
+    log.push_back(std::any_cast<std::string>(env.payload));
+  }
+  std::vector<std::string> log;
+};
+
+class ProcessTest : public ::testing::Test {
+ protected:
+  ProcessTest() : network_(sim_, common::RngStream{3}) {}
+
+  sim::Simulator sim_;
+  net::Network network_;
+};
+
+TEST_F(ProcessTest, AttachesOnConstructionDetachesOnDestruction) {
+  {
+    Echo p{NodeId{1}, network_};
+    EXPECT_TRUE(network_.is_attached(NodeId{1}));
+  }
+  EXPECT_FALSE(network_.is_attached(NodeId{1}));
+}
+
+TEST_F(ProcessTest, SendBetweenProcesses) {
+  Echo a{NodeId{1}, network_};
+  Echo b{NodeId{2}, network_};
+  a.send(NodeId{2}, 0, std::string{"ping"});
+  sim_.run();
+  ASSERT_EQ(b.log.size(), 1u);
+  EXPECT_EQ(b.log[0], "ping");
+}
+
+TEST_F(ProcessTest, TimerFiresOnce) {
+  Echo a{NodeId{1}, network_};
+  int fires = 0;
+  a.set_timer(sim::msec(5), [&] { ++fires; });
+  sim_.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim_.now(), sim::msec(5));
+}
+
+TEST_F(ProcessTest, CancelledTimerDoesNotFire) {
+  Echo a{NodeId{1}, network_};
+  int fires = 0;
+  auto id = a.set_timer(sim::msec(5), [&] { ++fires; });
+  a.cancel_timer(id);
+  EXPECT_FALSE(id.valid());  // handle reset by cancel
+  sim_.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST_F(ProcessTest, TimersSuppressedWhileCrashed) {
+  Echo a{NodeId{1}, network_};
+  int fires = 0;
+  a.set_timer(sim::msec(5), [&] { ++fires; });
+  network_.crash(NodeId{1});
+  sim_.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST_F(ProcessTest, CrashedFlagTracksNetwork) {
+  Echo a{NodeId{1}, network_};
+  EXPECT_FALSE(a.crashed());
+  network_.crash(NodeId{1});
+  EXPECT_TRUE(a.crashed());
+  network_.recover(NodeId{1});
+  EXPECT_FALSE(a.crashed());
+}
+
+TEST_F(ProcessTest, PeriodicTimerTicksAtPeriod) {
+  Echo a{NodeId{1}, network_};
+  int ticks = 0;
+  PeriodicTimer timer{network_, NodeId{1}, sim::msec(10), [&] { ++ticks; }};
+  timer.start();
+  sim_.run_until(sim::msec(55));
+  EXPECT_EQ(ticks, 5);
+  timer.stop();
+  sim_.run_until(sim::msec(200));
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST_F(ProcessTest, PeriodicTimerSkipsTicksWhileCrashedAndResumes) {
+  Echo a{NodeId{1}, network_};
+  int ticks = 0;
+  PeriodicTimer timer{network_, NodeId{1}, sim::msec(10), [&] { ++ticks; }};
+  timer.start();
+  sim_.run_until(sim::msec(25));
+  EXPECT_EQ(ticks, 2);
+  network_.crash(NodeId{1});
+  sim_.run_until(sim::msec(65));
+  EXPECT_EQ(ticks, 2);  // silent while down
+  network_.recover(NodeId{1});
+  sim_.run_until(sim::msec(105));
+  EXPECT_EQ(ticks, 6);  // resumed
+}
+
+TEST_F(ProcessTest, PeriodicTimerStartIsIdempotent) {
+  Echo a{NodeId{1}, network_};
+  int ticks = 0;
+  PeriodicTimer timer{network_, NodeId{1}, sim::msec(10), [&] { ++ticks; }};
+  timer.start();
+  timer.start();
+  sim_.run_until(sim::msec(15));
+  EXPECT_EQ(ticks, 1);  // not double-armed
+}
+
+TEST_F(ProcessTest, PeriodicTimerStopsOnDestruction) {
+  Echo a{NodeId{1}, network_};
+  int ticks = 0;
+  {
+    PeriodicTimer timer{network_, NodeId{1}, sim::msec(10), [&] { ++ticks; }};
+    timer.start();
+  }
+  sim_.run_until(sim::msec(100));
+  EXPECT_EQ(ticks, 0);
+}
+
+}  // namespace
+}  // namespace rgb::proto

@@ -1,0 +1,114 @@
+// AP-side faulty-disconnection detection: MH heartbeats, silence sweeps,
+// and the interaction with handoffs and voluntary disconnection
+// (paper Section 1's disconnection taxonomy).
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rgb::core {
+namespace {
+
+using testing::RgbSystemTest;
+
+RgbConfig monitored_config() {
+  RgbConfig config;
+  config.mh_failure_timeout = sim::msec(500);
+  return config;
+}
+
+class LivenessTest : public RgbSystemTest {};
+
+TEST_F(LivenessTest, HeartbeatingMemberStaysAlive) {
+  auto& sys = build(1, 3, monitored_config());
+  MobileHost mh{NodeId{900001}, common::Guid{7}, common::GroupId{1},
+                network_, sim::msec(100)};
+  mh.join_via(sys.aps()[0]);
+  run_for_ms(3000);
+  EXPECT_TRUE(sys.entity(sys.aps()[0])->ring_members().contains(common::Guid{7}));
+}
+
+TEST_F(LivenessTest, SilentCrashIsDetectedAndDisseminated) {
+  auto& sys = build(2, 3, monitored_config());
+  MobileHost mh{NodeId{900001}, common::Guid{7}, common::GroupId{1},
+                network_, sim::msec(100)};
+  mh.join_via(sys.aps()[0]);
+  run_for_ms(500);
+  ASSERT_TRUE(sys.entity(sys.aps()[0])->ring_members().contains(common::Guid{7}));
+
+  network_.crash(NodeId{900001});  // MH goes silent: faulty disconnection
+  run_for_ms(3000);
+  // The AP detected the silence and the failure propagated to the top.
+  EXPECT_FALSE(sys.entity(sys.aps()[0])->ring_members().contains(common::Guid{7}));
+  EXPECT_FALSE(sys.entity(sys.rings(0).front().front())
+                   ->ring_members()
+                   .contains(common::Guid{7}));
+}
+
+TEST_F(LivenessTest, VoluntaryLeaveIsNotAFailure) {
+  auto& sys = build(1, 3, monitored_config());
+  MobileHost mh{NodeId{900001}, common::Guid{7}, common::GroupId{1},
+                network_, sim::msec(100)};
+  mh.join_via(sys.aps()[0]);
+  run_for_ms(400);
+  mh.leave();  // stops heartbeating too — must not double-report
+  run_for_ms(3000);
+  const auto rec = sys.entity(sys.aps()[0])->ring_members().find(common::Guid{7});
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->status, proto::MemberStatus::kDisconnected);  // not kFailed
+}
+
+TEST_F(LivenessTest, HandoffMovesMonitoringToNewAp) {
+  auto& sys = build(1, 4, monitored_config());
+  MobileHost mh{NodeId{900001}, common::Guid{7}, common::GroupId{1},
+                network_, sim::msec(100)};
+  mh.join_via(sys.aps()[0]);
+  run_for_ms(400);
+  mh.handoff_to(sys.aps()[2]);
+  run_for_ms(2000);
+  // Still operational at the new AP: the old AP must not fail it just
+  // because heartbeats stopped arriving *there*.
+  const auto rec = sys.entity(sys.aps()[0])->ring_members().find(common::Guid{7});
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->status, proto::MemberStatus::kOperational);
+  EXPECT_EQ(rec->access_proxy, sys.aps()[2]);
+
+  // Crash after the handoff: the NEW AP detects.
+  network_.crash(NodeId{900001});
+  run_for_ms(3000);
+  EXPECT_FALSE(sys.entity(sys.aps()[1])->ring_members().contains(common::Guid{7}));
+}
+
+TEST_F(LivenessTest, FacadeMembersAreNeverSweptWithoutHeartbeats) {
+  auto& sys = build(1, 3, monitored_config());
+  sys.join(common::Guid{9}, sys.aps()[0]);  // no MH agent, no heartbeats
+  run_for_ms(5000);
+  EXPECT_TRUE(sys.entity(sys.aps()[0])->ring_members().contains(common::Guid{9}));
+}
+
+TEST_F(LivenessTest, MonitoringDisabledByDefault) {
+  auto& sys = build(1, 3);  // mh_failure_timeout = 0
+  MobileHost mh{NodeId{900001}, common::Guid{7}, common::GroupId{1},
+                network_, sim::msec(100)};
+  mh.join_via(sys.aps()[0]);
+  run_for_ms(300);
+  network_.crash(NodeId{900001});
+  run_for_ms(5000);
+  // Without monitoring the silent member is never failed automatically.
+  EXPECT_TRUE(sys.entity(sys.aps()[0])->ring_members().contains(common::Guid{7}));
+}
+
+TEST_F(LivenessTest, TemporaryDisconnectionSurvivesIfShorterThanTimeout) {
+  auto& sys = build(1, 3, monitored_config());
+  MobileHost mh{NodeId{900001}, common::Guid{7}, common::GroupId{1},
+                network_, sim::msec(100)};
+  mh.join_via(sys.aps()[0]);
+  run_for_ms(400);
+  network_.crash(NodeId{900001});   // brief radio shadow...
+  run_for_ms(200);                  // ...shorter than the 500ms timeout
+  network_.recover(NodeId{900001});
+  run_for_ms(2000);
+  EXPECT_TRUE(sys.entity(sys.aps()[0])->ring_members().contains(common::Guid{7}));
+}
+
+}  // namespace
+}  // namespace rgb::core

@@ -1,0 +1,166 @@
+#include "rgb/member_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rgb::core {
+namespace {
+
+MembershipOp op(OpKind kind, std::uint64_t seq, std::uint64_t guid,
+                std::uint64_t ap, std::uint64_t old_ap = 0) {
+  MembershipOp o;
+  o.kind = kind;
+  o.seq = seq;
+  o.member = MemberRecord{Guid{guid}, NodeId{ap},
+                          proto::MemberStatus::kOperational};
+  if (old_ap != 0) o.old_ap = NodeId{old_ap};
+  return o;
+}
+
+TEST(MemberTable, JoinInsertsOperationalRecord) {
+  MemberTable t;
+  EXPECT_TRUE(t.apply(op(OpKind::kMemberJoin, 1, 10, 100)));
+  EXPECT_TRUE(t.contains(Guid{10}));
+  const auto rec = t.find(Guid{10});
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->access_proxy, NodeId{100});
+  EXPECT_EQ(rec->status, proto::MemberStatus::kOperational);
+}
+
+TEST(MemberTable, LeaveMarksDisconnected) {
+  MemberTable t;
+  t.apply(op(OpKind::kMemberJoin, 1, 10, 100));
+  EXPECT_TRUE(t.apply(op(OpKind::kMemberLeave, 2, 10, 100)));
+  EXPECT_FALSE(t.contains(Guid{10}));
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(MemberTable, FailMarksFailed) {
+  MemberTable t;
+  t.apply(op(OpKind::kMemberJoin, 1, 10, 100));
+  t.apply(op(OpKind::kMemberFail, 2, 10, 100));
+  EXPECT_FALSE(t.contains(Guid{10}));
+  EXPECT_EQ(t.find(Guid{10})->status, proto::MemberStatus::kFailed);
+}
+
+TEST(MemberTable, HandoffMovesAp) {
+  MemberTable t;
+  t.apply(op(OpKind::kMemberJoin, 1, 10, 100));
+  t.apply(op(OpKind::kMemberHandoff, 2, 10, 200, 100));
+  EXPECT_EQ(t.find(Guid{10})->access_proxy, NodeId{200});
+  EXPECT_TRUE(t.contains(Guid{10}));
+}
+
+TEST(MemberTable, DuplicateApplyIsIdempotent) {
+  MemberTable t;
+  const auto join = op(OpKind::kMemberJoin, 5, 10, 100);
+  EXPECT_TRUE(t.apply(join));
+  EXPECT_FALSE(t.apply(join));  // same seq: no change
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(MemberTable, StaleOpIsRejected) {
+  MemberTable t;
+  t.apply(op(OpKind::kMemberHandoff, 10, 7, 300, 200));
+  // A retransmitted older join must not roll the member back.
+  EXPECT_FALSE(t.apply(op(OpKind::kMemberJoin, 4, 7, 100)));
+  EXPECT_EQ(t.find(Guid{7})->access_proxy, NodeId{300});
+}
+
+TEST(MemberTable, OutOfOrderHandoffChainResolvesToNewest) {
+  MemberTable t;
+  t.apply(op(OpKind::kMemberJoin, 1, 7, 100));
+  // Deliveries may reorder across rings; highest seq must win.
+  t.apply(op(OpKind::kMemberHandoff, 9, 7, 400, 300));
+  t.apply(op(OpKind::kMemberHandoff, 5, 7, 300, 100));
+  EXPECT_EQ(t.find(Guid{7})->access_proxy, NodeId{400});
+}
+
+TEST(MemberTable, SnapshotSortedByGuidAndOperationalOnly) {
+  MemberTable t;
+  t.apply(op(OpKind::kMemberJoin, 1, 30, 100));
+  t.apply(op(OpKind::kMemberJoin, 2, 10, 100));
+  t.apply(op(OpKind::kMemberJoin, 3, 20, 100));
+  t.apply(op(OpKind::kMemberLeave, 4, 20, 100));
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].guid, Guid{10});
+  EXPECT_EQ(snap[1].guid, Guid{30});
+}
+
+TEST(MemberTable, MembersAtFiltersByAp) {
+  MemberTable t;
+  t.apply(op(OpKind::kMemberJoin, 1, 1, 100));
+  t.apply(op(OpKind::kMemberJoin, 2, 2, 200));
+  t.apply(op(OpKind::kMemberJoin, 3, 3, 100));
+  const auto at100 = t.members_at(NodeId{100});
+  ASSERT_EQ(at100.size(), 2u);
+  EXPECT_EQ(at100[0].guid, Guid{1});
+  EXPECT_EQ(at100[1].guid, Guid{3});
+  EXPECT_EQ(t.members_at(NodeId{999}).size(), 0u);
+}
+
+TEST(MemberTable, NeOpsAreIgnored) {
+  MemberTable t;
+  MembershipOp ne;
+  ne.kind = OpKind::kNeFail;
+  ne.seq = 1;
+  ne.ne = NodeId{5};
+  EXPECT_FALSE(t.apply(ne));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(MemberTable, MergeAdoptsNewerRecords) {
+  MemberTable a, b;
+  a.apply(op(OpKind::kMemberJoin, 1, 7, 100));
+  b.apply(op(OpKind::kMemberHandoff, 5, 7, 200, 100));
+  b.apply(op(OpKind::kMemberJoin, 2, 8, 300));
+  a.merge(b);
+  EXPECT_EQ(a.find(Guid{7})->access_proxy, NodeId{200});
+  EXPECT_TRUE(a.contains(Guid{8}));
+}
+
+TEST(MemberTable, MergeKeepsOwnNewerRecords) {
+  MemberTable a, b;
+  a.apply(op(OpKind::kMemberHandoff, 9, 7, 500, 100));
+  b.apply(op(OpKind::kMemberJoin, 1, 7, 100));
+  a.merge(b);
+  EXPECT_EQ(a.find(Guid{7})->access_proxy, NodeId{500});
+}
+
+TEST(MemberTable, EqualityComparesOperationalView) {
+  MemberTable a, b;
+  a.apply(op(OpKind::kMemberJoin, 1, 7, 100));
+  b.apply(op(OpKind::kMemberJoin, 2, 7, 100));  // different seq, same view
+  EXPECT_TRUE(a == b);
+  b.apply(op(OpKind::kMemberJoin, 3, 8, 100));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MemberTable, RejoinAfterLeaveWithHigherSeq) {
+  MemberTable t;
+  t.apply(op(OpKind::kMemberJoin, 1, 7, 100));
+  t.apply(op(OpKind::kMemberLeave, 2, 7, 100));
+  EXPECT_TRUE(t.apply(op(OpKind::kMemberJoin, 3, 7, 200)));
+  EXPECT_TRUE(t.contains(Guid{7}));
+  EXPECT_EQ(t.find(Guid{7})->access_proxy, NodeId{200});
+}
+
+TEST(MemberTable, UpsertAndRemoveBypassSequencing) {
+  MemberTable t;
+  t.upsert(MemberRecord{Guid{1}, NodeId{9}, proto::MemberStatus::kOperational});
+  EXPECT_TRUE(t.contains(Guid{1}));
+  t.remove(Guid{1});
+  EXPECT_FALSE(t.contains(Guid{1}));
+  EXPECT_FALSE(t.find(Guid{1}).has_value());
+}
+
+TEST(MemberTable, ClearEmptiesEverything) {
+  MemberTable t;
+  t.apply(op(OpKind::kMemberJoin, 1, 7, 100));
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace rgb::core

@@ -1,0 +1,155 @@
+// The Membership-Query algorithm (Section 4.4) over the three maintenance
+// schemes, including cost characteristics and timeout behaviour.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "test_util.hpp"
+
+namespace rgb::core {
+namespace {
+
+using testing::RgbSystemTest;
+
+class QueryTest : public RgbSystemTest {
+ protected:
+  /// Issues a query and runs the simulation until it resolves.
+  QueryClient::Result query(RgbSystem& sys, proto::QueryScheme scheme,
+                            sim::Duration timeout = sim::sec(5)) {
+    QueryClient client{NodeId{990001}, network_};
+    std::optional<QueryClient::Result> result;
+    client.issue(sys.query_plan(scheme), timeout,
+                 [&](QueryClient::Result r) { result = std::move(r); });
+    run_all();
+    EXPECT_TRUE(result.has_value());
+    return std::move(*result);
+  }
+
+  void populate(RgbSystem& sys, int members) {
+    for (int i = 0; i < members; ++i) {
+      sys.join(common::Guid{static_cast<std::uint64_t>(i + 1)},
+               sys.aps()[static_cast<std::size_t>(i) % sys.aps().size()]);
+    }
+    run_all();
+  }
+};
+
+TEST_F(QueryTest, TmsReturnsFullMembershipWithTwoMessages) {
+  auto& sys = build(3, 3);
+  populate(sys, 12);
+  const auto result = query(sys, proto::QueryScheme::kTopmost);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.members.size(), 12u);
+  EXPECT_EQ(result.messages, 2u);  // one request, one reply
+  EXPECT_EQ(result.targets, 1u);
+}
+
+TEST_F(QueryTest, BmsReturnsFullMembershipViaFanOut) {
+  RgbConfig config;
+  config.retain_tier = 2;  // BMS: only AP rings hold membership
+  config.disseminate_down = false;
+  auto& sys = build(3, 3, config);
+  populate(sys, 12);
+  const auto result = query(sys, proto::QueryScheme::kBottommost);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.members.size(), 12u);
+  EXPECT_EQ(result.targets, 9u);       // r^2 AP-ring leaders
+  EXPECT_EQ(result.messages, 18u);     // request+reply per target
+}
+
+TEST_F(QueryTest, ImsFansOutToIntermediateTier) {
+  RgbConfig config;
+  config.retain_tier = 1;
+  config.disseminate_down = false;
+  auto& sys = build(3, 3, config);
+  populate(sys, 9);
+  const auto result = query(sys, proto::QueryScheme::kIntermediate);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.members.size(), 9u);
+  EXPECT_EQ(result.targets, 3u);  // r AG rings
+  EXPECT_EQ(result.messages, 6u);
+}
+
+TEST_F(QueryTest, TmsQueryIsCheaperThanBms) {
+  auto& sys = build(3, 3);
+  populate(sys, 6);
+  const auto tms = query(sys, proto::QueryScheme::kTopmost);
+  const auto bms = query(sys, proto::QueryScheme::kBottommost);
+  // The paper's §4.4 claim: TMS queries are more efficient for the
+  // requesting application.
+  EXPECT_LT(tms.messages, bms.messages);
+  EXPECT_LE(tms.latency, bms.latency);
+  // Under full TMS maintenance both return the same membership.
+  EXPECT_EQ(tms.members.size(), bms.members.size());
+}
+
+TEST_F(QueryTest, EmptyGroupQueryCompletes) {
+  auto& sys = build(2, 3);
+  const auto result = query(sys, proto::QueryScheme::kTopmost);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.members.empty());
+}
+
+TEST_F(QueryTest, QueryTimesOutWhenTargetCrashed) {
+  auto& sys = build(2, 3);
+  populate(sys, 3);
+  const auto plan = sys.query_plan(proto::QueryScheme::kTopmost);
+  sys.crash_ne(plan.targets.front());
+
+  QueryClient client{NodeId{990001}, network_};
+  std::optional<QueryClient::Result> result;
+  client.issue(plan, sim::msec(500),
+               [&](QueryClient::Result r) { result = std::move(r); });
+  run_all();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);
+  EXPECT_EQ(result->replies, 0u);
+  EXPECT_EQ(result->latency, sim::msec(500));
+}
+
+TEST_F(QueryTest, PartialRepliesStillUnionMembers) {
+  RgbConfig config;
+  config.retain_tier = 2;
+  config.disseminate_down = false;
+  auto& sys = build(2, 3);  // 2-tier: BMS targets are the 3 AP-ring leaders
+  populate(sys, 6);
+  auto plan = sys.query_plan(proto::QueryScheme::kBottommost);
+  ASSERT_EQ(plan.targets.size(), 3u);
+  sys.crash_ne(plan.targets[1]);
+
+  QueryClient client{NodeId{990001}, network_};
+  std::optional<QueryClient::Result> result;
+  client.issue(plan, sim::msec(300),
+               [&](QueryClient::Result r) { result = std::move(r); });
+  run_all();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);
+  EXPECT_EQ(result->replies, 2u);
+  // Under TMS-dissemination every AP ring holds the global view, so even a
+  // partial fan-in covers all members.
+  EXPECT_EQ(result->members.size(), 6u);
+}
+
+TEST_F(QueryTest, SequentialQueriesOnOneClient) {
+  auto& sys = build(2, 3);
+  populate(sys, 4);
+  const auto first = query(sys, proto::QueryScheme::kTopmost);
+  const auto second = query(sys, proto::QueryScheme::kTopmost);
+  EXPECT_TRUE(first.complete);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(first.members.size(), second.members.size());
+}
+
+TEST_F(QueryTest, QueryReflectsHandoffs) {
+  auto& sys = build(2, 3);
+  sys.join(common::Guid{1}, sys.aps().front());
+  run_all();
+  sys.handoff(common::Guid{1}, sys.aps().back());
+  run_all();
+  const auto result = query(sys, proto::QueryScheme::kTopmost);
+  ASSERT_EQ(result.members.size(), 1u);
+  EXPECT_EQ(result.members[0].access_proxy, sys.aps().back());
+}
+
+}  // namespace
+}  // namespace rgb::core

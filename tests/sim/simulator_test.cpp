@@ -1,0 +1,160 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rgb::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(msec(30), [&] { order.push_back(3); });
+  s.schedule_at(msec(10), [&] { order.push_back(1); });
+  s.schedule_at(msec(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), msec(30));
+}
+
+TEST(Simulator, FifoWithinSameTimestamp) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(msec(5), [&, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  Time fired_at = 0;
+  s.schedule_after(msec(10), [&] {
+    s.schedule_after(msec(5), [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired_at, msec(15));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_at(msec(1), [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator s;
+  int fires = 0;
+  const EventId id = s.schedule_at(msec(1), [&] { ++fires; });
+  s.run();
+  s.cancel(id);  // already fired: no-op
+  s.cancel(id);
+  s.cancel(EventId{});  // invalid id: no-op
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Simulator, CancelledEventsExcludedFromPendingCount) {
+  Simulator s;
+  const EventId a = s.schedule_at(msec(1), [] {});
+  s.schedule_at(msec(2), [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenDrained) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  std::vector<Time> fired;
+  for (Time t = 10; t <= 50; t += 10) {
+    s.schedule_at(msec(t), [&, t] { fired.push_back(t); });
+  }
+  s.run_until(msec(30));
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20, 30}));
+  EXPECT_EQ(s.now(), msec(30));
+  s.run();
+  EXPECT_EQ(fired.size(), 5u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockThroughQuietPeriods) {
+  Simulator s;
+  s.run_until(msec(100));
+  EXPECT_EQ(s.now(), msec(100));
+}
+
+TEST(Simulator, RunUntilSkipsCancelledWithoutAdvancingTime) {
+  Simulator s;
+  const EventId id = s.schedule_at(msec(500), [] {});
+  s.cancel(id);
+  s.run_until(msec(100));
+  EXPECT_EQ(s.now(), msec(100));
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_after(usec(1), recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), usec(99));
+}
+
+TEST(Simulator, MaxEventsBoundsRun) {
+  Simulator s;
+  std::function<void()> forever = [&] { s.schedule_after(1, forever); };
+  s.schedule_at(0, forever);
+  const auto executed = s.run(1000);
+  EXPECT_EQ(executed, 1000u);
+  EXPECT_GT(s.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutedEventsCounter) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(msec(1), [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 5u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator s;
+  Time last = 0;
+  bool monotone = true;
+  common::RngStream rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const Time t = rng.next_below(1'000'000);
+    s.schedule_at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace rgb::sim

@@ -1,0 +1,85 @@
+#include "workload/flashcrowd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rgb::workload {
+namespace {
+
+class FlashCrowdTest : public rgb::testing::SimNetTest {};
+
+TEST_F(FlashCrowdTest, PeakAndFinalGroundTruth) {
+  core::RgbSystem sys{network_, core::RgbConfig{},
+                      core::HierarchyLayout{2, 3}};
+  FlashCrowdConfig config;
+  config.members = 50;
+  FlashCrowd crowd{simulator_, sys, sys.aps(), config};
+  crowd.start();
+  EXPECT_EQ(crowd.peak_membership().size(), 50u);
+  EXPECT_TRUE(crowd.expected_membership().empty());
+}
+
+TEST_F(FlashCrowdTest, HierarchyReachesPeakDuringHold) {
+  core::RgbSystem sys{network_, core::RgbConfig{},
+                      core::HierarchyLayout{2, 3}};
+  FlashCrowdConfig config;
+  config.members = 80;
+  config.hold = sim::sec(5);
+  FlashCrowd crowd{simulator_, sys, sys.aps(), config};
+  crowd.start();
+  // Mid-hold: the whole surge must have converged.
+  simulator_.run_until(crowd.join_surge_end() + sim::sec(2));
+  EXPECT_EQ(sys.membership(), crowd.peak_membership());
+}
+
+TEST_F(FlashCrowdTest, GroupEmptyAfterDeparture) {
+  core::RgbSystem sys{network_, core::RgbConfig{},
+                      core::HierarchyLayout{2, 3}};
+  FlashCrowdConfig config;
+  config.members = 80;
+  config.failure_fraction = 0.25;
+  FlashCrowd crowd{simulator_, sys, sys.aps(), config};
+  crowd.start();
+  simulator_.run();
+  EXPECT_TRUE(sys.membership().empty());
+  EXPECT_TRUE(sys.membership_converged());
+}
+
+TEST_F(FlashCrowdTest, AggregationBatchesTheSurge) {
+  // The surge lands within ~a round-trip; rounds should be O(rings), far
+  // below O(members).
+  core::RgbSystem sys{network_, core::RgbConfig{},
+                      core::HierarchyLayout{2, 3}};
+  FlashCrowdConfig config;
+  config.members = 120;
+  config.join_window = sim::msec(10);
+  FlashCrowd crowd{simulator_, sys, sys.aps(), config};
+  crowd.start();
+  simulator_.run_until(crowd.join_surge_end() + sim::sec(2));
+  EXPECT_EQ(sys.membership().size(), 120u);
+  // 120 joins over 9 APs; without aggregation this would need >= 120
+  // AP-ring rounds alone.
+  EXPECT_LT(sys.metrics().rounds_completed.value(), 90u);
+}
+
+TEST_F(FlashCrowdTest, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator simulator;
+    net::Network network{simulator, common::RngStream{1}};
+    core::RgbSystem sys{network, core::RgbConfig{},
+                        core::HierarchyLayout{2, 3}};
+    FlashCrowdConfig config;
+    config.members = 30;
+    config.seed = seed;
+    FlashCrowd crowd{simulator, sys, sys.aps(), config};
+    crowd.start();
+    simulator.run_until(crowd.join_surge_end() + sim::sec(2));
+    return sys.membership();
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace rgb::workload

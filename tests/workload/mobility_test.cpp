@@ -1,0 +1,157 @@
+#include "workload/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rgb::workload {
+namespace {
+
+class CellRecorder : public proto::MembershipService {
+ public:
+  void join(Guid mh, NodeId ap) override { members[mh] = ap; }
+  void leave(Guid mh) override { members.erase(mh); }
+  void handoff(Guid mh, NodeId new_ap) override {
+    transitions.emplace_back(members[mh], new_ap);
+    members[mh] = new_ap;
+  }
+  void fail(Guid mh) override { members.erase(mh); }
+  std::vector<proto::MemberRecord> membership(
+      proto::QueryScheme) const override {
+    std::vector<proto::MemberRecord> out;
+    for (const auto& [g, ap] : members) {
+      out.push_back({g, ap, proto::MemberStatus::kOperational});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.guid < b.guid; });
+    return out;
+  }
+
+  std::unordered_map<Guid, NodeId> members;
+  std::vector<std::pair<NodeId, NodeId>> transitions;
+};
+
+class MobilityTest : public rgb::testing::SimNetTest {
+ protected:
+  std::vector<NodeId> grid_aps(int w, int h) {
+    std::vector<NodeId> out;
+    for (int i = 0; i < w * h; ++i) {
+      out.push_back(NodeId{500 + static_cast<std::uint64_t>(i)});
+    }
+    return out;
+  }
+};
+
+TEST_F(MobilityTest, AllHostsJoinAtStart) {
+  CellRecorder svc;
+  MobilityConfig config;
+  config.grid_width = 4;
+  config.grid_height = 4;
+  config.hosts = 30;
+  GridMobility m{simulator_, svc, grid_aps(4, 4), config};
+  m.start();
+  EXPECT_EQ(svc.members.size(), 30u);
+}
+
+TEST_F(MobilityTest, HandoffsOnlyBetweenAdjacentCells) {
+  CellRecorder svc;
+  MobilityConfig config;
+  config.grid_width = 5;
+  config.grid_height = 4;
+  config.hosts = 20;
+  config.mean_dwell = sim::msec(300);
+  config.duration = sim::sec(30);
+  const auto aps = grid_aps(5, 4);
+  GridMobility m{simulator_, svc, aps, config};
+  m.start();
+  simulator_.run();
+  EXPECT_GT(m.handoffs_issued(), 100u);
+  for (const auto& [from, to] : svc.transitions) {
+    const int ci = static_cast<int>(from.value() - 500);
+    const int cj = static_cast<int>(to.value() - 500);
+    const int xi = ci % 5, yi = ci / 5, xj = cj % 5, yj = cj / 5;
+    EXPECT_EQ(std::abs(xi - xj) + std::abs(yi - yj), 1)
+        << "non-adjacent handoff " << ci << "->" << cj;
+  }
+}
+
+TEST_F(MobilityTest, ExpectedMembershipTracksFinalCells) {
+  CellRecorder svc;
+  MobilityConfig config;
+  config.grid_width = 3;
+  config.grid_height = 3;
+  config.hosts = 10;
+  config.mean_dwell = sim::msec(500);
+  config.duration = sim::sec(10);
+  GridMobility m{simulator_, svc, grid_aps(3, 3), config};
+  m.start();
+  simulator_.run();
+  EXPECT_EQ(m.expected_membership(), svc.membership(proto::QueryScheme::kTopmost));
+}
+
+TEST_F(MobilityTest, ShorterDwellMeansMoreHandoffs) {
+  auto run_with_dwell = [&](sim::Duration dwell) {
+    sim::Simulator s;
+    CellRecorder svc;
+    MobilityConfig config;
+    config.grid_width = 4;
+    config.grid_height = 4;
+    config.hosts = 20;
+    config.mean_dwell = dwell;
+    config.duration = sim::sec(20);
+    GridMobility m{s, svc, grid_aps(4, 4), config};
+    m.start();
+    s.run();
+    return m.handoffs_issued();
+  };
+  // The paper's motivation: smaller cells (shorter dwell) => more handoffs.
+  EXPECT_GT(run_with_dwell(sim::msec(200)), 2 * run_with_dwell(sim::sec(2)));
+}
+
+TEST_F(MobilityTest, MovementStopsAtHorizon) {
+  CellRecorder svc;
+  MobilityConfig config;
+  config.grid_width = 3;
+  config.grid_height = 3;
+  config.hosts = 5;
+  config.mean_dwell = sim::msec(100);
+  config.duration = sim::sec(2);
+  GridMobility m{simulator_, svc, grid_aps(3, 3), config};
+  m.start();
+  simulator_.run();
+  EXPECT_LE(simulator_.now(), sim::sec(2) + sim::msec(1));
+}
+
+TEST_F(MobilityTest, SingleCellGridNeverHandsOff) {
+  CellRecorder svc;
+  MobilityConfig config;
+  config.grid_width = 1;
+  config.grid_height = 1;
+  config.hosts = 5;
+  config.mean_dwell = sim::msec(50);
+  config.duration = sim::sec(2);
+  GridMobility m{simulator_, svc, grid_aps(1, 1), config};
+  m.start();
+  simulator_.run();
+  EXPECT_EQ(m.handoffs_issued(), 0u);
+}
+
+TEST_F(MobilityTest, DrivesRealRgbSystemWithNeighborLists) {
+  core::RgbConfig rgb_config;
+  core::RgbSystem sys{network_, rgb_config,
+                      core::HierarchyLayout{.ring_tiers = 2, .ring_size = 3}};
+  // 3x3 grid mapped onto the 9 APs.
+  MobilityConfig config;
+  config.grid_width = 3;
+  config.grid_height = 3;
+  config.hosts = 12;
+  config.mean_dwell = sim::msec(400);
+  config.duration = sim::sec(5);
+  GridMobility m{simulator_, sys, sys.aps(), config};
+  m.start();
+  simulator_.run();
+  EXPECT_EQ(sys.membership(), m.expected_membership());
+}
+
+}  // namespace
+}  // namespace rgb::workload
