@@ -5,66 +5,39 @@
 // Complements E4 (fixed n, varying ring size) with the scaling dimension:
 // RGB's depth grows logarithmically, so convergence time grows ~linearly in
 // r*h while flat-ring time grows linearly in n.
+//
+// The per-shape simulations are the registered scenario "convergence.scale"
+// (exp:: harness); this bench only renders the figure-style table.
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "flatring/flat_ring.hpp"
-#include "tree/tree_membership.hpp"
-
-namespace {
-
-using namespace rgb;  // NOLINT
-
-double rgb_converge_ms(int h, int r) {
-  sim::Simulator simulator;
-  net::Network network{simulator, common::RngStream{9}};
-  core::RgbSystem sys{network, core::RgbConfig{}, core::HierarchyLayout{h, r}};
-  sys.join(common::Guid{1}, sys.aps().front());
-  simulator.run();
-  return sim::to_ms(simulator.now());
-}
-
-double tree_converge_ms(int h, int r) {
-  sim::Simulator simulator;
-  net::Network network{simulator, common::RngStream{9}};
-  tree::TreeSystem sys{network, tree::TreeConfig{h, r, true}};
-  sys.join(common::Guid{1}, sys.leaves().front());
-  simulator.run();
-  return sim::to_ms(simulator.now());
-}
-
-double flat_converge_ms(int n) {
-  sim::Simulator simulator;
-  net::Network network{simulator, common::RngStream{9}};
-  flatring::FlatRingSystem sys{network, flatring::FlatRingConfig{n}};
-  sys.join(common::Guid{1}, sys.aps().front());
-  simulator.run();
-  return sim::to_ms(simulator.now());
-}
-
-}  // namespace
+#include "exp/exp.hpp"
 
 int main() {
+  using namespace rgb;  // NOLINT
   bench::banner(
       "E11 / extension figure — convergence latency vs group size (1ms "
       "links)",
       "time until every node holds the change; RGB h=ring tiers, r=5.");
 
+  const exp::TrialRunner runner;
+  const exp::RunResult result =
+      runner.run(*exp::builtin_scenarios().find("convergence.scale"));
+
   common::TextTable table({"n (APs)", "RGB (h,r)", "RGB ms", "tree ms",
                            "flat ring ms"});
-  const struct {
-    int h;
-    int r;
-  } shapes[] = {{1, 5}, {2, 5}, {3, 5}, {4, 5}};
-  for (const auto& s : shapes) {
+  for (const exp::CellResult& cell : result.cells) {
+    const int h = cell.params.get_int("h");
+    const int r = cell.params.get_int("r");
     std::uint64_t n = 1;
-    for (int i = 0; i < s.h; ++i) n *= static_cast<std::uint64_t>(s.r);
+    for (int i = 0; i < h; ++i) n *= static_cast<std::uint64_t>(r);
     table.add_row({common::cell(n),
-                   "(" + std::to_string(s.h) + "," + std::to_string(s.r) + ")",
-                   common::cell(rgb_converge_ms(s.h, s.r), 1),
-                   common::cell(tree_converge_ms(s.h + 1, s.r), 1),
-                   common::cell(flat_converge_ms(static_cast<int>(n)), 1)});
+                   "(" + std::to_string(h) + "," + std::to_string(r) + ")",
+                   common::cell(cell.metric("rgb_ms").mean, 1),
+                   common::cell(cell.metric("tree_ms").mean, 1),
+                   common::cell(cell.metric("flat_ms").mean, 1)});
   }
   table.print(std::cout);
 

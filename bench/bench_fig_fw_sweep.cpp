@@ -2,13 +2,21 @@
 // probability vs node fault probability, per allowed-partition budget k
 // and per hierarchy scale. Shows the small-vs-large-hierarchy robustness
 // gap the paper's conclusion (3) highlights.
+//
+// The sweep itself is the registered scenario "fw.sweep" (exp:: harness);
+// this bench renders it per hierarchy scale and keeps the CSV side-channel
+// ($RGB_BENCH_CSV_DIR) for plotting scripts.
+#include <algorithm>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "analysis/reliability.hpp"
-#include "analysis/series.hpp"
 #include "analysis/scalability.hpp"
+#include "analysis/series.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "exp/exp.hpp"
 
 int main() {
   using namespace rgb;  // NOLINT
@@ -16,21 +24,38 @@ int main() {
       "E7 / figure: Function-Well probability vs f (formula (8))",
       "two hierarchy scales (n=125 and n=1000), k in {1,2,3}.");
 
-  for (const int r : {5, 10}) {
-    const auto n = analysis::ring_ap_count(3, r);
+  const exp::TrialRunner runner;
+  const exp::RunResult result =
+      runner.run(*exp::builtin_scenarios().find("fw.sweep"));
+
+  // One table per hierarchy scale; the (h, r) grid comes from the scenario's
+  // own cells so edits to the sweep never silently drop rows here.
+  std::vector<std::pair<int, int>> shapes;
+  for (const exp::CellResult& cell : result.cells) {
+    const std::pair<int, int> shape{cell.params.get_int("h"),
+                                    cell.params.get_int("r")};
+    if (std::find(shapes.begin(), shapes.end(), shape) == shapes.end()) {
+      shapes.push_back(shape);
+    }
+  }
+  for (const auto& [h, r] : shapes) {
+    const auto n = analysis::ring_ap_count(h, r);
     common::TextTable table({"f(%)", "fw k=1 (%)", "fw k=2 (%)", "fw k=3 (%)"});
     analysis::Series series{"fw_vs_f_r" + std::to_string(r),
                             {"f", "fw_k1", "fw_k2", "fw_k3"}};
-    for (const double f : {0.0001, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02,
-                           0.03, 0.05}) {
-      const double k1 = analysis::prob_fw_hierarchy(3, r, f, 1);
-      const double k2 = analysis::prob_fw_hierarchy(3, r, f, 2);
-      const double k3 = analysis::prob_fw_hierarchy(3, r, f, 3);
+    for (const exp::CellResult& cell : result.cells) {
+      if (cell.params.get_int("h") != h || cell.params.get_int("r") != r) {
+        continue;
+      }
+      const double f = cell.params.get("f");
+      const double k1 = cell.metric("fw_k1").mean;
+      const double k2 = cell.metric("fw_k2").mean;
+      const double k3 = cell.metric("fw_k3").mean;
       table.add_row({common::cell(f * 100.0, 2), common::percent_cell(k1),
                      common::percent_cell(k2), common::percent_cell(k3)});
       series.add_row({f, k1, k2, k3});
     }
-    std::cout << "n = " << n << " (h=3, r=" << r << ")\n";
+    std::cout << "n = " << n << " (h=" << h << ", r=" << r << ")\n";
     table.print(std::cout);
     if (const auto path = series.save_csv_if_configured()) {
       std::cout << "(csv written to " << *path << ")\n";

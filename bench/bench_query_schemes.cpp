@@ -4,80 +4,58 @@
 // *maintenance* side (proposal hops per membership change), exposing the
 // trade-off the paper describes: TMS queries are cheap but maintenance
 // propagates everywhere; BMS maintenance is local but queries fan out.
+//
+// The per-scheme simulation is the registered scenario "query.schemes"
+// (exp:: harness); this bench maps cells back to scheme names and prints
+// the Section 4.4 comparison table.
+#include <cmath>
 #include <iostream>
-#include <optional>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "exp/exp.hpp"
 #include "rgb/query.hpp"
 
 namespace {
 
-using namespace rgb;  // NOLINT
-
-struct SchemeCost {
-  std::uint64_t maintenance_hops_per_join;
-  std::uint64_t query_messages;
-  double query_ms;
-  std::size_t members_returned;
-};
-
-SchemeCost measure(proto::QueryScheme scheme, int retain_tier,
-                   bool disseminate_down, int h, int r, int members) {
-  sim::Simulator simulator;
-  net::Network network{simulator, common::RngStream{11}};
-  core::RgbConfig config;
-  config.retain_tier = retain_tier;
-  config.disseminate_down = disseminate_down;
-  core::RgbSystem sys{network, config, core::HierarchyLayout{h, r}};
-
-  for (int i = 0; i < members; ++i) {
-    sys.join(common::Guid{static_cast<std::uint64_t>(i + 1)},
-             sys.aps()[static_cast<std::size_t>(i) % sys.aps().size()]);
+const char* scheme_name(rgb::proto::QueryScheme scheme) {
+  switch (scheme) {
+    case rgb::proto::QueryScheme::kTopmost: return "TMS (topmost)";
+    case rgb::proto::QueryScheme::kIntermediate: return "IMS (gateways)";
+    case rgb::proto::QueryScheme::kBottommost: return "BMS (bottommost)";
   }
-  simulator.run();
-  const auto maintenance = bench::proposal_hops(network);
-
-  core::QueryClient client{common::NodeId{999999}, network};
-  std::optional<core::QueryClient::Result> result;
-  client.issue(sys.query_plan(scheme), sim::sec(10),
-               [&](core::QueryClient::Result r2) { result = std::move(r2); });
-  simulator.run();
-
-  return SchemeCost{maintenance / static_cast<std::uint64_t>(members),
-                    result->messages, sim::to_ms(result->latency),
-                    result->members.size()};
+  return "?";
 }
 
 }  // namespace
 
 int main() {
+  using namespace rgb;  // NOLINT
   bench::banner(
       "E5 / Section 4.4 — query cost per maintenance scheme (h=3, r=5, "
       "125 APs, 50 members)",
       "maint = proposal hops per membership change; query = messages and\n"
       "latency for one global membership query.");
 
+  const exp::TrialRunner runner;
+  const exp::RunResult result =
+      runner.run(*exp::builtin_scenarios().find("query.schemes"));
+
   common::TextTable table({"scheme", "maint hops/join", "query msgs",
                            "query ms", "members found"});
-
-  const int h = 3, r = 5, members = 50;
-  const struct {
-    const char* name;
-    proto::QueryScheme scheme;
-    int retain_tier;
-    bool down;
-  } schemes[] = {
-      {"TMS (topmost)", proto::QueryScheme::kTopmost, 0, true},
-      {"IMS (gateways)", proto::QueryScheme::kIntermediate, 1, false},
-      {"BMS (bottommost)", proto::QueryScheme::kBottommost, 2, false},
-  };
-  for (const auto& s : schemes) {
-    const auto cost = measure(s.scheme, s.retain_tier, s.down, h, r, members);
-    table.add_row({s.name, common::cell(cost.maintenance_hops_per_join),
-                   common::cell(cost.query_messages),
-                   common::cell(cost.query_ms, 1),
-                   common::cell(static_cast<std::uint64_t>(cost.members_returned))});
+  for (const exp::CellResult& cell : result.cells) {
+    const auto scheme =
+        static_cast<proto::QueryScheme>(cell.params.get_int("scheme"));
+    // Round, don't truncate: means stay integral only while the scenario
+    // runs one deterministic trial per cell.
+    const auto int_mean = [&cell](const char* name) {
+      return common::cell(static_cast<std::uint64_t>(
+          std::llround(cell.metric(name).mean)));
+    };
+    table.add_row({scheme_name(scheme), int_mean("maint_hops_per_join"),
+                   int_mean("query_msgs"),
+                   common::cell(cell.metric("query_ms").mean, 1),
+                   int_mean("members_found")});
   }
   table.print(std::cout);
 

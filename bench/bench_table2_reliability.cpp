@@ -7,54 +7,21 @@
 //   (c) Monte-Carlo structural fault injection, and
 //   (d) protocol-level simulation: crash NEs with probability f and test
 //       whether a membership change still disseminates to the top ring.
+//
+// The Monte-Carlo and protocol trials run through the exp:: harness
+// (scenarios "table2.fw_mc" and "table2.proto") on a worker pool; the
+// aggregate is bit-identical for any thread count. `rgb_exp run table2.fw_mc`
+// executes the same descriptor stand-alone.
 #include <iostream>
 
 #include "analysis/reliability.hpp"
 #include "analysis/scalability.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
-
-namespace {
-
-using namespace rgb;  // NOLINT
-
-/// Fraction of trials in which a Member-Join reaches every alive top-ring
-/// node despite uniform random NE crashes.
-double protocol_level_fw(int h, int r, double f, int trials) {
-  common::RngStream fault_rng{0xACE0FBA5E};
-  int successes = 0;
-  for (int trial = 0; trial < trials; ++trial) {
-    sim::Simulator simulator;
-    net::Network network{simulator,
-                         common::RngStream{static_cast<std::uint64_t>(trial)}};
-    core::RgbConfig config;
-    config.retx_timeout = sim::msec(20);
-    config.max_retx = 1;
-    config.round_timeout = sim::msec(200);
-    config.notify_timeout = sim::msec(150);
-    config.max_notify_retx = 8;
-    core::RgbSystem sys{network, config, core::HierarchyLayout{h, r}};
-    for (const auto ne : sys.all_nes()) {
-      if (ne == sys.aps().front()) continue;  // spare the origin
-      if (fault_rng.chance(f)) sys.crash_ne(ne);
-    }
-    sys.join(common::Guid{1}, sys.aps().front());
-    simulator.run_until(sim::sec(20));
-    bool ok = true;
-    for (const auto id : sys.rings(0).front()) {
-      if (network.is_crashed(id)) continue;
-      if (!sys.entity(id)->ring_members().contains(common::Guid{1})) {
-        ok = false;
-      }
-    }
-    if (ok) ++successes;
-  }
-  return static_cast<double>(successes) / trials;
-}
-
-}  // namespace
+#include "exp/exp.hpp"
 
 int main() {
+  using namespace rgb;  // NOLINT
   bench::banner(
       "E2 / Table II — Function-Well probability of the ring hierarchy",
       "fw_paper: the paper's numerical evaluation; fw_formula8: formula (8)\n"
@@ -63,23 +30,25 @@ int main() {
       "in which a change still reached the top ring (>= model, since the\n"
       "implementation repairs sequential faults the model calls partitions).");
 
+  const exp::TrialRunner runner;  // worker pool: hardware concurrency
+  const exp::RunResult mc =
+      runner.run(*exp::builtin_scenarios().find("table2.fw_mc"));
+
   common::TextTable table({"n", "f(%)", "k", "fw_paper(%)", "fw_formula8(%)",
                            "fw_mc(%)", "mc_se(%)"});
-  const int h = 3;
-  for (const int r : {5, 10}) {
-    for (const double f : {0.001, 0.005, 0.02}) {
-      for (int k = 1; k <= 3; ++k) {
-        common::RngStream mc_rng{0xBEEF + static_cast<std::uint64_t>(r * 100 + k)};
-        const auto mc = analysis::monte_carlo_fw(h, r, f, k, 100'000, mc_rng);
-        table.add_row(
-            {common::cell(analysis::ring_ap_count(h, r)),
-             common::cell(f * 100.0, 1), common::cell(k),
-             common::percent_cell(analysis::prob_fw_hierarchy_paper(h, r, f, k)),
-             common::percent_cell(analysis::prob_fw_hierarchy(h, r, f, k)),
-             common::percent_cell(mc.probability),
-             common::cell(mc.std_error * 100.0, 3)});
-      }
-    }
+  for (const exp::CellResult& cell : mc.cells) {
+    const int h = cell.params.get_int("h");
+    const int r = cell.params.get_int("r");
+    const double f = cell.params.get("f");
+    const int k = cell.params.get_int("k");
+    const exp::MetricSummary& fw = cell.metric("fw");
+    table.add_row(
+        {common::cell(analysis::ring_ap_count(h, r)),
+         common::cell(f * 100.0, 1), common::cell(k),
+         common::percent_cell(analysis::prob_fw_hierarchy_paper(h, r, f, k)),
+         common::percent_cell(analysis::prob_fw_hierarchy(h, r, f, k)),
+         common::percent_cell(fw.mean),
+         common::cell(fw.std_error * 100.0, 3)});
   }
   table.print(std::cout);
 
@@ -92,11 +61,16 @@ int main() {
   bench::banner("E2b — protocol-level dissemination under NE crashes",
                 "20 trials per cell on the (h=2, r=5) hierarchy; larger f\n"
                 "than the paper's to show the degradation shape quickly.");
+  const exp::RunResult proto_result =
+      runner.run(*exp::builtin_scenarios().find("table2.proto"));
   common::TextTable proto({"f(%)", "model_fw_k1(%)", "proto_success(%)"});
-  for (const double f : {0.0, 0.01, 0.03, 0.05}) {
+  for (const exp::CellResult& cell : proto_result.cells) {
+    const double f = cell.params.get("f");
     proto.add_row({common::cell(f * 100.0, 1),
-                   common::percent_cell(analysis::prob_fw_hierarchy(2, 5, f, 1)),
-                   common::percent_cell(protocol_level_fw(2, 5, f, 20))});
+                   common::percent_cell(analysis::prob_fw_hierarchy(
+                       cell.params.get_int("h"), cell.params.get_int("r"), f,
+                       1)),
+                   common::percent_cell(cell.metric("fw").mean)});
   }
   proto.print(std::cout);
   return 0;

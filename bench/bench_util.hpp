@@ -16,11 +16,7 @@ namespace rgb::bench {
 /// Sum of proposal-plane sends (token circulation + inter-ring
 /// notifications) — the quantity the paper's HopCount analysis prices.
 inline std::uint64_t proposal_hops(const net::Network& network) {
-  std::uint64_t hops = 0;
-  for (const auto& [kind, count] : network.metrics().sent_per_kind) {
-    if (core::kind::is_proposal_kind(kind)) hops += count;
-  }
-  return hops;
+  return core::proposal_hops(network);
 }
 
 /// Sends metered under one specific kind.

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI check: tier-1 verify (configure + build + ctest) plus an rgb_exp smoke
+# run. Usage: ci/check.sh [build-dir]  (default: build)
+#
+# ctest is invoked by label so shards can split the suite:
+#   unit        — fast per-module tests (includes tests/exp determinism)
+#   integration — end-to-end, conformance, determinism suites
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . > /dev/null
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j
+
+# Note: bare `-j` must come last — it greedily consumes the next token, so
+# `-j -L unit` would silently drop the label filter.
+echo "== ctest (unit) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L unit -j
+
+echo "== ctest (integration) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L integration -j
+
+echo "== rgb_exp smoke =="
+"$BUILD_DIR/rgb_exp" --list > /dev/null
+
+# A shrunk Table II reliability run must aggregate byte-identically on 1
+# and 8 worker threads (the harness determinism contract).
+tmp1="$(mktemp)"; tmp8="$(mktemp)"
+trap 'rm -f "$tmp1" "$tmp8"' EXIT
+"$BUILD_DIR/rgb_exp" run table2.fw_mc --trials 500 --threads 1 \
+    --no-table --csv "$tmp1" 2> /dev/null
+"$BUILD_DIR/rgb_exp" run table2.fw_mc --trials 500 --threads 8 \
+    --no-table --csv "$tmp8" 2> /dev/null
+if ! cmp -s "$tmp1" "$tmp8"; then
+  echo "FAIL: table2.fw_mc aggregate differs between 1 and 8 threads" >&2
+  exit 1
+fi
+"$BUILD_DIR/rgb_exp" run table2.proto > /dev/null 2>&1
+
+echo "OK"

@@ -58,24 +58,30 @@ std::vector<TableIIRow> paper_table2() {
   return rows;
 }
 
+bool monte_carlo_fw_sample(int h, int r, double f, int k,
+                           common::RngStream& rng) {
+  const std::uint64_t tn = ring_count(h, r);
+  std::uint64_t broken_rings = 0;
+  for (std::uint64_t ring = 0;
+       ring < tn && broken_rings < static_cast<std::uint64_t>(k); ++ring) {
+    int faults_in_ring = 0;
+    for (int node = 0; node < r; ++node) {
+      if (rng.chance(f)) {
+        if (++faults_in_ring >= 2) break;  // already partitioned
+      }
+    }
+    if (faults_in_ring >= 2) ++broken_rings;
+  }
+  return broken_rings < static_cast<std::uint64_t>(k);
+}
+
 MonteCarloEstimate monte_carlo_fw(int h, int r, double f, int k,
                                   std::uint64_t trials,
                                   common::RngStream& rng) {
   assert(trials > 0);
-  const std::uint64_t tn = ring_count(h, r);
   std::uint64_t fw_trials = 0;
   for (std::uint64_t trial = 0; trial < trials; ++trial) {
-    std::uint64_t broken_rings = 0;
-    for (std::uint64_t ring = 0; ring < tn && broken_rings < static_cast<std::uint64_t>(k); ++ring) {
-      int faults_in_ring = 0;
-      for (int node = 0; node < r; ++node) {
-        if (rng.chance(f)) {
-          if (++faults_in_ring >= 2) break;  // already partitioned
-        }
-      }
-      if (faults_in_ring >= 2) ++broken_rings;
-    }
-    if (broken_rings < static_cast<std::uint64_t>(k)) ++fw_trials;
+    if (monte_carlo_fw_sample(h, r, f, k, rng)) ++fw_trials;
   }
   const double p =
       static_cast<double>(fw_trials) / static_cast<double>(trials);

@@ -52,9 +52,15 @@ struct MonteCarloEstimate {
   std::uint64_t trials = 0;
 };
 
-/// Estimates formula (8) by direct sampling: build tn rings of r nodes,
-/// fault each node independently with probability f, count rings with >= 2
-/// faults, and declare Function-Well when that count is < k.
+/// One Monte-Carlo sample of the hierarchy Function-Well event: build tn
+/// rings of r nodes, fault each node independently with probability f, count
+/// rings with >= 2 faults, and report Function-Well when that count is < k.
+/// This is the per-trial kernel the experiment harness (exp::) parallelises;
+/// `monte_carlo_fw` below is the serial convenience wrapper.
+bool monte_carlo_fw_sample(int h, int r, double f, int k,
+                           common::RngStream& rng);
+
+/// Estimates formula (8) by direct sampling of `monte_carlo_fw_sample`.
 MonteCarloEstimate monte_carlo_fw(int h, int r, double f, int k,
                                   std::uint64_t trials,
                                   common::RngStream& rng);

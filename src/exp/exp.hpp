@@ -1,0 +1,18 @@
+// Umbrella header for the experiment harness.
+//
+// Typical use:
+//
+//   exp::TrialRunner runner{{.threads = 8, .base_seed = 42}};
+//   const exp::Scenario* s = exp::builtin_scenarios().find("table2.fw_mc");
+//   const exp::RunResult result = runner.run(*s);
+//   exp::write_csv(result, std::cout);        // or write_json / to_table
+//
+// Determinism contract: for a fixed (scenario, base_seed, trial count), the
+// aggregate RunResult — and every export of it — is byte-identical for any
+// worker-thread count. tests/exp/runner_test.cpp asserts this at 1/2/8.
+#pragma once
+
+#include "exp/export.hpp"     // IWYU pragma: export
+#include "exp/runner.hpp"     // IWYU pragma: export
+#include "exp/scenario.hpp"   // IWYU pragma: export
+#include "exp/scenarios.hpp"  // IWYU pragma: export

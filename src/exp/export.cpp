@@ -1,0 +1,144 @@
+#include "exp/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rgb::exp {
+
+namespace {
+
+/// JSON has no nan/inf literals; emit null for non-finite values.
+std::string json_number(double value) {
+  return std::isfinite(value) ? format_double(value) : "null";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// RFC-4180 quoting: fields containing a comma, quote or newline are
+/// wrapped in double quotes with inner quotes doubled. Scenario/param/
+/// metric names are user-supplied, so exports must not trust them.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_csv(const RunResult& result, std::ostream& os) {
+  os << "scenario,cell,params,metric,count,mean,std_error,stddev,min,max,"
+        "p50,p99\n";
+  for (std::size_t cell = 0; cell < result.cells.size(); ++cell) {
+    const CellResult& cr = result.cells[cell];
+    for (const MetricSummary& m : cr.metrics) {
+      os << csv_field(result.scenario_id) << ',' << cell << ','
+         << csv_field(cr.params.label()) << ',' << csv_field(m.name) << ','
+         << m.count << ',' << format_double(m.mean)
+         << ',' << format_double(m.std_error) << ',' << format_double(m.stddev)
+         << ',' << format_double(m.min) << ',' << format_double(m.max) << ','
+         << format_double(m.p50) << ',' << format_double(m.p99) << '\n';
+    }
+  }
+}
+
+void write_json(const RunResult& result, std::ostream& os) {
+  os << "{\n"
+     << "  \"scenario\": \"" << json_escape(result.scenario_id) << "\",\n"
+     << "  \"base_seed\": " << result.base_seed << ",\n"
+     << "  \"total_trials\": " << result.total_trials << ",\n"
+     << "  \"cells\": [\n";
+  for (std::size_t cell = 0; cell < result.cells.size(); ++cell) {
+    const CellResult& cr = result.cells[cell];
+    os << "    {\n      \"params\": {";
+    bool first = true;
+    for (const auto& [name, value] : cr.params.entries()) {
+      if (!first) os << ", ";
+      first = false;
+      os << '"' << json_escape(name) << "\": " << json_number(value);
+    }
+    os << "},\n      \"trials\": " << cr.trials << ",\n      \"metrics\": {\n";
+    for (std::size_t m = 0; m < cr.metrics.size(); ++m) {
+      const MetricSummary& ms = cr.metrics[m];
+      os << "        \"" << json_escape(ms.name) << "\": {"
+         << "\"count\": " << ms.count << ", \"mean\": "
+         << json_number(ms.mean) << ", \"std_error\": "
+         << json_number(ms.std_error) << ", \"stddev\": "
+         << json_number(ms.stddev) << ", \"min\": " << json_number(ms.min)
+         << ", \"max\": " << json_number(ms.max) << ", \"p50\": "
+         << json_number(ms.p50) << ", \"p99\": " << json_number(ms.p99)
+         << '}' << (m + 1 < cr.metrics.size() ? "," : "") << '\n';
+    }
+    os << "      }\n    }" << (cell + 1 < result.cells.size() ? "," : "")
+       << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+common::TextTable to_table(const RunResult& result) {
+  // Param columns are the union across cells (first-seen order): cells of a
+  // custom scenario are not required to share a param set, and a row must
+  // never be wider than the header.
+  std::vector<std::string> param_names;
+  for (const CellResult& cr : result.cells) {
+    for (const auto& [name, value] : cr.params.entries()) {
+      if (std::find(param_names.begin(), param_names.end(), name) ==
+          param_names.end()) {
+        param_names.push_back(name);
+      }
+    }
+  }
+  std::vector<std::string> header{"cell"};
+  for (const std::string& name : param_names) header.push_back(name);
+  if (!result.cells.empty()) {
+    for (const MetricSummary& m : result.cells.front().metrics) {
+      header.push_back(m.name);
+      header.push_back(m.name + " se");
+    }
+  }
+  common::TextTable table{std::move(header)};
+  for (std::size_t cell = 0; cell < result.cells.size(); ++cell) {
+    const CellResult& cr = result.cells[cell];
+    std::vector<std::string> row{std::to_string(cell)};
+    for (const std::string& name : param_names) {
+      row.push_back(cr.params.has(name) ? format_double(cr.params.get(name))
+                                        : "-");
+    }
+    for (const MetricSummary& m : cr.metrics) {
+      row.push_back(format_double(m.mean));
+      row.push_back(format_double(m.std_error));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace rgb::exp

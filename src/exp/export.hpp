@@ -1,0 +1,33 @@
+// Aggregation export: renders a RunResult as CSV, JSON or an aligned text
+// table. All three formats are pure functions of the aggregate (scenario id,
+// seed, cells, summaries) — wall-clock time and worker count are deliberately
+// excluded, so output is byte-identical no matter how many threads ran the
+// trials (the determinism property tests/exp asserts).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/table.hpp"
+#include "exp/runner.hpp"
+
+namespace rgb::exp {
+
+/// CSV with one row per (cell, metric):
+///   scenario,cell,params,metric,count,mean,std_error,stddev,min,max,p50,p99
+/// Numbers are printed with round-trip precision.
+void write_csv(const RunResult& result, std::ostream& os);
+
+/// JSON object mirroring the RunResult aggregate, keys in a fixed order.
+void write_json(const RunResult& result, std::ostream& os);
+
+/// Generic human-readable table: one row per cell, columns
+/// `param...` (the union across cells; "-" where a cell lacks one) then
+/// `mean/se` per metric. Benches that reproduce a specific paper table
+/// build their own TextTable from the RunResult instead.
+[[nodiscard]] common::TextTable to_table(const RunResult& result);
+
+// Numbers in exports print via exp::format_double (scenario.hpp); JSON
+// additionally maps non-finite values to null (JSON has no nan/inf).
+
+}  // namespace rgb::exp

@@ -1,0 +1,148 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/stats.hpp"
+
+namespace rgb::exp {
+
+TrialRunner::TrialRunner(RunnerOptions options) : options_(options) {}
+
+const MetricSummary& CellResult::metric(const std::string& name) const {
+  for (const MetricSummary& m : metrics) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("no metric named '" + name + "'");
+}
+
+unsigned TrialRunner::resolved_threads() const {
+  if (options_.threads != 0) return options_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+MetricSummary summarise(const std::string& name,
+                        const common::Accumulator& acc,
+                        const common::Histogram& hist) {
+  MetricSummary s;
+  s.name = name;
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.std_error = acc.count() > 0
+                    ? s.stddev / std::sqrt(static_cast<double>(acc.count()))
+                    : 0.0;
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p50 = hist.p50();
+  s.p99 = hist.p99();
+  return s;
+}
+
+}  // namespace
+
+RunResult TrialRunner::run(const Scenario& scenario) const {
+  const std::uint64_t trials_per_cell = options_.trials_override != 0
+                                            ? options_.trials_override
+                                            : scenario.trials_per_cell;
+  const std::size_t cell_count = scenario.cells.size();
+  const std::uint64_t total = trials_per_cell * cell_count;
+  const std::size_t metric_count = scenario.metrics.size();
+
+  // Raw per-trial outputs in one flat cell-major buffer (trial i owns
+  // [i*metric_count, (i+1)*metric_count)): slot positions make the
+  // aggregation order below a pure function of the grid, not of thread
+  // scheduling, and a single allocation serves millions of trials.
+  std::vector<double> outputs(total * metric_count);
+
+  const auto started = std::chrono::steady_clock::now();
+  const unsigned threads =
+      static_cast<unsigned>(std::min<std::uint64_t>(resolved_threads(), total));
+
+  std::atomic<std::uint64_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      const std::size_t cell = static_cast<std::size_t>(i / trials_per_cell);
+      const std::uint64_t trial = i % trials_per_cell;
+      TrialContext ctx{scenario.cells[cell], cell, trial,
+                       trial_seed(options_.base_seed, scenario.id, cell,
+                                  trial)};
+      try {
+        const std::vector<double> out = scenario.run(ctx);
+        if (out.size() != metric_count) {
+          throw std::runtime_error(
+              "scenario '" + scenario.id + "' trial returned " +
+              std::to_string(out.size()) + " metrics, expected " +
+              std::to_string(metric_count));
+        }
+        std::copy(out.begin(), out.end(), outputs.begin() + i * metric_count);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the queue so sibling workers stop picking up new trials.
+        next.store(total, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  const auto finished = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.scenario_id = scenario.id;
+  result.base_seed = options_.base_seed;
+  result.total_trials = total;
+  result.threads_used = threads == 0 ? 1 : threads;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(finished - started).count();
+
+  // Sequential fold in (cell, trial) order — deterministic for any pool size.
+  result.cells.reserve(cell_count);
+  for (std::size_t cell = 0; cell < cell_count; ++cell) {
+    std::vector<common::Accumulator> accs(metric_count);
+    std::vector<common::Histogram> hists(metric_count, common::Histogram{});
+    for (std::uint64_t trial = 0; trial < trials_per_cell; ++trial) {
+      const double* out =
+          outputs.data() + (cell * trials_per_cell + trial) * metric_count;
+      for (std::size_t m = 0; m < metric_count; ++m) {
+        accs[m].add(out[m]);
+        hists[m].add(out[m]);
+      }
+    }
+    CellResult cr;
+    cr.params = scenario.cells[cell];
+    cr.trials = trials_per_cell;
+    cr.metrics.reserve(metric_count);
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      cr.metrics.push_back(summarise(scenario.metrics[m], accs[m], hists[m]));
+    }
+    result.cells.push_back(std::move(cr));
+  }
+  return result;
+}
+
+}  // namespace rgb::exp

@@ -1,0 +1,116 @@
+#include "exp/scenario.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace rgb::exp {
+
+ParamSet::ParamSet(
+    std::initializer_list<std::pair<std::string, double>> entries) {
+  for (const auto& [name, value] : entries) set(name, value);
+}
+
+ParamSet& ParamSet::set(std::string name, double value) {
+  for (auto& [existing, v] : entries_) {
+    if (existing == name) {
+      v = value;
+      return *this;
+    }
+  }
+  entries_.emplace_back(std::move(name), value);
+  return *this;
+}
+
+bool ParamSet::has(const std::string& name) const {
+  for (const auto& [existing, v] : entries_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+double ParamSet::get(const std::string& name) const {
+  for (const auto& [existing, v] : entries_) {
+    if (existing == name) return v;
+  }
+  throw std::out_of_range("ParamSet: no parameter named '" + name + "'");
+}
+
+double ParamSet::get_or(const std::string& name, double fallback) const {
+  for (const auto& [existing, v] : entries_) {
+    if (existing == name) return v;
+  }
+  return fallback;
+}
+
+int ParamSet::get_int(const std::string& name) const {
+  return static_cast<int>(std::llround(get(name)));
+}
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  // Integral values print as integers ("80", not the also-round-tripping
+  // but unreadable "8e+01" that %.1g would emit).
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::string ParamSet::label() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : entries_) {
+    if (!first) os << ' ';
+    first = false;
+    os << name << '=' << format_double(value);
+  }
+  return os.str();
+}
+
+void ScenarioRegistry::add(Scenario s) {
+  if (s.id.empty()) throw std::invalid_argument("scenario id is empty");
+  if (!s.run) throw std::invalid_argument("scenario '" + s.id + "' has no trial function");
+  if (s.cells.empty()) throw std::invalid_argument("scenario '" + s.id + "' has no cells");
+  if (s.metrics.empty()) throw std::invalid_argument("scenario '" + s.id + "' has no metrics");
+  if (s.trials_per_cell == 0) throw std::invalid_argument("scenario '" + s.id + "' has zero trials");
+  const auto [it, inserted] = by_id_.emplace(s.id, std::move(s));
+  if (!inserted) {
+    throw std::invalid_argument("duplicate scenario id '" + it->first + "'");
+  }
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::all() const {
+  std::vector<const Scenario*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, s] : by_id_) out.push_back(&s);
+  return out;  // std::map iteration order == sorted by id
+}
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::string_view scenario_id,
+                         std::size_t cell_index, std::uint64_t trial_index) {
+  // Mix each component through SplitMix64 so neighbouring (cell, trial)
+  // pairs land far apart in seed space.
+  std::uint64_t state = base_seed ^ common::fnv1a(scenario_id);
+  state = common::splitmix64(state);
+  state ^= 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(cell_index) + 1);
+  state = common::splitmix64(state);
+  state ^= 0xBF58476D1CE4E5B9ULL * (trial_index + 1);
+  return common::splitmix64(state);
+}
+
+}  // namespace rgb::exp

@@ -1,0 +1,120 @@
+// Scenario registry for the experiment harness.
+//
+// A `Scenario` is a named, parameterised experiment descriptor: a sweep of
+// parameter cells (hierarchy layout, fault rate, workload mix, ...), a trial
+// count per cell, the list of metrics each trial reports, and the trial
+// function itself. Trials are pure functions of their `TrialContext` — they
+// build their own Simulator/Network/RngStream from the context seed — which
+// is what makes them embarrassingly parallel and bit-deterministic per seed
+// (see runner.hpp).
+//
+// The built-in scenarios that reproduce the paper's tables and figures are
+// registered in scenarios.cpp; benches, examples and the `rgb_exp` CLI all
+// share that registry instead of hand-rolling trial loops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rgb::exp {
+
+/// One sweep point: named numeric parameters in a fixed (insertion) order.
+/// Integers up to 2^53 are represented exactly.
+class ParamSet {
+ public:
+  ParamSet() = default;
+  ParamSet(std::initializer_list<std::pair<std::string, double>> entries);
+
+  /// Appends or overwrites `name`. Returns *this for chaining.
+  ParamSet& set(std::string name, double value);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Value of `name`; throws std::out_of_range when absent.
+  [[nodiscard]] double get(const std::string& name) const;
+  [[nodiscard]] double get_or(const std::string& name, double fallback) const;
+  /// `get` rounded to the nearest integer (params like tiers / ring size).
+  [[nodiscard]] int get_int(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& entries()
+      const {
+    return entries_;
+  }
+
+  /// Human-readable "a=1 b=0.5" label in insertion order. Values print
+  /// with `format_double`, so distinct cells never share a label.
+  [[nodiscard]] std::string label() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Shortest decimal representation that round-trips a double ("0.005",
+/// "80", "99.969"). Shared by ParamSet::label and the CSV/JSON exporters.
+[[nodiscard]] std::string format_double(double value);
+
+/// Everything one trial needs: the cell parameters and a deterministic seed
+/// derived from (base_seed, scenario id, cell index, trial index) — never
+/// from thread identity or execution order.
+struct TrialContext {
+  const ParamSet& params;
+  std::size_t cell_index = 0;
+  std::uint64_t trial_index = 0;  ///< within the cell
+  std::uint64_t seed = 0;
+
+  /// Fresh stream seeded for this trial. Fork it by label for independent
+  /// sub-streams (fault injection vs. link latency vs. workload).
+  [[nodiscard]] common::RngStream rng() const {
+    return common::RngStream{seed};
+  }
+};
+
+/// A trial returns one double per scenario metric, in metric order.
+using TrialFn = std::function<std::vector<double>(const TrialContext&)>;
+
+/// Named experiment descriptor.
+struct Scenario {
+  std::string id;         ///< stable handle, e.g. "table2.fw_mc"
+  std::string title;      ///< one-line description
+  std::string paper_ref;  ///< paper table/figure or "extension"
+  std::vector<std::string> metrics;  ///< names of the per-trial outputs
+  std::vector<ParamSet> cells;       ///< sweep points
+  std::uint64_t trials_per_cell = 1;
+  TrialFn run;
+
+  [[nodiscard]] std::uint64_t total_trials() const {
+    return trials_per_cell * cells.size();
+  }
+};
+
+/// Id-keyed scenario collection. Ids are unique; `all()` is sorted by id so
+/// listings and sweeps are deterministic.
+class ScenarioRegistry {
+ public:
+  /// Registers `s`; throws std::invalid_argument on duplicate id or when the
+  /// scenario has no cells, no metrics or no trial function.
+  void add(Scenario s);
+
+  [[nodiscard]] const Scenario* find(const std::string& id) const;
+  [[nodiscard]] std::vector<const Scenario*> all() const;
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+
+ private:
+  std::map<std::string, Scenario> by_id_;
+};
+
+/// Deterministic per-trial seed: a function of the run's base seed, the
+/// scenario id, the cell index and the trial index only. Distinct inputs
+/// give distinct, well-mixed seeds (SplitMix64 over an FNV-1a label hash).
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed,
+                                       std::string_view scenario_id,
+                                       std::size_t cell_index,
+                                       std::uint64_t trial_index);
+
+}  // namespace rgb::exp

@@ -1,0 +1,25 @@
+// Built-in scenario catalogue: the paper's tables/figures plus the
+// extension workloads (churn, grid mobility, flash crowd), expressed as
+// registry entries so benches, examples, tests and the `rgb_exp` CLI all
+// run the same descriptors. EXPERIMENTS.md documents every id.
+#pragma once
+
+#include "exp/scenario.hpp"
+
+namespace rgb::exp {
+
+/// Registers every built-in scenario into `registry`:
+///   table2.fw_mc       E2  — Monte-Carlo structural Function-Well (Table II)
+///   table2.proto       E2b — protocol-level dissemination under NE crashes
+///   fw.sweep           E7  — analytic FW-vs-f series (formula (8))
+///   convergence.scale  E11 — convergence latency vs group size
+///   query.schemes      E5  — query cost per maintenance scheme (Section 4.4)
+///   churn.converge     EX1 — convergence under Poisson churn
+///   mobility.handoff   EX2 — grid mobility handoff storm
+///   flashcrowd.agg     EX3 — flash crowd with/without MQ aggregation
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+/// Singleton registry pre-loaded with the built-ins.
+const ScenarioRegistry& builtin_scenarios();
+
+}  // namespace rgb::exp

@@ -3,7 +3,11 @@
 // protocol events the network cannot see (rounds, repairs, failovers).
 #pragma once
 
+#include <cstdint>
+
 #include "common/stats.hpp"
+#include "net/network.hpp"
+#include "rgb/messages.hpp"
 
 namespace rgb::core {
 
@@ -23,5 +27,17 @@ struct RgbMetrics {
   common::Counter ne_joins;
   common::Counter ne_leaves;
 };
+
+/// Sum of proposal-plane sends (token circulation + inter-ring
+/// notifications) metered by the network — the quantity the paper's
+/// HopCount analysis prices. Shared by benches, the experiment harness and
+/// examples so the proposal-kind set has a single definition site.
+inline std::uint64_t proposal_hops(const net::Network& network) {
+  std::uint64_t hops = 0;
+  for (const auto& [kind, count] : network.metrics().sent_per_kind) {
+    if (kind::is_proposal_kind(kind)) hops += count;
+  }
+  return hops;
+}
 
 }  // namespace rgb::core

@@ -61,8 +61,13 @@ class Simulator {
   std::uint64_t run_until(Time deadline,
                           std::uint64_t max_events = kDefaultMaxEvents);
 
+  /// Number of scheduled, not-yet-fired, not-cancelled events. Counted from
+  /// the callback table — never as `queue_.size() - cancelled_.size()`,
+  /// whose two sides can transiently disagree (a cancelled tombstone stays
+  /// in the heap until popped) and whose unsigned subtraction would wrap if
+  /// a stale cancel ever skewed `cancelled_`.
   [[nodiscard]] std::size_t pending_events() const {
-    return queue_.size() - cancelled_.size();
+    return callbacks_.size();
   }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 

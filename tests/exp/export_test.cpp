@@ -1,0 +1,170 @@
+#include "exp/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "exp/runner.hpp"
+
+namespace rgb::exp {
+namespace {
+
+RunResult sample_result() {
+  // Hand-built aggregate so expected strings are exact.
+  MetricSummary fw;
+  fw.name = "fw";
+  fw.count = 4;
+  fw.mean = 0.75;
+  fw.std_error = 0.25;
+  fw.stddev = 0.5;
+  fw.min = 0.0;
+  fw.max = 1.0;
+  fw.p50 = 1.0;
+  fw.p99 = 1.0;
+
+  CellResult cell;
+  cell.params = ParamSet{{"f", 0.005}, {"k", 2.0}};
+  cell.trials = 4;
+  cell.metrics = {fw};
+
+  RunResult r;
+  r.scenario_id = "test.export";
+  r.base_seed = 42;
+  r.total_trials = 4;
+  r.cells = {cell};
+  r.threads_used = 8;       // must NOT appear in any export
+  r.wall_ms = 123.456;      // must NOT appear in any export
+  return r;
+}
+
+TEST(FormatDouble, RoundTripsAndStaysShort) {
+  EXPECT_EQ(format_double(0.005), "0.005");
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(80.0), "80");  // not "8e+01"
+  EXPECT_EQ(format_double(-125.0), "-125");
+  EXPECT_EQ(format_double(99.969), "99.969");
+  // A value needing full precision still round-trips.
+  const double awkward = 0.1 + 0.2;
+  EXPECT_EQ(std::strtod(format_double(awkward).c_str(), nullptr), awkward);
+}
+
+TEST(Export, CsvMatchesGolden) {
+  std::ostringstream os;
+  write_csv(sample_result(), os);
+  EXPECT_EQ(os.str(),
+            "scenario,cell,params,metric,count,mean,std_error,stddev,min,max,"
+            "p50,p99\n"
+            "test.export,0,f=0.005 k=2,fw,4,0.75,0.25,0.5,0,1,1,1\n");
+}
+
+TEST(Export, JsonMatchesGolden) {
+  std::ostringstream os;
+  write_json(sample_result(), os);
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"scenario\": \"test.export\",\n"
+            "  \"base_seed\": 42,\n"
+            "  \"total_trials\": 4,\n"
+            "  \"cells\": [\n"
+            "    {\n"
+            "      \"params\": {\"f\": 0.005, \"k\": 2},\n"
+            "      \"trials\": 4,\n"
+            "      \"metrics\": {\n"
+            "        \"fw\": {\"count\": 4, \"mean\": 0.75, \"std_error\": "
+            "0.25, \"stddev\": 0.5, \"min\": 0, \"max\": 1, \"p50\": 1, "
+            "\"p99\": 1}\n"
+            "      }\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Export, ExportsExcludeTimingAndThreadCount) {
+  RunResult a = sample_result();
+  RunResult b = sample_result();
+  b.threads_used = 1;
+  b.wall_ms = 0.000001;
+  std::ostringstream csv_a, csv_b, json_a, json_b;
+  write_csv(a, csv_a);
+  write_csv(b, csv_b);
+  write_json(a, json_a);
+  write_json(b, json_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_EQ(json_a.str(), json_b.str());
+}
+
+TEST(Export, CsvQuotesFieldsContainingDelimiters) {
+  RunResult r = sample_result();
+  r.scenario_id = "weird,id";
+  r.cells.front().metrics.front().name = "a\"b";
+  std::ostringstream os;
+  write_csv(r, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"weird,id\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\"\"b\""), std::string::npos);
+  // Data row still has the header's 12 fields after quoting.
+  const std::string row = out.substr(out.find('\n') + 1);
+  int commas = 0;
+  bool quoted = false;
+  for (const char c : row) {
+    if (c == '"') quoted = !quoted;
+    if (c == ',' && !quoted) ++commas;
+  }
+  EXPECT_EQ(commas, 11);
+}
+
+TEST(Export, JsonEscapesControlCharactersInNames) {
+  RunResult r = sample_result();
+  r.scenario_id = "cr\rlf";
+  std::ostringstream os;
+  write_json(r, os);
+  EXPECT_NE(os.str().find("cr\\u000dlf"), std::string::npos);
+}
+
+TEST(Export, JsonMapsNonFiniteValuesToNull) {
+  RunResult r = sample_result();
+  r.cells.front().metrics.front().mean = std::nan("");
+  r.cells.front().metrics.front().p99 =
+      std::numeric_limits<double>::infinity();
+  std::ostringstream os;
+  write_json(r, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"mean\": null"), std::string::npos);
+  EXPECT_NE(out.find("\"p99\": null"), std::string::npos);
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
+TEST(Export, TableHandlesCellsWithDifferentParamSets) {
+  // Cells need not share params; the table header is the union and rows
+  // pad missing params (regression: rows wider than the header overflowed
+  // TextTable's width computation).
+  RunResult r = sample_result();
+  CellResult extra = r.cells.front();
+  extra.params = ParamSet{{"f", 0.01}, {"k", 1.0}, {"warm", 1.0}};
+  r.cells.push_back(extra);
+  const common::TextTable table = to_table(r);
+  EXPECT_EQ(table.rows(), 2u);
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("warm"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);  // first cell lacks "warm"
+}
+
+TEST(Export, TableHasOneRowPerCellAndParamColumns) {
+  const common::TextTable table = to_table(sample_result());
+  EXPECT_EQ(table.rows(), 1u);
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("f"), std::string::npos);
+  EXPECT_NE(out.find("fw se"), std::string::npos);
+  EXPECT_NE(out.find("0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rgb::exp

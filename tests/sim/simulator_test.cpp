@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -74,6 +76,60 @@ TEST(Simulator, CancelledEventsExcludedFromPendingCount) {
   EXPECT_EQ(s.pending_events(), 2u);
   s.cancel(a);
   EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Simulator, CancelAfterFireCannotSkewPendingCount) {
+  // Regression: a stale cancel of an already-fired EventId must not be
+  // double-counted against later pending events (the old
+  // `queue_.size() - cancelled_.size()` arithmetic would underflow or
+  // undercount if a stale id ever landed in the tombstone set).
+  Simulator s;
+  const EventId fired = s.schedule_at(msec(1), [] {});
+  s.run();
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.cancel(fired);  // stale: already fired
+  s.cancel(fired);
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.schedule_at(msec(2), [] {});
+  const EventId b = s.schedule_at(msec(3), [] {});
+  s.cancel(fired);  // stale again, now with live events pending
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.cancel(b);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, PendingCountTracksGroundTruthUnderRandomCancels) {
+  // Drive random schedule / cancel (live, stale and double) / step
+  // interleavings and compare pending_events() against an exact shadow set:
+  // every callback removes its own id when it fires.
+  Simulator s;
+  common::RngStream rng{0xD15EA5E};
+  std::vector<EventId> ever_scheduled;
+  std::unordered_set<std::uint64_t> live_ids;
+  for (int op = 0; op < 5000; ++op) {
+    const auto pick = rng.next_below(100);
+    if (pick < 50 || ever_scheduled.empty()) {
+      auto seq_cell = std::make_shared<std::uint64_t>(0);
+      const EventId id =
+          s.schedule_at(s.now() + rng.next_below(1000),
+                        [seq_cell, &live_ids] { live_ids.erase(*seq_cell); });
+      *seq_cell = id.seq;
+      ever_scheduled.push_back(id);
+      live_ids.insert(id.seq);
+    } else if (pick < 80) {
+      // Cancel a random id from the full history: may be live, already
+      // fired, or already cancelled — all three must keep counts exact.
+      const auto& id = ever_scheduled[static_cast<std::size_t>(
+          rng.next_below(ever_scheduled.size()))];
+      live_ids.erase(id.seq);
+      s.cancel(id);
+    } else {
+      s.step();
+    }
+    ASSERT_EQ(s.pending_events(), live_ids.size()) << "after op " << op;
+  }
 }
 
 TEST(Simulator, StepReturnsFalseWhenDrained) {

@@ -1,0 +1,144 @@
+// rgb_exp — list and run registered experiment scenarios on a worker pool.
+//
+//   rgb_exp --list
+//   rgb_exp run <scenario-id> [--threads N] [--trials N] [--seed S]
+//                             [--csv PATH|-] [--json PATH|-] [--no-table]
+//
+// Aggregate output (table / CSV / JSON on stdout) is a pure function of
+// (scenario, seed, trials): byte-identical for any --threads value. Timing
+// and pool diagnostics go to stderr. See EXPERIMENTS.md for the catalogue.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "exp/exp.hpp"
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0 << " --list\n"
+     << "       " << argv0 << " run <scenario-id> [options]\n"
+     << "options:\n"
+     << "  --threads N    worker threads (default: hardware concurrency)\n"
+     << "  --trials N     override trials per cell (default: scenario's)\n"
+     << "  --seed S       base seed (default: 0xE5EED)\n"
+     << "  --csv PATH     write CSV ('-' for stdout)\n"
+     << "  --json PATH    write JSON ('-' for stdout)\n"
+     << "  --no-table     suppress the default table on stdout\n";
+  return code;
+}
+
+int list_scenarios() {
+  const auto& registry = rgb::exp::builtin_scenarios();
+  for (const rgb::exp::Scenario* s : registry.all()) {
+    std::cout << s->id << "\n    " << s->title << "\n    [" << s->paper_ref
+              << "] " << s->cells.size() << " cells x " << s->trials_per_cell
+              << " trials\n";
+  }
+  return 0;
+}
+
+bool write_to(const std::string& path, const rgb::exp::RunResult& result,
+              void (*writer)(const rgb::exp::RunResult&, std::ostream&)) {
+  if (path == "-") {
+    writer(result, std::cout);
+    return true;
+  }
+  std::ofstream file{path};
+  if (!file) {
+    std::cerr << "rgb_exp: cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  writer(result, file);
+  std::cerr << "wrote " << path << '\n';
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0], 2);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h") return usage(argv[0], 0);
+  if (command == "--list" || command == "list") return list_scenarios();
+  if (command != "run") {
+    std::cerr << "rgb_exp: unknown command '" << command << "'\n";
+    return usage(argv[0], 2);
+  }
+  if (argc < 3) return usage(argv[0], 2);
+  const std::string id = argv[2];
+
+  rgb::exp::RunnerOptions options;
+  std::string csv_path, json_path;
+  bool print_table = true;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "rgb_exp: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    // Strict numeric parse: a typo like "2OO" must error, not silently
+    // parse to 0 (which RunnerOptions reads as "use the default").
+    const auto next_u64 = [&]() -> std::uint64_t {
+      const char* text = next();
+      char* end = nullptr;
+      const std::uint64_t value = std::strtoull(text, &end, 0);
+      // strtoull silently wraps negatives to huge values; reject them too.
+      if (end == text || *end != '\0' || text[0] == '-') {
+        std::cerr << "rgb_exp: " << arg << " needs a number, got '" << text
+                  << "'\n";
+        std::exit(2);
+      }
+      return value;
+    };
+    if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(next_u64());
+    } else if (arg == "--trials") {
+      options.trials_override = next_u64();
+    } else if (arg == "--seed") {
+      options.base_seed = next_u64();
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--no-table") {
+      print_table = false;
+    } else {
+      std::cerr << "rgb_exp: unknown option '" << arg << "'\n";
+      return usage(argv[0], 2);
+    }
+  }
+
+  const rgb::exp::Scenario* scenario = rgb::exp::builtin_scenarios().find(id);
+  if (scenario == nullptr) {
+    std::cerr << "rgb_exp: no scenario '" << id
+              << "' (try: " << argv[0] << " --list)\n";
+    return 1;
+  }
+
+  const rgb::exp::TrialRunner runner{options};
+  const rgb::exp::RunResult result = runner.run(*scenario);
+
+  if (print_table) {
+    std::cout << "=== " << scenario->id << " — " << scenario->title << " ["
+              << scenario->paper_ref << "] ===\n";
+    rgb::exp::to_table(result).print(std::cout);
+  }
+  if (!csv_path.empty() && !write_to(csv_path, result, rgb::exp::write_csv)) {
+    return 1;
+  }
+  if (!json_path.empty() &&
+      !write_to(json_path, result, rgb::exp::write_json)) {
+    return 1;
+  }
+  std::cerr << result.total_trials << " trials on " << result.threads_used
+            << " thread(s) in " << result.wall_ms << " ms\n";
+  return 0;
+}
