@@ -5,6 +5,7 @@
 # ctest is invoked by label so shards can split the suite:
 #   unit        — fast per-module tests (includes tests/exp determinism)
 #   integration — end-to-end, conformance, determinism suites
+#   check       — invariant oracles, schedule replay, baseline conformance
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +25,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L unit -j
 echo "== ctest (integration) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L integration -j
 
+echo "== ctest (check) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L check -j
+
 echo "== rgb_exp smoke =="
 "$BUILD_DIR/rgb_exp" --list > /dev/null
 
@@ -40,5 +44,25 @@ if ! cmp -s "$tmp1" "$tmp8"; then
   exit 1
 fi
 "$BUILD_DIR/rgb_exp" run table2.proto > /dev/null 2>&1
+
+# Invariant conformance: the adversarial scenario must hold every oracle
+# (exit 1 on any violation), and a bounded rgb_fuzz smoke over a fixed seed
+# range must find zero violations in the RGB scenarios — the paper's fault
+# model (crash/recover + loss bursts + handoff churn) is machine-checked
+# green on every CI run. Fixed seeds keep this deterministic, not flaky.
+echo "== rgb_exp --check smoke =="
+check_log="$(mktemp)"
+if ! "$BUILD_DIR/rgb_exp" run check.adversarial --check --no-table \
+    > "$check_log" 2> /dev/null; then
+  echo "FAIL: check.adversarial violated an invariant:" >&2
+  cat "$check_log" >&2
+  rm -f "$check_log"
+  exit 1
+fi
+rm -f "$check_log"
+
+echo "== rgb_fuzz smoke =="
+"$BUILD_DIR/rgb_fuzz" --seeds 12 --start 1 --quiet
+"$BUILD_DIR/rgb_fuzz" --seeds 6 --start 1 --bursts 0 --handoffs 0 --quiet
 
 echo "OK"

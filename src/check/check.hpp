@@ -1,0 +1,26 @@
+// Umbrella header for the conformance-checking subsystem.
+//
+// Typical uses:
+//
+//   // 1. Hold an experiment scenario to its invariants (--check mode):
+//   check::CheckObserver observer{scenario->check_mask};
+//   exp::TrialRunner runner{{.threads = 8, .observer = &observer}};
+//   runner.run(*scenario);
+//   observer.report().print(std::cout);       // "OK" or sorted violations
+//
+//   // 2. Replay a fault schedule against a protocol (rgb_fuzz, tests):
+//   check::AdversarialConfig cfg;             // rgb, h=2, r=3, 8 members
+//   auto result = check::run_random(cfg, seed);
+//   if (!result.passed())
+//     std::cout << check::minimize(cfg, result.schedule, seed).serialize();
+//
+// Determinism: reports and schedules are pure functions of (config, seed,
+// schedule) — byte-identical across replays and runner thread counts.
+#pragma once
+
+#include "check/driver.hpp"      // IWYU pragma: export
+#include "check/invariants.hpp"  // IWYU pragma: export
+#include "check/model.hpp"       // IWYU pragma: export
+#include "check/observer.hpp"    // IWYU pragma: export
+#include "check/report.hpp"      // IWYU pragma: export
+#include "check/schedule.hpp"    // IWYU pragma: export

@@ -1,0 +1,207 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+namespace rgb::check {
+
+std::string describe_members(const std::vector<proto::MemberRecord>& records,
+                             std::size_t limit) {
+  std::ostringstream os;
+  os << records.size() << " member(s)";
+  if (!records.empty()) {
+    os << " {";
+    for (std::size_t i = 0; i < records.size() && i < limit; ++i) {
+      if (i > 0) os << ' ';
+      os << records[i].guid.value() << '@'
+         << records[i].access_proxy.value();
+    }
+    if (records.size() > limit) os << " ...";
+    os << '}';
+  }
+  return os.str();
+}
+
+namespace {
+
+using GuidSet = std::unordered_set<std::uint64_t>;
+
+GuidSet uncertain_set(const SystemModel& model) {
+  GuidSet out;
+  for (const common::Guid g : model.uncertain()) out.insert(g.value());
+  return out;
+}
+
+/// A node's operational records minus the uncertain guids — the portion of
+/// a view the oracles may hold to strict standards.
+std::vector<proto::MemberRecord> records_of(const NodeView& view,
+                                            const GuidSet& uncertain) {
+  std::vector<proto::MemberRecord> out;
+  out.reserve(view.entries.size());
+  for (const ViewEntry& e : view.entries) {
+    if (uncertain.count(e.record.guid.value()) == 0) out.push_back(e.record);
+  }
+  return out;
+}
+
+std::vector<proto::MemberRecord> filter_uncertain(
+    std::vector<proto::MemberRecord> records, const GuidSet& uncertain) {
+  std::erase_if(records, [&](const proto::MemberRecord& rec) {
+    return uncertain.count(rec.guid.value()) != 0;
+  });
+  return records;
+}
+
+/// First guid present in exactly one of two guid-sorted record lists — the
+/// anchor for a deterministic "differs at" detail.
+std::string first_difference(const std::vector<proto::MemberRecord>& a,
+                             const std::vector<proto::MemberRecord>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) {
+      std::ostringstream os;
+      os << "first difference at guid "
+         << std::min(a[i].guid, b[i].guid).value();
+      return os.str();
+    }
+  }
+  std::ostringstream os;
+  if (a.size() != b.size()) {
+    const auto& longer = a.size() > b.size() ? a : b;
+    os << "extra guid " << longer[n].guid.value();
+  } else {
+    os << "identical";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+OracleSuite::OracleSuite(unsigned mask, std::size_t cell, std::uint64_t trial)
+    : mask_(mask), cell_(cell), trial_(trial) {}
+
+void OracleSuite::fire(const char* invariant, sim::Time now,
+                       std::string detail) {
+  report_.add(Violation{invariant, now, std::move(detail), cell_, trial_,
+                        ordinal_++});
+}
+
+void OracleSuite::sample(const SystemModel& model, sim::Time now) {
+  if (mask_ & exp::kCheckMonotone) check_monotone(model, now);
+  if (mask_ & exp::kCheckMetering) check_metering(model, now);
+}
+
+void OracleSuite::at_quiescence(const SystemModel& model, sim::Time now) {
+  if (mask_ & exp::kCheckMonotone) check_monotone(model, now);
+  if (mask_ & exp::kCheckConvergence) check_convergence(model, now);
+  if (mask_ & exp::kCheckAgreement) check_agreement(model, now);
+  if (mask_ & exp::kCheckZombie) check_zombies(model, now);
+  if (mask_ & exp::kCheckHierarchy) {
+    model.hierarchy_check(now, cell_, trial_, ordinal_, report_);
+  }
+  if (mask_ & exp::kCheckMetering) check_metering(model, now);
+}
+
+void OracleSuite::check_convergence(const SystemModel& model, sim::Time now) {
+  const GuidSet uncertain = uncertain_set(model);
+  const auto expected = filter_uncertain(model.expected(), uncertain);
+
+  const auto aggregate = filter_uncertain(model.protocol_view(), uncertain);
+  if (aggregate != expected) {
+    std::ostringstream os;
+    os << "protocol query answers " << describe_members(aggregate)
+       << " but ground truth is " << describe_members(expected) << " ("
+       << first_difference(aggregate, expected) << ")";
+    fire("convergence", now, os.str());
+  }
+
+  for (const NodeView& view : model.node_views()) {
+    if (!view.alive || !view.holds_global) continue;
+    const auto records = records_of(view, uncertain);
+    if (records != expected) {
+      std::ostringstream os;
+      os << "node " << view.id.value() << " holds "
+         << describe_members(records) << " but ground truth is "
+         << describe_members(expected) << " ("
+         << first_difference(records, expected) << ")";
+      fire("convergence", now, os.str());
+    }
+  }
+}
+
+void OracleSuite::check_agreement(const SystemModel& model, sim::Time now) {
+  const GuidSet uncertain = uncertain_set(model);
+  const NodeView* reference = nullptr;
+  std::vector<proto::MemberRecord> reference_records;
+  for (const NodeView& view : model.node_views()) {
+    if (!view.alive || !view.holds_global) continue;
+    if (reference == nullptr) {
+      reference = &view;
+      reference_records = records_of(view, uncertain);
+      continue;
+    }
+    const auto records = records_of(view, uncertain);
+    if (records != reference_records) {
+      std::ostringstream os;
+      os << "node " << view.id.value() << " view ("
+         << describe_members(records) << ") disagrees with node "
+         << reference->id.value() << " (" << describe_members(reference_records)
+         << "): " << first_difference(records, reference_records);
+      fire("agreement", now, os.str());
+    }
+  }
+}
+
+void OracleSuite::check_zombies(const SystemModel& model, sim::Time now) {
+  const GuidSet uncertain = uncertain_set(model);
+  GuidSet live;
+  for (const proto::MemberRecord& rec : model.expected()) {
+    live.insert(rec.guid.value());
+  }
+  for (const NodeView& view : model.node_views()) {
+    if (!view.alive) continue;  // a crashed node's frozen view is exempt
+    for (const ViewEntry& entry : view.entries) {
+      const std::uint64_t guid = entry.record.guid.value();
+      if (live.count(guid) != 0 || uncertain.count(guid) != 0) continue;
+      std::ostringstream os;
+      os << "node " << view.id.value() << " shows dead member " << guid
+         << " as operational at ap " << entry.record.access_proxy.value();
+      fire("zombie", now, os.str());
+    }
+  }
+}
+
+void OracleSuite::check_monotone(const SystemModel& model, sim::Time now) {
+  for (const NodeView& view : model.node_views()) {
+    for (const ViewEntry& entry : view.entries) {
+      if (entry.seq == 0) continue;  // protocol does not track sequences
+      auto& high =
+          high_seq_[{view.id.value(), entry.record.guid.value()}];
+      if (entry.seq < high) {
+        std::ostringstream os;
+        os << "node " << view.id.value() << " regressed member "
+           << entry.record.guid.value() << " from seq " << high << " to "
+           << entry.seq;
+        fire("monotone", now, os.str());
+      }
+      high = std::max(high, entry.seq);
+    }
+  }
+}
+
+void OracleSuite::check_metering(const SystemModel& model, sim::Time now) {
+  const NetMeters m = model.meters();
+  const std::uint64_t accounted = m.delivered + m.total_dropped();
+  // In-flight messages are sent but not yet accounted, so `accounted` may
+  // trail `sent`; exceeding it means some message was counted twice.
+  if (accounted > m.sent) {
+    std::ostringstream os;
+    os << "delivered(" << m.delivered << ") + dropped(" << m.total_dropped()
+       << ") exceeds sent(" << m.sent << ") — a drop was double-counted";
+    fire("metering", now, os.str());
+  }
+}
+
+}  // namespace rgb::check

@@ -1,0 +1,91 @@
+// Invariant oracles: machine-checked statements of what "the membership
+// protocol works" means, run over a SystemModel.
+//
+// The suite covers the guarantees the paper's reliability argument
+// (Section 5) rests on, following the oracle style of Rapid's stable /
+// consistent-view checks:
+//
+//   convergence — after quiescence the protocol's query answer and every
+//                 alive global-view node equal the ground truth;
+//   agreement   — alive global-view nodes agree pairwise (checkable even
+//                 when ground truth is debatable, e.g. under stranding);
+//   zombie      — no node shows a dead member (left / failed / stranded
+//                 beyond its detection timeout) as operational;
+//   monotone    — the op sequence a node reflects for a member never
+//                 regresses between observations (epoch monotonicity);
+//   hierarchy   — RGB's rings stay well-formed: alive members agree on
+//                 roster and leader, the leader is a roster member, and
+//                 next-pointers form one cycle per ring;
+//   metering    — network drop accounting conserves: no message counted
+//                 in two drop buckets (delivered + drops never exceeds
+//                 sent).
+//
+// `sample()` may be called while the simulation runs (history invariants
+// accumulate state); `at_quiescence()` runs the terminal checks. Which
+// oracles run is selected by an exp::CheckBit mask, because scenarios
+// under deliberate fault injection measure — rather than guarantee —
+// convergence.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "check/model.hpp"
+#include "check/report.hpp"
+#include "exp/observer.hpp"
+
+namespace rgb::check {
+
+class OracleSuite {
+ public:
+  /// `mask` is an exp::CheckBit combination; (cell, trial) attribute the
+  /// violations when running under the experiment harness.
+  explicit OracleSuite(unsigned mask = exp::kCheckAll, std::size_t cell = 0,
+                       std::uint64_t trial = 0);
+
+  /// Mid-run observation: history invariants (monotone sequences) plus the
+  /// always-on accounting check.
+  void sample(const SystemModel& model, sim::Time now);
+
+  /// Terminal checks once the system has quiesced. Includes a final
+  /// history observation.
+  void at_quiescence(const SystemModel& model, sim::Time now);
+
+  [[nodiscard]] const CheckReport& report() const { return report_; }
+  [[nodiscard]] CheckReport take_report() { return std::move(report_); }
+  [[nodiscard]] bool passed() const { return report_.passed(); }
+
+ private:
+  void fire(const char* invariant, sim::Time now, std::string detail);
+
+  void check_convergence(const SystemModel& model, sim::Time now);
+  void check_agreement(const SystemModel& model, sim::Time now);
+  void check_zombies(const SystemModel& model, sim::Time now);
+  void check_monotone(const SystemModel& model, sim::Time now);
+  void check_metering(const SystemModel& model, sim::Time now);
+
+  unsigned mask_;
+  std::size_t cell_;
+  std::uint64_t trial_;
+  std::uint64_t ordinal_ = 0;
+  CheckReport report_;
+
+  struct PairHash {
+    std::size_t operator()(
+        const std::pair<std::uint64_t, std::uint64_t>& p) const noexcept {
+      return std::hash<std::uint64_t>{}(p.first * 0x9E3779B97F4A7C15ULL ^
+                                        p.second);
+    }
+  };
+  /// Highwater op sequence observed per (node, guid).
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t,
+                     PairHash>
+      high_seq_;
+};
+
+/// Renders a record list as "g@ap g@ap ..." (first `limit` entries) for
+/// deterministic violation details.
+[[nodiscard]] std::string describe_members(
+    const std::vector<proto::MemberRecord>& records, std::size_t limit = 8);
+
+}  // namespace rgb::check

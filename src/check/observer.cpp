@@ -1,0 +1,49 @@
+#include "check/observer.hpp"
+
+#include <utility>
+
+namespace rgb::check {
+
+CheckObserver::CheckObserver(unsigned mask) : mask_(mask) {}
+
+std::unique_ptr<exp::TrialCheck> CheckObserver::begin_trial(
+    const exp::TrialContext& ctx) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++trials_;
+  }
+  return std::make_unique<OracleTrialCheck>(*this, mask_, ctx.cell_index,
+                                            ctx.trial_index);
+}
+
+CheckReport CheckObserver::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return merged_;
+}
+
+std::uint64_t CheckObserver::trials_checked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trials_;
+}
+
+void CheckObserver::publish(CheckReport report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  merged_.merge(std::move(report));
+}
+
+OracleTrialCheck::OracleTrialCheck(CheckObserver& parent, unsigned mask,
+                                   std::size_t cell, std::uint64_t trial)
+    : parent_(parent), suite_(mask, cell, trial) {}
+
+void OracleTrialCheck::sample(const SystemModel& model, sim::Time now) {
+  suite_.sample(model, now);
+}
+
+void OracleTrialCheck::finish(const SystemModel& model, sim::Time now) {
+  if (finished_) return;  // tolerate a double finish from a trial
+  finished_ = true;
+  suite_.at_quiescence(model, now);
+  parent_.publish(suite_.take_report());
+}
+
+}  // namespace rgb::check

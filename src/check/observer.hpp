@@ -1,0 +1,65 @@
+// CheckObserver: the exp::TrialObserver implementation behind
+// `rgb_exp run <scenario> --check`.
+//
+// The runner executes trials on a worker pool, so the observer hands each
+// trial its own OracleSuite (no shared mutable state on the hot path) and
+// merges the per-trial reports under a mutex when a trial finishes. The
+// merged report is still deterministic for any thread count: violations
+// carry their (cell, trial, ordinal) coordinates and CheckReport::format()
+// orders by them, so merge order cannot show through.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "check/invariants.hpp"
+#include "check/report.hpp"
+#include "exp/observer.hpp"
+#include "exp/scenario.hpp"
+
+namespace rgb::check {
+
+class CheckObserver final : public exp::TrialObserver {
+ public:
+  /// `mask` — the exp::CheckBit set the scenario is held to (typically
+  /// Scenario::check_mask).
+  explicit CheckObserver(unsigned mask);
+
+  [[nodiscard]] std::unique_ptr<exp::TrialCheck> begin_trial(
+      const exp::TrialContext& ctx) override;
+
+  /// Merged report over every finished trial (copy; callable mid-run).
+  [[nodiscard]] CheckReport report() const;
+  /// Number of trials that opened a checking session. Zero after a --check
+  /// run means the scenario exposes no system to check (analytic trials).
+  [[nodiscard]] std::uint64_t trials_checked() const;
+  [[nodiscard]] unsigned mask() const { return mask_; }
+
+ private:
+  friend class OracleTrialCheck;
+  void publish(CheckReport report);
+
+  unsigned mask_;
+  mutable std::mutex mutex_;
+  CheckReport merged_;
+  std::uint64_t trials_ = 0;
+};
+
+/// One trial's checking session: a thin forwarding shell around
+/// OracleSuite that publishes to the parent observer on finish.
+class OracleTrialCheck final : public exp::TrialCheck {
+ public:
+  OracleTrialCheck(CheckObserver& parent, unsigned mask, std::size_t cell,
+                   std::uint64_t trial);
+
+  void sample(const SystemModel& model, sim::Time now) override;
+  void finish(const SystemModel& model, sim::Time now) override;
+
+ private:
+  CheckObserver& parent_;
+  OracleSuite suite_;
+  bool finished_ = false;
+};
+
+}  // namespace rgb::check

@@ -1,0 +1,46 @@
+#include "check/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace rgb::check {
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "[cell " << cell << " trial " << trial << "] t=" << at << "us "
+     << invariant << ": " << detail;
+  return os.str();
+}
+
+void CheckReport::add(Violation v) { violations_.push_back(std::move(v)); }
+
+void CheckReport::merge(CheckReport other) {
+  violations_.insert(violations_.end(),
+                     std::make_move_iterator(other.violations_.begin()),
+                     std::make_move_iterator(other.violations_.end()));
+}
+
+std::string CheckReport::format() const {
+  std::vector<const Violation*> sorted;
+  sorted.reserve(violations_.size());
+  for (const Violation& v : violations_) sorted.push_back(&v);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Violation* a, const Violation* b) {
+              return std::tie(a->cell, a->trial, a->ordinal) <
+                     std::tie(b->cell, b->trial, b->ordinal);
+            });
+  std::ostringstream os;
+  if (sorted.empty()) {
+    os << "OK\n";
+  } else {
+    for (const Violation* v : sorted) os << v->to_string() << '\n';
+  }
+  return os.str();
+}
+
+void CheckReport::print(std::ostream& os) const { os << format(); }
+
+}  // namespace rgb::check

@@ -1,0 +1,53 @@
+// Violation report: the output of an invariant-oracle run.
+//
+// Reports are deterministic artefacts: every field derives from simulated
+// state (virtual time, node ids, member guids) — never from wall clocks or
+// memory addresses — and `format()` sorts entries by (cell, trial,
+// discovery order), so a report is byte-identical across runner thread
+// counts and across replays of the same (seed, schedule).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rgb::check {
+
+/// One invariant breach, attributed to the (cell, trial) that produced it
+/// when the oracle ran under the experiment harness (0/0 otherwise).
+struct Violation {
+  std::string invariant;  ///< oracle name, e.g. "convergence"
+  sim::Time at = 0;       ///< virtual time of the check that fired
+  std::string detail;     ///< deterministic human-readable description
+  std::size_t cell = 0;
+  std::uint64_t trial = 0;
+  /// Discovery order within the trial — ties broken deterministically.
+  std::uint64_t ordinal = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class CheckReport {
+ public:
+  void add(Violation v);
+  /// Splices `other` into this report (merge of per-trial reports).
+  void merge(CheckReport other);
+
+  [[nodiscard]] bool passed() const { return violations_.empty(); }
+  [[nodiscard]] std::size_t size() const { return violations_.size(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+
+  /// Canonical sorted rendering, one violation per line; "OK" when empty.
+  [[nodiscard]] std::string format() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+}  // namespace rgb::check

@@ -1,0 +1,102 @@
+// Deterministic fault schedules: a small declarative description of the
+// adversarial conditions a conformance run injects, replayable
+// byte-identically from (seed, schedule).
+//
+// A schedule is a time-sorted list of events over a topology-relative
+// vocabulary — NEs are addressed by index into the system's NE list and
+// APs by index into its AP list, so the same schedule applies to any
+// hierarchy shape and to every baseline protocol. The text form is
+// line-based and round-trips exactly through parse/serialize:
+//
+//   schedule rand-42
+//   at 500ms crash ne 7
+//   at 1200ms recover ne 7
+//   at 2s partition ne 3 1
+//   at 4s heal
+//   at 5s dropburst 0.25 800ms
+//   at 6s handoff mh 4 ap 2
+//   at 7s leave mh 2
+//
+// `random_schedule` draws a schedule from a seeded RngStream — the
+// adversarial generator behind rgb_fuzz — and `minimize` (driver.hpp)
+// shrinks a violating schedule to a small repro. Generation is a pure
+// function of (config, seed): no global state, no wall clock.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+
+namespace rgb::check {
+
+enum class FaultAction : std::uint8_t {
+  kCrash,      ///< crash ne <index>
+  kRecover,    ///< recover ne <index>
+  kPartition,  ///< partition ne <index> <class>
+  kHeal,       ///< heal — clears all partitions
+  kDropBurst,  ///< dropburst <probability> <duration>
+  kHandoff,    ///< handoff mh <guid> ap <index>
+  kJoin,       ///< join mh <guid> ap <index>
+  kLeave,      ///< leave mh <guid>
+  kFail,       ///< fail mh <guid>
+};
+
+[[nodiscard]] const char* to_string(FaultAction action);
+
+struct FaultEvent {
+  sim::Time at = 0;
+  FaultAction action = FaultAction::kCrash;
+  std::uint64_t subject = 0;  ///< ne index, or mh guid for member actions
+  std::uint64_t arg = 0;      ///< partition class / target ap index
+  double probability = 0.0;   ///< kDropBurst
+  sim::Duration duration = 0; ///< kDropBurst
+
+  /// One canonical "at <time> <action> ..." line (no newline).
+  [[nodiscard]] std::string to_line() const;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultSchedule {
+  std::string id;
+  std::vector<FaultEvent> events;  ///< kept sorted by time, stable order
+
+  /// Sorts events by (time, original order) — call after hand-editing.
+  void normalize();
+  [[nodiscard]] std::string serialize() const;
+
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+};
+
+/// Parses the text form. Throws std::invalid_argument with a line-numbered
+/// message on malformed input.
+[[nodiscard]] FaultSchedule parse_schedule(const std::string& text);
+
+/// Knobs for seeded adversarial generation. Fault classes are individually
+/// gated so conformance profiles can hold a protocol to exactly the fault
+/// model it claims to survive.
+struct ScheduleGenConfig {
+  int events = 10;
+  /// Events land in [0, window); recoveries/heals may trail slightly.
+  sim::Duration window = sim::sec(10);
+  std::uint64_t ne_count = 0;  ///< NE indexes drawn from [0, ne_count)
+  std::uint64_t ap_count = 0;  ///< AP indexes drawn from [0, ap_count)
+  std::uint64_t max_guid = 0;  ///< member actions pick guids in [1, max_guid]
+  bool crashes = true;
+  /// Pair every crash with a recover (the paper's transient node-fault
+  /// model); without it, permanent crashes strand members by design.
+  bool recover_all = true;
+  bool partitions = false;
+  bool drop_bursts = true;
+  bool handoffs = true;
+};
+
+/// Pure function of (config, seed).
+[[nodiscard]] FaultSchedule random_schedule(const ScheduleGenConfig& config,
+                                            std::uint64_t seed);
+
+}  // namespace rgb::check

@@ -1,0 +1,69 @@
+// Trial observation hooks: how the invariant-checking layer (src/check/)
+// attaches to the experiment harness without the harness depending on it.
+//
+// A `TrialObserver` is handed to the runner via `RunnerOptions::observer`
+// and shows up in every `TrialContext`. Protocol trial functions that can
+// expose their simulated system call `begin_check(ctx)`; when checking is
+// off (the common case) that returns nullptr and costs one branch. When a
+// CheckObserver is installed (`rgb_exp run <id> --check`), the returned
+// `TrialCheck` runs the invariant-oracle suite over the system model the
+// trial feeds it — mid-run samples for history invariants (monotone op
+// sequences) and a quiescence pass for the terminal ones (convergence,
+// agreement, zombies, hierarchy shape, metering conservation).
+//
+// Observers must be thread-safe: the runner invokes `begin_trial`
+// concurrently from its worker pool. Each `TrialCheck` instance, however,
+// is owned by exactly one trial and needs no locking until it publishes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace rgb::check {
+class SystemModel;
+}  // namespace rgb::check
+
+namespace rgb::exp {
+
+struct TrialContext;
+
+/// Which invariants a scenario is expected to uphold. Scenarios under
+/// deliberate fault injection (e.g. table2.proto crashes NEs and *measures*
+/// whether dissemination survives) opt out of the invariants their faults
+/// legitimately break; everything else runs the full suite.
+enum CheckBit : unsigned {
+  kCheckConvergence = 1u << 0,  ///< quiesced views equal ground truth
+  kCheckAgreement = 1u << 1,    ///< alive global-view nodes agree pairwise
+  kCheckZombie = 1u << 2,       ///< no dead member shown operational
+  kCheckMonotone = 1u << 3,     ///< per-member op sequences never regress
+  kCheckHierarchy = 1u << 4,    ///< RGB ring/tier well-formedness
+  kCheckMetering = 1u << 5,     ///< network drop accounting conserves
+};
+inline constexpr unsigned kCheckAll =
+    kCheckConvergence | kCheckAgreement | kCheckZombie | kCheckMonotone |
+    kCheckHierarchy | kCheckMetering;
+/// For scenarios whose fault injection makes convergence/agreement a
+/// measured outcome rather than a guarantee.
+inline constexpr unsigned kCheckFaulty =
+    kCheckZombie | kCheckMonotone | kCheckMetering;
+
+/// Per-trial checking session. `sample` may be called any number of times
+/// while the simulation advances; `finish` exactly once at quiescence.
+class TrialCheck {
+ public:
+  virtual ~TrialCheck() = default;
+  virtual void sample(const check::SystemModel& model, sim::Time now) = 0;
+  virtual void finish(const check::SystemModel& model, sim::Time now) = 0;
+};
+
+/// Factory the runner exposes to trials. Implemented by check::CheckObserver.
+class TrialObserver {
+ public:
+  virtual ~TrialObserver() = default;
+  [[nodiscard]] virtual std::unique_ptr<TrialCheck> begin_trial(
+      const TrialContext& ctx) = 0;
+};
+
+}  // namespace rgb::exp

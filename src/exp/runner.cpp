@@ -80,7 +80,8 @@ RunResult TrialRunner::run(const Scenario& scenario) const {
       const std::uint64_t trial = i % trials_per_cell;
       TrialContext ctx{scenario.cells[cell], cell, trial,
                        trial_seed(options_.base_seed, scenario.id, cell,
-                                  trial)};
+                                  trial),
+                       options_.observer};
       try {
         const std::vector<double> out = scenario.run(ctx);
         if (out.size() != metric_count) {

@@ -27,6 +27,10 @@ struct RunnerOptions {
   /// Overrides Scenario::trials_per_cell when non-zero (quick smoke runs,
   /// deeper sweeps).
   std::uint64_t trials_override = 0;
+  /// When set, every TrialContext carries this observer and cooperative
+  /// trials report their simulated system to it (--check mode). Must be
+  /// thread-safe; must outlive run().
+  TrialObserver* observer = nullptr;
 };
 
 /// Aggregate of one metric over the trials of one cell. `std_error` is the

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "exp/observer.hpp"
 
 namespace rgb::exp {
 
@@ -67,6 +68,8 @@ struct TrialContext {
   std::size_t cell_index = 0;
   std::uint64_t trial_index = 0;  ///< within the cell
   std::uint64_t seed = 0;
+  /// Invariant-checking hook; nullptr unless the run is in --check mode.
+  TrialObserver* observer = nullptr;
 
   /// Fresh stream seeded for this trial. Fork it by label for independent
   /// sub-streams (fault injection vs. link latency vs. workload).
@@ -74,6 +77,13 @@ struct TrialContext {
     return common::RngStream{seed};
   }
 };
+
+/// Opens a checking session for this trial, or nullptr when checking is
+/// off. Protocol trials call this once and feed the returned TrialCheck.
+[[nodiscard]] inline std::unique_ptr<TrialCheck> begin_check(
+    const TrialContext& ctx) {
+  return ctx.observer == nullptr ? nullptr : ctx.observer->begin_trial(ctx);
+}
 
 /// A trial returns one double per scenario metric, in metric order.
 using TrialFn = std::function<std::vector<double>(const TrialContext&)>;
@@ -87,6 +97,9 @@ struct Scenario {
   std::vector<ParamSet> cells;       ///< sweep points
   std::uint64_t trials_per_cell = 1;
   TrialFn run;
+  /// Invariants --check mode holds this scenario to (CheckBit mask).
+  /// Analytic scenarios that build no protocol system leave it at 0.
+  unsigned check_mask = 0;
 
   [[nodiscard]] std::uint64_t total_trials() const {
     return trials_per_cell * cells.size();

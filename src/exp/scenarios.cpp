@@ -6,6 +6,7 @@
 
 #include "analysis/reliability.hpp"
 #include "analysis/scalability.hpp"
+#include "check/check.hpp"
 #include "flatring/flat_ring.hpp"
 #include "net/network.hpp"
 #include "rgb/rgb.hpp"
@@ -81,6 +82,13 @@ std::vector<double> protocol_fw_trial(const TrialContext& ctx) {
     if (network.is_crashed(id)) continue;
     if (!sys.entity(id)->ring_members().contains(common::Guid{1})) ok = false;
   }
+  // Faulty profile: the crashes deliberately break convergence for some
+  // trials (that *is* the fw metric), so --check holds this scenario to
+  // kCheckFaulty only.
+  if (auto chk = begin_check(ctx)) {
+    check::RgbModel model{sys};
+    chk->finish(model, simulator.now());
+  }
   return {ok ? 1.0 : 0.0};
 }
 
@@ -95,6 +103,7 @@ Scenario make_table2_proto() {
   }
   s.trials_per_cell = 20;
   s.run = protocol_fw_trial;
+  s.check_mask = kCheckFaulty;
   return s;
 }
 
@@ -137,11 +146,14 @@ Scenario make_convergence_scale() {
     s.cells.push_back(ParamSet{{"h", double(h)}, {"r", 5.0}});
   }
   s.trials_per_cell = 1;  // fixed-latency links: deterministic
+  s.check_mask = kCheckAll;
   s.run = [](const TrialContext& ctx) -> std::vector<double> {
     const int h = ctx.params.get_int("h");
     const int r = ctx.params.get_int("r");
     auto rng = ctx.rng();
     double rgb_ms = 0.0, tree_ms = 0.0, flat_ms = 0.0;
+    // Each protocol gets its own checking session (one finish per system);
+    // the fault-free single join must uphold the full oracle suite.
     {
       sim::Simulator simulator;
       net::Network network{simulator, rng.fork("rgb")};
@@ -150,6 +162,10 @@ Scenario make_convergence_scale() {
       sys.join(common::Guid{1}, sys.aps().front());
       simulator.run();
       rgb_ms = sim::to_ms(simulator.now());
+      if (auto chk = begin_check(ctx)) {
+        check::RgbModel model{sys};
+        chk->finish(model, simulator.now());
+      }
     }
     {
       sim::Simulator simulator;
@@ -158,6 +174,12 @@ Scenario make_convergence_scale() {
       sys.join(common::Guid{1}, sys.leaves().front());
       simulator.run();
       tree_ms = sim::to_ms(simulator.now());
+      if (auto chk = begin_check(ctx)) {
+        check::GroundTruth truth;
+        truth.join(common::Guid{1}, sys.leaves().front());
+        check::TreeModel model{sys, network, &truth};
+        chk->finish(model, simulator.now());
+      }
     }
     {
       std::uint64_t n = 1;
@@ -169,6 +191,12 @@ Scenario make_convergence_scale() {
       sys.join(common::Guid{1}, sys.aps().front());
       simulator.run();
       flat_ms = sim::to_ms(simulator.now());
+      if (auto chk = begin_check(ctx)) {
+        check::GroundTruth truth;
+        truth.join(common::Guid{1}, sys.aps().front());
+        check::FlatRingModel model{sys, network, &truth};
+        chk->finish(model, simulator.now());
+      }
     }
     return {rgb_ms, tree_ms, flat_ms};
   };
@@ -227,10 +255,15 @@ Scenario make_query_schemes() {
     client.issue(sys.query_plan(scheme), sim::sec(10),
                  [&](core::QueryClient::Result r2) { result = std::move(r2); });
     simulator.run();
+    if (auto chk = begin_check(ctx)) {
+      check::RgbModel model{sys};
+      chk->finish(model, simulator.now());
+    }
     return {double(maintenance / static_cast<std::uint64_t>(members)),
             double(result->messages), sim::to_ms(result->latency),
             double(result->members.size())};
   };
+  s.check_mask = kCheckAll;
   return s;
 }
 
@@ -268,14 +301,24 @@ Scenario make_churn_converge() {
     churn.seed = rng.fork("churn").next_u64();
     workload::ChurnWorkload load{simulator, sys, sys.aps(), churn};
     load.start();
+    auto chk = begin_check(ctx);
     simulator.run_until(churn.duration);
+    if (chk) {
+      check::RgbModel model{sys};
+      chk->sample(model, simulator.now());  // mid-run history observation
+    }
     const sim::Time churn_end = simulator.now();
     simulator.run();  // drain: let the protocol settle
+    if (chk) {
+      check::RgbModel model{sys};
+      chk->finish(model, simulator.now());
+    }
     return {double(load.stats().total()),
             sys.membership_converged() ? 1.0 : 0.0,
             sim::to_ms(simulator.now() - churn_end),
             double(network.metrics().sent), double(proposal_hops(network))};
   };
+  s.check_mask = kCheckAll;
   return s;
 }
 
@@ -314,10 +357,15 @@ Scenario make_mobility_handoff() {
     workload::GridMobility load{simulator, sys, sys.aps(), mobility};
     load.start();
     simulator.run();
+    if (auto chk = begin_check(ctx)) {
+      check::RgbModel model{sys};
+      chk->finish(model, simulator.now());
+    }
     return {double(load.handoffs_issued()),
             sys.membership_converged() ? 1.0 : 0.0,
             double(network.metrics().sent), double(proposal_hops(network))};
   };
+  s.check_mask = kCheckAll;
   return s;
 }
 
@@ -351,11 +399,59 @@ Scenario make_flashcrowd_agg() {
     workload::FlashCrowd load{simulator, sys, sys.aps(), crowd};
     load.start();
     simulator.run();
+    if (auto chk = begin_check(ctx)) {
+      check::RgbModel model{sys};
+      chk->finish(model, simulator.now());
+    }
     return {double(sys.metrics().rounds_completed.value()),
             double(sys.metrics().ops_aggregated.value()),
             double(network.metrics().sent),
             sys.membership_converged() ? 1.0 : 0.0};
   };
+  s.check_mask = kCheckAll;
+  return s;
+}
+
+// --- EX4: adversarial fault schedules vs the invariant oracles --------------
+
+Scenario make_check_adversarial() {
+  Scenario s;
+  s.id = "check.adversarial";
+  s.title = "Seeded adversarial fault schedules vs the invariant oracles";
+  s.paper_ref = "Section 5.2 (conformance extension)";
+  s.metrics = {"violations", "events", "msgs"};
+  // profile 0: drop bursts + handoff churn (the paper's message-loss model);
+  // profile 1: NE crash/recover + handoff churn (the node-fault model).
+  for (const double profile : {0.0, 1.0}) {
+    s.cells.push_back(ParamSet{{"h", 2.0},
+                               {"r", 3.0},
+                               {"members", 8.0},
+                               {"profile", profile}});
+  }
+  s.trials_per_cell = 3;
+  s.run = [](const TrialContext& ctx) -> std::vector<double> {
+    check::AdversarialConfig cfg;
+    cfg.protocol = check::Protocol::kRgb;
+    cfg.tiers = ctx.params.get_int("h");
+    cfg.ring_size = ctx.params.get_int("r");
+    cfg.initial_members = ctx.params.get_int("members");
+    const bool crash_profile = ctx.params.get_int("profile") == 1;
+    cfg.gen.events = 10;
+    cfg.gen.window = sim::sec(8);
+    cfg.gen.crashes = crash_profile;
+    cfg.gen.recover_all = true;
+    cfg.gen.partitions = false;
+    cfg.gen.drop_bursts = !crash_profile;
+    cfg.gen.handoffs = true;
+    auto chk = begin_check(ctx);
+    const check::FaultSchedule schedule =
+        check::random_schedule_for(cfg, ctx.seed);
+    const check::CheckRunResult result = check::run_schedule(
+        cfg, schedule, ctx.seed, chk.get(), ctx.cell_index, ctx.trial_index);
+    return {double(result.report.size()), double(result.events_applied),
+            double(result.messages_sent)};
+  };
+  s.check_mask = kCheckAll;
   return s;
 }
 
@@ -370,6 +466,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(make_churn_converge());
   registry.add(make_mobility_handoff());
   registry.add(make_flashcrowd_agg());
+  registry.add(make_check_adversarial());
 }
 
 const ScenarioRegistry& builtin_scenarios() {

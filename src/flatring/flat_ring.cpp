@@ -188,6 +188,11 @@ RingNode* FlatRingSystem::node(NodeId id) {
   return it == by_id_.end() ? nullptr : it->second;
 }
 
+const RingNode* FlatRingSystem::node(NodeId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
 bool FlatRingSystem::converged() const {
   const auto reference = nodes_.front()->members().snapshot();
   for (const auto& node : nodes_) {

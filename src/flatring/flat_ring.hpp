@@ -111,6 +111,7 @@ class FlatRingSystem : public proto::MembershipService {
 
   [[nodiscard]] const std::vector<NodeId>& aps() const { return aps_; }
   [[nodiscard]] RingNode* node(NodeId id);
+  [[nodiscard]] const RingNode* node(NodeId id) const;
   [[nodiscard]] bool converged() const;
 
  private:

@@ -218,6 +218,11 @@ GossipNode* GossipSystem::node(NodeId id) {
   return it == by_id_.end() ? nullptr : it->second;
 }
 
+const GossipNode* GossipSystem::node(NodeId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
 bool GossipSystem::converged() const {
   const auto reference = nodes_.front()->members().snapshot();
   for (const auto& node : nodes_) {

@@ -126,6 +126,7 @@ class GossipSystem : public proto::MembershipService {
 
   [[nodiscard]] const std::vector<NodeId>& aps() const { return aps_; }
   [[nodiscard]] GossipNode* node(NodeId id);
+  [[nodiscard]] const GossipNode* node(NodeId id) const;
   [[nodiscard]] bool converged() const;
 
  private:

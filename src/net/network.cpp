@@ -33,6 +33,10 @@ void Network::set_link(NodeId a, NodeId b, LinkConfig cfg) {
   links_[link_key(a, b)] = cfg;
 }
 
+void Network::set_default_drop_probability(double p) {
+  default_link_.drop_probability = p;
+}
+
 const LinkConfig& Network::link_between(NodeId a, NodeId b) const {
   const auto it = links_.find(link_key(a, b));
   return it == links_.end() ? default_link_ : it->second;
@@ -63,9 +67,10 @@ void Network::reset_metrics() { metrics_ = Metrics{}; }
 void Network::send(Envelope env) {
   assert(env.src.valid() && env.dst.valid());
 
-  // A crashed source produces nothing at all — not even metered traffic.
+  // A crashed source produces nothing at all — the attempt never enters the
+  // network, so it is metered apart from `sent` and the in-network drops.
   if (is_crashed(env.src)) {
-    ++metrics_.dropped_crash;
+    ++metrics_.dropped_src_crash;
     if (tap_) tap_(env, false);
     return;
   }
@@ -91,10 +96,18 @@ void Network::send(Envelope env) {
   const sim::Time sent_at = sim_.now();
 
   sim_.schedule_after(delay, [this, env = std::move(env), sent_at]() {
-    // Re-check at delivery time: the destination may have crashed or
-    // detached while the message was in flight.
+    // Re-check at delivery time: the destination may have crashed, a
+    // partition may have formed, or the endpoint may have detached while
+    // the message was in flight. The checks are ordered early-returns so a
+    // message failing several of them (e.g. a destination that is both
+    // crashed and partitioned away) is counted in exactly one drop bucket.
     if (is_crashed(env.dst)) {
       ++metrics_.dropped_crash;
+      if (tap_) tap_(env, false);
+      return;
+    }
+    if (partition_of(env.src) != partition_of(env.dst)) {
+      ++metrics_.dropped_partition;
       if (tap_) tap_(env, false);
       return;
     }

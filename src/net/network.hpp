@@ -43,11 +43,25 @@ struct LinkConfig {
 
 class Network {
  public:
+  /// Drop accounting is single-bucket: every message that entered the
+  /// network (counted in `sent`) terminates in exactly one of `delivered`,
+  /// `dropped_loss`, `dropped_partition`, `dropped_crash` or
+  /// `dropped_unattached` — even when several conditions hold at once (a
+  /// destination both crashed and partitioned counts once, as a crash
+  /// drop). Send attempts by a crashed source never enter the network and
+  /// are metered separately in `dropped_src_crash`, so the conservation
+  /// identity
+  ///   sent == delivered + dropped_loss + dropped_partition
+  ///           + dropped_crash + dropped_unattached + in_flight
+  /// holds exactly; with a drained event queue, in_flight == 0.
+  /// tests/net/network_test.cpp and the check-layer metering oracle assert
+  /// this.
   struct Metrics {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t dropped_loss = 0;
-    std::uint64_t dropped_crash = 0;
+    std::uint64_t dropped_crash = 0;      ///< in flight, destination crashed
+    std::uint64_t dropped_src_crash = 0;  ///< attempt by a crashed source
     std::uint64_t dropped_partition = 0;
     std::uint64_t dropped_unattached = 0;
     std::uint64_t bytes_sent = 0;
@@ -69,6 +83,14 @@ class Network {
 
   /// Overrides the link model between `a` and `b` (symmetric).
   void set_link(NodeId a, NodeId b, LinkConfig cfg);
+
+  /// Adjusts the drop probability of the *default* link (per-pair overrides
+  /// keep their own). The fault-schedule engine uses this for drop bursts:
+  /// raise at burst start, restore at burst end.
+  void set_default_drop_probability(double p);
+  [[nodiscard]] double default_drop_probability() const {
+    return default_link_.drop_probability;
+  }
 
   /// Queues `env` for delivery. No-op (metered as a drop) if the source is
   /// crashed. Loss/partition/crash checks happen per the rules above.

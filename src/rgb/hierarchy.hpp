@@ -58,6 +58,7 @@ class RgbSystem : public proto::MembershipService {
   // --- topology introspection ---------------------------------------------------
 
   [[nodiscard]] const HierarchyLayout& layout() const { return layout_; }
+  [[nodiscard]] const RgbConfig& config() const { return config_; }
   [[nodiscard]] NetworkEntity* entity(NodeId id);
   [[nodiscard]] const NetworkEntity* entity(NodeId id) const;
   /// All access proxies (bottom tier), in id order.
@@ -88,6 +89,7 @@ class RgbSystem : public proto::MembershipService {
   [[nodiscard]] RgbMetrics& metrics() { return metrics_; }
   [[nodiscard]] const RgbMetrics& metrics() const { return metrics_; }
   [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] const net::Network& network() const { return network_; }
 
   /// The membership the system *should* converge to (all joins minus
   /// leaves/fails, at their latest APs), derived from the calls made

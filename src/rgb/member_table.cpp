@@ -54,6 +54,11 @@ bool MemberTable::contains(Guid guid) const {
          it->second.record.status == MemberStatus::kOperational;
 }
 
+std::uint64_t MemberTable::last_seq_of(Guid guid) const {
+  const auto it = records_.find(guid);
+  return it == records_.end() ? 0 : it->second.last_seq;
+}
+
 std::vector<MemberRecord> MemberTable::snapshot() const {
   std::vector<MemberRecord> out;
   out.reserve(records_.size());
@@ -91,6 +96,53 @@ void MemberTable::merge(const MemberTable& other) {
       records_[guid] = their;
     }
   }
+}
+
+std::vector<TableEntry> MemberTable::export_entries() const {
+  std::vector<TableEntry> out;
+  out.reserve(records_.size());
+  for (const auto& [guid, entry] : records_) {
+    out.push_back(TableEntry{entry.record, entry.last_seq});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TableEntry& a, const TableEntry& b) {
+              return a.record.guid < b.record.guid;
+            });
+  return out;
+}
+
+bool MemberTable::import_entries(const std::vector<TableEntry>& entries) {
+  bool changed = false;
+  for (const TableEntry& incoming : entries) {
+    auto it = records_.find(incoming.record.guid);
+    if (it == records_.end() || incoming.last_seq > it->second.last_seq) {
+      records_[incoming.record.guid] =
+          Entry{incoming.record, incoming.last_seq};
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::vector<TableEntry> MemberTable::newer_than(
+    const std::vector<TableEntry>& incoming) const {
+  std::unordered_map<Guid, std::uint64_t> theirs;
+  theirs.reserve(incoming.size());
+  for (const TableEntry& entry : incoming) {
+    theirs[entry.record.guid] = entry.last_seq;
+  }
+  std::vector<TableEntry> out;
+  for (const auto& [guid, entry] : records_) {
+    const auto it = theirs.find(guid);
+    if (it == theirs.end() || entry.last_seq > it->second) {
+      out.push_back(TableEntry{entry.record, entry.last_seq});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TableEntry& a, const TableEntry& b) {
+              return a.record.guid < b.record.guid;
+            });
+  return out;
 }
 
 bool operator==(const MemberTable& a, const MemberTable& b) {

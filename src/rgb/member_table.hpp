@@ -17,6 +17,16 @@
 
 namespace rgb::core {
 
+/// One reconciliation unit of a member table: the record plus the newest
+/// op sequence that produced it. Exchanged by the anti-entropy view sync
+/// (kViewSync) and applied with the same seq-keyed monotone rule as ops.
+struct TableEntry {
+  MemberRecord record;
+  std::uint64_t last_seq = 0;
+
+  friend bool operator==(const TableEntry&, const TableEntry&) = default;
+};
+
 class MemberTable {
  public:
   /// Applies a member op. Returns true if the table changed. NE ops are
@@ -29,6 +39,10 @@ class MemberTable {
 
   [[nodiscard]] std::optional<MemberRecord> find(Guid guid) const;
   [[nodiscard]] bool contains(Guid guid) const;
+  /// Newest op sequence applied to `guid` (0 when unknown). The sequence is
+  /// monotone per guid by construction of `apply`; the check-layer monotone
+  /// oracle asserts that observed views never regress it.
+  [[nodiscard]] std::uint64_t last_seq_of(Guid guid) const;
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] bool empty() const { return records_.empty(); }
 
@@ -42,6 +56,20 @@ class MemberTable {
   /// unknown members are inserted; conflicts keep `other`'s record when
   /// its op sequence is newer.
   void merge(const MemberTable& other);
+
+  /// Every record (operational or not) with its sequence, sorted by guid —
+  /// the anti-entropy sync payload.
+  [[nodiscard]] std::vector<TableEntry> export_entries() const;
+
+  /// Seq-keyed merge of exported entries: an entry lands only when its
+  /// sequence is newer than what this table reflects for the guid.
+  /// Returns true when anything changed.
+  bool import_entries(const std::vector<TableEntry>& entries);
+
+  /// Entries of this table that are newer than (or absent from) `incoming`
+  /// — the bounded diff an anti-entropy receiver sends back.
+  [[nodiscard]] std::vector<TableEntry> newer_than(
+      const std::vector<TableEntry>& incoming) const;
 
   friend bool operator==(const MemberTable& a, const MemberTable& b);
 

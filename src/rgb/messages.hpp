@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "rgb/member_table.hpp"
 #include "rgb/types.hpp"
 
 namespace rgb::core {
@@ -36,6 +37,7 @@ inline constexpr net::MessageKind kMergeAccept = 20;
 inline constexpr net::MessageKind kRingReform = 21;
 inline constexpr net::MessageKind kNeJoinRequest = 22;
 inline constexpr net::MessageKind kNeLeaveRequest = 23;
+inline constexpr net::MessageKind kViewSync = 24;
 // Edge-plane (MH <-> AP wireless traffic; also uncounted).
 inline constexpr net::MessageKind kMhRequest = 30;
 inline constexpr net::MessageKind kMhAck = 31;
@@ -118,14 +120,19 @@ struct ProbeAckMsg {
 };
 
 /// Partition-merge handshake (paper future work, implemented as extension).
+/// Member views travel as seq-keyed TableEntry lists so reconciliation is
+/// monotone: a reform or merge can never regress a receiver's record below
+/// what a newer op already established (a raw-record upsert would stomp
+/// the record while keeping the local sequence — silently poisoning the
+/// entry against every future sync).
 struct MergeOfferMsg {
-  std::vector<NodeId> roster;        ///< offering fragment's alive roster
-  std::vector<MemberRecord> members; ///< offering fragment's member view
+  std::vector<NodeId> roster;      ///< offering fragment's alive roster
+  std::vector<TableEntry> entries; ///< offering fragment's member view
 };
 
 struct MergeAcceptMsg {
   std::vector<NodeId> roster;
-  std::vector<MemberRecord> members;
+  std::vector<TableEntry> entries;
 };
 
 /// Re-baselines a ring member after a merge, a dynamic join, or recovery:
@@ -133,7 +140,25 @@ struct MergeAcceptMsg {
 struct RingReformMsg {
   std::vector<NodeId> roster;
   NodeId leader;
-  std::vector<MemberRecord> members;
+  std::vector<TableEntry> entries;
+};
+
+/// Anti-entropy view reconciliation (extension): the sender's full member
+/// table as seq-keyed entries. The receiver merges monotonically and, when
+/// `reply_requested`, answers with the entries it alone holds newer — one
+/// bounded diff, no further cascading. Leaders emit these on probe ticks
+/// towards their ring, parent and child, which restores views that lost
+/// notifications to crash/repair windows.
+struct ViewSyncMsg {
+  std::vector<TableEntry> entries;
+  bool reply_requested = false;
+  /// When the sender is a ring leader syncing its ring, it also carries
+  /// its (roster, leader) so ring reforms are *convergent*, not
+  /// delivery-dependent: a member whose RingReform was lost (drop burst,
+  /// crash window) adopts the ring shape from the next periodic sync.
+  /// Empty roster / invalid leader on diff replies and cross-ring syncs.
+  std::vector<NodeId> roster;
+  NodeId leader;
 };
 
 /// A lone NE asks a ring leader to admit it (Section 4.3 join process).

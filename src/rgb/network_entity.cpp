@@ -116,6 +116,7 @@ std::uint64_t NetworkEntity::next_notify_id() {
 // --------------------------------------------------------------------------
 
 void NetworkEntity::local_member_join(Guid mh) {
+  local_attached_.insert(mh);
   MembershipOp op;
   op.kind = OpKind::kMemberJoin;
   op.seq = next_op_seq();
@@ -125,6 +126,7 @@ void NetworkEntity::local_member_join(Guid mh) {
 }
 
 void NetworkEntity::local_member_leave(Guid mh) {
+  local_attached_.erase(mh);
   MembershipOp op;
   op.kind = OpKind::kMemberLeave;
   op.seq = next_op_seq();
@@ -134,6 +136,7 @@ void NetworkEntity::local_member_leave(Guid mh) {
 }
 
 void NetworkEntity::local_member_handoff_in(Guid mh, NodeId old_ap) {
+  local_attached_.insert(mh);
   MembershipOp op;
   op.kind = OpKind::kMemberHandoff;
   op.seq = next_op_seq();
@@ -144,6 +147,7 @@ void NetworkEntity::local_member_handoff_in(Guid mh, NodeId old_ap) {
 }
 
 void NetworkEntity::local_member_fail(Guid mh) {
+  local_attached_.erase(mh);
   MembershipOp op;
   op.kind = OpKind::kMemberFail;
   op.seq = next_op_seq();
@@ -199,6 +203,9 @@ void NetworkEntity::send_token_request() {
     token_requested_ = false;
     return;
   }
+  RGB_LOG(kDebug, "grant") << now() << " " << id() << " requests token from "
+                           << leader_ << " retx=" << request_retx_count_;
+  last_request_activity_ = now();
   send(leader_, kind::kTokenRequest, TokenRequestMsg{id(), false});
   request_retx_timer_ = set_timer(config_.round_timeout, [this]() {
     if (!token_requested_) return;
@@ -229,6 +236,10 @@ void NetworkEntity::handle_token_request(const TokenRequestMsg& msg,
       return;
     }
   }
+  RGB_LOG(kDebug, "grant") << now() << " " << id() << " token request from "
+                           << msg.requester << " free=" << token_free_
+                           << " holding=" << holding_round_
+                           << " active=" << active_round_id_;
   if (token_free_) {
     token_free_ = false;
     active_round_id_ = next_round_id();
@@ -291,8 +302,49 @@ void NetworkEntity::start_round(std::uint64_t round_id) {
   if (next_ == id()) {
     complete_round(token);
   } else {
+    pending_round_ops_ = token.ops;
+    arm_holder_watchdog(round_id);
     send_token_to(next_, std::move(token));
   }
+}
+
+void NetworkEntity::arm_holder_watchdog(std::uint64_t round_id) {
+  cancel_timer(holder_watchdog_);
+  // Generous bound: per-hop loss is already covered by the retx scheme, so
+  // only a token lost *with* a crashing node (its timers die with it)
+  // reaches this. Budget a full retx cycle per ring hop.
+  const sim::Duration budget =
+      config_.round_timeout +
+      config_.retx_timeout * static_cast<std::uint64_t>(config_.max_retx + 1) *
+          std::max<std::uint64_t>(roster_.size(), 1);
+  holder_watchdog_ = set_timer(budget, [this, round_id]() {
+    abandon_round(round_id);
+  });
+}
+
+void NetworkEntity::abandon_round(std::uint64_t round_id) {
+  if (!holding_round_ || my_round_id_ != round_id) return;
+  RGB_LOG(kWarn, "watchdog")
+      << id() << " abandons lost round " << round_id
+      << " and requeues its " << pending_round_ops_.size() << " op(s)";
+  holding_round_ = false;
+  // Un-ack'd contributors keep retransmitting their notifications, so only
+  // the ops themselves need to re-enter the queue. Dissemination dedup and
+  // the seq-idempotent table apply make the replay harmless where the lost
+  // token did land.
+  round_contributors_.clear();
+  std::vector<MembershipOp> replay = std::move(pending_round_ops_);
+  pending_round_ops_.clear();
+  if (is_leader()) {
+    token_free_ = true;
+  }
+  for (MembershipOp& op : replay) {
+    enqueue_op(std::move(op), Contributor{});
+  }
+  if (is_leader()) {
+    grant_next();
+  }
+  on_mq_activity();
 }
 
 void NetworkEntity::start_probe_round() {
@@ -310,10 +362,13 @@ void NetworkEntity::start_probe_round() {
 
   remember_round(token.round_id);
   ring_ok_ = true;
+  pending_round_ops_.clear();
+  arm_holder_watchdog(my_round_id_);
   send_token_to(next_, std::move(token));
 }
 
 void NetworkEntity::handle_token(TokenMsg msg, NodeId from) {
+  idle_probe_ticks_ = 0;  // ring traffic: the leader is evidently alive
   // Per-hop receipt ack: the sender's retransmission scheme (the paper's
   // single-fault detector) stops as soon as this arrives.
   send(from, kind::kTokenPassAck, TokenPassAckMsg{msg.token.round_id});
@@ -364,6 +419,13 @@ void NetworkEntity::apply_ops_and_notify(const Token& token) {
   for (const MembershipOp& op : token.ops) {
     if (op.is_member_op()) {
       if (ring_members_.apply(op)) metrics_.ops_disseminated.increment();
+      // A handoff away from this AP is authoritative departure evidence:
+      // without it, a racing (false) failure record could hide the
+      // member's new attachment and trick reaffirmation into re-claiming
+      // a member that physically moved.
+      if (op.kind == OpKind::kMemberHandoff && op.old_ap == id()) {
+        local_attached_.erase(op.member.guid);
+      }
     } else {
       apply_ne_op(op);
     }
@@ -390,6 +452,8 @@ void NetworkEntity::apply_ops_and_notify(const Token& token) {
 
 void NetworkEntity::complete_round(const Token& token) {
   holding_round_ = false;
+  cancel_timer(holder_watchdog_);
+  pending_round_ops_.clear();
 
   // Figure 3 lines 17-20: Holder-Acknowledgement to every NE whose
   // notification rode this round.
@@ -497,6 +561,26 @@ void NetworkEntity::on_token_retx_timeout(std::uint64_t round_id) {
     return;
   }
   declare_faulty_and_repair(hop.target);
+  // The repair normally reroutes this hop. When it could not — the target
+  // was already spliced out by an earlier repair or reform, so
+  // declare_faulty_and_repair returned without touching the ring — the hop
+  // must still not leak: an orphaned hop blocks its round forever, which
+  // at a leader freezes the token (every later request queues unanswered
+  // until the requesters falsely declare *us* faulty).
+  const auto orphan = inflight_hops_.find(round_id);
+  if (orphan == inflight_hops_.end()) return;
+  Token token = std::move(orphan->second.token);
+  cancel_timer(orphan->second.timer);
+  inflight_hops_.erase(orphan);
+  if (token.holder == id()) {
+    holding_round_ = true;
+    my_round_id_ = token.round_id;
+    complete_round(token);
+  } else if (next_ != id()) {
+    send_token_to(next_, std::move(token));
+  } else {
+    send_token_to(token.holder, std::move(token));
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -509,7 +593,7 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
     return;  // already repaired (e.g. several hops detected it at once)
   }
   metrics_.repairs.increment();
-  RGB_LOG(kInfo, "repair") << id() << " declares " << faulty
+  RGB_LOG(kInfo, "repair") << now() << " " << id() << " declares " << faulty
                            << " faulty and splices it out";
   suspected_faulty_.insert(faulty);
   const bool was_leader = (faulty == leader_);
@@ -589,9 +673,11 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
 }
 
 void NetworkEntity::adopt_leadership() {
-  RGB_LOG(kInfo, "failover") << id() << " adopts ring leadership";
+  RGB_LOG(kInfo, "failover") << now() << " " << id()
+                             << " adopts ring leadership";
   leader_ = id();
   token_free_ = !holding_round_ && inflight_hops_.empty();
+  if (!token_free_ && !holding_round_) arm_round_watchdog(active_round_id_);
   token_requested_ = false;
   cancel_timer(request_retx_timer_);
   if (parent_.valid()) {
@@ -627,6 +713,18 @@ void NetworkEntity::handle_repair(const RepairMsg& msg, NodeId from) {
 }
 
 void NetworkEntity::apply_ne_op(const MembershipOp& op) {
+  // Member ops are seq-idempotent, NE ops are not: replaying a stale
+  // NE-Failure (an abandoned round's requeue, or a round delivered late
+  // across a crash window) would re-splice a node that a merge has since
+  // re-admitted. Apply each NE op at most once per node, keyed by uid.
+  if (op.uid != 0) {
+    if (!applied_ne_ops_.insert(op.uid).second) return;
+    applied_ne_ops_order_.push_back(op.uid);
+    while (applied_ne_ops_order_.size() > kDisseminatedCap) {
+      applied_ne_ops_.erase(applied_ne_ops_order_.front());
+      applied_ne_ops_order_.pop_front();
+    }
+  }
   switch (op.kind) {
     case OpKind::kNeFail:
     case OpKind::kNeLeave: {
@@ -669,7 +767,7 @@ void NetworkEntity::apply_ne_op(const MembershipOp& op) {
       if (is_leader()) {
         // Hand the joiner its initial state.
         send(op.ne, kind::kRingReform,
-             RingReformMsg{roster_, leader_, ring_members_.snapshot()});
+             RingReformMsg{roster_, leader_, ring_members_.export_entries()});
         metrics_.ne_joins.increment();
       }
       return;
@@ -705,11 +803,12 @@ void NetworkEntity::handle_ring_reform(const RingReformMsg& msg) {
       known_peers_.push_back(n);
     }
   }
-  for (const MemberRecord& rec : msg.members) ring_members_.upsert(rec);
+  ring_members_.import_entries(msg.entries);
   recompute_pointers();
   ring_ok_ = true;
   if (is_leader()) {
     token_free_ = !holding_round_ && inflight_hops_.empty();
+    if (!token_free_ && !holding_round_) arm_round_watchdog(active_round_id_);
     if (parent_.valid()) {
       send(parent_, kind::kChildRebind, ChildRebindMsg{id()});
     }
@@ -832,9 +931,135 @@ void NetworkEntity::handle_holder_ack(const HolderAckMsg& msg) {
 // --------------------------------------------------------------------------
 
 void NetworkEntity::on_probe_tick() {
-  if (!is_leader()) return;
+  reaffirm_local_members();
+  if (!is_leader()) {
+    // Follower-side leader liveness: failure detection otherwise rides
+    // entirely on traffic (token retx, unanswered requests), so a crashed
+    // leader of a *quiet* ring would go undetected forever and cut the
+    // ring off from dissemination. After a few silent ticks, ask for the
+    // token; the standard unanswered-request path declares the leader
+    // faulty and fails over. Any ring traffic resets the counter.
+    // Dead request chain: the retx timer died during a crash window
+    // (timers of a crashed node are dropped), leaving token_requested_
+    // set with nothing driving it — which would block this node's MQ
+    // forever, even in a perfectly healthy ring. A live chain re-sends
+    // every round_timeout, so this cannot trip on one; leader-failure
+    // detection via retx exhaustion stays intact.
+    if (token_requested_ &&
+        now() - last_request_activity_ > 2 * config_.round_timeout) {
+      token_requested_ = false;
+      cancel_timer(request_retx_timer_);
+      on_mq_activity();  // re-request if ops are still queued
+    }
+    if (!holding_round_ && !token_requested_ &&
+        ++idle_probe_ticks_ >= kIdleTicksBeforeLeaderCheck) {
+      idle_probe_ticks_ = 0;
+      request_token();
+    }
+    return;
+  }
   if (token_free_ && mq_.empty()) start_probe_round();
   attempt_merge();
+  anti_entropy_tick();
+}
+
+void NetworkEntity::reaffirm_local_members() {
+  if (local_attached_.empty()) return;
+  std::vector<Guid> reannounce, departed;
+  for (const Guid mh : local_attached_) {
+    const auto rec = ring_members_.find(mh);
+    // No record yet: our own join/handoff op is still queued or in a
+    // round. Do NOT re-announce — a duplicate join with a fresher seq
+    // could outrank a legitimate concurrent op (e.g. the very handoff
+    // that brought the member here). The at-least-once round machinery
+    // lands the original op.
+    if (!rec) continue;
+    if (rec->status == MemberStatus::kOperational) {
+      if (rec->access_proxy == id()) continue;  // consistent: hosted here
+      // The record says the member moved to another AP: a handoff we never
+      // saw locally. The newer op wins; stop claiming the member.
+      departed.push_back(mh);
+      continue;
+    }
+    // Failed or disconnected — yet the member never left *us* (a genuine
+    // departure goes through local_member_leave/fail, which erases it from
+    // local_attached_ first). This is a false accusation from a
+    // failure-detector false positive elsewhere. Re-announce with a fresh
+    // (higher-seq) op: the hosting AP is authoritative for its members.
+    reannounce.push_back(mh);
+  }
+  for (const Guid mh : departed) local_attached_.erase(mh);
+  for (const Guid mh : reannounce) {
+    RGB_LOG(kInfo, "reaffirm")
+        << id() << " re-announces falsely failed local member "
+        << mh.value();
+    local_member_join(mh);
+  }
+}
+
+void NetworkEntity::anti_entropy_tick() {
+  // Seq-keyed view reconciliation along the leader graph — ring members,
+  // parent (within the retention tiers), child (when disseminating down).
+  // Every edge of the hierarchy is covered by some leader's sync set, so
+  // views that lost notifications to a crash/repair window reconverge once
+  // the network quiesces. The monotone seq rule makes syncs idempotent and
+  // loop-free; a receiver answers at most one bounded diff.
+  const std::vector<TableEntry> entries = ring_members_.export_entries();
+  const auto payload_bytes =
+      static_cast<std::uint32_t>(64 + 24 * entries.size());
+  // Ring-internal sync carries the ring shape: members adopt it when their
+  // (roster, leader) drifted — the convergent replacement for a lost
+  // RingReform broadcast.
+  const ViewSyncMsg ring_sync{entries, true, roster_, leader_};
+  for (const NodeId peer : roster_) {
+    if (peer == id()) continue;
+    send(peer, kind::kViewSync, ring_sync, payload_bytes);
+  }
+  if (entries.empty()) return;  // cross-ring edges carry only view state
+  const ViewSyncMsg sync{entries, true, {}, NodeId{}};
+  if (parent_.valid() && tier_ - 1 >= config_.retain_tier) {
+    send(parent_, kind::kViewSync, sync, payload_bytes);
+  }
+  if (child_.valid() && config_.disseminate_down) {
+    send(child_, kind::kViewSync, sync, payload_bytes);
+  }
+}
+
+void NetworkEntity::handle_view_sync(const ViewSyncMsg& msg, NodeId from) {
+  RGB_LOG(kDebug, "sync") << now() << " " << id() << " imports "
+                          << msg.entries.size() << " entries from " << from;
+  ring_members_.import_entries(msg.entries);
+
+  // Ring-shape adoption: the sync came from a node leading a ring that
+  // contains us, and our local (roster, leader) drifted from it — a
+  // reform we never received. Adopt the leader's view of the ring.
+  if (msg.leader.valid() && msg.leader == from &&
+      std::find(msg.roster.begin(), msg.roster.end(), id()) !=
+          msg.roster.end() &&
+      (roster_ != msg.roster || leader_ != msg.leader)) {
+    RGB_LOG(kInfo, "sync") << id() << " adopts ring shape from leader "
+                           << from << " (" << msg.roster.size()
+                           << " members)";
+    roster_ = msg.roster;
+    leader_ = msg.leader;
+    for (const NodeId n : roster_) {
+      suspected_faulty_.erase(n);
+      if (std::find(known_peers_.begin(), known_peers_.end(), n) ==
+          known_peers_.end()) {
+        known_peers_.push_back(n);
+      }
+    }
+    recompute_pointers();
+    ring_ok_ = true;
+    if (!is_leader()) token_free_ = false;
+    on_mq_activity();
+  }
+
+  if (!msg.reply_requested) return;
+  const std::vector<TableEntry> diff = ring_members_.newer_than(msg.entries);
+  if (diff.empty()) return;
+  send(from, kind::kViewSync, ViewSyncMsg{diff, false, {}, NodeId{}},
+       static_cast<std::uint32_t>(64 + 24 * diff.size()));
 }
 
 void NetworkEntity::attempt_merge() {
@@ -851,11 +1076,11 @@ void NetworkEntity::attempt_merge() {
   const NodeId target = candidates[merge_probe_cursor_ % candidates.size()];
   ++merge_probe_cursor_;
   send(target, kind::kMergeOffer,
-       MergeOfferMsg{roster_, ring_members_.snapshot()});
+       MergeOfferMsg{roster_, ring_members_.export_entries()});
 }
 
 void NetworkEntity::merge_fragment(const std::vector<NodeId>& their_roster,
-                                   const std::vector<MemberRecord>& members) {
+                                   const std::vector<TableEntry>& entries) {
   // Union roster in sorted order (deterministic on both sides), lowest id
   // leads, member views union-merge.
   std::vector<NodeId> merged = roster_;
@@ -867,12 +1092,11 @@ void NetworkEntity::merge_fragment(const std::vector<NodeId>& their_roster,
   std::sort(merged.begin(), merged.end());
   const NodeId new_leader = elect_leader(merged);
 
-  for (const MemberRecord& rec : members) {
-    if (!ring_members_.find(rec.guid)) ring_members_.upsert(rec);
-  }
+  ring_members_.import_entries(entries);
 
   metrics_.merges.increment();
-  RGB_LOG(kInfo, "merge") << id() << " merges fragments into a ring of "
+  RGB_LOG(kInfo, "merge") << now() << " " << id()
+                          << " merges fragments into a ring of "
                           << merged.size() << " under " << new_leader;
   roster_ = merged;
   leader_ = new_leader;
@@ -881,6 +1105,11 @@ void NetworkEntity::merge_fragment(const std::vector<NodeId>& their_roster,
   broadcast_ring_reform(merged, new_leader);
   if (is_leader()) {
     token_free_ = !holding_round_ && inflight_hops_.empty();
+    // A busy token that is not a round we hold belongs to a round in
+    // flight somewhere in the churned ring; its release can miss us (the
+    // holder may address a stale leader). Arm the reclaim watchdog so the
+    // token cannot stay un-free forever — a live release cancels it.
+    if (!token_free_ && !holding_round_) arm_round_watchdog(active_round_id_);
     if (parent_.valid()) {
       send(parent_, kind::kChildRebind, ChildRebindMsg{id()});
     }
@@ -904,14 +1133,24 @@ void NetworkEntity::handle_merge_offer(const MergeOfferMsg& msg,
       // are not in its ring (e.g. we just recovered from a crash). Offer
       // ourselves back as a singleton fragment.
       send(from, kind::kMergeAccept,
-           MergeAcceptMsg{{id()}, ring_members_.snapshot()});
+           MergeAcceptMsg{{id()}, ring_members_.export_entries()});
     }
     return;
   }
   if (std::find(roster_.begin(), roster_.end(), from) != roster_.end()) {
-    return;  // stale offer from a node we already ring with
+    // We already ring with the offerer. That makes the offer stale only
+    // when our rosters actually agree: a recovered crashed leader still
+    // holds its pre-crash roster (which contains the survivors) while the
+    // survivors repaired around it — rejecting their offers here would
+    // deadlock the fragments into permanent disagreement. Merge whenever
+    // the views diverge; merge_fragment is idempotent under agreement.
+    std::vector<NodeId> theirs = msg.roster;
+    std::vector<NodeId> ours = roster_;
+    std::sort(theirs.begin(), theirs.end());
+    std::sort(ours.begin(), ours.end());
+    if (theirs == ours) return;  // consistent rings: truly stale
   }
-  merge_fragment(msg.roster, msg.members);
+  merge_fragment(msg.roster, msg.entries);
 }
 
 void NetworkEntity::handle_merge_accept(const MergeAcceptMsg& msg,
@@ -921,12 +1160,12 @@ void NetworkEntity::handle_merge_accept(const MergeAcceptMsg& msg,
       msg.roster.size() <= 1) {
     return;  // already merged by an earlier accept
   }
-  merge_fragment(msg.roster, msg.members);
+  merge_fragment(msg.roster, msg.entries);
 }
 
 void NetworkEntity::broadcast_ring_reform(const std::vector<NodeId>& roster,
                                           NodeId leader) {
-  const RingReformMsg reform{roster, leader, ring_members_.snapshot()};
+  const RingReformMsg reform{roster, leader, ring_members_.export_entries()};
   for (const NodeId n : roster) {
     if (n == id()) continue;
     send(n, kind::kRingReform, reform);
@@ -973,7 +1212,8 @@ void NetworkEntity::request_ring_leave() {
       if (n != id()) rest.push_back(n);
     }
     const NodeId successor = elect_leader(rest);
-    const RingReformMsg reform{rest, successor, ring_members_.snapshot()};
+    const RingReformMsg reform{rest, successor,
+                               ring_members_.export_entries()};
     for (const NodeId n : rest) send(n, kind::kRingReform, reform);
     if (parent_.valid()) {
       send(parent_, kind::kChildRebind, ChildRebindMsg{successor});
@@ -1001,6 +1241,8 @@ void NetworkEntity::clear_ring_state() {
   pending_grants_.clear();
   cancel_timer(request_retx_timer_);
   cancel_timer(round_watchdog_);
+  cancel_timer(holder_watchdog_);
+  pending_round_ops_.clear();
 }
 
 void NetworkEntity::handle_ne_leave_request(const NeLeaveRequestMsg& msg,
@@ -1182,6 +1424,9 @@ void NetworkEntity::deliver(const net::Envelope& env) {
     case kind::kNeLeaveRequest:
       handle_ne_leave_request(std::any_cast<NeLeaveRequestMsg>(env.payload),
                               env.src);
+      break;
+    case kind::kViewSync:
+      handle_view_sync(std::any_cast<ViewSyncMsg>(env.payload), env.src);
       break;
     case kind::kMhRequest: {
       const auto req = std::any_cast<MhRequestMsg>(env.payload);

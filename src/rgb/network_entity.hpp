@@ -177,9 +177,11 @@ class NetworkEntity : public proto::Process {
 
   // --- probing & merge (extension) ---------------------------------------------
   void on_probe_tick();
+  void anti_entropy_tick();
+  void handle_view_sync(const ViewSyncMsg& msg, NodeId from);
   void attempt_merge();
   void merge_fragment(const std::vector<NodeId>& their_roster,
-                      const std::vector<MemberRecord>& members);
+                      const std::vector<TableEntry>& entries);
   void handle_merge_offer(const MergeOfferMsg& msg, NodeId from);
   void handle_merge_accept(const MergeAcceptMsg& msg, NodeId from);
 
@@ -230,9 +232,21 @@ class NetworkEntity : public proto::Process {
   bool token_requested_ = false;
   sim::EventId request_retx_timer_{};
   int request_retx_count_ = 0;
+  /// Last time the request chain made progress (sent a request); lets the
+  /// probe tick tell a live chain from one whose timer died in a crash.
+  sim::Time last_request_activity_ = 0;
   bool holding_round_ = false;
   std::uint64_t my_round_id_ = 0;
   std::vector<Contributor> round_contributors_;
+  /// Holder-side round watchdog: a round whose token is lost downstream
+  /// (e.g. the next hop crashed with the token after acking it) would
+  /// otherwise leave the holder blocked and the leader's token permanently
+  /// unavailable. On expiry the round is abandoned and its ops re-enter
+  /// the MQ — rounds are at-least-once; op application is seq-idempotent.
+  sim::EventId holder_watchdog_{};
+  std::vector<MembershipOp> pending_round_ops_;
+  void arm_holder_watchdog(std::uint64_t round_id);
+  void abandon_round(std::uint64_t round_id);
 
   // --- token received before this NE was configured (a fresh joiner can be
   // visited by the admitting round before its RingReform arrives) ----------
@@ -266,6 +280,10 @@ class NetworkEntity : public proto::Process {
   std::deque<std::uint64_t> disseminated_order_;
   static constexpr std::size_t kDisseminatedCap = 8192;
 
+  // --- dedup of applied NE ops (roster edits are not idempotent) ---------------
+  std::unordered_set<std::uint64_t> applied_ne_ops_;
+  std::deque<std::uint64_t> applied_ne_ops_order_;
+
   // --- dedup of token rounds already processed at this node (guards against
   // duplicate deliveries when a TokenPassAck is lost and the hop resent) ----
   std::unordered_set<std::uint64_t> recent_rounds_;
@@ -276,12 +294,28 @@ class NetworkEntity : public proto::Process {
   // --- probing ----------------------------------------------------------------------------
   std::unique_ptr<proto::PeriodicTimer> probe_timer_;
   std::size_t merge_probe_cursor_ = 0;
+  /// Follower-side leader liveness: probe ticks with no ring traffic seen.
+  /// After kIdleTicksBeforeLeaderCheck the follower requests the token, so
+  /// a crashed leader of a *quiet* ring is detected through the standard
+  /// unanswered-request failover instead of never.
+  std::uint32_t idle_probe_ticks_ = 0;
+  static constexpr std::uint32_t kIdleTicksBeforeLeaderCheck = 4;
 
   // --- MH liveness monitoring (faulty-disconnection detection) ----------------
   void handle_mh_heartbeat(const MhHeartbeatMsg& msg);
   void sweep_silent_members();
   std::unordered_map<Guid, sim::Time> mh_last_heard_;
   std::unique_ptr<proto::PeriodicTimer> mh_sweep_timer_;
+
+  // --- local-member re-affirmation ------------------------------------------
+  // The authoritative attachment list of this AP: members that joined or
+  // handed off here and have not left, failed or handed off away. When a
+  // *foreign* failure record reaches us for one of these members (a false
+  // accusation born of a failure-detector false positive elsewhere), the
+  // AP re-announces the member with a fresh op — the hosting AP, not the
+  // accuser, has the ground truth. Checked from the probe tick.
+  void reaffirm_local_members();
+  std::unordered_set<Guid> local_attached_;
 
   // --- counters ---------------------------------------------------------------------------
   std::uint64_t op_seq_counter_ = 0;

@@ -1,0 +1,107 @@
+// Baseline conformance matrix: the same oracle suite that RGB passes is
+// run against the tree / flat-ring / gossip baselines, both to document
+// which guarantees each design actually provides and to prove the oracles
+// detect real (not just hand-built) violations end-to-end.
+//
+// Documented matrix (ROADMAP.md):
+//   protocol | fault-free | loss bursts | crash/recover
+//   rgb      |    pass    |    pass     |     pass
+//   tree     |    pass    |    FAIL     |     FAIL   (flood has no retx,
+//            |            |             |  no failure detection/repair)
+//   flatring |    pass    |    FAIL     |     FAIL   (token loss stalls
+//            |            |             |             the single ring)
+//   gossip   |    pass    |    pass     |     FAIL   (declared-failed
+//            |            |             |   peers never rejoin the mesh)
+//
+// The FAIL cells assert that violations FIRE — a suite that stopped
+// detecting them would silently weaken the RGB claims too.
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+
+namespace rgb::check {
+namespace {
+
+AdversarialConfig config_for(Protocol protocol, bool bursts, bool crashes) {
+  AdversarialConfig cfg;
+  cfg.protocol = protocol;
+  cfg.tiers = 2;
+  cfg.ring_size = 3;
+  cfg.initial_members = 8;
+  cfg.settle = sim::sec(15);
+  cfg.gen.events = 10;
+  cfg.gen.window = sim::sec(8);
+  cfg.gen.crashes = crashes;
+  cfg.gen.drop_bursts = bursts;
+  cfg.gen.handoffs = true;
+  cfg.gen.partitions = false;
+  return cfg;
+}
+
+/// Violating seeds out of the first `seeds` searched.
+int violating_seeds(const AdversarialConfig& cfg, std::uint64_t seeds) {
+  int violating = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    if (!run_random(cfg, seed).passed()) ++violating;
+  }
+  return violating;
+}
+
+// --- fault-free column: everyone converges under pure handoff churn --------
+
+TEST(BaselineConformance, AllProtocolsPassFaultFreeChurn) {
+  for (const Protocol protocol :
+       {Protocol::kRgb, Protocol::kTree, Protocol::kFlatRing,
+        Protocol::kGossip}) {
+    const auto cfg = config_for(protocol, false, false);
+    EXPECT_EQ(violating_seeds(cfg, 3), 0) << to_string(protocol);
+  }
+}
+
+// --- rgb row: the paper's fault model holds -------------------------------
+
+TEST(BaselineConformance, RgbSurvivesLossBursts) {
+  EXPECT_EQ(violating_seeds(config_for(Protocol::kRgb, true, false), 3), 0);
+}
+
+TEST(BaselineConformance, RgbSurvivesCrashRecover) {
+  EXPECT_EQ(violating_seeds(config_for(Protocol::kRgb, false, true), 3), 0);
+}
+
+// --- documented failures: the oracles must FIRE on the weak designs --------
+
+TEST(BaselineConformance, TreeFailsUnderLossBursts) {
+  // Flooded proposals have no retransmission: a burst permanently loses
+  // updates and the tree never reconverges.
+  EXPECT_GT(violating_seeds(config_for(Protocol::kTree, true, false), 5), 0);
+}
+
+TEST(BaselineConformance, TreeFailsUnderCrashes) {
+  // No failure detection: a crashed server cuts its subtree off and
+  // stranded members stay operational in every view (zombies).
+  EXPECT_GT(violating_seeds(config_for(Protocol::kTree, false, true), 5), 0);
+}
+
+TEST(BaselineConformance, FlatRingFailsUnderLossBursts) {
+  // One token on one big ring: losing it (or its wake) stalls the whole
+  // membership service.
+  EXPECT_GT(violating_seeds(config_for(Protocol::kFlatRing, true, false), 5),
+            0);
+}
+
+TEST(BaselineConformance, GossipSurvivesLossBursts) {
+  // Infection-style dissemination is redundant by design: bounded loss
+  // only delays convergence.
+  EXPECT_EQ(violating_seeds(config_for(Protocol::kGossip, true, false), 3),
+            0);
+}
+
+TEST(BaselineConformance, GossipFailsUnderCrashRecover) {
+  // SWIM-style suspicion declares the crashed peer failed, but there is no
+  // rejoin path: the recovered node stays excluded and its view diverges.
+  EXPECT_GT(violating_seeds(config_for(Protocol::kGossip, false, true), 5),
+            0);
+}
+
+}  // namespace
+}  // namespace rgb::check

@@ -1,0 +1,290 @@
+// Oracle unit tests: every invariant is exercised with a hand-built
+// violating history and must FIRE (no vacuous invariants), plus a matching
+// clean history where it must stay silent.
+#include "check/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/model.hpp"
+#include "net/network.hpp"
+#include "rgb/rgb.hpp"
+#include "sim/simulator.hpp"
+
+namespace rgb::check {
+namespace {
+
+using proto::MemberRecord;
+using proto::MemberStatus;
+
+MemberRecord rec(std::uint64_t guid, std::uint64_t ap) {
+  return MemberRecord{Guid{guid}, NodeId{ap}, MemberStatus::kOperational};
+}
+
+NodeView node(std::uint64_t id, std::vector<ViewEntry> entries,
+              bool alive = true, bool global = true) {
+  NodeView view;
+  view.id = NodeId{id};
+  view.alive = alive;
+  view.holds_global = global;
+  view.entries = std::move(entries);
+  return view;
+}
+
+/// Names of the violations in `report`, in canonical order.
+std::vector<std::string> fired(const CheckReport& report) {
+  std::vector<std::string> out;
+  for (const Violation& v : report.violations()) out.push_back(v.invariant);
+  return out;
+}
+
+// --- convergence ------------------------------------------------------------
+
+TEST(ConvergenceOracle, FiresWhenNodeViewMissesAMember) {
+  StaticModel model;
+  model.truth = {rec(1, 100), rec(2, 101)};
+  model.aggregate = model.truth;
+  model.views = {node(10, {{rec(1, 100), 1}, {rec(2, 101), 2}}),
+                 node(11, {{rec(1, 100), 1}})};  // missing guid 2
+
+  OracleSuite suite{exp::kCheckConvergence};
+  suite.at_quiescence(model, sim::sec(1));
+  ASSERT_EQ(fired(suite.report()), std::vector<std::string>{"convergence"});
+  EXPECT_NE(suite.report().violations()[0].detail.find("node 11"),
+            std::string::npos);
+}
+
+TEST(ConvergenceOracle, FiresWhenProtocolQueryAnswerIsWrong) {
+  StaticModel model;
+  model.truth = {rec(1, 100)};
+  model.aggregate = {};  // the query mechanism lost the member
+  model.views = {node(10, {{rec(1, 100), 1}})};
+
+  OracleSuite suite{exp::kCheckConvergence};
+  suite.at_quiescence(model, sim::sec(1));
+  ASSERT_EQ(fired(suite.report()), std::vector<std::string>{"convergence"});
+}
+
+TEST(ConvergenceOracle, SilentOnExactMatch) {
+  StaticModel model;
+  model.truth = {rec(1, 100), rec(2, 101)};
+  model.aggregate = model.truth;
+  model.views = {node(10, {{rec(1, 100), 1}, {rec(2, 101), 2}})};
+
+  OracleSuite suite{exp::kCheckConvergence};
+  suite.at_quiescence(model, sim::sec(1));
+  EXPECT_TRUE(suite.passed());
+}
+
+TEST(ConvergenceOracle, IgnoresCrashedAndPartialViewNodesAndUncertain) {
+  StaticModel model;
+  model.truth = {rec(1, 100)};
+  model.aggregate = {rec(1, 100), rec(9, 102)};  // 9 is uncertain: excused
+  model.unsure = {Guid{9}};
+  model.views = {
+      node(10, {{rec(1, 100), 1}}),
+      node(11, {}, /*alive=*/false),              // crashed: frozen view ok
+      node(12, {}, /*alive=*/true, /*global=*/false),  // partial view ok
+      node(13, {{rec(1, 100), 1}, {rec(9, 102), 3}}),  // stale uncertain ok
+  };
+
+  OracleSuite suite{exp::kCheckConvergence};
+  suite.at_quiescence(model, sim::sec(1));
+  EXPECT_TRUE(suite.passed()) << suite.report().format();
+}
+
+// --- agreement --------------------------------------------------------------
+
+TEST(AgreementOracle, FiresWhenGlobalViewNodesDiverge) {
+  StaticModel model;
+  model.truth = {rec(1, 100)};
+  model.aggregate = model.truth;
+  model.views = {node(10, {{rec(1, 100), 1}}),
+                 node(11, {{rec(1, 105), 4}})};  // different AP for guid 1
+
+  OracleSuite suite{exp::kCheckAgreement};
+  suite.at_quiescence(model, sim::sec(2));
+  ASSERT_EQ(fired(suite.report()), std::vector<std::string>{"agreement"});
+}
+
+TEST(AgreementOracle, SilentWhenViewsMatchEvenIfTruthDiffers) {
+  // Agreement is ground-truth-free: nodes agreeing on a wrong view is a
+  // convergence violation, not an agreement one.
+  StaticModel model;
+  model.truth = {rec(1, 100), rec(2, 101)};
+  model.aggregate = model.truth;
+  model.views = {node(10, {{rec(1, 100), 1}}), node(11, {{rec(1, 100), 1}})};
+
+  OracleSuite suite{exp::kCheckAgreement};
+  suite.at_quiescence(model, sim::sec(2));
+  EXPECT_TRUE(suite.passed());
+}
+
+// --- zombie -----------------------------------------------------------------
+
+TEST(ZombieOracle, FiresWhenDeadMemberShownOperational) {
+  StaticModel model;
+  model.truth = {rec(1, 100)};  // guid 7 is dead
+  model.aggregate = model.truth;
+  model.views = {node(10, {{rec(1, 100), 1}, {rec(7, 103), 5}})};
+
+  OracleSuite suite{exp::kCheckZombie};
+  suite.at_quiescence(model, sim::sec(3));
+  ASSERT_EQ(fired(suite.report()), std::vector<std::string>{"zombie"});
+  EXPECT_NE(suite.report().violations()[0].detail.find("dead member 7"),
+            std::string::npos);
+}
+
+TEST(ZombieOracle, ExemptsUncertainAndCrashedNodes) {
+  StaticModel model;
+  model.truth = {};
+  model.unsure = {Guid{7}};
+  model.views = {node(10, {{rec(7, 103), 5}}),             // uncertain guid
+                 node(11, {{rec(8, 104), 6}}, false)};     // crashed holder
+
+  OracleSuite suite{exp::kCheckZombie};
+  suite.at_quiescence(model, sim::sec(3));
+  EXPECT_TRUE(suite.passed()) << suite.report().format();
+}
+
+// --- monotone ---------------------------------------------------------------
+
+TEST(MonotoneOracle, FiresWhenASequenceRegresses) {
+  StaticModel before;
+  before.views = {node(10, {{rec(1, 100), 5}})};
+  StaticModel after;
+  after.views = {node(10, {{rec(1, 101), 3}})};  // seq went 5 -> 3
+
+  OracleSuite suite{exp::kCheckMonotone};
+  suite.sample(before, sim::msec(100));
+  suite.sample(after, sim::msec(200));
+  ASSERT_EQ(fired(suite.report()), std::vector<std::string>{"monotone"});
+  EXPECT_EQ(suite.report().violations()[0].at, sim::msec(200));
+}
+
+TEST(MonotoneOracle, SilentOnAdvancingOrEqualSequences) {
+  StaticModel first;
+  first.views = {node(10, {{rec(1, 100), 5}})};
+  StaticModel second;
+  second.views = {node(10, {{rec(1, 101), 9}})};
+
+  OracleSuite suite{exp::kCheckMonotone};
+  suite.sample(first, sim::msec(100));
+  suite.sample(second, sim::msec(200));
+  suite.at_quiescence(second, sim::msec(300));  // re-observing 9 is fine
+  EXPECT_TRUE(suite.passed());
+}
+
+TEST(MonotoneOracle, TracksNodesIndependently) {
+  // Node 11 catching up to seq 4 after node 10 reached 9 is NOT a
+  // regression: monotonicity is per (node, member) history.
+  StaticModel m1;
+  m1.views = {node(10, {{rec(1, 100), 9}})};
+  StaticModel m2;
+  m2.views = {node(10, {{rec(1, 100), 9}}), node(11, {{rec(1, 100), 4}})};
+
+  OracleSuite suite{exp::kCheckMonotone};
+  suite.sample(m1, sim::msec(100));
+  suite.sample(m2, sim::msec(200));
+  EXPECT_TRUE(suite.passed());
+}
+
+// --- metering ---------------------------------------------------------------
+
+TEST(MeteringOracle, FiresOnDoubleCountedDrop) {
+  StaticModel model;
+  model.net.sent = 10;
+  model.net.delivered = 8;
+  model.net.dropped_partition = 2;
+  model.net.dropped_crash = 1;  // the same message counted twice
+
+  OracleSuite suite{exp::kCheckMetering};
+  suite.at_quiescence(model, sim::sec(4));
+  ASSERT_EQ(fired(suite.report()), std::vector<std::string>{"metering"});
+}
+
+TEST(MeteringOracle, AllowsInFlightMessages) {
+  StaticModel model;
+  model.net.sent = 10;
+  model.net.delivered = 7;
+  model.net.dropped_loss = 1;  // 2 still in flight
+
+  OracleSuite suite{exp::kCheckMetering};
+  suite.at_quiescence(model, sim::sec(4));
+  EXPECT_TRUE(suite.passed());
+}
+
+// --- hierarchy --------------------------------------------------------------
+
+TEST(HierarchyOracle, FiresOnLeaderDisagreement) {
+  sim::Simulator simulator;
+  net::Network network{simulator, common::RngStream{1}};
+  core::RgbSystem sys{network, core::RgbConfig{},
+                      core::HierarchyLayout{1, 3}};
+  const auto& ring = sys.rings(0).front();
+  // Sabotage: one node is told a different leader than its ring siblings.
+  sys.entity(ring[2])->configure_ring({ring[0], ring[1], ring[2]}, ring[2]);
+
+  RgbModel model{sys};
+  OracleSuite suite{exp::kCheckHierarchy};
+  suite.at_quiescence(model, sim::sec(5));
+  ASSERT_FALSE(suite.passed());
+  EXPECT_EQ(suite.report().violations()[0].invariant, "hierarchy");
+}
+
+TEST(HierarchyOracle, FiresOnBrokenCycle) {
+  sim::Simulator simulator;
+  net::Network network{simulator, common::RngStream{1}};
+  core::RgbSystem sys{network, core::RgbConfig{},
+                      core::HierarchyLayout{1, 4}};
+  const auto& ring = sys.rings(0).front();
+  // Sabotage one node's ring wiring: its next-pointer skips a member, so
+  // following the pointers no longer yields a 4-cycle.
+  sys.entity(ring[1])->configure_ring({ring[1], ring[3], ring[0], ring[2]},
+                                      ring[0]);
+
+  RgbModel model{sys};
+  OracleSuite suite{exp::kCheckHierarchy};
+  suite.at_quiescence(model, sim::sec(5));
+  ASSERT_FALSE(suite.passed());
+  EXPECT_EQ(suite.report().violations()[0].invariant, "hierarchy");
+}
+
+TEST(HierarchyOracle, SilentOnFreshHierarchy) {
+  sim::Simulator simulator;
+  net::Network network{simulator, common::RngStream{1}};
+  core::RgbSystem sys{network, core::RgbConfig{},
+                      core::HierarchyLayout{2, 3}};
+  RgbModel model{sys};
+  OracleSuite suite{exp::kCheckHierarchy};
+  suite.at_quiescence(model, sim::sec(5));
+  EXPECT_TRUE(suite.passed()) << suite.report().format();
+}
+
+// --- mask & report ----------------------------------------------------------
+
+TEST(OracleSuite, MaskDisablesOracles) {
+  StaticModel model;
+  model.truth = {rec(1, 100)};
+  model.aggregate = {};                  // convergence violation...
+  model.views = {node(10, {})};
+
+  OracleSuite suite{exp::kCheckZombie};  // ...but only zombie is armed
+  suite.at_quiescence(model, sim::sec(1));
+  EXPECT_TRUE(suite.passed());
+}
+
+TEST(CheckReport, FormatsSortedAndDeterministic) {
+  CheckReport report;
+  report.add(Violation{"b-inv", sim::msec(2), "second", 0, 1, 1});
+  report.add(Violation{"a-inv", sim::msec(1), "first", 0, 1, 0});
+  report.add(Violation{"c-inv", sim::msec(3), "other trial", 0, 0, 0});
+  const std::string text = report.format();
+  EXPECT_LT(text.find("other trial"), text.find("first"));
+  EXPECT_LT(text.find("first"), text.find("second"));
+
+  CheckReport empty;
+  EXPECT_EQ(empty.format(), "OK\n");
+}
+
+}  // namespace
+}  // namespace rgb::check

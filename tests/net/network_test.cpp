@@ -75,8 +75,11 @@ TEST_F(NetworkTest, CrashedSourceSendsNothing) {
   send_ab();
   sim_.run();
   EXPECT_TRUE(rb_.received.empty());
+  // The attempt never entered the network: not in `sent`, metered under
+  // the source-crash bucket, not the in-network crash-drop one.
   EXPECT_EQ(network_.metrics().sent, 0u);
-  EXPECT_EQ(network_.metrics().dropped_crash, 1u);
+  EXPECT_EQ(network_.metrics().dropped_src_crash, 1u);
+  EXPECT_EQ(network_.metrics().dropped_crash, 0u);
 }
 
 TEST_F(NetworkTest, RecoverRestoresDelivery) {
@@ -112,6 +115,75 @@ TEST_F(NetworkTest, ClearPartitionsHeals) {
   send_ab();
   sim_.run();
   EXPECT_EQ(rb_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionFormedMidFlightDropsInFlight) {
+  send_ab();
+  // The partition forms while the message is in the air: links are cut, so
+  // the delivery-time re-check must drop it.
+  network_.set_partition(b_, 2);
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_EQ(network_.metrics().dropped_partition, 1u);
+  EXPECT_EQ(network_.metrics().delivered, 0u);
+}
+
+// Regression (drop-accounting audit): a message whose destination is both
+// crashed AND partitioned away must land in exactly one drop bucket.
+TEST_F(NetworkTest, CrashPlusPartitionCountsExactlyOnce) {
+  send_ab();
+  network_.crash(b_);
+  network_.set_partition(b_, 2);
+  sim_.run();
+  const auto& m = network_.metrics();
+  EXPECT_EQ(m.dropped_crash + m.dropped_partition, 1u);
+  EXPECT_EQ(m.dropped_crash, 1u);  // crash takes precedence, deterministic
+  EXPECT_EQ(m.sent, m.delivered + m.dropped_loss + m.dropped_partition +
+                        m.dropped_crash + m.dropped_unattached);
+}
+
+// Regression: the conservation identity holds across every drop cause at
+// once (loss link + crashes + partitions + an unattached destination).
+TEST_F(NetworkTest, ConservationHoldsAcrossMixedDropCauses) {
+  network_.set_link(a_, b_, LinkConfig{LatencyModel::fixed(sim::msec(1)), 0.5});
+  for (int i = 0; i < 200; ++i) send_ab();
+  network_.send(Envelope{a_, NodeId{99}, 0, 64, 0});  // unattached
+  sim_.run();
+  // Lossless from here so the crash/partition messages reach their checks.
+  network_.set_link(a_, b_, LinkConfig{LatencyModel::fixed(sim::msec(1)), 0.0});
+  network_.crash(b_);
+  send_ab();              // in-flight crash drop
+  network_.crash(a_);
+  send_ab();              // source-crash attempt: excluded from `sent`
+  network_.recover(a_);
+  network_.set_partition(a_, 1);
+  send_ab();              // partition drop (send-time)
+  sim_.run();
+
+  const auto& m = network_.metrics();
+  EXPECT_EQ(m.dropped_src_crash, 1u);
+  EXPECT_GE(m.dropped_crash, 1u);
+  EXPECT_GE(m.dropped_partition, 1u);
+  EXPECT_EQ(m.dropped_unattached, 1u);
+  EXPECT_EQ(m.sent, m.delivered + m.dropped_loss + m.dropped_partition +
+                        m.dropped_crash + m.dropped_unattached);
+}
+
+TEST_F(NetworkTest, DefaultDropProbabilityAdjustsAndRestores) {
+  network_.set_default_drop_probability(1.0);
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(network_.metrics().dropped_loss, 1u);
+  network_.set_default_drop_probability(0.0);
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(network_.metrics().delivered, 1u);
+  // Per-link overrides are unaffected by the default-link adjustment.
+  network_.set_link(a_, b_, LinkConfig{LatencyModel::fixed(sim::msec(1)), 0.0});
+  network_.set_default_drop_probability(1.0);
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(network_.metrics().delivered, 2u);
 }
 
 TEST_F(NetworkTest, UnattachedDestinationCounted) {

@@ -3,17 +3,21 @@
 //   rgb_exp --list
 //   rgb_exp run <scenario-id> [--threads N] [--trials N] [--seed S]
 //                             [--csv PATH|-] [--json PATH|-] [--no-table]
+//                             [--check]
 //
 // Aggregate output (table / CSV / JSON on stdout) is a pure function of
-// (scenario, seed, trials): byte-identical for any --threads value. Timing
-// and pool diagnostics go to stderr. See EXPERIMENTS.md for the catalogue.
+// (scenario, seed, trials): byte-identical for any --threads value — the
+// --check violation report included. Timing and pool diagnostics go to
+// stderr. See EXPERIMENTS.md for the catalogue and the invariant suite.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "check/check.hpp"
 #include "exp/exp.hpp"
 
 namespace {
@@ -28,7 +32,9 @@ int usage(const char* argv0, int code) {
      << "  --seed S       base seed (default: 0xE5EED)\n"
      << "  --csv PATH     write CSV ('-' for stdout)\n"
      << "  --json PATH    write JSON ('-' for stdout)\n"
-     << "  --no-table     suppress the default table on stdout\n";
+     << "  --no-table     suppress the default table on stdout\n"
+     << "  --check        run the invariant-oracle suite over every trial;\n"
+     << "                 exit 1 when any scenario invariant is violated\n";
   return code;
 }
 
@@ -75,6 +81,7 @@ int main(int argc, char** argv) {
   rgb::exp::RunnerOptions options;
   std::string csv_path, json_path;
   bool print_table = true;
+  bool check_mode = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -110,6 +117,8 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--no-table") {
       print_table = false;
+    } else if (arg == "--check") {
+      check_mode = true;
     } else {
       std::cerr << "rgb_exp: unknown option '" << arg << "'\n";
       return usage(argv[0], 2);
@@ -121,6 +130,13 @@ int main(int argc, char** argv) {
     std::cerr << "rgb_exp: no scenario '" << id
               << "' (try: " << argv[0] << " --list)\n";
     return 1;
+  }
+
+  // The observer outlives the runner; trials feed it their system models.
+  std::unique_ptr<rgb::check::CheckObserver> checker;
+  if (check_mode) {
+    checker = std::make_unique<rgb::check::CheckObserver>(scenario->check_mask);
+    options.observer = checker.get();
   }
 
   const rgb::exp::TrialRunner runner{options};
@@ -140,5 +156,15 @@ int main(int argc, char** argv) {
   }
   std::cerr << result.total_trials << " trials on " << result.threads_used
             << " thread(s) in " << result.wall_ms << " ms\n";
+
+  if (checker != nullptr) {
+    const rgb::check::CheckReport report = checker->report();
+    std::cout << "check: " << report.size() << " violation(s) over "
+              << checker->trials_checked() << " checked trial session(s)\n";
+    if (!report.passed()) {
+      report.print(std::cout);
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,187 @@
+// rgb_fuzz — seed search for invariant violations under adversarial fault
+// schedules, with automatic repro minimization.
+//
+//   rgb_fuzz [--proto rgb|tree|flatring|gossip] [--seeds N] [--start S]
+//            [--tiers H] [--ring R] [--members M] [--events E]
+//            [--crashes 0|1] [--partitions 0|1] [--bursts 0|1]
+//            [--handoffs 0|1] [--mask BITS] [--schedule FILE] [--quiet]
+//
+// For each seed in [start, start+N) the tool generates a random fault
+// schedule, replays it against the chosen protocol, and runs the invariant
+// oracles. On a violation it greedily minimizes the schedule to a smallest
+// still-violating repro and prints it in the declarative format together
+// with the exact replay command. Exit code: 0 when every seed passes, 1
+// when any violation was found, 2 on usage errors.
+//
+// With --schedule FILE the tool skips generation and replays the given
+// schedule file (e.g. a minimized repro from a previous run) under seed
+// `start` — deterministic down to the violation report bytes.
+//
+// The default profile matches the paper's fault model (node crashes with
+// recovery + message loss bursts + handoff churn); `--partitions 1` adds
+// reachability splits (healed before quiescence), exercising the
+// partition-merge extension.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "check/check.hpp"
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0 << " [options]\n"
+     << "  --proto P      protocol under test: rgb|tree|flatring|gossip"
+        " (default rgb)\n"
+     << "  --seeds N      number of seeds to search (default 10)\n"
+     << "  --start S      first seed (default 1)\n"
+     << "  --tiers H      ring tiers (default 2)\n"
+     << "  --ring R       ring size / branching (default 3)\n"
+     << "  --members M    initial members (default 8)\n"
+     << "  --events E     schedule events per seed (default 10)\n"
+     << "  --crashes B    enable NE crash/recover faults (default 1)\n"
+     << "  --partitions B enable partition/heal faults (default 0)\n"
+     << "  --bursts B     enable message-loss bursts (default 1)\n"
+     << "  --handoffs B   enable handoff churn (default 1)\n"
+     << "  --mask BITS    invariant mask (default all; see EXPERIMENTS.md)\n"
+     << "  --schedule F   replay schedule file F under seed --start\n"
+     << "  --quiet        only report violations and the final summary\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rgb::check::AdversarialConfig cfg;
+  std::uint64_t seeds = 10;
+  std::uint64_t start = 1;
+  std::string schedule_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "rgb_fuzz: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto next_u64 = [&]() -> std::uint64_t {
+      const char* text = next();
+      char* end = nullptr;
+      const std::uint64_t value = std::strtoull(text, &end, 0);
+      if (end == text || *end != '\0' || text[0] == '-') {
+        std::cerr << "rgb_fuzz: " << arg << " needs a number, got '" << text
+                  << "'\n";
+        std::exit(2);
+      }
+      return value;
+    };
+    try {
+      if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+      if (arg == "--proto") {
+        cfg.protocol = rgb::check::protocol_from_name(next());
+      } else if (arg == "--seeds") {
+        seeds = next_u64();
+      } else if (arg == "--start") {
+        start = next_u64();
+      } else if (arg == "--tiers") {
+        cfg.tiers = static_cast<int>(next_u64());
+      } else if (arg == "--ring") {
+        cfg.ring_size = static_cast<int>(next_u64());
+      } else if (arg == "--members") {
+        cfg.initial_members = static_cast<int>(next_u64());
+      } else if (arg == "--events") {
+        cfg.gen.events = static_cast<int>(next_u64());
+      } else if (arg == "--crashes") {
+        cfg.gen.crashes = next_u64() != 0;
+      } else if (arg == "--partitions") {
+        cfg.gen.partitions = next_u64() != 0;
+      } else if (arg == "--bursts") {
+        cfg.gen.drop_bursts = next_u64() != 0;
+      } else if (arg == "--handoffs") {
+        cfg.gen.handoffs = next_u64() != 0;
+      } else if (arg == "--mask") {
+        cfg.check_mask = static_cast<unsigned>(next_u64());
+      } else if (arg == "--schedule") {
+        schedule_path = next();
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        std::cerr << "rgb_fuzz: unknown option '" << arg << "'\n";
+        return usage(argv[0], 2);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "rgb_fuzz: " << e.what() << '\n';
+      return 2;
+    }
+  }
+
+  // Replay mode: one schedule file, one seed.
+  if (!schedule_path.empty()) {
+    std::ifstream file{schedule_path};
+    if (!file) {
+      std::cerr << "rgb_fuzz: cannot read '" << schedule_path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    rgb::check::FaultSchedule schedule;
+    try {
+      schedule = rgb::check::parse_schedule(text.str());
+    } catch (const std::exception& e) {
+      std::cerr << "rgb_fuzz: " << e.what() << '\n';
+      return 2;
+    }
+    const auto result = rgb::check::run_schedule(cfg, schedule, start);
+    std::cout << "replay " << schedule.id << " seed " << start << " ["
+              << rgb::check::to_string(cfg.protocol) << "]: "
+              << result.report.size() << " violation(s), "
+              << result.events_applied << " events, " << result.messages_sent
+              << " msgs\n";
+    result.report.print(std::cout);
+    return result.passed() ? 0 : 1;
+  }
+
+  std::uint64_t violations_found = 0;
+  for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
+    const rgb::check::FaultSchedule schedule =
+        rgb::check::random_schedule_for(cfg, seed);
+    const auto result = rgb::check::run_schedule(cfg, schedule, seed);
+    if (result.passed()) {
+      if (!quiet) {
+        std::cout << "seed " << seed << ": ok (" << result.events_applied
+                  << " events, " << result.messages_sent << " msgs)\n";
+      }
+      continue;
+    }
+    ++violations_found;
+    std::cout << "seed " << seed << ": " << result.report.size()
+              << " violation(s)\n";
+    result.report.print(std::cout);
+
+    std::uint64_t replays = 0;
+    const rgb::check::FaultSchedule minimized =
+        rgb::check::minimize(cfg, schedule, seed, &replays);
+    std::cout << "--- minimized repro (" << minimized.events.size() << "/"
+              << schedule.events.size() << " events after " << replays
+              << " replays) ---\n"
+              << minimized.serialize()
+              << "--- replay with: rgb_fuzz --proto "
+              << rgb::check::to_string(cfg.protocol) << " --tiers "
+              << cfg.tiers << " --ring " << cfg.ring_size << " --members "
+              << cfg.initial_members << " --start " << seed
+              << " --schedule <file> ---\n";
+  }
+
+  std::cout << "rgb_fuzz [" << rgb::check::to_string(cfg.protocol) << "]: "
+            << violations_found << " violating seed(s) of " << seeds
+            << " searched\n";
+  return violations_found == 0 ? 0 : 1;
+}
