@@ -1,0 +1,40 @@
+// bench_scale — the perf-trajectory bench (PR3): sweeps the member count
+// up to ~100k and measures join-phase throughput, steady-state event rate,
+// kViewSync traffic (digest-first vs full-table anti-entropy) and peak RSS.
+// Emits the BENCH_*.json artifact consumed by EXPERIMENTS.md.
+//
+//   bench_scale [out.json]          # default sweep, both modes
+//
+// A thin wrapper over the shared sweep engine; for custom sweeps use
+// `rgb_exp bench` (same engine, full flag set).
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/bench.hpp"
+
+int main(int argc, char** argv) {
+  rgb::bench::banner("bench_scale (PR3 perf trajectory)",
+                     "Steady-state anti-entropy cost and event throughput "
+                     "vs member count,\ndigest-first vs full-table kViewSync "
+                     "(h=2, r=5, 30 NEs).");
+
+  const rgb::exp::ScaleConfig base;  // defaults: h=2 r=5, 250ms probe, 10 ticks
+  const std::vector<rgb::exp::ScaleStats> all = rgb::exp::run_scale_sweep(
+      base, {1000, 10000, 100000}, /*digest_mode=*/true, /*full_mode=*/true,
+      std::cout);
+
+  if (argc > 1) {
+    std::ofstream file{argv[1]};
+    if (!file) {
+      std::cerr << "bench_scale: cannot open '" << argv[1] << "'\n";
+      return 1;
+    }
+    rgb::exp::write_bench_json(base, all, file);
+    std::cout << "\nwrote " << argv[1] << "\n";
+  } else {
+    rgb::exp::write_bench_json(base, all, std::cout);
+  }
+  return rgb::exp::all_converged(all) ? 0 : 1;
+}

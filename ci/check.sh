@@ -65,4 +65,20 @@ echo "== rgb_fuzz smoke =="
 "$BUILD_DIR/rgb_fuzz" --seeds 12 --start 1 --quiet
 "$BUILD_DIR/rgb_fuzz" --seeds 6 --start 1 --bursts 0 --handoffs 0 --quiet
 
+# Perf trajectory: a bounded scale-bench smoke must run clean (converged
+# steady-state cells) and emit the BENCH json artifact, so every CI run
+# keeps a point on the trajectory next to the committed BENCH_PR*.json
+# (full sweeps are produced by `bench_scale` / `rgb_exp bench`).
+echo "== bench_scale smoke =="
+bench_log="$(mktemp)"
+if ! "$BUILD_DIR/rgb_exp" bench --smoke --json "$BUILD_DIR/BENCH_PR3.json" \
+    2> "$bench_log"; then
+  echo "FAIL: bench smoke did not run clean:" >&2
+  cat "$bench_log" >&2
+  rm -f "$bench_log"
+  exit 1
+fi
+rm -f "$bench_log"
+test -s "$BUILD_DIR/BENCH_PR3.json"
+
 echo "OK"

@@ -1,0 +1,165 @@
+#include "exp/bench.hpp"
+
+#include <chrono>
+#include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "rgb/rgb.hpp"
+#include "sim/simulator.hpp"
+
+namespace rgb::exp {
+
+namespace {
+
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux (bytes on macOS; close enough)
+#else
+  return 0;
+#endif
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
+  common::RngStream rng{config.seed};
+  sim::Simulator simulator;
+  net::Network network{simulator, rng.fork("net")};
+  core::RgbConfig rgb_config;
+  rgb_config.probe_period = config.probe_period;
+  rgb_config.digest_anti_entropy = config.digest;
+  core::RgbSystem sys{network, rgb_config,
+                      core::HierarchyLayout{config.tiers, config.ring_size}};
+
+  ScaleStats stats;
+  stats.members = config.members;
+  stats.ne_count = sys.layout().ne_count();
+  stats.digest = config.digest;
+
+  // Join phase: members arrive spaced in virtual time, round-robin over
+  // the APs; probing stays off so the phase measures dissemination alone.
+  const auto& aps = sys.aps();
+  for (std::uint64_t i = 0; i < config.members; ++i) {
+    simulator.schedule_at(config.join_spacing * i, [&sys, &aps, i]() {
+      sys.join(common::Guid{i + 1}, aps[i % aps.size()]);
+    });
+  }
+  const auto join_start = std::chrono::steady_clock::now();
+  simulator.run();
+  const auto join_end = std::chrono::steady_clock::now();
+  stats.join_events = simulator.executed_events();
+
+  // Warm-up: the first probe windows repair whatever view divergence the
+  // join surge left behind (anti-entropy mop-up); only then is the system
+  // in steady state.
+  sys.start_probing();
+  simulator.run_until(simulator.now() +
+                      config.probe_period *
+                          static_cast<std::uint64_t>(config.warmup_ticks));
+  const std::uint64_t pre_steady_events = simulator.executed_events();
+
+  // Steady state: probing + anti-entropy only; measure one window.
+  network.reset_metrics();
+  const auto steady_start = std::chrono::steady_clock::now();
+  simulator.run_until(simulator.now() +
+                      config.probe_period *
+                          static_cast<std::uint64_t>(config.steady_ticks));
+  const auto steady_end = std::chrono::steady_clock::now();
+
+  stats.steady_events = simulator.executed_events() - pre_steady_events;
+  const auto& metrics = network.metrics();
+  stats.viewsync_msgs = metrics.sent_of(core::kind::kViewSync);
+  stats.viewsync_bytes = metrics.bytes_of(core::kind::kViewSync);
+  stats.total_bytes = metrics.bytes_sent;
+  stats.converged = sys.membership_converged();
+
+  if (timed) {
+    stats.join_wall_ms = ms_between(join_start, join_end);
+    stats.steady_wall_ms = ms_between(steady_start, steady_end);
+    stats.peak_rss_kb = peak_rss_kb();
+  }
+  return stats;
+}
+
+std::vector<ScaleStats> run_scale_sweep(
+    const ScaleConfig& base, const std::vector<std::uint64_t>& member_counts,
+    bool digest_mode, bool full_mode, std::ostream& log) {
+  std::vector<ScaleStats> all;
+  for (const std::uint64_t members : member_counts) {
+    for (const bool digest : {true, false}) {
+      if (digest ? !digest_mode : !full_mode) continue;
+      ScaleConfig config = base;
+      config.members = members;
+      config.digest = digest;
+      log << "bench: members=" << members
+          << " mode=" << (digest ? "digest" : "full") << " ...\n";
+      const ScaleStats stats = run_scale_trial(config);
+      log << "  join " << stats.join_events << " events in "
+          << stats.join_wall_ms << " ms ("
+          << static_cast<std::uint64_t>(stats.join_events_per_sec())
+          << " ev/s); steady " << stats.steady_events << " events in "
+          << stats.steady_wall_ms << " ms ("
+          << static_cast<std::uint64_t>(stats.steady_events_per_sec())
+          << " ev/s); kViewSync " << stats.viewsync_msgs << " msgs / "
+          << stats.viewsync_bytes << " bytes; rss " << stats.peak_rss_kb
+          << " KiB; converged=" << (stats.converged ? "yes" : "NO")
+          << std::endl;
+      all.push_back(stats);
+    }
+  }
+  return all;
+}
+
+bool all_converged(const std::vector<ScaleStats>& stats) {
+  for (const ScaleStats& s : stats) {
+    if (!s.converged) return false;
+  }
+  return true;
+}
+
+void write_bench_json(const ScaleConfig& base,
+                      const std::vector<ScaleStats>& stats,
+                      std::ostream& os) {
+  os << "{\n"
+     << "  \"bench\": \"bench_scale\",\n"
+     << "  \"layout\": {\"tiers\": " << base.tiers
+     << ", \"ring_size\": " << base.ring_size << "},\n"
+     << "  \"probe_period_us\": " << base.probe_period << ",\n"
+     << "  \"warmup_ticks\": " << base.warmup_ticks << ",\n"
+     << "  \"steady_ticks\": " << base.steady_ticks << ",\n"
+     << "  \"join_spacing_us\": " << base.join_spacing << ",\n"
+     << "  \"seed\": " << base.seed << ",\n"
+     << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const ScaleStats& s = stats[i];
+    os << "    {\"members\": " << s.members << ", \"ne_count\": " << s.ne_count
+       << ", \"digest\": " << (s.digest ? "true" : "false")
+       << ", \"converged\": " << (s.converged ? "true" : "false") << ",\n"
+       << "     \"join\": {\"events\": " << s.join_events
+       << ", \"wall_ms\": " << s.join_wall_ms
+       << ", \"events_per_sec\": " << s.join_events_per_sec() << "},\n"
+       << "     \"steady\": {\"events\": " << s.steady_events
+       << ", \"wall_ms\": " << s.steady_wall_ms
+       << ", \"events_per_sec\": " << s.steady_events_per_sec()
+       << ", \"viewsync_msgs\": " << s.viewsync_msgs
+       << ", \"viewsync_bytes\": " << s.viewsync_bytes
+       << ", \"total_bytes\": " << s.total_bytes << "},\n"
+       << "     \"peak_rss_kb\": " << s.peak_rss_kb << "}"
+       << (i + 1 < stats.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace rgb::exp

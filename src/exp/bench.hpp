@@ -1,0 +1,97 @@
+// Scale bench: the repo's perf-trajectory measurement.
+//
+// One trial builds an RGB hierarchy, joins N members (arrivals spaced in
+// virtual time, round-robin over the APs), lets the protocol quiesce, then
+// enables probing and measures a steady-state anti-entropy window. It
+// reports two kinds of numbers:
+//
+//  * deterministic protocol metrics — events executed, kViewSync messages
+//    and bytes over the steady window, convergence — pure functions of the
+//    (seed, config) pair, byte-identical across hosts and thread counts;
+//    these back the registered `bench.scale` scenario and the >=10x
+//    digest-vs-full traffic claim;
+//  * wall-clock metrics — join/steady wall time, events/sec, peak RSS —
+//    host-dependent by nature, reported only by the timed bench entry
+//    points (`bench_scale`, `rgb_exp bench`) and recorded per PR in
+//    BENCH_*.json so the perf trajectory accumulates alongside the code.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rgb::exp {
+
+struct ScaleConfig {
+  int tiers = 2;      ///< ring tiers (h)
+  int ring_size = 5;  ///< nodes per ring (r)
+  std::uint64_t members = 1000;
+  bool digest = true;  ///< digest-first vs full-table anti-entropy
+  /// Virtual time between member arrivals.
+  sim::Duration join_spacing = sim::usec(500);
+  sim::Duration probe_period = sim::msec(250);
+  /// Reconciliation warm-up before the measured window, in probe periods:
+  /// a large join surge leaves residual view divergence that the first
+  /// anti-entropy ticks repair, so the measured window starts only after
+  /// one full sweep of the hierarchy (this is what makes the measured
+  /// window *steady* state rather than mop-up).
+  int warmup_ticks = 10;
+  /// Steady-state measurement window, in probe periods.
+  int steady_ticks = 10;
+  std::uint64_t seed = 0xBE7C4ULL;
+};
+
+struct ScaleStats {
+  // Echo of the cell.
+  std::uint64_t members = 0;
+  std::uint64_t ne_count = 0;
+  bool digest = true;
+
+  // Deterministic protocol metrics.
+  std::uint64_t join_events = 0;    ///< events to build + converge the group
+  std::uint64_t steady_events = 0;  ///< events over the steady window
+  std::uint64_t viewsync_msgs = 0;  ///< kViewSync sends over the window
+  std::uint64_t viewsync_bytes = 0; ///< kViewSync bytes over the window
+  std::uint64_t total_bytes = 0;    ///< all bytes over the window
+  bool converged = false;
+
+  // Wall-clock metrics (zero when only the deterministic part ran).
+  double join_wall_ms = 0.0;
+  double steady_wall_ms = 0.0;
+  long peak_rss_kb = 0;  ///< getrusage ru_maxrss after the trial
+
+  [[nodiscard]] double join_events_per_sec() const {
+    return join_wall_ms > 0 ? join_events / (join_wall_ms / 1000.0) : 0.0;
+  }
+  [[nodiscard]] double steady_events_per_sec() const {
+    return steady_wall_ms > 0 ? steady_events / (steady_wall_ms / 1000.0)
+                              : 0.0;
+  }
+};
+
+/// Runs one scale trial. `timed` additionally fills the wall-clock fields
+/// (the deterministic fields never depend on it).
+[[nodiscard]] ScaleStats run_scale_trial(const ScaleConfig& config,
+                                         bool timed = true);
+
+/// Runs the full members x mode grid (timed), logging one summary line per
+/// cell to `log`. Shared by `bench_scale` and `rgb_exp bench` so the sweep
+/// semantics — cell order, mode selection, reporting — live in one place.
+[[nodiscard]] std::vector<ScaleStats> run_scale_sweep(
+    const ScaleConfig& base, const std::vector<std::uint64_t>& member_counts,
+    bool digest_mode, bool full_mode, std::ostream& log);
+
+/// True when every cell reached convergence — a non-converged cell means a
+/// window measured a system still reconciling, so its numbers are not
+/// comparable across PRs and the bench entry points exit non-zero.
+[[nodiscard]] bool all_converged(const std::vector<ScaleStats>& stats);
+
+/// Writes the BENCH_*.json perf-trajectory artifact: one record per stats
+/// entry plus the shared sweep configuration.
+void write_bench_json(const ScaleConfig& base,
+                      const std::vector<ScaleStats>& stats, std::ostream& os);
+
+}  // namespace rgb::exp

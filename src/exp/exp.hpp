@@ -12,6 +12,7 @@
 // worker-thread count. tests/exp/runner_test.cpp asserts this at 1/2/8.
 #pragma once
 
+#include "exp/bench.hpp"      // IWYU pragma: export
 #include "exp/export.hpp"     // IWYU pragma: export
 #include "exp/runner.hpp"     // IWYU pragma: export
 #include "exp/scenario.hpp"   // IWYU pragma: export

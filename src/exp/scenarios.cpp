@@ -7,6 +7,7 @@
 #include "analysis/reliability.hpp"
 #include "analysis/scalability.hpp"
 #include "check/check.hpp"
+#include "exp/bench.hpp"
 #include "flatring/flat_ring.hpp"
 #include "net/network.hpp"
 #include "rgb/rgb.hpp"
@@ -455,6 +456,41 @@ Scenario make_check_adversarial() {
   return s;
 }
 
+// --- EX5: scale bench, digest vs full-table anti-entropy --------------------
+
+Scenario make_bench_scale() {
+  Scenario s;
+  s.id = "bench.scale";
+  s.title = "Scale sweep: steady-state anti-entropy cost, digest vs full";
+  s.paper_ref = "extension (perf trajectory, PR3)";
+  // Deterministic protocol metrics only — wall-clock numbers come from the
+  // timed entry points (`rgb_exp bench`, bench_scale) and BENCH_*.json.
+  s.metrics = {"viewsync_bytes", "viewsync_msgs", "steady_events",
+               "join_events", "converged"};
+  for (const double members : {250.0, 1000.0}) {
+    for (const double digest : {1.0, 0.0}) {
+      s.cells.push_back(ParamSet{{"h", 2.0},
+                                 {"r", 5.0},
+                                 {"members", members},
+                                 {"digest", digest}});
+    }
+  }
+  s.trials_per_cell = 1;
+  s.run = [](const TrialContext& ctx) -> std::vector<double> {
+    ScaleConfig config;
+    config.tiers = ctx.params.get_int("h");
+    config.ring_size = ctx.params.get_int("r");
+    config.members = static_cast<std::uint64_t>(ctx.params.get_int("members"));
+    config.digest = ctx.params.get_int("digest") != 0;
+    config.seed = ctx.seed;
+    const ScaleStats stats = run_scale_trial(config, /*timed=*/false);
+    return {double(stats.viewsync_bytes), double(stats.viewsync_msgs),
+            double(stats.steady_events), double(stats.join_events),
+            stats.converged ? 1.0 : 0.0};
+  };
+  return s;
+}
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioRegistry& registry) {
@@ -467,6 +503,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(make_mobility_handoff());
   registry.add(make_flashcrowd_agg());
   registry.add(make_check_adversarial());
+  registry.add(make_bench_scale());
 }
 
 const ScenarioRegistry& builtin_scenarios() {

@@ -17,6 +17,8 @@ namespace rgb::exp {
 ///   churn.converge     EX1 — convergence under Poisson churn
 ///   mobility.handoff   EX2 — grid mobility handoff storm
 ///   flashcrowd.agg     EX3 — flash crowd with/without MQ aggregation
+///   check.adversarial  EX4 — adversarial fault schedules vs the oracles
+///   bench.scale        EX5 — scale sweep, digest vs full anti-entropy
 void register_builtin_scenarios(ScenarioRegistry& registry);
 
 /// Singleton registry pre-loaded with the built-ins.

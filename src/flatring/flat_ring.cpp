@@ -79,10 +79,10 @@ void RingNode::forward(RingTokenMsg token) {
 void RingNode::deliver(const net::Envelope& env) {
   switch (env.kind) {
     case kRingToken:
-      on_token(std::any_cast<RingTokenMsg>(env.payload));
+      on_token(env.payload.get<RingTokenMsg>());
       break;
     case kRingWake: {
-      const auto wake = std::any_cast<WakeMsg>(env.payload);
+      const auto& wake = env.payload.get<WakeMsg>();
       if (wake.origin == id()) return;  // full circle, token was moving
       if (!seen_wakes_.insert(wake.wake_id).second) return;
       if (parked_) {

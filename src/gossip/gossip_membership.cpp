@@ -112,14 +112,14 @@ void GossipNode::declare_peer_failed(NodeId peer) {
 void GossipNode::deliver(const net::Envelope& env) {
   switch (env.kind) {
     case kPing: {
-      const auto ping = std::any_cast<PingMsg>(env.payload);
+      const auto& ping = env.payload.get<PingMsg>();
       absorb(ping.updates);
       strikes_.erase(env.src);
       send(env.src, kAck, AckMsg{ping.ping_id, select_updates()});
       break;
     }
     case kAck: {
-      const auto ack = std::any_cast<AckMsg>(env.payload);
+      const auto& ack = env.payload.get<AckMsg>();
       absorb(ack.updates);
       strikes_.erase(env.src);
       pings_in_flight_.erase(ack.ping_id);

@@ -38,6 +38,10 @@ void Network::set_default_drop_probability(double p) {
 }
 
 const LinkConfig& Network::link_between(NodeId a, NodeId b) const {
+  // Most deployments never override a link: skip the key build + hash probe
+  // entirely and hand back the default (the `send` hot path hits this once
+  // per message).
+  if (links_.empty()) return default_link_;
   const auto it = links_.find(link_key(a, b));
   return it == links_.end() ? default_link_ : it->second;
 }
@@ -47,6 +51,8 @@ void Network::crash(NodeId id) { crashed_[id] = true; }
 void Network::recover(NodeId id) { crashed_.erase(id); }
 
 bool Network::is_crashed(NodeId id) const {
+  // Fast path for the common fault-free run: no hash probe at all.
+  if (crashed_.empty()) return false;
   const auto it = crashed_.find(id);
   return it != crashed_.end() && it->second;
 }
@@ -58,6 +64,7 @@ void Network::set_partition(NodeId id, int partition) {
 void Network::clear_partitions() { partitions_.clear(); }
 
 int Network::partition_of(NodeId id) const {
+  if (partitions_.empty()) return 0;  // fast path: no partitions configured
   const auto it = partitions_.find(id);
   return it == partitions_.end() ? 0 : it->second;
 }
@@ -78,6 +85,7 @@ void Network::send(Envelope env) {
   ++metrics_.sent;
   metrics_.bytes_sent += env.size_bytes;
   ++metrics_.sent_per_kind[env.kind];
+  metrics_.bytes_per_kind[env.kind] += env.size_bytes;
 
   const LinkConfig& link = link_between(env.src, env.dst);
 

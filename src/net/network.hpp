@@ -66,7 +66,19 @@ class Network {
     std::uint64_t dropped_unattached = 0;
     std::uint64_t bytes_sent = 0;
     std::unordered_map<MessageKind, std::uint64_t> sent_per_kind;
+    std::unordered_map<MessageKind, std::uint64_t> bytes_per_kind;
     common::Accumulator delivery_latency_us;
+
+    /// Bytes metered under `kind` (0 when the kind never sent).
+    [[nodiscard]] std::uint64_t bytes_of(MessageKind kind) const {
+      const auto it = bytes_per_kind.find(kind);
+      return it == bytes_per_kind.end() ? 0 : it->second;
+    }
+    /// Messages metered under `kind` (0 when the kind never sent).
+    [[nodiscard]] std::uint64_t sent_of(MessageKind kind) const {
+      const auto it = sent_per_kind.find(kind);
+      return it == sent_per_kind.end() ? 0 : it->second;
+    }
   };
 
   Network(sim::Simulator& simulator, common::RngStream rng,

@@ -11,7 +11,7 @@ Process::Process(NodeId id, net::Network& network)
 
 Process::~Process() { network_.detach(id_); }
 
-void Process::send(NodeId dst, net::MessageKind kind, std::any payload,
+void Process::send(NodeId dst, net::MessageKind kind, net::Payload payload,
                    std::uint32_t size_bytes) {
   network_.send(net::Envelope{id_, dst, kind, size_bytes, std::move(payload)});
 }

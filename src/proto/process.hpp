@@ -7,7 +7,6 @@
 // timer plane without every protocol re-checking.
 #pragma once
 
-#include <any>
 #include <functional>
 
 #include "net/network.hpp"
@@ -34,8 +33,11 @@ class Process : public net::Endpoint {
   [[nodiscard]] bool crashed() const { return network_.is_crashed(id_); }
 
  protected:
-  /// Sends `payload` to `dst`, metered under `kind`.
-  void send(NodeId dst, net::MessageKind kind, std::any payload,
+  /// Sends `payload` to `dst`, metered under `kind`. Message structs
+  /// convert to `net::Payload` implicitly; fan-out senders build the
+  /// Payload once and pass it to every send so the value is shared, not
+  /// re-copied per destination.
+  void send(NodeId dst, net::MessageKind kind, net::Payload payload,
             std::uint32_t size_bytes = 64);
 
   /// Schedules `fn` after `delay`; the callback is dropped if this node is

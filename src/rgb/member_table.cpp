@@ -4,43 +4,72 @@
 
 namespace rgb::core {
 
+namespace {
+/// SplitMix64 finalizer: cheap, well-mixed, and stable across platforms
+/// (the digest is compared between NEs, so it must be a pure function of
+/// the entry values).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::uint64_t MemberTable::entry_hash(const MemberRecord& record,
+                                      std::uint64_t last_seq) {
+  // Chained mixing over every field that reconciliation cares about: a
+  // change to the seq, the hosting AP or the status must flip the digest.
+  std::uint64_t h = mix(record.guid.value());
+  h = mix(h ^ last_seq);
+  h = mix(h ^ (record.access_proxy.value() * 4 +
+               static_cast<std::uint64_t>(record.status)));
+  return h;
+}
+
 bool MemberTable::apply(const MembershipOp& op) {
   if (!op.is_member_op()) return false;
 
-  auto& entry = records_[op.member.guid];
+  const auto [it, inserted] = records_.try_emplace(op.member.guid);
+  Entry& entry = it->second;
   // Idempotent, monotone apply: an op older than what we already reflected
   // for this member is a duplicate or a stale retransmission.
-  if (entry.last_seq != 0 && op.seq <= entry.last_seq) return false;
+  if (!inserted && entry.last_seq != 0 && op.seq <= entry.last_seq) {
+    return false;
+  }
+  if (!inserted) digest_ ^= entry_hash(entry);
   entry.last_seq = op.seq;
+  entry.record = op.member;
 
   switch (op.kind) {
     case OpKind::kMemberJoin:
-      entry.record = op.member;
-      entry.record.status = MemberStatus::kOperational;
-      return true;
     case OpKind::kMemberHandoff:
-      entry.record = op.member;
       entry.record.status = MemberStatus::kOperational;
-      return true;
+      break;
     case OpKind::kMemberLeave:
-      entry.record = op.member;
       entry.record.status = MemberStatus::kDisconnected;
-      return true;
-    case OpKind::kMemberFail:
-      entry.record = op.member;
+      break;
+    default:  // kMemberFail (is_member_op() admits no other kind)
       entry.record.status = MemberStatus::kFailed;
-      return true;
-    default:
-      return false;
+      break;
   }
+  digest_ ^= entry_hash(entry);
+  return true;
 }
 
 void MemberTable::upsert(const MemberRecord& rec) {
-  auto& entry = records_[rec.guid];
-  entry.record = rec;
+  const auto [it, inserted] = records_.try_emplace(rec.guid);
+  if (!inserted) digest_ ^= entry_hash(it->second);
+  it->second.record = rec;
+  digest_ ^= entry_hash(it->second);
 }
 
-void MemberTable::remove(Guid guid) { records_.erase(guid); }
+void MemberTable::remove(Guid guid) {
+  const auto it = records_.find(guid);
+  if (it == records_.end()) return;
+  digest_ ^= entry_hash(it->second);
+  records_.erase(it);
+}
 
 std::optional<MemberRecord> MemberTable::find(Guid guid) const {
   const auto it = records_.find(guid);
@@ -91,10 +120,13 @@ std::vector<MemberRecord> MemberTable::members_at(NodeId ap) const {
 
 void MemberTable::merge(const MemberTable& other) {
   for (const auto& [guid, their] : other.records_) {
-    auto it = records_.find(guid);
-    if (it == records_.end() || their.last_seq > it->second.last_seq) {
-      records_[guid] = their;
+    const auto [it, inserted] = records_.try_emplace(guid);
+    if (!inserted) {
+      if (their.last_seq <= it->second.last_seq) continue;
+      digest_ ^= entry_hash(it->second);
     }
+    it->second = their;
+    digest_ ^= entry_hash(it->second);
   }
 }
 
@@ -114,12 +146,14 @@ std::vector<TableEntry> MemberTable::export_entries() const {
 bool MemberTable::import_entries(const std::vector<TableEntry>& entries) {
   bool changed = false;
   for (const TableEntry& incoming : entries) {
-    auto it = records_.find(incoming.record.guid);
-    if (it == records_.end() || incoming.last_seq > it->second.last_seq) {
-      records_[incoming.record.guid] =
-          Entry{incoming.record, incoming.last_seq};
-      changed = true;
+    const auto [it, inserted] = records_.try_emplace(incoming.record.guid);
+    if (!inserted) {
+      if (incoming.last_seq <= it->second.last_seq) continue;
+      digest_ ^= entry_hash(it->second);
     }
+    it->second = Entry{incoming.record, incoming.last_seq};
+    digest_ ^= entry_hash(it->second);
+    changed = true;
   }
   return changed;
 }
@@ -149,6 +183,9 @@ bool operator==(const MemberTable& a, const MemberTable& b) {
   return a.snapshot() == b.snapshot();
 }
 
-void MemberTable::clear() { records_.clear(); }
+void MemberTable::clear() {
+  records_.clear();
+  digest_ = 0;
+}
 
 }  // namespace rgb::core

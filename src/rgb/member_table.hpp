@@ -27,6 +27,19 @@ struct TableEntry {
   friend bool operator==(const TableEntry&, const TableEntry&) = default;
 };
 
+/// Compact summary of a table for digest-first anti-entropy: an
+/// order-independent 64-bit hash over every (guid, seq, record) plus the
+/// entry count. Equal tables always have equal digests; unequal tables
+/// collide with probability ~2^-64 per comparison (and only a *persistent*
+/// collision — two tables that differ yet never change again — could stall
+/// reconciliation, since any further mutation re-rolls the hash).
+struct ViewDigest {
+  std::uint64_t hash = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const ViewDigest&, const ViewDigest&) = default;
+};
+
 class MemberTable {
  public:
   /// Applies a member op. Returns true if the table changed. NE ops are
@@ -71,6 +84,19 @@ class MemberTable {
   [[nodiscard]] std::vector<TableEntry> newer_than(
       const std::vector<TableEntry>& incoming) const;
 
+  /// O(1) anti-entropy digest, maintained incrementally: every mutation
+  /// xors the affected entry's hash out of / into the accumulator, so a
+  /// steady-state sync tick costs a comparison instead of an
+  /// export-sort-ship of the whole table.
+  [[nodiscard]] ViewDigest digest() const {
+    return ViewDigest{digest_, records_.size()};
+  }
+
+  /// The hash one entry contributes to the digest (exposed for tests that
+  /// need to predict or collide digests).
+  [[nodiscard]] static std::uint64_t entry_hash(const MemberRecord& record,
+                                                std::uint64_t last_seq);
+
   friend bool operator==(const MemberTable& a, const MemberTable& b);
 
   void clear();
@@ -80,7 +106,12 @@ class MemberTable {
     MemberRecord record;
     std::uint64_t last_seq = 0;  ///< newest op sequence applied to this guid
   };
+  [[nodiscard]] static std::uint64_t entry_hash(const Entry& entry) {
+    return entry_hash(entry.record, entry.last_seq);
+  }
+
   std::unordered_map<Guid, Entry> records_;
+  std::uint64_t digest_ = 0;  ///< xor-accumulated entry hashes
 };
 
 }  // namespace rgb::core

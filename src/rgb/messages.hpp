@@ -143,14 +143,29 @@ struct RingReformMsg {
   std::vector<TableEntry> entries;
 };
 
-/// Anti-entropy view reconciliation (extension): the sender's full member
-/// table as seq-keyed entries. The receiver merges monotonically and, when
-/// `reply_requested`, answers with the entries it alone holds newer — one
-/// bounded diff, no further cascading. Leaders emit these on probe ticks
-/// towards their ring, parent and child, which restores views that lost
-/// notifications to crash/repair windows.
+/// Anti-entropy view reconciliation (extension), digest-first. Leaders emit
+/// these on probe ticks towards their ring, parent and child, which
+/// restores views that lost notifications to crash/repair windows.
+///
+/// Three phases:
+///  * kDigest — steady-state tick: only the sender's table digest (an
+///    order-independent 64-bit hash over (guid, seq, record) plus the entry
+///    count; see MemberTable::digest). A receiver whose own digest matches
+///    does nothing; on mismatch it answers with a kFull carrying its table.
+///  * kFull   — the sender's full seq-keyed view. The receiver merges
+///    monotonically and, when `reply_requested`, answers with a kDiff of
+///    the entries it alone holds newer — one bounded diff, no cascading.
+///    (Full-table mode, config.digest_anti_entropy = false, starts here
+///    directly: the PR2 behaviour, kept for equivalence tests and as the
+///    measurement baseline.)
+///  * kDiff   — the bounded diff reply; merged, never answered.
 struct ViewSyncMsg {
-  std::vector<TableEntry> entries;
+  enum class Phase : std::uint8_t { kFull, kDigest, kDiff };
+  Phase phase = Phase::kFull;
+  /// kDigest only: the sender's MemberTable::digest() hash and entry count.
+  std::uint64_t digest = 0;
+  std::uint32_t entry_count = 0;
+  std::vector<TableEntry> entries;  ///< empty in kDigest
   bool reply_requested = false;
   /// When the sender is a ring leader syncing its ring, it also carries
   /// its (roster, leader) so ring reforms are *convergent*, not
@@ -205,5 +220,34 @@ struct QueryReplyMsg {
   std::uint64_t query_id;
   std::vector<MemberRecord> members;
 };
+
+// --- wire-size model ----------------------------------------------------------
+//
+// The simulated network prices messages by an approximate serialized size;
+// every payload-size computation goes through these helpers so the cost
+// model lives in exactly one place (it used to be duplicated magic numbers
+// at each send site).
+
+namespace wire {
+/// Fixed per-message overhead: headers, ids, flags.
+inline constexpr std::uint32_t kBaseBytes = 64;
+/// One seq-keyed TableEntry: guid + AP + status + seq.
+inline constexpr std::uint32_t kTableEntryBytes = 24;
+/// One MemberRecord: guid + AP + status.
+inline constexpr std::uint32_t kMemberRecordBytes = 16;
+/// One NodeId (roster elements).
+inline constexpr std::uint32_t kNodeIdBytes = 8;
+}  // namespace wire
+
+[[nodiscard]] inline std::uint32_t wire_size(const ViewSyncMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kTableEntryBytes * static_cast<std::uint32_t>(msg.entries.size()) +
+         wire::kNodeIdBytes * static_cast<std::uint32_t>(msg.roster.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const QueryReplyMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kMemberRecordBytes * static_cast<std::uint32_t>(msg.members.size());
+}
 
 }  // namespace rgb::core

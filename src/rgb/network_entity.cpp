@@ -35,17 +35,22 @@ NetworkEntity::NetworkEntity(NodeId id, NeRole role, int tier,
 // Wiring
 // --------------------------------------------------------------------------
 
+void NetworkEntity::remember_peer(NodeId n) {
+  if (known_peers_set_.insert(n).second) known_peers_.push_back(n);
+}
+
+void NetworkEntity::rebuild_roster_index() {
+  roster_set_.clear();
+  roster_set_.insert(roster_.begin(), roster_.end());
+}
+
 void NetworkEntity::configure_ring(std::vector<NodeId> roster,
                                    NodeId leader) {
   assert(std::find(roster.begin(), roster.end(), id()) != roster.end());
   assert(std::find(roster.begin(), roster.end(), leader) != roster.end());
   roster_ = std::move(roster);
-  for (const NodeId n : roster_) {
-    if (std::find(known_peers_.begin(), known_peers_.end(), n) ==
-        known_peers_.end()) {
-      known_peers_.push_back(n);
-    }
-  }
+  rebuild_roster_index();
+  for (const NodeId n : roster_) remember_peer(n);
   leader_ = leader;
   suspected_faulty_.clear();
   recompute_pointers();
@@ -116,12 +121,12 @@ std::uint64_t NetworkEntity::next_notify_id() {
 // --------------------------------------------------------------------------
 
 void NetworkEntity::local_member_join(Guid mh) {
-  local_attached_.insert(mh);
   MembershipOp op;
   op.kind = OpKind::kMemberJoin;
   op.seq = next_op_seq();
   op.uid = next_op_uid();
   op.member = MemberRecord{mh, id(), MemberStatus::kOperational};
+  local_attached_[mh] = op.seq;
   enqueue_local_op(std::move(op));
 }
 
@@ -136,13 +141,13 @@ void NetworkEntity::local_member_leave(Guid mh) {
 }
 
 void NetworkEntity::local_member_handoff_in(Guid mh, NodeId old_ap) {
-  local_attached_.insert(mh);
   MembershipOp op;
   op.kind = OpKind::kMemberHandoff;
   op.seq = next_op_seq();
   op.uid = next_op_uid();
   op.member = MemberRecord{mh, id(), MemberStatus::kOperational};
   op.old_ap = old_ap;
+  local_attached_[mh] = op.seq;
   enqueue_local_op(std::move(op));
 }
 
@@ -422,9 +427,14 @@ void NetworkEntity::apply_ops_and_notify(const Token& token) {
       // A handoff away from this AP is authoritative departure evidence:
       // without it, a racing (false) failure record could hide the
       // member's new attachment and trick reaffirmation into re-claiming
-      // a member that physically moved.
+      // a member that physically moved. Guarded by the claim seq: a stale
+      // handoff-away replayed after the member re-attached here must not
+      // drop the newer claim.
       if (op.kind == OpKind::kMemberHandoff && op.old_ap == id()) {
-        local_attached_.erase(op.member.guid);
+        const auto it = local_attached_.find(op.member.guid);
+        if (it != local_attached_.end() && it->second < op.seq) {
+          local_attached_.erase(it);
+        }
       }
     } else {
       apply_ne_op(op);
@@ -589,7 +599,7 @@ void NetworkEntity::on_token_retx_timeout(std::uint64_t round_id) {
 
 void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
   if (faulty == id() || !faulty.valid()) return;
-  if (std::find(roster_.begin(), roster_.end(), faulty) == roster_.end()) {
+  if (!in_roster(faulty)) {
     return;  // already repaired (e.g. several hops detected it at once)
   }
   metrics_.repairs.increment();
@@ -611,9 +621,10 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
   // (the paper argues for small r), so the control cost is a handful of
   // messages, and it makes leadership convergence independent of a working
   // round — essential when the faulty node WAS the leader.
+  const net::Payload repair_notice{RepairMsg{id(), {faulty}}};
   for (const NodeId peer : roster_) {
     if (peer == id()) continue;
-    send(peer, kind::kRepair, RepairMsg{id(), {faulty}});
+    send(peer, kind::kRepair, repair_notice);
   }
 
   // Disseminate the failure: NE-Failure for the node, Member-Failure for
@@ -689,14 +700,13 @@ void NetworkEntity::adopt_leadership() {
 void NetworkEntity::remove_from_roster(NodeId node) {
   roster_.erase(std::remove(roster_.begin(), roster_.end(), node),
                 roster_.end());
+  roster_set_.erase(node);
 }
 
 void NetworkEntity::handle_repair(const RepairMsg& msg, NodeId from) {
   for (const NodeId f : msg.faulty) {
     if (f == id()) continue;  // false accusation; merge reconciles later
-    if (std::find(roster_.begin(), roster_.end(), f) == roster_.end()) {
-      continue;  // already excluded
-    }
+    if (!in_roster(f)) continue;  // already excluded
     suspected_faulty_.insert(f);
     const bool was_leader = (f == leader_);
     remove_from_roster(f);
@@ -734,9 +744,7 @@ void NetworkEntity::apply_ne_op(const MembershipOp& op) {
         // falsely accused nodes stay and reconcile via merge.
         return;
       }
-      const bool was_present =
-          std::find(roster_.begin(), roster_.end(), op.ne) != roster_.end();
-      if (!was_present) return;
+      if (!in_roster(op.ne)) return;
       const bool was_leader = (op.ne == leader_);
       if (op.kind == OpKind::kNeFail) suspected_faulty_.insert(op.ne);
       remove_from_roster(op.ne);
@@ -749,19 +757,15 @@ void NetworkEntity::apply_ne_op(const MembershipOp& op) {
       return;
     }
     case OpKind::kNeJoin: {
-      if (std::find(roster_.begin(), roster_.end(), op.ne) != roster_.end()) {
-        return;  // duplicate
-      }
+      if (in_roster(op.ne)) return;  // duplicate
       auto it = std::find(roster_.begin(), roster_.end(), op.ne_after);
       if (it == roster_.end()) {
         roster_.push_back(op.ne);
       } else {
         roster_.insert(std::next(it), op.ne);
       }
-      if (std::find(known_peers_.begin(), known_peers_.end(), op.ne) ==
-          known_peers_.end()) {
-        known_peers_.push_back(op.ne);
-      }
+      roster_set_.insert(op.ne);
+      remember_peer(op.ne);
       suspected_faulty_.erase(op.ne);
       recompute_pointers();
       if (is_leader()) {
@@ -795,13 +799,11 @@ NodeId NetworkEntity::predecessor_of(NodeId node) const {
 
 void NetworkEntity::handle_ring_reform(const RingReformMsg& msg) {
   roster_ = msg.roster;
+  rebuild_roster_index();
   leader_ = msg.leader;
   for (const NodeId n : roster_) {
     suspected_faulty_.erase(n);
-    if (std::find(known_peers_.begin(), known_peers_.end(), n) ==
-        known_peers_.end()) {
-      known_peers_.push_back(n);
-    }
+    remember_peer(n);
   }
   ring_members_.import_entries(msg.entries);
   recompute_pointers();
@@ -966,7 +968,7 @@ void NetworkEntity::on_probe_tick() {
 void NetworkEntity::reaffirm_local_members() {
   if (local_attached_.empty()) return;
   std::vector<Guid> reannounce, departed;
-  for (const Guid mh : local_attached_) {
+  for (const auto& [mh, claim_seq] : local_attached_) {
     const auto rec = ring_members_.find(mh);
     // No record yet: our own join/handoff op is still queued or in a
     // round. Do NOT re-announce — a duplicate join with a fresher seq
@@ -974,20 +976,31 @@ void NetworkEntity::reaffirm_local_members() {
     // that brought the member here). The at-least-once round machinery
     // lands the original op.
     if (!rec) continue;
+    const std::uint64_t rec_seq = ring_members_.last_seq_of(mh);
     if (rec->status == MemberStatus::kOperational) {
       if (rec->access_proxy == id()) continue;  // consistent: hosted here
-      // The record says the member moved to another AP: a handoff we never
-      // saw locally. The newer op wins; stop claiming the member.
-      departed.push_back(mh);
+      // The record says the member moved to another AP. Only a record
+      // NEWER than our own claim proves a handoff we never saw locally —
+      // then the newer op wins and we stop claiming the member. An older
+      // operational record is the pre-handoff state still in view while
+      // our handoff-in op rides a round; treating it as a departure would
+      // erase the claim and permanently silence reaffirmation (a false
+      // failure record arriving next would then stick forever).
+      if (rec_seq > claim_seq) departed.push_back(mh);
       continue;
     }
     // Failed or disconnected — yet the member never left *us* (a genuine
     // departure goes through local_member_leave/fail, which erases it from
-    // local_attached_ first). This is a false accusation from a
-    // failure-detector false positive elsewhere. Re-announce with a fresh
-    // (higher-seq) op: the hosting AP is authoritative for its members.
-    reannounce.push_back(mh);
+    // local_attached_ first). A record older than our claim is outwaited
+    // (the claim op in flight out-ranks it on arrival); a newer one is a
+    // false accusation from a failure-detector false positive elsewhere.
+    // Re-announce with a fresh (higher-seq) op: the hosting AP is
+    // authoritative for its members.
+    if (rec_seq > claim_seq) reannounce.push_back(mh);
   }
+  // Deterministic processing order regardless of hash-map iteration.
+  std::sort(departed.begin(), departed.end());
+  std::sort(reannounce.begin(), reannounce.end());
   for (const Guid mh : departed) local_attached_.erase(mh);
   for (const Guid mh : reannounce) {
     RGB_LOG(kInfo, "reaffirm")
@@ -1004,35 +1017,79 @@ void NetworkEntity::anti_entropy_tick() {
   // views that lost notifications to a crash/repair window reconverge once
   // the network quiesces. The monotone seq rule makes syncs idempotent and
   // loop-free; a receiver answers at most one bounded diff.
-  const std::vector<TableEntry> entries = ring_members_.export_entries();
-  const auto payload_bytes =
-      static_cast<std::uint32_t>(64 + 24 * entries.size());
-  // Ring-internal sync carries the ring shape: members adopt it when their
-  // (roster, leader) drifted — the convergent replacement for a lost
-  // RingReform broadcast.
-  const ViewSyncMsg ring_sync{entries, true, roster_, leader_};
+  //
+  // Digest-first mode ships an O(1) digest per edge; a receiver whose view
+  // already agrees answers nothing, so the steady-state cost per tick is
+  // independent of the member count. Full-table mode (the PR2 baseline)
+  // ships the whole view every tick. Either way the ring-internal message
+  // carries the ring shape: members adopt it when their (roster, leader)
+  // drifted — the convergent replacement for a lost RingReform broadcast.
+  if (config_.digest_anti_entropy) {
+    const ViewDigest digest = ring_members_.digest();
+    ViewSyncMsg ring_sync;
+    ring_sync.phase = ViewSyncMsg::Phase::kDigest;
+    ring_sync.digest = digest.hash;
+    ring_sync.entry_count = static_cast<std::uint32_t>(digest.count);
+    ring_sync.roster = roster_;
+    ring_sync.leader = leader_;
+    const auto ring_bytes = wire_size(ring_sync);
+    // One shared payload for the whole fan-out: k sends, one allocation.
+    const net::Payload ring_payload{std::move(ring_sync)};
+    for (const NodeId peer : roster_) {
+      if (peer == id()) continue;
+      send(peer, kind::kViewSync, ring_payload, ring_bytes);
+    }
+    if (ring_members_.empty()) return;  // cross edges carry only view state
+    ViewSyncMsg cross_sync;
+    cross_sync.phase = ViewSyncMsg::Phase::kDigest;
+    cross_sync.digest = digest.hash;
+    cross_sync.entry_count = static_cast<std::uint32_t>(digest.count);
+    const auto cross_bytes = wire_size(cross_sync);
+    const net::Payload cross_payload{std::move(cross_sync)};
+    if (parent_.valid() && tier_ - 1 >= config_.retain_tier) {
+      send(parent_, kind::kViewSync, cross_payload, cross_bytes);
+    }
+    if (child_.valid() && config_.disseminate_down) {
+      send(child_, kind::kViewSync, cross_payload, cross_bytes);
+    }
+    return;
+  }
+
+  // One export feeds both messages (it is an O(N log N) copy + sort).
+  std::vector<TableEntry> entries = ring_members_.export_entries();
+  const bool have_entries = !entries.empty();
+  ViewSyncMsg ring_sync{ViewSyncMsg::Phase::kFull, 0,       0,
+                        entries,                   true,    roster_,
+                        leader_};
+  const auto ring_bytes = wire_size(ring_sync);
+  const net::Payload ring_payload{std::move(ring_sync)};
   for (const NodeId peer : roster_) {
     if (peer == id()) continue;
-    send(peer, kind::kViewSync, ring_sync, payload_bytes);
+    send(peer, kind::kViewSync, ring_payload, ring_bytes);
   }
-  if (entries.empty()) return;  // cross-ring edges carry only view state
-  const ViewSyncMsg sync{entries, true, {}, NodeId{}};
+  if (!have_entries) return;  // cross-ring edges carry only view state
+  ViewSyncMsg sync{ViewSyncMsg::Phase::kFull,
+                   0,
+                   0,
+                   std::move(entries),
+                   true,
+                   {},
+                   NodeId{}};
+  const auto cross_bytes = wire_size(sync);
+  const net::Payload cross_payload{std::move(sync)};
   if (parent_.valid() && tier_ - 1 >= config_.retain_tier) {
-    send(parent_, kind::kViewSync, sync, payload_bytes);
+    send(parent_, kind::kViewSync, cross_payload, cross_bytes);
   }
   if (child_.valid() && config_.disseminate_down) {
-    send(child_, kind::kViewSync, sync, payload_bytes);
+    send(child_, kind::kViewSync, cross_payload, cross_bytes);
   }
 }
 
 void NetworkEntity::handle_view_sync(const ViewSyncMsg& msg, NodeId from) {
-  RGB_LOG(kDebug, "sync") << now() << " " << id() << " imports "
-                          << msg.entries.size() << " entries from " << from;
-  ring_members_.import_entries(msg.entries);
-
   // Ring-shape adoption: the sync came from a node leading a ring that
   // contains us, and our local (roster, leader) drifted from it — a
-  // reform we never received. Adopt the leader's view of the ring.
+  // reform we never received. Adopt the leader's view of the ring. Rides
+  // the digest in digest mode, the full table in full-table mode.
   if (msg.leader.valid() && msg.leader == from &&
       std::find(msg.roster.begin(), msg.roster.end(), id()) !=
           msg.roster.end() &&
@@ -1041,13 +1098,11 @@ void NetworkEntity::handle_view_sync(const ViewSyncMsg& msg, NodeId from) {
                            << from << " (" << msg.roster.size()
                            << " members)";
     roster_ = msg.roster;
+    rebuild_roster_index();
     leader_ = msg.leader;
     for (const NodeId n : roster_) {
       suspected_faulty_.erase(n);
-      if (std::find(known_peers_.begin(), known_peers_.end(), n) ==
-          known_peers_.end()) {
-        known_peers_.push_back(n);
-      }
+      remember_peer(n);
     }
     recompute_pointers();
     ring_ok_ = true;
@@ -1055,11 +1110,38 @@ void NetworkEntity::handle_view_sync(const ViewSyncMsg& msg, NodeId from) {
     on_mq_activity();
   }
 
+  if (msg.phase == ViewSyncMsg::Phase::kDigest) {
+    // In-sync views answer nothing: the common steady-state tick ends here
+    // having cost one O(1) comparison. (A hash collision between unequal
+    // views — ~2^-64 — also lands here; it heals on the next tick after
+    // either table changes, and never corrupts state since no entries were
+    // merged.) On mismatch, ship our full view and ask for the sender's
+    // newer entries back; the pair then reconverges in one exchange.
+    const ViewDigest mine = ring_members_.digest();
+    if (mine.hash == msg.digest && mine.count == msg.entry_count) return;
+    ViewSyncMsg reply{ViewSyncMsg::Phase::kFull,
+                      0,
+                      0,
+                      ring_members_.export_entries(),
+                      true,
+                      {},
+                      NodeId{}};
+    const auto reply_bytes = wire_size(reply);
+    send(from, kind::kViewSync, std::move(reply), reply_bytes);
+    return;
+  }
+
+  RGB_LOG(kDebug, "sync") << now() << " " << id() << " imports "
+                          << msg.entries.size() << " entries from " << from;
+  ring_members_.import_entries(msg.entries);
+
   if (!msg.reply_requested) return;
-  const std::vector<TableEntry> diff = ring_members_.newer_than(msg.entries);
+  std::vector<TableEntry> diff = ring_members_.newer_than(msg.entries);
   if (diff.empty()) return;
-  send(from, kind::kViewSync, ViewSyncMsg{diff, false, {}, NodeId{}},
-       static_cast<std::uint32_t>(64 + 24 * diff.size()));
+  ViewSyncMsg reply{ViewSyncMsg::Phase::kDiff, 0,  0, std::move(diff),
+                    false,                     {}, NodeId{}};
+  const auto reply_bytes = wire_size(reply);
+  send(from, kind::kViewSync, std::move(reply), reply_bytes);
 }
 
 void NetworkEntity::attempt_merge() {
@@ -1068,9 +1150,7 @@ void NetworkEntity::attempt_merge() {
   // have recovered or live in another fragment.
   std::vector<NodeId> candidates;
   for (const NodeId peer : known_peers_) {
-    if (std::find(roster_.begin(), roster_.end(), peer) == roster_.end()) {
-      candidates.push_back(peer);
-    }
+    if (!in_roster(peer)) candidates.push_back(peer);
   }
   if (candidates.empty()) return;
   const NodeId target = candidates[merge_probe_cursor_ % candidates.size()];
@@ -1099,6 +1179,7 @@ void NetworkEntity::merge_fragment(const std::vector<NodeId>& their_roster,
                           << " merges fragments into a ring of "
                           << merged.size() << " under " << new_leader;
   roster_ = merged;
+  rebuild_roster_index();
   leader_ = new_leader;
   for (const NodeId n : merged) suspected_faulty_.erase(n);
   recompute_pointers();
@@ -1137,7 +1218,7 @@ void NetworkEntity::handle_merge_offer(const MergeOfferMsg& msg,
     }
     return;
   }
-  if (std::find(roster_.begin(), roster_.end(), from) != roster_.end()) {
+  if (in_roster(from)) {
     // We already ring with the offerer. That makes the offer stale only
     // when our rosters actually agree: a recovered crashed leader still
     // holds its pre-crash roster (which contains the survivors) while the
@@ -1156,8 +1237,7 @@ void NetworkEntity::handle_merge_offer(const MergeOfferMsg& msg,
 void NetworkEntity::handle_merge_accept(const MergeAcceptMsg& msg,
                                         NodeId from) {
   if (!is_leader()) return;
-  if (std::find(roster_.begin(), roster_.end(), from) != roster_.end() &&
-      msg.roster.size() <= 1) {
+  if (in_roster(from) && msg.roster.size() <= 1) {
     return;  // already merged by an earlier accept
   }
   merge_fragment(msg.roster, msg.entries);
@@ -1165,7 +1245,8 @@ void NetworkEntity::handle_merge_accept(const MergeAcceptMsg& msg,
 
 void NetworkEntity::broadcast_ring_reform(const std::vector<NodeId>& roster,
                                           NodeId leader) {
-  const RingReformMsg reform{roster, leader, ring_members_.export_entries()};
+  const net::Payload reform{
+      RingReformMsg{roster, leader, ring_members_.export_entries()}};
   for (const NodeId n : roster) {
     if (n == id()) continue;
     send(n, kind::kRingReform, reform);
@@ -1212,8 +1293,8 @@ void NetworkEntity::request_ring_leave() {
       if (n != id()) rest.push_back(n);
     }
     const NodeId successor = elect_leader(rest);
-    const RingReformMsg reform{rest, successor,
-                               ring_members_.export_entries()};
+    const net::Payload reform{
+        RingReformMsg{rest, successor, ring_members_.export_entries()}};
     for (const NodeId n : rest) send(n, kind::kRingReform, reform);
     if (parent_.valid()) {
       send(parent_, kind::kChildRebind, ChildRebindMsg{successor});
@@ -1233,6 +1314,7 @@ void NetworkEntity::request_ring_leave() {
 
 void NetworkEntity::clear_ring_state() {
   roster_.clear();
+  roster_set_.clear();
   leader_ = NodeId{};
   next_ = previous_ = NodeId{};
   ring_ok_ = false;
@@ -1275,9 +1357,9 @@ void NetworkEntity::form_singleton_ring() {
 
 void NetworkEntity::handle_query(const QueryRequestMsg& msg, NodeId from) {
   const NodeId reply_to = msg.reply_to.valid() ? msg.reply_to : from;
-  send(reply_to, kind::kQueryReply,
-       QueryReplyMsg{msg.query_id, ring_members_.snapshot()},
-       static_cast<std::uint32_t>(64 + 16 * ring_members_.size()));
+  QueryReplyMsg reply{msg.query_id, ring_members_.snapshot()};
+  const auto reply_bytes = wire_size(reply);
+  send(reply_to, kind::kQueryReply, std::move(reply), reply_bytes);
 }
 
 // --------------------------------------------------------------------------
@@ -1374,62 +1456,58 @@ void NetworkEntity::remember_round(std::uint64_t round_id) {
 // --------------------------------------------------------------------------
 
 void NetworkEntity::deliver(const net::Envelope& env) {
+  // Payloads are read in place (shared-immutable); only handle_token takes
+  // a copy, which it may stash for replay after a late RingReform.
   switch (env.kind) {
     case kind::kToken:
     case kind::kProbe:
-      handle_token(std::any_cast<TokenMsg>(env.payload), env.src);
+      handle_token(env.payload.get<TokenMsg>(), env.src);
       break;
     case kind::kTokenPassAck:
-      handle_token_pass_ack(std::any_cast<TokenPassAckMsg>(env.payload));
+      handle_token_pass_ack(env.payload.get<TokenPassAckMsg>());
       break;
     case kind::kTokenRequest:
-      handle_token_request(std::any_cast<TokenRequestMsg>(env.payload),
-                           env.src);
+      handle_token_request(env.payload.get<TokenRequestMsg>(), env.src);
       break;
     case kind::kTokenGrant:
-      handle_token_grant(std::any_cast<TokenGrantMsg>(env.payload));
+      handle_token_grant(env.payload.get<TokenGrantMsg>());
       break;
     case kind::kTokenRelease:
-      handle_token_release(std::any_cast<TokenReleaseMsg>(env.payload),
-                           env.src);
+      handle_token_release(env.payload.get<TokenReleaseMsg>(), env.src);
       break;
     case kind::kNotifyParent:
     case kind::kNotifyChild:
-      handle_notify(std::any_cast<NotifyMsg>(env.payload), env.src);
+      handle_notify(env.payload.get<NotifyMsg>(), env.src);
       break;
     case kind::kHolderAck:
-      handle_holder_ack(std::any_cast<HolderAckMsg>(env.payload));
+      handle_holder_ack(env.payload.get<HolderAckMsg>());
       break;
     case kind::kRepair:
-      handle_repair(std::any_cast<RepairMsg>(env.payload), env.src);
+      handle_repair(env.payload.get<RepairMsg>(), env.src);
       break;
     case kind::kChildRebind:
-      handle_child_rebind(std::any_cast<ChildRebindMsg>(env.payload),
-                          env.src);
+      handle_child_rebind(env.payload.get<ChildRebindMsg>(), env.src);
       break;
     case kind::kMergeOffer:
-      handle_merge_offer(std::any_cast<MergeOfferMsg>(env.payload), env.src);
+      handle_merge_offer(env.payload.get<MergeOfferMsg>(), env.src);
       break;
     case kind::kMergeAccept:
-      handle_merge_accept(std::any_cast<MergeAcceptMsg>(env.payload),
-                          env.src);
+      handle_merge_accept(env.payload.get<MergeAcceptMsg>(), env.src);
       break;
     case kind::kRingReform:
-      handle_ring_reform(std::any_cast<RingReformMsg>(env.payload));
+      handle_ring_reform(env.payload.get<RingReformMsg>());
       break;
     case kind::kNeJoinRequest:
-      handle_ne_join_request(std::any_cast<NeJoinRequestMsg>(env.payload),
-                             env.src);
+      handle_ne_join_request(env.payload.get<NeJoinRequestMsg>(), env.src);
       break;
     case kind::kNeLeaveRequest:
-      handle_ne_leave_request(std::any_cast<NeLeaveRequestMsg>(env.payload),
-                              env.src);
+      handle_ne_leave_request(env.payload.get<NeLeaveRequestMsg>(), env.src);
       break;
     case kind::kViewSync:
-      handle_view_sync(std::any_cast<ViewSyncMsg>(env.payload), env.src);
+      handle_view_sync(env.payload.get<ViewSyncMsg>(), env.src);
       break;
     case kind::kMhRequest: {
-      const auto req = std::any_cast<MhRequestMsg>(env.payload);
+      const MhRequestMsg& req = env.payload.get<MhRequestMsg>();
       switch (req.kind) {
         case MhRequestKind::kJoin:
           local_member_join(req.mh);
@@ -1448,10 +1526,10 @@ void NetworkEntity::deliver(const net::Envelope& env) {
       break;
     }
     case kind::kMhHeartbeat:
-      handle_mh_heartbeat(std::any_cast<MhHeartbeatMsg>(env.payload));
+      handle_mh_heartbeat(env.payload.get<MhHeartbeatMsg>());
       break;
     case kind::kQueryRequest:
-      handle_query(std::any_cast<QueryRequestMsg>(env.payload), env.src);
+      handle_query(env.payload.get<QueryRequestMsg>(), env.src);
       break;
     default:
       break;  // unknown kinds are ignored (forward compatibility)

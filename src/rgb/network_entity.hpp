@@ -216,10 +216,26 @@ class NetworkEntity : public proto::Process {
   MessageQueue mq_;
 
   /// Ring order as known locally; repaired views may lag one round.
+  /// `roster_` is canonical (iteration order, pointer derivation);
+  /// `roster_set_` indexes it for O(1) membership checks and is kept in
+  /// sync by remove_from_roster/rebuild_roster_index and the few direct
+  /// insertion sites.
   std::vector<NodeId> roster_;
-  /// Full historical roster — merge candidates after fragmentation.
+  std::unordered_set<NodeId> roster_set_;
+  /// Full historical roster — merge candidates after fragmentation. The
+  /// vector is canonical (deterministic iteration order for merge
+  /// probing); the set is its O(1) membership index.
   std::vector<NodeId> known_peers_;
+  std::unordered_set<NodeId> known_peers_set_;
   std::unordered_set<NodeId> suspected_faulty_;
+
+  [[nodiscard]] bool in_roster(NodeId n) const {
+    return roster_set_.count(n) != 0;
+  }
+  /// Appends `n` to known_peers_ unless already known.
+  void remember_peer(NodeId n);
+  /// Rebuilds roster_set_ after roster_ was replaced wholesale.
+  void rebuild_roster_index();
 
   // --- leader state -----------------------------------------------------------------
   bool token_free_ = false;  ///< leader: token parked and grantable
@@ -309,13 +325,19 @@ class NetworkEntity : public proto::Process {
 
   // --- local-member re-affirmation ------------------------------------------
   // The authoritative attachment list of this AP: members that joined or
-  // handed off here and have not left, failed or handed off away. When a
-  // *foreign* failure record reaches us for one of these members (a false
-  // accusation born of a failure-detector false positive elsewhere), the
-  // AP re-announces the member with a fresh op — the hosting AP, not the
-  // accuser, has the ground truth. Checked from the probe tick.
+  // handed off here and have not left, failed or handed off away, each
+  // keyed to the op sequence of our own attachment claim. When a *foreign*
+  // record reaches us for one of these members, the claim seq decides who
+  // wins: a failure record newer than our claim is a false accusation
+  // (failure-detector false positive elsewhere) and the AP re-announces
+  // the member with a fresh op — the hosting AP, not the accuser, has the
+  // ground truth; any foreign record *older* than our claim is stale and
+  // simply outwaited (our claim op is still in flight and will out-rank
+  // it). Without the seq, a stale pre-handoff record observed between
+  // handoff-in and round application looked like a departure and silenced
+  // reaffirmation forever. Checked from the probe tick.
   void reaffirm_local_members();
-  std::unordered_set<Guid> local_attached_;
+  std::unordered_map<Guid, std::uint64_t> local_attached_;
 
   // --- counters ---------------------------------------------------------------------------
   std::uint64_t op_seq_counter_ = 0;

@@ -34,7 +34,7 @@ void QueryClient::issue(const QueryPlan& plan, sim::Duration timeout,
 
 void QueryClient::deliver(const net::Envelope& env) {
   if (env.kind != kind::kQueryReply || active_query_ == 0) return;
-  const auto reply = std::any_cast<QueryReplyMsg>(env.payload);
+  const auto& reply = env.payload.get<QueryReplyMsg>();
   if (reply.query_id != active_query_) return;
 
   ++pending_result_.messages;

@@ -137,6 +137,13 @@ struct RgbConfig {
   /// (partition detection & merge are an extension — paper future work).
   sim::Duration probe_period = 0;
 
+  /// Digest-first anti-entropy (kViewSync): a steady-state sync tick sends
+  /// an O(1) table digest and ships entries only on mismatch, keeping
+  /// reconciliation traffic near-constant in the group size. When false,
+  /// every tick ships the full member table (the PR2 behaviour) — kept as
+  /// the measurement baseline and for the digest/full equivalence tests.
+  bool digest_anti_entropy = true;
+
   /// Per-ring cap of ops carried by one token (0 = unlimited). Guards
   /// against unbounded token growth under extreme churn.
   std::size_t max_ops_per_token = 0;

@@ -1,17 +1,40 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace rgb::sim {
 
+std::uint32_t Simulator::acquire_slot(Callback cb, std::uint64_t seq) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].cb = std::move(cb);
+  slots_[slot].seq = seq;
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  slots_[slot].cb = nullptr;
+  slots_[slot].seq = 0;
+  free_slots_.push_back(slot);
+}
+
 EventId Simulator::schedule_at(Time t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
   assert(cb && "empty callback");
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{t, seq});
-  callbacks_.emplace(seq, std::move(cb));
-  return EventId{seq};
+  const std::uint32_t slot = acquire_slot(std::move(cb), seq);
+  heap_.push_back(Entry{t, seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  ++live_;
+  return EventId{seq, slot};
 }
 
 EventId Simulator::schedule_after(Duration delay, Callback cb) {
@@ -19,25 +42,46 @@ EventId Simulator::schedule_after(Duration delay, Callback cb) {
 }
 
 void Simulator::cancel(EventId id) {
-  if (!id.valid()) return;
-  auto it = callbacks_.find(id.seq);
-  if (it == callbacks_.end()) return;  // already fired or cancelled
-  callbacks_.erase(it);
-  cancelled_.insert(id.seq);
+  if (!id.valid() || id.slot >= slots_.size()) return;
+  Slot& slot = slots_[id.slot];
+  if (slot.seq != id.seq) return;  // already fired or cancelled
+  slot.cb = nullptr;
+  slot.seq = 0;  // tombstone: the heap entry no longer matches
+  --live_;
+  ++tombstones_;
+  // Cancel-heavy churn (retransmission timers armed and disarmed per
+  // message) would otherwise pile tombstones up until their heap entries
+  // pop naturally — for long-lived timers, effectively never.
+  if (tombstones_ > live_ && tombstones_ > 64) purge_tombstones();
+}
+
+void Simulator::purge_tombstones() {
+  const auto is_tombstone = [this](const Entry& e) {
+    return slots_[e.slot].seq != e.seq;
+  };
+  for (const Entry& e : heap_) {
+    if (is_tombstone(e)) free_slots_.push_back(e.slot);
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), is_tombstone),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  tombstones_ = 0;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    queue_.pop();
-    if (auto cit = cancelled_.find(top.seq); cit != cancelled_.end()) {
-      cancelled_.erase(cit);
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+    Slot& slot = slots_[top.slot];
+    if (slot.seq != top.seq) {  // cancelled tombstone
+      free_slots_.push_back(top.slot);
+      --tombstones_;
       continue;
     }
-    auto it = callbacks_.find(top.seq);
-    assert(it != callbacks_.end());
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+    Callback cb = std::move(slot.cb);
+    release_slot(top.slot);
+    --live_;
     now_ = top.time;
     ++executed_;
     cb();
@@ -54,14 +98,17 @@ std::uint64_t Simulator::run(std::uint64_t max_events) {
 
 std::uint64_t Simulator::run_until(Time deadline, std::uint64_t max_events) {
   std::uint64_t n = 0;
-  while (n < max_events && !queue_.empty()) {
+  while (n < max_events && !heap_.empty()) {
     // Skip cancelled tombstones without advancing the clock.
-    if (cancelled_.count(queue_.top().seq) != 0) {
-      cancelled_.erase(queue_.top().seq);
-      queue_.pop();
+    const Entry& top = heap_.front();
+    if (slots_[top.slot].seq != top.seq) {
+      free_slots_.push_back(top.slot);
+      --tombstones_;
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      heap_.pop_back();
       continue;
     }
-    if (queue_.top().time > deadline) break;
+    if (top.time > deadline) break;
     step();
     ++n;
   }

@@ -5,22 +5,29 @@
 // `Simulator`. Events at equal timestamps execute in scheduling order
 // (FIFO by a monotonically increasing sequence number), which makes every
 // run a deterministic function of (seed, scenario).
+//
+// Storage is allocation-light on the hot path: callbacks live in a
+// free-listed slot vector addressed directly by the heap entries, so one
+// schedule/fire cycle costs two heap pushes and zero hash-table traffic
+// (the previous design paid an unordered_map insert+erase per event plus
+// an unordered_set round trip per cancellation).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace rgb::sim {
 
-/// Opaque handle to a scheduled event; usable to cancel it.
+/// Opaque handle to a scheduled event; usable to cancel it. Carries the
+/// event's unique sequence number plus its storage slot; a stale handle
+/// (event already fired or cancelled, slot since reused) never matches the
+/// slot's current sequence, so cancelling it stays a harmless no-op.
 struct EventId {
   std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
   [[nodiscard]] bool valid() const { return seq != 0; }
   auto operator<=>(const EventId&) const = default;
 };
@@ -61,15 +68,16 @@ class Simulator {
   std::uint64_t run_until(Time deadline,
                           std::uint64_t max_events = kDefaultMaxEvents);
 
-  /// Number of scheduled, not-yet-fired, not-cancelled events. Counted from
-  /// the callback table — never as `queue_.size() - cancelled_.size()`,
-  /// whose two sides can transiently disagree (a cancelled tombstone stays
-  /// in the heap until popped) and whose unsigned subtraction would wrap if
-  /// a stale cancel ever skewed `cancelled_`.
-  [[nodiscard]] std::size_t pending_events() const {
-    return callbacks_.size();
-  }
+  /// Number of scheduled, not-yet-fired, not-cancelled events. Counted
+  /// live — never as `heap size - tombstones`, whose two sides can
+  /// transiently disagree while a cancelled entry waits in the heap.
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  /// Heap entries currently held, cancelled tombstones included. Exposed so
+  /// tests can assert that timer-cancel churn cannot grow memory without
+  /// bound (tombstones are compacted away once they outnumber live events).
+  [[nodiscard]] std::size_t queued_entries() const { return heap_.size(); }
 
   /// Safety valve: simulations in tests should never need more.
   static constexpr std::uint64_t kDefaultMaxEvents = 500'000'000ULL;
@@ -78,6 +86,7 @@ class Simulator {
   struct Entry {
     Time time;
     std::uint64_t seq;
+    std::uint32_t slot;
     // Ordered min-heap: earliest time first, FIFO within a timestamp.
     bool operator>(const Entry& other) const {
       if (time != other.time) return time > other.time;
@@ -85,13 +94,29 @@ class Simulator {
     }
   };
 
+  /// Callback storage addressed by heap entries. `seq` doubles as the
+  /// liveness check: 0 marks a free or cancelled slot, so a popped heap
+  /// entry whose seq no longer matches is a tombstone.
+  struct Slot {
+    Callback cb;
+    std::uint64_t seq = 0;
+  };
+
+  [[nodiscard]] std::uint32_t acquire_slot(Callback cb, std::uint64_t seq);
+  void release_slot(std::uint32_t slot);
+  /// Drops every tombstone from the heap and restores the heap property.
+  /// Called when cancelled entries outnumber live ones, which bounds heap
+  /// memory at ~2x the live event count under arbitrary cancel churn.
+  void purge_tombstones();
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // Callbacks are stored out of the heap so cancellation is O(1).
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Entry> heap_;  // std::push_heap/pop_heap with operator>
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;        ///< scheduled, not fired, not cancelled
+  std::size_t tombstones_ = 0;  ///< cancelled entries still in heap_
 };
 
 }  // namespace rgb::sim

@@ -39,10 +39,10 @@ void TreeServer::forward(TreeServer* to, const MembershipOp& op) {
 void TreeServer::deliver(const net::Envelope& env) {
   switch (env.kind) {
     case kTreeProposal:
-      propagate(std::any_cast<MembershipOp>(env.payload), env.src);
+      propagate(env.payload.get<MembershipOp>(), env.src);
       break;
     case kTreeQuery: {
-      const auto req = std::any_cast<core::QueryRequestMsg>(env.payload);
+      const auto& req = env.payload.get<core::QueryRequestMsg>();
       send(req.reply_to.valid() ? req.reply_to : env.src, kTreeQueryReply,
            core::QueryReplyMsg{req.query_id, members_.snapshot()});
       break;

@@ -26,9 +26,12 @@ AdversarialConfig small_config() {
 }
 
 /// A profile RGB is *documented to fail* for some seeds (partition/heal is
-/// the paper's future-work extension): seed 1 deterministically violates,
+/// the paper's future-work extension): seed 2 deterministically violates,
 /// which is exactly what the determinism tests need — identical non-empty
-/// reports, not just identical "OK".
+/// reports, not just identical "OK". (Seed 1 violated under PR2's
+/// full-table view sync; the digest-first message pattern of PR3 shifted
+/// that seed's trajectory to passing, while ~half the seeds of this
+/// profile still violate — the open item is unchanged in character.)
 AdversarialConfig violating_config() {
   AdversarialConfig cfg = small_config();
   cfg.gen.crashes = false;
@@ -40,7 +43,7 @@ AdversarialConfig violating_config() {
   cfg.gen.events = 10;
   return cfg;
 }
-constexpr std::uint64_t kViolatingSeed = 1;
+constexpr std::uint64_t kViolatingSeed = 2;
 
 TEST(ScheduleReplay, SameSeedAndScheduleGiveIdenticalResults) {
   const AdversarialConfig cfg = small_config();

@@ -41,7 +41,7 @@ TEST_F(NetworkTest, DeliversWithDefaultLatency) {
   ASSERT_EQ(rb_.received.size(), 1u);
   EXPECT_EQ(sim_.now(), sim::msec(1));  // default link = fixed 1ms
   EXPECT_EQ(rb_.received[0].src, a_);
-  EXPECT_EQ(std::any_cast<std::string>(rb_.received[0].payload), "hi");
+  EXPECT_EQ(rb_.received[0].payload.get<std::string>(), "hi");
 }
 
 TEST_F(NetworkTest, MetersSentAndDelivered) {

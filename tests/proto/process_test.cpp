@@ -16,7 +16,7 @@ class Echo : public Process {
   using Process::cancel_timer;
 
   void deliver(const net::Envelope& env) override {
-    log.push_back(std::any_cast<std::string>(env.payload));
+    log.push_back(env.payload.get<std::string>());
   }
   std::vector<std::string> log;
 };

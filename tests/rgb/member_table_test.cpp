@@ -162,5 +162,89 @@ TEST(MemberTable, ClearEmptiesEverything) {
   EXPECT_TRUE(t.snapshot().empty());
 }
 
+// --- anti-entropy digest (PR3) ----------------------------------------------
+
+TEST(MemberTableDigest, EmptyTableDigestIsZeroCount) {
+  MemberTable t;
+  EXPECT_EQ(t.digest().count, 0u);
+}
+
+TEST(MemberTableDigest, OrderIndependent) {
+  // The digest is an xor-accumulation, so any application order of the
+  // same final entries must agree — that is what lets two NEs compare
+  // views without exporting and sorting them.
+  MemberTable a, b;
+  a.apply(op(OpKind::kMemberJoin, 1, 10, 100));
+  a.apply(op(OpKind::kMemberJoin, 2, 20, 101));
+  a.apply(op(OpKind::kMemberJoin, 3, 30, 102));
+  b.apply(op(OpKind::kMemberJoin, 3, 30, 102));
+  b.apply(op(OpKind::kMemberJoin, 1, 10, 100));
+  b.apply(op(OpKind::kMemberJoin, 2, 20, 101));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(MemberTableDigest, SensitiveToSeqStatusApAndCount) {
+  MemberTable base;
+  base.apply(op(OpKind::kMemberJoin, 1, 10, 100));
+
+  MemberTable newer_seq;  // same record, newer seq
+  newer_seq.apply(op(OpKind::kMemberJoin, 5, 10, 100));
+  EXPECT_NE(base.digest().hash, newer_seq.digest().hash);
+
+  MemberTable other_ap;
+  other_ap.apply(op(OpKind::kMemberJoin, 1, 10, 101));
+  EXPECT_NE(base.digest().hash, other_ap.digest().hash);
+
+  MemberTable failed;
+  failed.apply(op(OpKind::kMemberFail, 1, 10, 100));
+  EXPECT_NE(base.digest().hash, failed.digest().hash);
+
+  MemberTable more;
+  more.apply(op(OpKind::kMemberJoin, 1, 10, 100));
+  more.apply(op(OpKind::kMemberJoin, 2, 20, 100));
+  EXPECT_NE(base.digest(), more.digest());
+  EXPECT_EQ(more.digest().count, 2u);
+}
+
+TEST(MemberTableDigest, IncrementalMaintenanceMatchesRebuild) {
+  // Every mutation path — apply (insert + overwrite), import, merge,
+  // upsert, remove — must leave the incrementally-maintained digest equal
+  // to a from-scratch import of the same entries.
+  MemberTable t;
+  t.apply(op(OpKind::kMemberJoin, 1, 10, 100));
+  t.apply(op(OpKind::kMemberJoin, 2, 20, 101));
+  t.apply(op(OpKind::kMemberHandoff, 3, 10, 102));  // overwrite
+  t.apply(op(OpKind::kMemberFail, 4, 20, 101));     // overwrite
+  t.apply(op(OpKind::kMemberFail, 1, 20, 101));     // stale: no-op
+
+  MemberTable other;
+  other.apply(op(OpKind::kMemberJoin, 9, 30, 103));
+  other.apply(op(OpKind::kMemberJoin, 8, 10, 104));  // newer than t's
+  t.merge(other);
+  t.import_entries(other.export_entries());  // idempotent second pass
+  t.upsert(proto::MemberRecord{Guid{40}, NodeId{105},
+                               proto::MemberStatus::kOperational});
+  t.remove(Guid{20});
+
+  MemberTable rebuilt;
+  rebuilt.import_entries(t.export_entries());
+  EXPECT_EQ(t.digest(), rebuilt.digest());
+  EXPECT_EQ(t.digest().count, t.size());
+
+  t.clear();
+  EXPECT_EQ(t.digest(), MemberTable{}.digest());
+}
+
+TEST(MemberTableDigest, EqualTablesAgreeDifferingTablesDiverge) {
+  MemberTable a, b;
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    a.apply(op(OpKind::kMemberJoin, i, i, 100 + (i % 5)));
+    b.apply(op(OpKind::kMemberJoin, i, i, 100 + (i % 5)));
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  b.apply(op(OpKind::kMemberHandoff, 99, 25, 104));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
 }  // namespace
 }  // namespace rgb::core

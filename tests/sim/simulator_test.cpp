@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <unordered_set>
@@ -130,6 +131,65 @@ TEST(Simulator, PendingCountTracksGroundTruthUnderRandomCancels) {
     }
     ASSERT_EQ(s.pending_events(), live_ids.size()) << "after op " << op;
   }
+}
+
+TEST(Simulator, TombstonePurgeBoundsHeapUnderCancelChurn) {
+  // Regression (PR3): cancelled entries used to stay in the heap until
+  // popped, so retransmission-style churn — arm a far-future timer, cancel
+  // it, repeat — grew memory without bound. The purge must keep the heap
+  // within a small factor of the live event count throughout.
+  Simulator s;
+  const EventId keeper = s.schedule_at(sec(3600), [] {});
+  (void)keeper;
+  std::size_t max_queued = 0;
+  for (int i = 0; i < 100000; ++i) {
+    // Far-future timers: without purging, none of these tombstones would
+    // ever be popped during the loop.
+    const EventId id = s.schedule_at(sec(60) + static_cast<Time>(i), [] {});
+    s.cancel(id);
+    max_queued = std::max(max_queued, s.queued_entries());
+  }
+  EXPECT_EQ(s.pending_events(), 1u);
+  // Live = 1..2 per iteration, so the 2x-live purge policy keeps the heap
+  // tiny; 64 covers the purge's minimum-size hysteresis.
+  EXPECT_LE(max_queued, 70u);
+  EXPECT_LE(s.queued_entries(), 70u);
+}
+
+TEST(Simulator, PurgeKeepsOrderingAndCancelSemantics) {
+  // A purge rebuilds the heap mid-flight; ordering, cancellation and
+  // pending counts must be unaffected.
+  Simulator s;
+  common::RngStream rng{0xF00D};
+  std::vector<Time> fired;
+  std::vector<EventId> cancelled;
+  for (int i = 0; i < 2000; ++i) {
+    const Time t = msec(1) + rng.next_below(1'000'000);
+    const EventId id = s.schedule_at(t, [&fired, &s] {
+      fired.push_back(s.now());
+    });
+    if (i % 2 == 0) cancelled.push_back(id);
+  }
+  for (const EventId id : cancelled) s.cancel(id);  // triggers purges
+  EXPECT_EQ(s.pending_events(), 1000u);
+  s.run();
+  EXPECT_EQ(fired.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(Simulator, SlotReuseCannotResurrectStaleCancel) {
+  // ABA guard: after an event fires, its storage slot is recycled; a stale
+  // cancel of the old id must not kill the new occupant.
+  Simulator s;
+  const EventId old_id = s.schedule_at(msec(1), [] {});
+  s.run();
+  bool fired = false;
+  // With a free-listed slot store the very next schedule reuses the slot.
+  const EventId fresh = s.schedule_at(msec(2), [&] { fired = true; });
+  EXPECT_EQ(fresh.slot, old_id.slot);  // documents the reuse this guards
+  s.cancel(old_id);
+  s.run();
+  EXPECT_TRUE(fired);
 }
 
 TEST(Simulator, StepReturnsFalseWhenDrained) {

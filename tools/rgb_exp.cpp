@@ -1,32 +1,69 @@
-// rgb_exp — list and run registered experiment scenarios on a worker pool.
+// rgb_exp — list and run registered experiment scenarios on a worker pool,
+// and run the timed scale bench that feeds the BENCH_*.json perf trajectory.
 //
 //   rgb_exp --list
 //   rgb_exp run <scenario-id> [--threads N] [--trials N] [--seed S]
 //                             [--csv PATH|-] [--json PATH|-] [--no-table]
 //                             [--check]
+//   rgb_exp bench [--members N[,N...]] [--modes digest|full|both]
+//                 [--tiers H] [--ring R] [--steady-ticks K] [--seed S]
+//                 [--json PATH|-] [--smoke]
 //
-// Aggregate output (table / CSV / JSON on stdout) is a pure function of
-// (scenario, seed, trials): byte-identical for any --threads value — the
-// --check violation report included. Timing and pool diagnostics go to
-// stderr. See EXPERIMENTS.md for the catalogue and the invariant suite.
+// Aggregate output of `run` (table / CSV / JSON on stdout) is a pure
+// function of (scenario, seed, trials): byte-identical for any --threads
+// value — the --check violation report included. Timing and pool
+// diagnostics go to stderr. `bench` is single-threaded and additionally
+// reports host-dependent wall-clock/RSS numbers; its protocol metrics
+// (events, kViewSync messages/bytes, convergence) are deterministic. See
+// EXPERIMENTS.md for the catalogue, the invariant suite and the BENCH
+// schema.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "check/check.hpp"
 #include "exp/exp.hpp"
 
 namespace {
 
+/// Shared strict argument helpers for both the `run` and `bench` parsers.
+/// `next_arg` consumes the value of a flag or exits; `next_arg_u64`
+/// additionally enforces a strict numeric parse — a typo like "2OO" must
+/// error, not silently parse to 0 (which the option structs read as "use
+/// the default"), and strtoull's silent negative wrap is rejected too.
+const char* next_arg(int argc, char** argv, int& i, const std::string& flag) {
+  if (i + 1 >= argc) {
+    std::cerr << "rgb_exp: " << flag << " needs a value\n";
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+std::uint64_t next_arg_u64(int argc, char** argv, int& i,
+                           const std::string& flag) {
+  const char* text = next_arg(argc, argv, i, flag);
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0' || text[0] == '-') {
+    std::cerr << "rgb_exp: " << flag << " needs a number, got '" << text
+              << "'\n";
+    std::exit(2);
+  }
+  return value;
+}
+
 int usage(const char* argv0, int code) {
   std::ostream& os = code == 0 ? std::cout : std::cerr;
   os << "usage: " << argv0 << " --list\n"
      << "       " << argv0 << " run <scenario-id> [options]\n"
-     << "options:\n"
+     << "       " << argv0 << " bench [bench options]\n"
+     << "run options:\n"
      << "  --threads N    worker threads (default: hardware concurrency)\n"
      << "  --trials N     override trials per cell (default: scenario's)\n"
      << "  --seed S       base seed (default: 0xE5EED)\n"
@@ -34,8 +71,98 @@ int usage(const char* argv0, int code) {
      << "  --json PATH    write JSON ('-' for stdout)\n"
      << "  --no-table     suppress the default table on stdout\n"
      << "  --check        run the invariant-oracle suite over every trial;\n"
-     << "                 exit 1 when any scenario invariant is violated\n";
+     << "                 exit 1 when any scenario invariant is violated\n"
+     << "bench options:\n"
+     << "  --members LIST comma-separated member counts\n"
+     << "                 (default: 1000,10000,100000)\n"
+     << "  --modes M      digest | full | both (default: both)\n"
+     << "  --tiers H      ring tiers (default 2)\n"
+     << "  --ring R       ring size (default 5)\n"
+     << "  --steady-ticks K  probe ticks in the steady window (default 10)\n"
+     << "  --seed S       trial seed (default 0xBE7C4)\n"
+     << "  --json PATH    write the BENCH json artifact ('-' for stdout)\n"
+     << "  --smoke        bounded CI profile (members=200, both modes)\n";
   return code;
+}
+
+int run_bench(int argc, char** argv) {
+  rgb::exp::ScaleConfig base;
+  std::vector<std::uint64_t> member_counts;
+  bool run_digest = true, run_full = true;
+  bool smoke = false;
+  std::string json_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() { return next_arg(argc, argv, i, arg); };
+    const auto next_u64 = [&]() { return next_arg_u64(argc, argv, i, arg); };
+    if (arg == "--members") {
+      member_counts.clear();
+      std::stringstream list{next()};
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        char* end = nullptr;
+        const std::uint64_t value = std::strtoull(item.c_str(), &end, 0);
+        if (end == item.c_str() || *end != '\0' || value == 0) {
+          std::cerr << "rgb_exp: bad member count '" << item << "'\n";
+          return 2;
+        }
+        member_counts.push_back(value);
+      }
+      if (member_counts.empty()) {
+        std::cerr << "rgb_exp: --members needs at least one count\n";
+        return 2;
+      }
+    } else if (arg == "--modes") {
+      const std::string mode = next();
+      run_digest = mode == "digest" || mode == "both";
+      run_full = mode == "full" || mode == "both";
+      if (!run_digest && !run_full) {
+        std::cerr << "rgb_exp: --modes must be digest, full or both\n";
+        return 2;
+      }
+    } else if (arg == "--tiers") {
+      base.tiers = static_cast<int>(next_u64());
+    } else if (arg == "--ring") {
+      base.ring_size = static_cast<int>(next_u64());
+    } else if (arg == "--steady-ticks") {
+      base.steady_ticks = static_cast<int>(next_u64());
+    } else if (arg == "--seed") {
+      base.seed = next_u64();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "rgb_exp: unknown bench option '" << arg << "'\n";
+      return usage(argv[0], 2);
+    }
+  }
+  // --smoke bounds the sweep; an explicit --members list overrides it (in
+  // any argument order), so the two flags never silently fight.
+  if (member_counts.empty()) {
+    member_counts = smoke ? std::vector<std::uint64_t>{200}
+                          : std::vector<std::uint64_t>{1000, 10000, 100000};
+  }
+
+  const std::vector<rgb::exp::ScaleStats> all = rgb::exp::run_scale_sweep(
+      base, member_counts, run_digest, run_full, std::cerr);
+
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      rgb::exp::write_bench_json(base, all, std::cout);
+    } else {
+      std::ofstream file{json_path};
+      if (!file) {
+        std::cerr << "rgb_exp: cannot open '" << json_path
+                  << "' for writing\n";
+        return 1;
+      }
+      rgb::exp::write_bench_json(base, all, file);
+      std::cerr << "wrote " << json_path << '\n';
+    }
+  }
+  return rgb::exp::all_converged(all) ? 0 : 1;
 }
 
 int list_scenarios() {
@@ -71,6 +198,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "--help" || command == "-h") return usage(argv[0], 0);
   if (command == "--list" || command == "list") return list_scenarios();
+  if (command == "bench") return run_bench(argc, argv);
   if (command != "run") {
     std::cerr << "rgb_exp: unknown command '" << command << "'\n";
     return usage(argv[0], 2);
@@ -84,27 +212,8 @@ int main(int argc, char** argv) {
   bool check_mode = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "rgb_exp: " << arg << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    // Strict numeric parse: a typo like "2OO" must error, not silently
-    // parse to 0 (which RunnerOptions reads as "use the default").
-    const auto next_u64 = [&]() -> std::uint64_t {
-      const char* text = next();
-      char* end = nullptr;
-      const std::uint64_t value = std::strtoull(text, &end, 0);
-      // strtoull silently wraps negatives to huge values; reject them too.
-      if (end == text || *end != '\0' || text[0] == '-') {
-        std::cerr << "rgb_exp: " << arg << " needs a number, got '" << text
-                  << "'\n";
-        std::exit(2);
-      }
-      return value;
-    };
+    const auto next = [&]() { return next_arg(argc, argv, i, arg); };
+    const auto next_u64 = [&]() { return next_arg_u64(argc, argv, i, arg); };
     if (arg == "--threads") {
       options.threads = static_cast<unsigned>(next_u64());
     } else if (arg == "--trials") {
