@@ -1,9 +1,12 @@
-// bench_scale — the perf-trajectory bench (PR3): sweeps the member count
-// up to ~100k and measures join-phase throughput, steady-state event rate,
-// kViewSync traffic (digest-first vs full-table anti-entropy) and peak RSS.
-// Emits the BENCH_*.json artifact consumed by EXPERIMENTS.md.
+// bench_scale — the perf-trajectory bench (PR3, extended in PR4): sweeps
+// the member count, measures join-phase throughput/bytes/divergence under
+// both join modes (per-op dissemination vs kSnapshot bulk state transfer),
+// steady-state event rate, kViewSync traffic (digest-first vs full-table
+// anti-entropy) and peak RSS. All byte figures are real encoded bytes
+// (wire codec metering). Emits the BENCH_*.json artifact consumed by
+// EXPERIMENTS.md.
 //
-//   bench_scale [out.json]          # default sweep, both modes
+//   bench_scale [out.json]          # default sweep, all four modes
 //
 // A thin wrapper over the shared sweep engine; for custom sweeps use
 // `rgb_exp bench` (same engine, full flag set).
@@ -15,15 +18,17 @@
 #include "exp/bench.hpp"
 
 int main(int argc, char** argv) {
-  rgb::bench::banner("bench_scale (PR3 perf trajectory)",
-                     "Steady-state anti-entropy cost and event throughput "
-                     "vs member count,\ndigest-first vs full-table kViewSync "
-                     "(h=2, r=5, 30 NEs).");
+  rgb::bench::banner(
+      "bench_scale (PR4 perf trajectory)",
+      "Join-phase cost (dissemination vs snapshot state transfer) and\n"
+      "steady-state anti-entropy cost vs member count, on real encoded "
+      "bytes\n(h=2, r=5, 30 NEs).");
 
   const rgb::exp::ScaleConfig base;  // defaults: h=2 r=5, 250ms probe, 10 ticks
+  rgb::exp::SweepModes modes;
+  modes.snapshot = true;  // sweep both join modes
   const std::vector<rgb::exp::ScaleStats> all = rgb::exp::run_scale_sweep(
-      base, {1000, 10000, 100000}, /*digest_mode=*/true, /*full_mode=*/true,
-      std::cout);
+      base, {1000, 20000, 100000}, modes, std::cout);
 
   if (argc > 1) {
     std::ofstream file{argv[1]};

@@ -6,6 +6,8 @@
 #   unit        — fast per-module tests (includes tests/exp determinism)
 #   integration — end-to-end, conformance, determinism suites
 #   check       — invariant oracles, schedule replay, baseline conformance
+#   wire        — wire codec primitives, per-kind round-trip, snapshot codec,
+#                 estimate-vs-encoded metering band
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +29,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L integration -j
 
 echo "== ctest (check) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L check -j
+
+echo "== ctest (wire) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L wire -j
 
 echo "== rgb_exp smoke =="
 "$BUILD_DIR/rgb_exp" --list > /dev/null
@@ -65,13 +70,21 @@ echo "== rgb_fuzz smoke =="
 "$BUILD_DIR/rgb_fuzz" --seeds 12 --start 1 --quiet
 "$BUILD_DIR/rgb_fuzz" --seeds 6 --start 1 --bursts 0 --handoffs 0 --quiet
 
+# Wire codec conformance: every registered kind must round-trip
+# byte-identically on randomized messages, and a bounded mutation-fuzz
+# sweep must produce only clean accepts/rejects (no crash, no UB, accepted
+# mutants canonical). Fixed seeds keep both deterministic.
+echo "== rgb_wire smoke =="
+"$BUILD_DIR/rgb_wire" roundtrip --iters 50 --seed 1 > /dev/null
+"$BUILD_DIR/rgb_wire" fuzz --iters 5000 --seed 1 > /dev/null
+
 # Perf trajectory: a bounded scale-bench smoke must run clean (converged
 # steady-state cells) and emit the BENCH json artifact, so every CI run
 # keeps a point on the trajectory next to the committed BENCH_PR*.json
 # (full sweeps are produced by `bench_scale` / `rgb_exp bench`).
 echo "== bench_scale smoke =="
 bench_log="$(mktemp)"
-if ! "$BUILD_DIR/rgb_exp" bench --smoke --json "$BUILD_DIR/BENCH_PR3.json" \
+if ! "$BUILD_DIR/rgb_exp" bench --smoke --json "$BUILD_DIR/BENCH_PR4.json" \
     2> "$bench_log"; then
   echo "FAIL: bench smoke did not run clean:" >&2
   cat "$bench_log" >&2
@@ -79,6 +92,6 @@ if ! "$BUILD_DIR/rgb_exp" bench --smoke --json "$BUILD_DIR/BENCH_PR3.json" \
   exit 1
 fi
 rm -f "$bench_log"
-test -s "$BUILD_DIR/BENCH_PR3.json"
+test -s "$BUILD_DIR/BENCH_PR4.json"
 
 echo "OK"

@@ -40,6 +40,7 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   core::RgbConfig rgb_config;
   rgb_config.probe_period = config.probe_period;
   rgb_config.digest_anti_entropy = config.digest;
+  rgb_config.snapshot_join = config.snapshot_join;
   core::RgbSystem sys{network, rgb_config,
                       core::HierarchyLayout{config.tiers, config.ring_size}};
 
@@ -47,6 +48,7 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   stats.members = config.members;
   stats.ne_count = sys.layout().ne_count();
   stats.digest = config.digest;
+  stats.snapshot_join = config.snapshot_join;
 
   // Join phase: members arrive spaced in virtual time, round-robin over
   // the APs; probing stays off so the phase measures dissemination alone.
@@ -60,6 +62,12 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   simulator.run();
   const auto join_end = std::chrono::steady_clock::now();
   stats.join_events = simulator.executed_events();
+  stats.join_bytes = network.metrics().bytes_sent;
+  stats.join_snapshot_msgs = network.metrics().sent_of(core::kind::kSnapshot);
+  stats.join_snapshot_bytes =
+      network.metrics().bytes_of(core::kind::kSnapshot);
+  // Post-drain, pre-warm-up: what the join phase alone left disagreeing.
+  stats.join_divergence = sys.view_divergence();
 
   // Warm-up: the first probe windows repair whatever view divergence the
   // join surge left behind (anti-entropy mop-up); only then is the system
@@ -95,28 +103,35 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
 
 std::vector<ScaleStats> run_scale_sweep(
     const ScaleConfig& base, const std::vector<std::uint64_t>& member_counts,
-    bool digest_mode, bool full_mode, std::ostream& log) {
+    const SweepModes& modes, std::ostream& log) {
   std::vector<ScaleStats> all;
   for (const std::uint64_t members : member_counts) {
-    for (const bool digest : {true, false}) {
-      if (digest ? !digest_mode : !full_mode) continue;
-      ScaleConfig config = base;
-      config.members = members;
-      config.digest = digest;
-      log << "bench: members=" << members
-          << " mode=" << (digest ? "digest" : "full") << " ...\n";
-      const ScaleStats stats = run_scale_trial(config);
-      log << "  join " << stats.join_events << " events in "
-          << stats.join_wall_ms << " ms ("
-          << static_cast<std::uint64_t>(stats.join_events_per_sec())
-          << " ev/s); steady " << stats.steady_events << " events in "
-          << stats.steady_wall_ms << " ms ("
-          << static_cast<std::uint64_t>(stats.steady_events_per_sec())
-          << " ev/s); kViewSync " << stats.viewsync_msgs << " msgs / "
-          << stats.viewsync_bytes << " bytes; rss " << stats.peak_rss_kb
-          << " KiB; converged=" << (stats.converged ? "yes" : "NO")
-          << std::endl;
-      all.push_back(stats);
+    for (const bool snapshot : {false, true}) {
+      if (snapshot ? !modes.snapshot : !modes.dissemination) continue;
+      for (const bool digest : {true, false}) {
+        if (digest ? !modes.digest : !modes.full) continue;
+        ScaleConfig config = base;
+        config.members = members;
+        config.digest = digest;
+        config.snapshot_join = snapshot;
+        log << "bench: members=" << members
+            << " join=" << (snapshot ? "snapshot" : "dissemination")
+            << " sync=" << (digest ? "digest" : "full") << " ...\n";
+        const ScaleStats stats = run_scale_trial(config);
+        log << "  join " << stats.join_events << " events / "
+            << stats.join_bytes << " bytes in " << stats.join_wall_ms
+            << " ms ("
+            << static_cast<std::uint64_t>(stats.join_events_per_sec())
+            << " ev/s), divergence " << stats.join_divergence << "; steady "
+            << stats.steady_events << " events in " << stats.steady_wall_ms
+            << " ms ("
+            << static_cast<std::uint64_t>(stats.steady_events_per_sec())
+            << " ev/s); kViewSync " << stats.viewsync_msgs << " msgs / "
+            << stats.viewsync_bytes << " bytes; rss " << stats.peak_rss_kb
+            << " KiB; converged=" << (stats.converged ? "yes" : "NO")
+            << std::endl;
+        all.push_back(stats);
+      }
     }
   }
   return all;
@@ -146,8 +161,13 @@ void write_bench_json(const ScaleConfig& base,
     const ScaleStats& s = stats[i];
     os << "    {\"members\": " << s.members << ", \"ne_count\": " << s.ne_count
        << ", \"digest\": " << (s.digest ? "true" : "false")
+       << ", \"snapshot_join\": " << (s.snapshot_join ? "true" : "false")
        << ", \"converged\": " << (s.converged ? "true" : "false") << ",\n"
        << "     \"join\": {\"events\": " << s.join_events
+       << ", \"bytes\": " << s.join_bytes
+       << ", \"snapshot_msgs\": " << s.join_snapshot_msgs
+       << ", \"snapshot_bytes\": " << s.join_snapshot_bytes
+       << ", \"divergence\": " << s.join_divergence
        << ", \"wall_ms\": " << s.join_wall_ms
        << ", \"events_per_sec\": " << s.join_events_per_sec() << "},\n"
        << "     \"steady\": {\"events\": " << s.steady_events

@@ -30,6 +30,10 @@ struct ScaleConfig {
   int ring_size = 5;  ///< nodes per ring (r)
   std::uint64_t members = 1000;
   bool digest = true;  ///< digest-first vs full-table anti-entropy
+  /// Join-phase mode: per-op downward dissemination (false, the paper's
+  /// protocol) vs kSnapshot bulk state transfer (true: NotifyChild is
+  /// replaced by debounced framed MemberTable snapshots).
+  bool snapshot_join = false;
   /// Virtual time between member arrivals.
   sim::Duration join_spacing = sim::usec(500);
   sim::Duration probe_period = sim::msec(250);
@@ -49,9 +53,18 @@ struct ScaleStats {
   std::uint64_t members = 0;
   std::uint64_t ne_count = 0;
   bool digest = true;
+  bool snapshot_join = false;
 
   // Deterministic protocol metrics.
   std::uint64_t join_events = 0;    ///< events to build + converge the group
+  std::uint64_t join_bytes = 0;     ///< encoded bytes sent over the join phase
+  std::uint64_t join_snapshot_msgs = 0;   ///< kSnapshot transfers in the phase
+  std::uint64_t join_snapshot_bytes = 0;  ///< kSnapshot bytes in the phase
+  /// Post-drain per-NE view disagreement vs the expected membership,
+  /// summed record-wise (RgbSystem::view_divergence) — measured after the
+  /// join phase drains and *before* any anti-entropy warm-up, so it
+  /// exposes exactly the dissemination residue the warm-up used to mask.
+  std::uint64_t join_divergence = 0;
   std::uint64_t steady_events = 0;  ///< events over the steady window
   std::uint64_t viewsync_msgs = 0;  ///< kViewSync sends over the window
   std::uint64_t viewsync_bytes = 0; ///< kViewSync bytes over the window
@@ -77,12 +90,20 @@ struct ScaleStats {
 [[nodiscard]] ScaleStats run_scale_trial(const ScaleConfig& config,
                                          bool timed = true);
 
+/// Which cells of the (anti-entropy mode x join mode) grid a sweep runs.
+struct SweepModes {
+  bool digest = true;         ///< digest-first anti-entropy
+  bool full = true;           ///< full-table anti-entropy
+  bool dissemination = true;  ///< per-op downward dissemination join
+  bool snapshot = false;      ///< kSnapshot bulk-join state transfer
+};
+
 /// Runs the full members x mode grid (timed), logging one summary line per
 /// cell to `log`. Shared by `bench_scale` and `rgb_exp bench` so the sweep
 /// semantics — cell order, mode selection, reporting — live in one place.
 [[nodiscard]] std::vector<ScaleStats> run_scale_sweep(
     const ScaleConfig& base, const std::vector<std::uint64_t>& member_counts,
-    bool digest_mode, bool full_mode, std::ostream& log);
+    const SweepModes& modes, std::ostream& log);
 
 /// True when every cell reached convergence — a non-converged cell means a
 /// window measured a system still reconciling, so its numbers are not

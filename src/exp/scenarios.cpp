@@ -461,18 +461,29 @@ Scenario make_check_adversarial() {
 Scenario make_bench_scale() {
   Scenario s;
   s.id = "bench.scale";
-  s.title = "Scale sweep: steady-state anti-entropy cost, digest vs full";
-  s.paper_ref = "extension (perf trajectory, PR3)";
+  s.title =
+      "Scale sweep: anti-entropy cost (digest vs full), join mode "
+      "(dissemination vs snapshot)";
+  s.paper_ref = "extension (perf trajectory, PR3/PR4)";
   // Deterministic protocol metrics only — wall-clock numbers come from the
   // timed entry points (`rgb_exp bench`, bench_scale) and BENCH_*.json.
+  // Byte metrics are real encoded bytes (wire codec metering).
   s.metrics = {"viewsync_bytes", "viewsync_msgs", "steady_events",
-               "join_events", "converged"};
-  for (const double members : {250.0, 1000.0}) {
-    for (const double digest : {1.0, 0.0}) {
-      s.cells.push_back(ParamSet{{"h", 2.0},
-                                 {"r", 5.0},
-                                 {"members", members},
-                                 {"digest", digest}});
+               "join_events",    "join_bytes",    "join_divergence",
+               "converged"};
+  // Dissemination-join cells first (the PR3 grid, order preserved for the
+  // thread-determinism test that trims to the first two), snapshot-join
+  // cells appended (PR4).
+  for (const double snapshot : {0.0, 1.0}) {
+    for (const double members : {250.0, 1000.0}) {
+      for (const double digest : {1.0, 0.0}) {
+        if (snapshot == 1.0 && digest == 0.0) continue;  // keep it bounded
+        s.cells.push_back(ParamSet{{"h", 2.0},
+                                   {"r", 5.0},
+                                   {"members", members},
+                                   {"digest", digest},
+                                   {"snapshot", snapshot}});
+      }
     }
   }
   s.trials_per_cell = 1;
@@ -482,10 +493,12 @@ Scenario make_bench_scale() {
     config.ring_size = ctx.params.get_int("r");
     config.members = static_cast<std::uint64_t>(ctx.params.get_int("members"));
     config.digest = ctx.params.get_int("digest") != 0;
+    config.snapshot_join = ctx.params.get_int("snapshot") != 0;
     config.seed = ctx.seed;
     const ScaleStats stats = run_scale_trial(config, /*timed=*/false);
     return {double(stats.viewsync_bytes), double(stats.viewsync_msgs),
-            double(stats.steady_events), double(stats.join_events),
+            double(stats.steady_events),  double(stats.join_events),
+            double(stats.join_bytes),     double(stats.join_divergence),
             stats.converged ? 1.0 : 0.0};
   };
   return s;

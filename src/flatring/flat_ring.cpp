@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "wire/metering.hpp"
+
 namespace rgb::flatring {
 
 RingNode::RingNode(NodeId id, net::Network& network, int ring_size)
@@ -71,8 +73,7 @@ void RingNode::on_token(RingTokenMsg token) {
 }
 
 void RingNode::forward(RingTokenMsg token) {
-  const auto size_bytes =
-      static_cast<std::uint32_t>(64 + 32 * token.entries.size());
+  const auto size_bytes = wire_size(token);
   send(next_, kRingToken, std::move(token), size_bytes);
 }
 
@@ -110,6 +111,7 @@ FlatRingSystem::FlatRingSystem(net::Network& network, FlatRingConfig config,
                                std::uint64_t first_node_id)
     : network_(network), config_(config) {
   assert(config_.nodes >= 2);
+  wire::attach_encoded_metering(network_);
   nodes_.reserve(static_cast<std::size_t>(config_.nodes));
   for (int i = 0; i < config_.nodes; ++i) {
     const NodeId id{first_node_id + static_cast<std::uint64_t>(i)};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "wire/metering.hpp"
+
 namespace rgb::gossip {
 
 GossipNode::GossipNode(NodeId id, net::Network& network,
@@ -77,7 +79,9 @@ void GossipNode::on_tick() {
       peers_[static_cast<std::size_t>(rng_.next_below(peers_.size()))];
   const std::uint64_t ping_id = (id().value() << 20) | ++ping_counter_;
   pings_in_flight_.emplace(ping_id, target);
-  send(target, kPing, PingMsg{ping_id, select_updates()});
+  PingMsg ping{ping_id, select_updates()};
+  const auto bytes = wire_size(ping);
+  send(target, kPing, std::move(ping), bytes);
 }
 
 void GossipNode::suspect(NodeId peer) {
@@ -115,7 +119,9 @@ void GossipNode::deliver(const net::Envelope& env) {
       const auto& ping = env.payload.get<PingMsg>();
       absorb(ping.updates);
       strikes_.erase(env.src);
-      send(env.src, kAck, AckMsg{ping.ping_id, select_updates()});
+      AckMsg ack{ping.ping_id, select_updates()};
+      const auto bytes = wire_size(ack);
+      send(env.src, kAck, std::move(ack), bytes);
       break;
     }
     case kAck: {
@@ -139,6 +145,7 @@ GossipSystem::GossipSystem(net::Network& network, GossipConfig config,
                            std::uint64_t first_node_id)
     : network_(network), config_(config) {
   assert(config_.nodes >= 2);
+  wire::attach_encoded_metering(network_);
   for (int i = 0; i < config_.nodes; ++i) {
     aps_.push_back(NodeId{first_node_id + static_cast<std::uint64_t>(i)});
   }

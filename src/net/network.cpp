@@ -74,6 +74,15 @@ void Network::reset_metrics() { metrics_ = Metrics{}; }
 void Network::send(Envelope env) {
   assert(env.src.valid() && env.dst.valid());
 
+  // Encoded-size hook: re-price the envelope before anything else — byte
+  // counters, taps (including the src-crash drop tap below) and delivery
+  // must all see the same (real) size.
+  if (sizer_) {
+    if (const std::uint32_t encoded = sizer_(env); encoded != 0) {
+      env.size_bytes = encoded;
+    }
+  }
+
   // A crashed source produces nothing at all — the attempt never enters the
   // network, so it is metered apart from `sent` and the in-network drops.
   if (is_crashed(env.src)) {

@@ -130,6 +130,16 @@ class Network {
   using Tap = std::function<void(const Envelope&, bool delivered)>;
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
+  /// Optional encoded-size hook: when set, every send consults it and a
+  /// non-zero return replaces the envelope's size estimate for byte
+  /// metering (and for downstream taps/delivery). Returning 0 keeps the
+  /// caller's estimate. The wire subsystem installs its codec-backed sizer
+  /// here (wire::attach_encoded_metering) so `bytes_per_kind` counts real
+  /// encoded bytes; the network itself stays protocol-agnostic.
+  using Sizer = std::function<std::uint32_t(const Envelope&)>;
+  void set_sizer(Sizer sizer) { sizer_ = std::move(sizer); }
+  [[nodiscard]] bool has_sizer() const { return static_cast<bool>(sizer_); }
+
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
@@ -145,6 +155,7 @@ class Network {
   std::unordered_map<std::uint64_t, LinkConfig> links_;
   Metrics metrics_;
   Tap tap_;
+  Sizer sizer_;
 };
 
 }  // namespace rgb::net

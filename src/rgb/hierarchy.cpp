@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "wire/metering.hpp"
+
 namespace rgb::core {
 
 std::uint64_t HierarchyLayout::ap_count() const {
@@ -32,6 +34,7 @@ RgbSystem::RgbSystem(net::Network& network, RgbConfig config,
       first_node_id_(first_node_id) {
   assert(layout_.ring_tiers >= 1);
   assert(layout_.ring_size >= 1);
+  if (config_.wire_metering) rgb::wire::attach_encoded_metering(network_);
   build();
 }
 
@@ -295,6 +298,43 @@ bool RgbSystem::rings_consistent() const {
     }
   }
   return true;
+}
+
+std::uint64_t RgbSystem::view_divergence() const {
+  const auto expected = expected_membership();
+  const bool global_view =
+      config_.disseminate_down && config_.retain_tier == 0;
+  std::uint64_t divergence = 0;
+  for (const auto& ne : entities_) {
+    if (network_.is_crashed(ne->id())) continue;
+    // Without downward dissemination only the retained tier holds the
+    // global view (IMS/BMS retain at config_.retain_tier, not at the top).
+    if (!global_view && ne->tier() != config_.retain_tier) continue;
+    const auto view = ne->ring_members().snapshot();
+    // Both sides are guid-sorted: linear symmetric-difference walk. A
+    // record differing in AP or status counts on both sides (it is wrong
+    // here and missing there), which matches "records that disagree".
+    std::size_t i = 0, j = 0;
+    while (i < view.size() || j < expected.size()) {
+      if (i < view.size() && j < expected.size() &&
+          view[i] == expected[j]) {
+        ++i;
+        ++j;
+      } else if (j == expected.size() ||
+                 (i < view.size() && view[i].guid < expected[j].guid)) {
+        ++divergence;
+        ++i;
+      } else if (i == view.size() || expected[j].guid < view[i].guid) {
+        ++divergence;
+        ++j;
+      } else {
+        divergence += 2;  // same guid, different record
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return divergence;
 }
 
 NodeId RgbSystem::ap_of(Guid mh) const {

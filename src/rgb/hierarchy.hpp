@@ -106,6 +106,16 @@ class RgbSystem : public proto::MembershipService {
   /// the pointers form a single cycle.
   [[nodiscard]] bool rings_consistent() const;
 
+  /// Total view divergence: the number of (NE, member-record) disagreements
+  /// between each alive global-view NE's operational snapshot and
+  /// `expected_membership()` (symmetric difference, summed over NEs). Zero
+  /// iff every such NE holds exactly the expected view — the deterministic
+  /// measuring stick for the join-surge dissemination-loss open item (a
+  /// drained join phase should leave this at 0; the dissemination path
+  /// historically leaves a residue at 20k members that the first
+  /// anti-entropy window mops up).
+  [[nodiscard]] std::uint64_t view_divergence() const;
+
   /// AP a member is currently attached to, as tracked by this facade.
   [[nodiscard]] NodeId ap_of(Guid mh) const;
 

@@ -38,6 +38,8 @@ inline constexpr net::MessageKind kRingReform = 21;
 inline constexpr net::MessageKind kNeJoinRequest = 22;
 inline constexpr net::MessageKind kNeLeaveRequest = 23;
 inline constexpr net::MessageKind kViewSync = 24;
+inline constexpr net::MessageKind kSnapshotRequest = 25;
+inline constexpr net::MessageKind kSnapshot = 26;
 // Edge-plane (MH <-> AP wireless traffic; also uncounted).
 inline constexpr net::MessageKind kMhRequest = 30;
 inline constexpr net::MessageKind kMhAck = 31;
@@ -176,6 +178,29 @@ struct ViewSyncMsg {
   NodeId leader;
 };
 
+/// Asks a peer for a framed member-table snapshot (the kSnapshot bulk
+/// state-transfer path). Carries the requester's own table digest so an
+/// already-in-sync peer answers nothing.
+struct SnapshotRequestMsg {
+  std::uint64_t digest = 0;      ///< requester's MemberTable::digest() hash
+  std::uint64_t entry_count = 0;
+};
+
+/// One framed member-table state transfer: the sender's full view as *real
+/// encoded bytes* (wire::encode_snapshot — version, count, guid-delta
+/// entries). Unlike every other message in this simulator, the payload here
+/// IS the wire format: the receiver decodes the blob through the codec, so
+/// truncation/corruption handling is exercised end-to-end, and the metered
+/// size is exact by construction. Sent on request (SnapshotRequestMsg, NE
+/// joiners) and pushed by the debounced surge flush of the snapshot-join
+/// mode (RgbConfig::snapshot_join).
+struct SnapshotMsg {
+  std::uint64_t digest = 0;  ///< digest of the encoded table; receivers
+                             ///< whose own digest matches skip the decode
+  std::uint64_t entry_count = 0;
+  std::vector<std::uint8_t> blob;  ///< wire::encode_snapshot output
+};
+
 /// A lone NE asks a ring leader to admit it (Section 4.3 join process).
 struct NeJoinRequestMsg {
   NodeId joiner;
@@ -223,13 +248,21 @@ struct QueryReplyMsg {
 
 // --- wire-size model ----------------------------------------------------------
 //
-// The simulated network prices messages by an approximate serialized size;
+// The simulated network prices messages by an estimated serialized size;
 // every payload-size computation goes through these helpers so the cost
 // model lives in exactly one place (it used to be duplicated magic numbers
 // at each send site).
+//
+// Since the wire codec (src/wire/) exists, these are *estimates only*: with
+// RgbConfig::wire_metering on (the default) the network meters the exact
+// encoded size, and wire::estimate_consistent debug-asserts that every
+// estimate stays an upper bound of the encoded bytes within a bounded
+// factor. The per-unit constants below are upper bounds of the varint
+// encoding for realistic identifier magnitudes (ids below 2^32, op
+// uid/seq of any value); tests/wire/metering_test.cpp holds them to it.
 
 namespace wire {
-/// Fixed per-message overhead: headers, ids, flags.
+/// Fixed per-message overhead: frame, ids, flags.
 inline constexpr std::uint32_t kBaseBytes = 64;
 /// One seq-keyed TableEntry: guid + AP + status + seq.
 inline constexpr std::uint32_t kTableEntryBytes = 24;
@@ -237,12 +270,62 @@ inline constexpr std::uint32_t kTableEntryBytes = 24;
 inline constexpr std::uint32_t kMemberRecordBytes = 16;
 /// One NodeId (roster elements).
 inline constexpr std::uint32_t kNodeIdBytes = 8;
+/// One MembershipOp: kind + uid + seq + member + five ids.
+inline constexpr std::uint32_t kOpBytes = 64;
+/// One notify/round id.
+inline constexpr std::uint32_t kIdBytes = 10;
 }  // namespace wire
+
+[[nodiscard]] inline std::uint32_t wire_size(const TokenMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kOpBytes * static_cast<std::uint32_t>(msg.token.ops.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const NotifyMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kOpBytes * static_cast<std::uint32_t>(msg.ops.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const HolderAckMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kIdBytes * static_cast<std::uint32_t>(msg.notify_ids.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const RepairMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kNodeIdBytes * static_cast<std::uint32_t>(msg.faulty.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const MergeOfferMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kNodeIdBytes * static_cast<std::uint32_t>(msg.roster.size()) +
+         wire::kTableEntryBytes * static_cast<std::uint32_t>(msg.entries.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const MergeAcceptMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kNodeIdBytes * static_cast<std::uint32_t>(msg.roster.size()) +
+         wire::kTableEntryBytes * static_cast<std::uint32_t>(msg.entries.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const RingReformMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kNodeIdBytes * static_cast<std::uint32_t>(msg.roster.size()) +
+         wire::kTableEntryBytes * static_cast<std::uint32_t>(msg.entries.size());
+}
 
 [[nodiscard]] inline std::uint32_t wire_size(const ViewSyncMsg& msg) {
   return wire::kBaseBytes +
          wire::kTableEntryBytes * static_cast<std::uint32_t>(msg.entries.size()) +
          wire::kNodeIdBytes * static_cast<std::uint32_t>(msg.roster.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const SnapshotRequestMsg&) {
+  return wire::kBaseBytes;
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const SnapshotMsg& msg) {
+  return wire::kBaseBytes + static_cast<std::uint32_t>(msg.blob.size());
 }
 
 [[nodiscard]] inline std::uint32_t wire_size(const QueryReplyMsg& msg) {

@@ -26,6 +26,9 @@ struct RgbMetrics {
   common::Counter merges;              ///< ring fragments merged
   common::Counter ne_joins;
   common::Counter ne_leaves;
+  common::Counter snapshots_sent;      ///< kSnapshot transfers pushed/served
+  common::Counter snapshots_applied;   ///< snapshots that changed a view
+  common::Counter snapshot_decode_errors;  ///< corrupt blobs rejected
 };
 
 /// Sum of proposal-plane sends (token circulation + inter-ring

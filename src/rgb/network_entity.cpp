@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "wire/snapshot.hpp"
 
 namespace rgb::core {
 
@@ -171,7 +172,9 @@ void NetworkEntity::enqueue_op(MembershipOp op, Contributor contributor) {
   metrics_.ops_aggregated.increment(mq_.ops_collapsed() - collapsed_before);
   // Ops cancelled by aggregation still owe their contributors an ack.
   for (const Contributor& orphan : mq_.take_orphaned_acks()) {
-    send(orphan.ne, kind::kHolderAck, HolderAckMsg{{orphan.notify_id}});
+    HolderAckMsg ack{{orphan.notify_id}};
+    const auto bytes = wire_size(ack);
+    send(orphan.ne, kind::kHolderAck, std::move(ack), bytes);
     metrics_.holder_acks.increment();
   }
   on_mq_activity();
@@ -189,8 +192,21 @@ void NetworkEntity::on_mq_activity() {
       token_free_ = false;
       active_round_id_ = next_round_id();
       start_round(active_round_id_);
+    } else if (std::find(pending_grants_.begin(), pending_grants_.end(),
+                         id()) == pending_grants_.end()) {
+      // The token is out with a peer: queue *ourselves* for a grant like
+      // any requester, so the leader's own MQ competes FIFO-fairly with
+      // the peers'. Relying on "the running round's completion re-checks
+      // our MQ" is not enough — under a sustained surge pending_grants_
+      // never empties, and grant_next only starts the leader's round once
+      // it does. That starvation held inter-ring notifications (which
+      // enter a ring *via its leader's MQ*) hostage for the whole surge;
+      // past the notify-retx budget (~6s) the sender declared the edge
+      // down and every later change stopped crossing it — the join-surge
+      // view-divergence open item at 20k members (and, reported upward,
+      // silent top-ring gaps).
+      pending_grants_.push_back(id());
     }
-    // else: the running round's completion re-checks our MQ.
   } else {
     request_token();
   }
@@ -452,11 +468,27 @@ void NetworkEntity::apply_ops_and_notify(const Token& token) {
     if (!up.empty()) send_notify(parent_, std::move(up), /*downward=*/false);
   }
   if (child_.valid() && child_ok_ && config_.disseminate_down) {
-    std::vector<MembershipOp> down;
-    for (const MembershipOp& op : token.ops) {
-      if (op.is_member_op() && op.from_child_of != id()) down.push_back(op);
+    if (config_.snapshot_join) {
+      // Snapshot bulk-join mode: no per-op fan-out towards the child ring
+      // (and none of the token rounds it would trigger there). The child
+      // edge is owed a debounced framed snapshot instead; during a join
+      // surge the repeated marking keeps pushing the flush out, so the
+      // whole surge condenses into one state transfer per edge.
+      for (const MembershipOp& op : token.ops) {
+        if (op.is_member_op() && op.from_child_of != id()) {
+          schedule_snapshot_flush(/*to_ring=*/false, /*to_child=*/true);
+          break;
+        }
+      }
+    } else {
+      std::vector<MembershipOp> down;
+      for (const MembershipOp& op : token.ops) {
+        if (op.is_member_op() && op.from_child_of != id()) down.push_back(op);
+      }
+      if (!down.empty()) {
+        send_notify(child_, std::move(down), /*downward=*/true);
+      }
     }
-    if (!down.empty()) send_notify(child_, std::move(down), /*downward=*/true);
   }
 }
 
@@ -472,7 +504,9 @@ void NetworkEntity::complete_round(const Token& token) {
     acks[c.ne].push_back(c.notify_id);
   }
   for (auto& [ne, ids] : acks) {
-    send(ne, kind::kHolderAck, HolderAckMsg{std::move(ids)});
+    HolderAckMsg ack{std::move(ids)};
+    const auto bytes = wire_size(ack);
+    send(ne, kind::kHolderAck, std::move(ack), bytes);
     metrics_.holder_acks.increment();
   }
   round_contributors_.clear();
@@ -539,7 +573,9 @@ void NetworkEntity::send_token_to(NodeId target, Token token) {
   const net::MessageKind kind =
       token.ops.empty() ? kind::kProbe : kind::kToken;
   const std::uint64_t round_id = token.round_id;
-  send(target, kind, TokenMsg{token});
+  TokenMsg msg{token};
+  const auto bytes = wire_size(msg);
+  send(target, kind, std::move(msg), bytes);
   InflightHop hop;
   hop.token = std::move(token);
   hop.target = target;
@@ -564,7 +600,9 @@ void NetworkEntity::on_token_retx_timeout(std::uint64_t round_id) {
     metrics_.token_retransmits.increment();
     const net::MessageKind kind =
         hop.token.ops.empty() ? kind::kProbe : kind::kToken;
-    send(hop.target, kind, TokenMsg{hop.token});
+    TokenMsg msg{hop.token};
+    const auto bytes = wire_size(msg);
+    send(hop.target, kind, std::move(msg), bytes);
     hop.timer = set_timer(config_.retx_timeout, [this, round_id]() {
       on_token_retx_timeout(round_id);
     });
@@ -621,10 +659,12 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
   // (the paper argues for small r), so the control cost is a handful of
   // messages, and it makes leadership convergence independent of a working
   // round — essential when the faulty node WAS the leader.
-  const net::Payload repair_notice{RepairMsg{id(), {faulty}}};
+  RepairMsg repair{id(), {faulty}};
+  const auto repair_bytes = wire_size(repair);
+  const net::Payload repair_notice{std::move(repair)};
   for (const NodeId peer : roster_) {
     if (peer == id()) continue;
-    send(peer, kind::kRepair, repair_notice);
+    send(peer, kind::kRepair, repair_notice, repair_bytes);
   }
 
   // Disseminate the failure: NE-Failure for the node, Member-Failure for
@@ -769,9 +809,16 @@ void NetworkEntity::apply_ne_op(const MembershipOp& op) {
       suspected_faulty_.erase(op.ne);
       recompute_pointers();
       if (is_leader()) {
-        // Hand the joiner its initial state.
-        send(op.ne, kind::kRingReform,
-             RingReformMsg{roster_, leader_, ring_members_.export_entries()});
+        // Hand the joiner its initial state. Under snapshot_join the
+        // reform carries the ring shape only — the joiner pulls the member
+        // view as one framed kSnapshot transfer instead of receiving it
+        // inline (and re-receiving it on every reform re-broadcast).
+        RingReformMsg reform{roster_, leader_,
+                             config_.snapshot_join
+                                 ? std::vector<TableEntry>{}
+                                 : ring_members_.export_entries()};
+        const auto bytes = wire_size(reform);
+        send(op.ne, kind::kRingReform, std::move(reform), bytes);
         metrics_.ne_joins.increment();
       }
       return;
@@ -797,7 +844,7 @@ NodeId NetworkEntity::predecessor_of(NodeId node) const {
   return roster_[(i + roster_.size() - 1) % roster_.size()];
 }
 
-void NetworkEntity::handle_ring_reform(const RingReformMsg& msg) {
+void NetworkEntity::handle_ring_reform(const RingReformMsg& msg, NodeId from) {
   roster_ = msg.roster;
   rebuild_roster_index();
   leader_ = msg.leader;
@@ -823,6 +870,15 @@ void NetworkEntity::handle_ring_reform(const RingReformMsg& msg) {
     stashed_token_.reset();
     handle_token(std::move(replay), stashed_from_);
   }
+  // Snapshot-join NE admission: the reform carried only the ring shape
+  // (the leader deliberately sent no entries); pull the member view as one
+  // framed state transfer instead. The digest in the request makes the
+  // exchange a no-op when this NE was already current (e.g. re-admission
+  // after a false failure).
+  if (config_.snapshot_join && msg.entries.empty() && from.valid() &&
+      from != id()) {
+    request_snapshot_from(from);
+  }
   on_mq_activity();
 }
 
@@ -841,7 +897,9 @@ void NetworkEntity::send_notify(NodeId dest, std::vector<MembershipOp> ops,
   const std::uint64_t nid = next_notify_id();
   const net::MessageKind kind =
       downward ? kind::kNotifyChild : kind::kNotifyParent;
-  send(dest, kind, NotifyMsg{ops, nid, downward});
+  NotifyMsg msg{ops, nid, downward};
+  const auto bytes = wire_size(msg);
+  send(dest, kind, std::move(msg), bytes);
   metrics_.notifications_sent.increment();
   PendingNotify pending;
   pending.dest = dest;
@@ -860,8 +918,9 @@ void NetworkEntity::on_notify_retx_timeout(std::uint64_t notify_id) {
     metrics_.notify_retransmits.increment();
     const net::MessageKind kind =
         pending.downward ? kind::kNotifyChild : kind::kNotifyParent;
-    send(pending.dest, kind,
-         NotifyMsg{pending.ops, notify_id, pending.downward});
+    NotifyMsg msg{pending.ops, notify_id, pending.downward};
+    const auto bytes = wire_size(msg);
+    send(pending.dest, kind, std::move(msg), bytes);
     pending.timer = set_timer(config_.notify_timeout, [this, notify_id]() {
       on_notify_retx_timeout(notify_id);
     });
@@ -869,6 +928,11 @@ void NetworkEntity::on_notify_retx_timeout(std::uint64_t notify_id) {
   }
   // The inter-ring edge is down: reflect it in ParentOK/ChildOK (paper
   // Section 4.2 semantics). Probing/merge may later restore the flag.
+  RGB_LOG(kWarn, "notify") << now() << " " << id() << " gives up notify "
+                           << notify_id << " to " << pending.dest << " ("
+                           << pending.ops.size() << " ops, "
+                           << (pending.downward ? "down" : "up")
+                           << "); marking edge down";
   if (pending.downward) {
     child_ok_ = false;
   } else {
@@ -888,7 +952,9 @@ void NetworkEntity::handle_notify(const NotifyMsg& msg, NodeId from) {
     }
   }
   if (all_known) {
-    send(from, kind::kHolderAck, HolderAckMsg{{msg.notify_id}});
+    HolderAckMsg ack{{msg.notify_id}};
+    const auto bytes = wire_size(ack);
+    send(from, kind::kHolderAck, std::move(ack), bytes);
     metrics_.holder_acks.increment();
     return;
   }
@@ -1155,8 +1221,9 @@ void NetworkEntity::attempt_merge() {
   if (candidates.empty()) return;
   const NodeId target = candidates[merge_probe_cursor_ % candidates.size()];
   ++merge_probe_cursor_;
-  send(target, kind::kMergeOffer,
-       MergeOfferMsg{roster_, ring_members_.export_entries()});
+  MergeOfferMsg offer{roster_, ring_members_.export_entries()};
+  const auto bytes = wire_size(offer);
+  send(target, kind::kMergeOffer, std::move(offer), bytes);
 }
 
 void NetworkEntity::merge_fragment(const std::vector<NodeId>& their_roster,
@@ -1208,13 +1275,14 @@ void NetworkEntity::handle_merge_offer(const MergeOfferMsg& msg,
     if (i_am_in_offer) return;  // the offerer already rings with us
     if (leader_.valid() && leader_ != id() && leader_ != from) {
       // A true fragment: relay to our fragment's leader.
-      send(leader_, kind::kMergeOffer, msg);
+      send(leader_, kind::kMergeOffer, msg, wire_size(msg));
     } else {
       // Stale state: the node we believe leads us is the one telling us we
       // are not in its ring (e.g. we just recovered from a crash). Offer
       // ourselves back as a singleton fragment.
-      send(from, kind::kMergeAccept,
-           MergeAcceptMsg{{id()}, ring_members_.export_entries()});
+      MergeAcceptMsg accept{{id()}, ring_members_.export_entries()};
+      const auto bytes = wire_size(accept);
+      send(from, kind::kMergeAccept, std::move(accept), bytes);
     }
     return;
   }
@@ -1245,12 +1313,107 @@ void NetworkEntity::handle_merge_accept(const MergeAcceptMsg& msg,
 
 void NetworkEntity::broadcast_ring_reform(const std::vector<NodeId>& roster,
                                           NodeId leader) {
-  const net::Payload reform{
-      RingReformMsg{roster, leader, ring_members_.export_entries()}};
+  RingReformMsg msg{roster, leader, ring_members_.export_entries()};
+  const auto bytes = wire_size(msg);
+  const net::Payload reform{std::move(msg)};
   for (const NodeId n : roster) {
     if (n == id()) continue;
-    send(n, kind::kRingReform, reform);
+    send(n, kind::kRingReform, reform, bytes);
   }
+}
+
+// --------------------------------------------------------------------------
+// Snapshot state transfer (the kSnapshot bulk-join path)
+// --------------------------------------------------------------------------
+
+void NetworkEntity::schedule_snapshot_flush(bool to_ring, bool to_child) {
+  if (!to_ring && !to_child) return;
+  snapshot_dirty_ring_ = snapshot_dirty_ring_ || to_ring;
+  snapshot_dirty_child_ = snapshot_dirty_child_ || to_child;
+  // Debounce: every fresh mark pushes the flush out by another quiet
+  // window, so a sustained surge ships one snapshot at its end, not one
+  // per round.
+  cancel_timer(snapshot_flush_timer_);
+  snapshot_flush_timer_ = set_timer(config_.snapshot_flush_quiet,
+                                    [this]() { flush_snapshot(); });
+}
+
+SnapshotMsg NetworkEntity::make_snapshot_msg() const {
+  SnapshotMsg msg;
+  const ViewDigest digest = ring_members_.digest();
+  msg.digest = digest.hash;
+  msg.entry_count = digest.count;
+  rgb::wire::encode_snapshot(ring_members_.export_entries(), msg.blob);
+  return msg;
+}
+
+void NetworkEntity::flush_snapshot() {
+  const bool to_ring =
+      snapshot_dirty_ring_ && is_leader() && roster_.size() > 1;
+  const bool to_child =
+      snapshot_dirty_child_ && child_.valid() && config_.disseminate_down;
+  snapshot_dirty_ring_ = false;
+  snapshot_dirty_child_ = false;
+  if (!to_ring && !to_child) return;
+  SnapshotMsg msg = make_snapshot_msg();
+  const auto bytes = wire_size(msg);
+  // One encoded blob, shared by every push of this flush.
+  const net::Payload payload{std::move(msg)};
+  if (to_ring) {
+    for (const NodeId peer : roster_) {
+      if (peer == id()) continue;
+      send(peer, kind::kSnapshot, payload, bytes);
+      metrics_.snapshots_sent.increment();
+    }
+  }
+  if (to_child) {
+    send(child_, kind::kSnapshot, payload, bytes);
+    metrics_.snapshots_sent.increment();
+  }
+}
+
+void NetworkEntity::request_snapshot_from(NodeId peer) {
+  if (!peer.valid() || peer == id()) return;
+  const ViewDigest mine = ring_members_.digest();
+  send(peer, kind::kSnapshotRequest,
+       SnapshotRequestMsg{mine.hash, mine.count});
+}
+
+void NetworkEntity::handle_snapshot_request(const SnapshotRequestMsg& msg,
+                                            NodeId from) {
+  const ViewDigest mine = ring_members_.digest();
+  if (mine.hash == msg.digest && mine.count == msg.entry_count) return;
+  SnapshotMsg reply = make_snapshot_msg();
+  const auto bytes = wire_size(reply);
+  send(from, kind::kSnapshot, std::move(reply), bytes);
+  metrics_.snapshots_sent.increment();
+}
+
+void NetworkEntity::handle_snapshot(const SnapshotMsg& msg, NodeId from) {
+  const ViewDigest mine = ring_members_.digest();
+  if (mine.hash == msg.digest && mine.count == msg.entry_count) {
+    return;  // already in sync: skip the decode entirely
+  }
+  // The blob is real wire bytes; a truncated or corrupted transfer decodes
+  // to a clean error and is dropped — the sender's next flush (or the
+  // anti-entropy tick) retries the transfer.
+  const auto decoded = rgb::wire::decode_snapshot(msg.blob);
+  if (!decoded.ok()) {
+    metrics_.snapshot_decode_errors.increment();
+    RGB_LOG(kWarn, "snapshot")
+        << id() << " rejects corrupt snapshot from " << from << ": "
+        << rgb::wire::to_string(decoded.error().status) << " at offset "
+        << decoded.error().offset;
+    return;
+  }
+  if (!ring_members_.import_entries(decoded.value())) return;
+  metrics_.snapshots_applied.increment();
+  if (!config_.snapshot_join) return;
+  // Cascade: state learned by snapshot (not by a token round, which every
+  // ring peer sees anyway) is owed onward — across the ring when we lead
+  // it, and down to our child ring's leader.
+  schedule_snapshot_flush(is_leader(),
+                          child_.valid() && config_.disseminate_down);
 }
 
 // --------------------------------------------------------------------------
@@ -1293,9 +1456,10 @@ void NetworkEntity::request_ring_leave() {
       if (n != id()) rest.push_back(n);
     }
     const NodeId successor = elect_leader(rest);
-    const net::Payload reform{
-        RingReformMsg{rest, successor, ring_members_.export_entries()}};
-    for (const NodeId n : rest) send(n, kind::kRingReform, reform);
+    RingReformMsg msg{rest, successor, ring_members_.export_entries()};
+    const auto bytes = wire_size(msg);
+    const net::Payload reform{std::move(msg)};
+    for (const NodeId n : rest) send(n, kind::kRingReform, reform, bytes);
     if (parent_.valid()) {
       send(parent_, kind::kChildRebind, ChildRebindMsg{successor});
     }
@@ -1324,6 +1488,9 @@ void NetworkEntity::clear_ring_state() {
   cancel_timer(request_retx_timer_);
   cancel_timer(round_watchdog_);
   cancel_timer(holder_watchdog_);
+  cancel_timer(snapshot_flush_timer_);
+  snapshot_dirty_ring_ = false;
+  snapshot_dirty_child_ = false;
   pending_round_ops_.clear();
 }
 
@@ -1495,7 +1662,7 @@ void NetworkEntity::deliver(const net::Envelope& env) {
       handle_merge_accept(env.payload.get<MergeAcceptMsg>(), env.src);
       break;
     case kind::kRingReform:
-      handle_ring_reform(env.payload.get<RingReformMsg>());
+      handle_ring_reform(env.payload.get<RingReformMsg>(), env.src);
       break;
     case kind::kNeJoinRequest:
       handle_ne_join_request(env.payload.get<NeJoinRequestMsg>(), env.src);
@@ -1505,6 +1672,12 @@ void NetworkEntity::deliver(const net::Envelope& env) {
       break;
     case kind::kViewSync:
       handle_view_sync(env.payload.get<ViewSyncMsg>(), env.src);
+      break;
+    case kind::kSnapshotRequest:
+      handle_snapshot_request(env.payload.get<SnapshotRequestMsg>(), env.src);
+      break;
+    case kind::kSnapshot:
+      handle_snapshot(env.payload.get<SnapshotMsg>(), env.src);
       break;
     case kind::kMhRequest: {
       const MhRequestMsg& req = env.payload.get<MhRequestMsg>();

@@ -165,7 +165,7 @@ class NetworkEntity : public proto::Process {
   void recompute_pointers();
   void adopt_leadership();
   void remove_from_roster(NodeId node);
-  void handle_ring_reform(const RingReformMsg& msg);
+  void handle_ring_reform(const RingReformMsg& msg, NodeId from);
   void handle_child_rebind(const ChildRebindMsg& msg, NodeId from);
 
   // --- inter-ring notifications ---------------------------------------------------
@@ -190,6 +190,23 @@ class NetworkEntity : public proto::Process {
   void handle_ne_leave_request(const NeLeaveRequestMsg& msg, NodeId from);
   void broadcast_ring_reform(const std::vector<NodeId>& roster,
                              NodeId leader);
+
+  // --- snapshot state transfer (kSnapshot bulk-join path) ----------------------
+  // Under config.snapshot_join the per-op downward dissemination is
+  // replaced by debounced framed MemberTable snapshots: NEs that applied
+  // fresh member state mark themselves dirty; after snapshot_flush_quiet
+  // with no further change they push one wire-encoded snapshot to their
+  // child ring leader (and, when they learned the state *from* a snapshot
+  // rather than a token round, across their own ring if they lead it).
+  // Receivers digest-check, decode the blob through the wire codec and
+  // import monotonically, so a duplicated, reordered or stale snapshot can
+  // never regress a view; a corrupted one is rejected cleanly and counted.
+  void schedule_snapshot_flush(bool to_ring, bool to_child);
+  void flush_snapshot();
+  [[nodiscard]] SnapshotMsg make_snapshot_msg() const;
+  void request_snapshot_from(NodeId peer);
+  void handle_snapshot_request(const SnapshotRequestMsg& msg, NodeId from);
+  void handle_snapshot(const SnapshotMsg& msg, NodeId from);
 
   // --- queries -------------------------------------------------------------------
   void handle_query(const QueryRequestMsg& msg, NodeId from);
@@ -306,6 +323,11 @@ class NetworkEntity : public proto::Process {
   std::deque<std::uint64_t> recent_rounds_order_;
   static constexpr std::size_t kRecentRoundsCap = 1024;
   void remember_round(std::uint64_t round_id);
+
+  // --- snapshot flush state ---------------------------------------------------
+  sim::EventId snapshot_flush_timer_{};
+  bool snapshot_dirty_ring_ = false;   ///< peers owed a push (leader only)
+  bool snapshot_dirty_child_ = false;  ///< child ring leader owed a push
 
   // --- probing ----------------------------------------------------------------------------
   std::unique_ptr<proto::PeriodicTimer> probe_timer_;

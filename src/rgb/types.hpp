@@ -144,6 +144,34 @@ struct RgbConfig {
   /// the measurement baseline and for the digest/full equivalence tests.
   bool digest_anti_entropy = true;
 
+  /// Encoded-byte metering: RgbSystem installs the wire-codec sizer on its
+  /// network (wire::attach_encoded_metering) so per-kind byte counters
+  /// price every registered message at its exact framed encoding. When
+  /// false the hand-written wire_size() estimates are metered instead —
+  /// the pre-wire cost model, kept for A/B comparison.
+  bool wire_metering = true;
+
+  /// Snapshot bulk-join mode (kSnapshot state transfer): member-op
+  /// dissemination towards child rings is replaced by debounced framed
+  /// MemberTable snapshots — during a join surge the per-op
+  /// Notification-to-Child fan-out (and the token round it triggers in
+  /// every child ring) is suppressed, and each parent->child / leader->ring
+  /// edge instead carries one encoded snapshot once the surge quiets down.
+  /// Ops still propagate *upward* unchanged, so the retained tier stays
+  /// authoritative at all times. Off by default: the per-op dissemination
+  /// path is the paper's protocol and the fuzz/conformance baseline.
+  bool snapshot_join = false;
+
+  /// Debounce for the snapshot flush: a dirty NE pushes its snapshot after
+  /// this long with no further table change. Arrivals during a surge keep
+  /// pushing the timer back, so a 20k-member join phase ships one snapshot
+  /// per edge instead of 20k notifications. The window must exceed the
+  /// inter-round gaps of a sustained surge (rounds aggregate a few ms of
+  /// arrivals each), otherwise mid-surge gaps leak partial snapshots; it
+  /// is also the per-tier latency a change pays to reach the bottom in
+  /// this mode, so it trades bulk efficiency against freshness.
+  sim::Duration snapshot_flush_quiet = sim::msec(50);
+
   /// Per-ring cap of ops carried by one token (0 = unlimited). Guards
   /// against unbounded token growth under extreme churn.
   std::size_t max_ops_per_token = 0;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "rgb/messages.hpp"
+#include "wire/metering.hpp"
 
 namespace rgb::tree {
 
@@ -43,8 +44,10 @@ void TreeServer::deliver(const net::Envelope& env) {
       break;
     case kTreeQuery: {
       const auto& req = env.payload.get<core::QueryRequestMsg>();
+      core::QueryReplyMsg reply{req.query_id, members_.snapshot()};
+      const auto bytes = core::wire_size(reply);
       send(req.reply_to.valid() ? req.reply_to : env.src, kTreeQueryReply,
-           core::QueryReplyMsg{req.query_id, members_.snapshot()});
+           std::move(reply), bytes);
       break;
     }
     default:
@@ -61,6 +64,7 @@ TreeSystem::TreeSystem(net::Network& network, TreeConfig config,
     : network_(network), config_(config) {
   assert(config_.height >= 2);
   assert(config_.branching >= 2);
+  wire::attach_encoded_metering(network_);
   std::uint64_t next_id = first_node_id;
   root_ = build_subtree(0, next_id);
   if (config_.representatives) assign_physical(root_);

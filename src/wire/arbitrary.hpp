@@ -1,0 +1,38 @@
+// Randomized message generation for codec testing: one arbitrary payload
+// per registered kind, with every field drawn from a seeded RngStream.
+//
+// Two profiles:
+//   * realistic (default) — identifier magnitudes as the simulator produces
+//     them (node/guid values below 2^32, time-major seqs, bounded vector
+//     sizes). The wire_size() estimate band (wire::estimate_consistent) is
+//     guaranteed only for this profile, so the metering tests use it.
+//   * unrestricted — full-range 64-bit values including the invalid-id
+//     sentinel and empty/large vectors; round-trip must still hold
+//     byte-identically, which is what the rgb_wire tool and the registry
+//     property test exercise.
+#pragma once
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+
+namespace rgb::wire {
+
+struct ArbitraryOptions {
+  bool realistic = true;
+  std::size_t max_elements = 8;  ///< cap for op/entry/roster vectors
+};
+
+/// A random payload of the type registered under `kind`. `kind` must be
+/// registered in WireRegistry::global().
+[[nodiscard]] net::Payload arbitrary_payload(net::MessageKind kind,
+                                             common::RngStream& rng,
+                                             const ArbitraryOptions& options =
+                                                 ArbitraryOptions{});
+
+/// The wire_size() estimate of the payload registered under `kind` (the
+/// send-site cost model), for estimate-vs-encoded band checks. Returns 0
+/// for kinds whose send sites use the flat 64-byte default.
+[[nodiscard]] std::uint32_t estimated_wire_size(net::MessageKind kind,
+                                                const net::Payload& payload);
+
+}  // namespace rgb::wire

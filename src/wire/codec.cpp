@@ -1,0 +1,25 @@
+#include "wire/codec.hpp"
+
+namespace rgb::wire {
+
+const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kTruncated:
+      return "truncated";
+    case DecodeStatus::kBadVersion:
+      return "bad-version";
+    case DecodeStatus::kUnknownKind:
+      return "unknown-kind";
+    case DecodeStatus::kBadEnum:
+      return "bad-enum";
+    case DecodeStatus::kMalformed:
+      return "malformed";
+    case DecodeStatus::kTrailingBytes:
+      return "trailing-bytes";
+  }
+  return "invalid-status";
+}
+
+}  // namespace rgb::wire

@@ -1,0 +1,458 @@
+// Per-message body codecs (wire format version 1).
+//
+// Every control message of the RGB protocol and of the tree/flatring/gossip
+// baselines gets a `write_body` / `read_body` pair. Writers are templated
+// over the sink so the exact same field walk backs both the real encoder
+// (VectorSink) and the allocation-free size pass (CountingSink) the
+// metering hook runs per send — the two can never drift apart.
+//
+// Readers are straight-line field reads against the sticky `Reader`; the
+// registry checks `ok()` and exhaustion once at the end. Field order is
+// part of the format: changing it is a wire-version bump.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flatring/flat_ring.hpp"
+#include "gossip/gossip_membership.hpp"
+#include "rgb/member_table.hpp"
+#include "rgb/messages.hpp"
+#include "rgb/types.hpp"
+#include "wire/codec.hpp"
+
+namespace rgb::wire {
+
+// --- building blocks ---------------------------------------------------------
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const proto::MemberRecord& v) {
+  w.id(v.guid);
+  w.id(v.access_proxy);
+  w.u8(static_cast<std::uint8_t>(v.status));
+}
+
+inline void read_body(Reader& r, proto::MemberRecord& v) {
+  v.guid = r.id<common::GuidTag>();
+  v.access_proxy = r.id<common::NodeIdTag>();
+  v.status = r.enum8<proto::MemberStatus>(
+      static_cast<std::uint8_t>(proto::MemberStatus::kFailed));
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::TableEntry& v) {
+  write_body(w, v.record);
+  w.varint(v.last_seq);
+}
+
+inline void read_body(Reader& r, core::TableEntry& v) {
+  read_body(r, v.record);
+  v.last_seq = r.varint();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::MembershipOp& v) {
+  w.u8(static_cast<std::uint8_t>(v.kind));
+  w.varint(v.uid);
+  w.varint(v.seq);
+  write_body(w, v.member);
+  w.id(v.old_ap);
+  w.id(v.ne);
+  w.id(v.ne_after);
+  w.id(v.from_child_of);
+  w.id(v.from_parent_of);
+}
+
+inline void read_body(Reader& r, core::MembershipOp& v) {
+  v.kind = r.enum8<core::OpKind>(
+      static_cast<std::uint8_t>(core::OpKind::kNeFail));
+  v.uid = r.varint();
+  v.seq = r.varint();
+  read_body(r, v.member);
+  v.old_ap = r.id<common::NodeIdTag>();
+  v.ne = r.id<common::NodeIdTag>();
+  v.ne_after = r.id<common::NodeIdTag>();
+  v.from_child_of = r.id<common::NodeIdTag>();
+  v.from_parent_of = r.id<common::NodeIdTag>();
+}
+
+/// Length-prefixed sequence of any element with a write_body/read_body pair.
+/// `min_element_bytes` lets the reader reject lengths that cannot fit the
+/// remaining input before any allocation happens.
+template <typename Sink, typename T>
+void write_seq(Writer<Sink>& w, const std::vector<T>& seq) {
+  w.varint(seq.size());
+  for (const T& item : seq) write_body(w, item);
+}
+
+template <typename T>
+void read_seq(Reader& r, std::vector<T>& seq, std::size_t min_element_bytes) {
+  const std::uint64_t n = r.length(min_element_bytes);
+  if (!r.ok()) return;
+  seq.clear();
+  seq.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    T item{};
+    read_body(r, item);
+    seq.push_back(std::move(item));
+  }
+}
+
+template <typename Sink, typename Tag>
+void write_ids(Writer<Sink>& w, const std::vector<common::StrongId<Tag>>& seq) {
+  w.varint(seq.size());
+  for (const auto id : seq) w.id(id);
+}
+
+template <typename Tag>
+void read_ids(Reader& r, std::vector<common::StrongId<Tag>>& seq) {
+  const std::uint64_t n = r.length(1);
+  if (!r.ok()) return;
+  seq.clear();
+  seq.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) seq.push_back(r.id<Tag>());
+}
+
+// --- ring plane --------------------------------------------------------------
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::TokenMsg& v) {
+  w.id(v.token.gid);
+  w.id(v.token.holder);
+  w.varint(v.token.round_id);
+  write_seq(w, v.token.ops);
+}
+
+inline void read_body(Reader& r, core::TokenMsg& v) {
+  v.token.gid = r.id<common::GroupIdTag>();
+  v.token.holder = r.id<common::NodeIdTag>();
+  v.token.round_id = r.varint();
+  read_seq(r, v.token.ops, 9);  // op: kind + 8 one-byte-minimum fields
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::TokenPassAckMsg& v) {
+  w.varint(v.round_id);
+}
+inline void read_body(Reader& r, core::TokenPassAckMsg& v) {
+  v.round_id = r.varint();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::TokenRequestMsg& v) {
+  w.id(v.requester);
+  w.boolean(v.leadership_claim);
+}
+inline void read_body(Reader& r, core::TokenRequestMsg& v) {
+  v.requester = r.id<common::NodeIdTag>();
+  v.leadership_claim = r.boolean();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::TokenGrantMsg& v) {
+  w.varint(v.round_id);
+}
+inline void read_body(Reader& r, core::TokenGrantMsg& v) {
+  v.round_id = r.varint();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::TokenReleaseMsg& v) {
+  w.varint(v.round_id);
+}
+inline void read_body(Reader& r, core::TokenReleaseMsg& v) {
+  v.round_id = r.varint();
+}
+
+// --- inter-ring plane --------------------------------------------------------
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::NotifyMsg& v) {
+  w.varint(v.notify_id);
+  w.boolean(v.downward);
+  write_seq(w, v.ops);
+}
+inline void read_body(Reader& r, core::NotifyMsg& v) {
+  v.notify_id = r.varint();
+  v.downward = r.boolean();
+  read_seq(r, v.ops, 9);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::HolderAckMsg& v) {
+  w.varint(v.notify_ids.size());
+  for (const std::uint64_t nid : v.notify_ids) w.varint(nid);
+}
+inline void read_body(Reader& r, core::HolderAckMsg& v) {
+  const std::uint64_t n = r.length(1);
+  if (!r.ok()) return;
+  v.notify_ids.clear();
+  v.notify_ids.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    v.notify_ids.push_back(r.varint());
+  }
+}
+
+// --- maintenance plane -------------------------------------------------------
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::RepairMsg& v) {
+  w.id(v.new_previous);
+  write_ids(w, v.faulty);
+}
+inline void read_body(Reader& r, core::RepairMsg& v) {
+  v.new_previous = r.id<common::NodeIdTag>();
+  read_ids(r, v.faulty);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::ChildRebindMsg& v) {
+  w.id(v.new_child_leader);
+}
+inline void read_body(Reader& r, core::ChildRebindMsg& v) {
+  v.new_child_leader = r.id<common::NodeIdTag>();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::ProbeMsg& v) {
+  w.varint(v.probe_id);
+  w.id(v.origin);
+}
+inline void read_body(Reader& r, core::ProbeMsg& v) {
+  v.probe_id = r.varint();
+  v.origin = r.id<common::NodeIdTag>();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::ProbeAckMsg& v) {
+  w.varint(v.probe_id);
+}
+inline void read_body(Reader& r, core::ProbeAckMsg& v) {
+  v.probe_id = r.varint();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::MergeOfferMsg& v) {
+  write_ids(w, v.roster);
+  write_seq(w, v.entries);
+}
+inline void read_body(Reader& r, core::MergeOfferMsg& v) {
+  read_ids(r, v.roster);
+  read_seq(r, v.entries, 4);  // entry: guid + ap + status + seq
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::MergeAcceptMsg& v) {
+  write_ids(w, v.roster);
+  write_seq(w, v.entries);
+}
+inline void read_body(Reader& r, core::MergeAcceptMsg& v) {
+  read_ids(r, v.roster);
+  read_seq(r, v.entries, 4);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::RingReformMsg& v) {
+  write_ids(w, v.roster);
+  w.id(v.leader);
+  write_seq(w, v.entries);
+}
+inline void read_body(Reader& r, core::RingReformMsg& v) {
+  read_ids(r, v.roster);
+  v.leader = r.id<common::NodeIdTag>();
+  read_seq(r, v.entries, 4);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::ViewSyncMsg& v) {
+  w.u8(static_cast<std::uint8_t>(v.phase));
+  w.u64le(v.digest);
+  w.varint(v.entry_count);
+  w.boolean(v.reply_requested);
+  write_seq(w, v.entries);
+  write_ids(w, v.roster);
+  w.id(v.leader);
+}
+inline void read_body(Reader& r, core::ViewSyncMsg& v) {
+  v.phase = r.enum8<core::ViewSyncMsg::Phase>(
+      static_cast<std::uint8_t>(core::ViewSyncMsg::Phase::kDiff));
+  v.digest = r.u64le();
+  const std::uint64_t count = r.varint();
+  if (count > UINT32_MAX) r.fail(DecodeStatus::kMalformed);
+  v.entry_count = static_cast<std::uint32_t>(count);
+  v.reply_requested = r.boolean();
+  read_seq(r, v.entries, 4);
+  read_ids(r, v.roster);
+  v.leader = r.id<common::NodeIdTag>();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::SnapshotRequestMsg& v) {
+  w.u64le(v.digest);
+  w.varint(v.entry_count);
+}
+inline void read_body(Reader& r, core::SnapshotRequestMsg& v) {
+  v.digest = r.u64le();
+  v.entry_count = r.varint();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::SnapshotMsg& v) {
+  w.u64le(v.digest);
+  w.varint(v.entry_count);
+  w.varint(v.blob.size());
+  w.bytes(v.blob.data(), v.blob.size());
+}
+inline void read_body(Reader& r, core::SnapshotMsg& v) {
+  v.digest = r.u64le();
+  v.entry_count = r.varint();
+  const std::uint64_t n = r.length(1);
+  const std::uint8_t* data = r.view(n);
+  if (data != nullptr) v.blob.assign(data, data + n);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::NeJoinRequestMsg& v) {
+  w.id(v.joiner);
+  w.varint(v.notify_id);
+}
+inline void read_body(Reader& r, core::NeJoinRequestMsg& v) {
+  v.joiner = r.id<common::NodeIdTag>();
+  v.notify_id = r.varint();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::NeLeaveRequestMsg& v) {
+  w.id(v.leaver);
+  w.varint(v.notify_id);
+}
+inline void read_body(Reader& r, core::NeLeaveRequestMsg& v) {
+  v.leaver = r.id<common::NodeIdTag>();
+  v.notify_id = r.varint();
+}
+
+// --- edge plane --------------------------------------------------------------
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::MhRequestMsg& v) {
+  w.u8(static_cast<std::uint8_t>(v.kind));
+  w.id(v.mh);
+  w.id(v.old_ap);
+}
+inline void read_body(Reader& r, core::MhRequestMsg& v) {
+  v.kind = r.enum8<core::MhRequestKind>(
+      static_cast<std::uint8_t>(core::MhRequestKind::kFail));
+  v.mh = r.id<common::GuidTag>();
+  v.old_ap = r.id<common::NodeIdTag>();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::MhAckMsg& v) {
+  w.u8(static_cast<std::uint8_t>(v.kind));
+  w.id(v.mh);
+}
+inline void read_body(Reader& r, core::MhAckMsg& v) {
+  v.kind = r.enum8<core::MhRequestKind>(
+      static_cast<std::uint8_t>(core::MhRequestKind::kFail));
+  v.mh = r.id<common::GuidTag>();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::MhHeartbeatMsg& v) {
+  w.id(v.mh);
+}
+inline void read_body(Reader& r, core::MhHeartbeatMsg& v) {
+  v.mh = r.id<common::GuidTag>();
+}
+
+// --- query plane -------------------------------------------------------------
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::QueryRequestMsg& v) {
+  w.varint(v.query_id);
+  w.id(v.reply_to);
+}
+inline void read_body(Reader& r, core::QueryRequestMsg& v) {
+  v.query_id = r.varint();
+  v.reply_to = r.id<common::NodeIdTag>();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::QueryReplyMsg& v) {
+  w.varint(v.query_id);
+  write_seq(w, v.members);
+}
+inline void read_body(Reader& r, core::QueryReplyMsg& v) {
+  v.query_id = r.varint();
+  read_seq(r, v.members, 3);  // record: guid + ap + status
+}
+
+// --- flat-ring baseline ------------------------------------------------------
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const flatring::TokenEntry& v) {
+  write_body(w, v.op);
+  w.varint(static_cast<std::uint64_t>(v.remaining_hops));
+}
+inline void read_body(Reader& r, flatring::TokenEntry& v) {
+  read_body(r, v.op);
+  const std::uint64_t hops = r.varint();
+  if (hops > INT32_MAX) r.fail(DecodeStatus::kMalformed);
+  v.remaining_hops = static_cast<int>(hops);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const flatring::RingTokenMsg& v) {
+  write_seq(w, v.entries);
+  w.id(v.wake_target);
+}
+inline void read_body(Reader& r, flatring::RingTokenMsg& v) {
+  read_seq(r, v.entries, 10);  // op + hop count
+  v.wake_target = r.id<common::NodeIdTag>();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const flatring::WakeMsg& v) {
+  w.varint(v.wake_id);
+  w.id(v.origin);
+}
+inline void read_body(Reader& r, flatring::WakeMsg& v) {
+  v.wake_id = r.varint();
+  v.origin = r.id<common::NodeIdTag>();
+}
+
+// --- gossip baseline ---------------------------------------------------------
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const gossip::Update& v) {
+  write_body(w, v.op);
+  w.varint(static_cast<std::uint64_t>(v.budget));
+}
+inline void read_body(Reader& r, gossip::Update& v) {
+  read_body(r, v.op);
+  const std::uint64_t budget = r.varint();
+  if (budget > INT32_MAX) r.fail(DecodeStatus::kMalformed);
+  v.budget = static_cast<int>(budget);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const gossip::PingMsg& v) {
+  w.varint(v.ping_id);
+  write_seq(w, v.updates);
+}
+inline void read_body(Reader& r, gossip::PingMsg& v) {
+  v.ping_id = r.varint();
+  read_seq(r, v.updates, 10);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const gossip::AckMsg& v) {
+  w.varint(v.ping_id);
+  write_seq(w, v.updates);
+}
+inline void read_body(Reader& r, gossip::AckMsg& v) {
+  v.ping_id = r.varint();
+  read_seq(r, v.updates, 10);
+}
+
+}  // namespace rgb::wire

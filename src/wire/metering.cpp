@@ -1,0 +1,20 @@
+#include "wire/metering.hpp"
+
+#include <cassert>
+
+#include "wire/registry.hpp"
+
+namespace rgb::wire {
+
+void attach_encoded_metering(net::Network& network) {
+  network.set_sizer([](const net::Envelope& env) -> std::uint32_t {
+    const std::uint32_t encoded =
+        WireRegistry::global().encoded_size(env.kind, env.payload);
+    if (encoded == 0) return 0;  // unregistered kind: keep the estimate
+    assert(estimate_consistent(env.size_bytes, encoded) &&
+           "wire_size() estimate out of band with the encoded size");
+    return encoded;
+  });
+}
+
+}  // namespace rgb::wire

@@ -1,0 +1,91 @@
+#include "wire/snapshot.hpp"
+
+#include <cassert>
+
+namespace rgb::wire {
+
+namespace {
+
+/// Shared field walk of the encoder and the size pass.
+template <typename Sink>
+void write_snapshot(Writer<Sink>& w,
+                    const std::vector<core::TableEntry>& entries) {
+  w.u8(kSnapshotVersion);
+  w.varint(entries.size());
+  std::uint64_t previous_guid = 0;
+  bool first = true;
+  for (const core::TableEntry& entry : entries) {
+    const std::uint64_t guid = entry.record.guid.value();
+    if (first) {
+      w.varint(guid);
+      first = false;
+    } else {
+      assert(guid > previous_guid && "snapshot entries must be guid-ascending");
+      w.varint(guid - previous_guid);
+    }
+    previous_guid = guid;
+    w.id(entry.record.access_proxy);
+    w.u8(static_cast<std::uint8_t>(entry.record.status));
+    w.varint(entry.last_seq);
+  }
+}
+
+}  // namespace
+
+void encode_snapshot(const std::vector<core::TableEntry>& entries,
+                     std::vector<std::uint8_t>& out) {
+  Writer<VectorSink> w{VectorSink{out}};
+  write_snapshot(w, entries);
+}
+
+std::uint32_t snapshot_encoded_size(
+    const std::vector<core::TableEntry>& entries) {
+  Writer<CountingSink> w;
+  write_snapshot(w, entries);
+  return static_cast<std::uint32_t>(w.sink().size());
+}
+
+Result<std::vector<core::TableEntry>> decode_snapshot(const std::uint8_t* data,
+                                                      std::size_t size) {
+  Reader r{data, size};
+  const std::uint8_t version = r.u8();
+  if (r.ok() && version != kSnapshotVersion) {
+    r.fail(DecodeStatus::kBadVersion);
+  }
+  // Minimum 4 bytes per entry: guid delta + ap + status + seq.
+  const std::uint64_t count = r.length(4);
+  if (!r.ok()) return r.error();
+
+  std::vector<core::TableEntry> entries;
+  entries.reserve(count);
+  std::uint64_t guid = 0;
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    const std::uint64_t delta = r.varint();
+    if (!r.ok()) break;
+    if (i > 0) {
+      // Strict ascent, no wraparound: a zero delta (duplicate guid) or an
+      // accumulator overflow marks a corrupted stream.
+      if (delta == 0 || guid + delta < guid) {
+        r.fail(DecodeStatus::kMalformed);
+        break;
+      }
+      guid += delta;
+    } else {
+      guid = delta;
+    }
+    core::TableEntry entry;
+    entry.record.guid = common::Guid{guid};
+    entry.record.access_proxy = r.id<common::NodeIdTag>();
+    entry.record.status = r.enum8<proto::MemberStatus>(
+        static_cast<std::uint8_t>(proto::MemberStatus::kFailed));
+    entry.last_seq = r.varint();
+    entries.push_back(entry);
+  }
+  if (!r.ok()) return r.error();
+  if (!r.exhausted()) {
+    return DecodeError{DecodeStatus::kTrailingBytes, r.pos()};
+  }
+  return entries;
+}
+
+}  // namespace rgb::wire

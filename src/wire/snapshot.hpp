@@ -1,0 +1,46 @@
+// Framed MemberTable snapshot codec — the payload of the kSnapshot bulk
+// state-transfer path.
+//
+// Format (snapshot version 1, independent of the message-frame version so
+// the two can evolve separately):
+//
+//   [u8 version][varint count]
+//   [entry 0: varint guid][entry i>0: varint (guid_i - guid_{i-1})]
+//   per entry after the guid: [varint ap+1][u8 status][varint last_seq]
+//
+// Entries are strictly guid-ascending (MemberTable::export_entries already
+// sorts), which the delta encoding exploits: consecutive guids in a dense
+// member population cost one byte each instead of up to five. The decoder
+// enforces strict ascent (a zero delta or accumulator wraparound is
+// kMalformed), so a decoded snapshot is always a valid import_entries
+// payload and re-encodes byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rgb/member_table.hpp"
+#include "wire/codec.hpp"
+
+namespace rgb::wire {
+
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+
+/// Encodes `entries` (strictly guid-ascending, as export_entries returns
+/// them) into `out`. Asserts the sort order in debug builds.
+void encode_snapshot(const std::vector<core::TableEntry>& entries,
+                     std::vector<std::uint8_t>& out);
+
+/// Exact encoded size without materializing the buffer.
+[[nodiscard]] std::uint32_t snapshot_encoded_size(
+    const std::vector<core::TableEntry>& entries);
+
+[[nodiscard]] Result<std::vector<core::TableEntry>> decode_snapshot(
+    const std::uint8_t* data, std::size_t size);
+
+[[nodiscard]] inline Result<std::vector<core::TableEntry>> decode_snapshot(
+    const std::vector<std::uint8_t>& bytes) {
+  return decode_snapshot(bytes.data(), bytes.size());
+}
+
+}  // namespace rgb::wire

@@ -1,0 +1,159 @@
+// Wire codec primitives: varint minimality, strong-id sentinel mapping,
+// bounds-checked reads, sticky error state, length-overflow guards.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "wire/codec.hpp"
+
+namespace rgb::wire {
+namespace {
+
+using common::NodeId;
+using common::NodeIdTag;
+
+std::vector<std::uint8_t> encode_varint(std::uint64_t v) {
+  std::vector<std::uint8_t> out;
+  Writer<VectorSink> w{VectorSink{out}};
+  w.varint(v);
+  return out;
+}
+
+TEST(Varint, RoundTripsEdgeValues) {
+  const std::uint64_t values[] = {
+      0,          1,          127, 128, 16383, 16384, (1ULL << 32) - 1,
+      1ULL << 32, 1ULL << 63, std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : values) {
+    const auto bytes = encode_varint(v);
+    EXPECT_EQ(bytes.size(), varint_size(v));
+    Reader r{bytes};
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Varint, RejectsNonMinimalEncodings) {
+  // 0x80 0x00 spells 0 in two bytes; only 0x00 is canonical.
+  const std::vector<std::uint8_t> redundant{0x80, 0x00};
+  Reader r{redundant};
+  r.varint();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().status, DecodeStatus::kMalformed);
+}
+
+TEST(Varint, RejectsOverlongAndOverflow) {
+  // 10 continuation bytes: more than a u64 can need.
+  const std::vector<std::uint8_t> overlong(11, 0x80);
+  Reader r1{overlong};
+  r1.varint();
+  EXPECT_EQ(r1.error().status, DecodeStatus::kMalformed);
+
+  // 10th byte > 1 overflows 64 bits.
+  std::vector<std::uint8_t> overflow(10, 0x80);
+  overflow[9] = 0x02;
+  Reader r2{overflow};
+  r2.varint();
+  EXPECT_EQ(r2.error().status, DecodeStatus::kMalformed);
+}
+
+TEST(Varint, TruncationIsCleanAtEveryPrefix) {
+  const auto bytes = encode_varint(std::numeric_limits<std::uint64_t>::max());
+  ASSERT_EQ(bytes.size(), 10u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Reader r{bytes.data(), len};
+    r.varint();
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+    EXPECT_EQ(r.error().status, DecodeStatus::kTruncated);
+  }
+}
+
+TEST(StrongIdCodec, InvalidSentinelCostsOneByte) {
+  std::vector<std::uint8_t> out;
+  Writer<VectorSink> w{VectorSink{out}};
+  w.id(NodeId{});  // invalid
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+  Reader r{out};
+  EXPECT_FALSE(r.id<NodeIdTag>().valid());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(StrongIdCodec, RoundTripsValues) {
+  const std::uint64_t values[] = {
+      0, 1, 4242, 1ULL << 40, std::numeric_limits<std::uint64_t>::max() - 1};
+  for (const std::uint64_t v : values) {
+    std::vector<std::uint8_t> out;
+    Writer<VectorSink> w{VectorSink{out}};
+    w.id(NodeId{v});
+    Reader r{out};
+    EXPECT_EQ(r.id<NodeIdTag>(), NodeId{v});
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(Reader, StickyErrorZeroesLaterReads) {
+  const std::vector<std::uint8_t> one{0x07};
+  Reader r{one};
+  EXPECT_EQ(r.u8(), 0x07);
+  EXPECT_EQ(r.u8(), 0u);  // truncated
+  EXPECT_FALSE(r.ok());
+  const std::size_t offset = r.error().offset;
+  EXPECT_EQ(r.varint(), 0u);   // still zero
+  EXPECT_EQ(r.u64le(), 0u);    // still zero
+  EXPECT_EQ(r.error().offset, offset) << "first failure wins";
+}
+
+TEST(Reader, BooleanIsCanonical) {
+  const std::vector<std::uint8_t> bad{0x02};
+  Reader r{bad};
+  r.boolean();
+  EXPECT_EQ(r.error().status, DecodeStatus::kMalformed);
+}
+
+TEST(Reader, LengthGuardBlocksGiantAllocations) {
+  // A length claiming ~2^60 elements must fail before any reserve: the
+  // guard compares against the remaining input / min element size.
+  std::vector<std::uint8_t> bytes;
+  Writer<VectorSink> w{VectorSink{bytes}};
+  w.varint(1ULL << 60);
+  bytes.push_back(0xAB);  // one stray byte of "payload"
+  Reader r{bytes};
+  EXPECT_EQ(r.length(1), 0u);
+  EXPECT_EQ(r.error().status, DecodeStatus::kTruncated);
+}
+
+TEST(Reader, U64LeIsFixedWidthLittleEndian) {
+  std::vector<std::uint8_t> out;
+  Writer<VectorSink> w{VectorSink{out}};
+  w.u64le(0x1122334455667788ULL);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[0], 0x88u);
+  EXPECT_EQ(out[7], 0x11u);
+  Reader r{out};
+  EXPECT_EQ(r.u64le(), 0x1122334455667788ULL);
+}
+
+TEST(CountingSink, MatchesVectorSinkExactly) {
+  std::vector<std::uint8_t> out;
+  Writer<VectorSink> wv{VectorSink{out}};
+  Writer<CountingSink> wc;
+  const auto feed = [](auto& w) {
+    w.u8(7);
+    w.varint(1234567);
+    w.u64le(0xDEADBEEF);
+    w.id(NodeId{99});
+    w.boolean(true);
+    const std::uint8_t raw[3] = {1, 2, 3};
+    w.bytes(raw, sizeof raw);
+  };
+  feed(wv);
+  feed(wc);
+  EXPECT_EQ(wc.sink().size(), out.size());
+}
+
+}  // namespace
+}  // namespace rgb::wire

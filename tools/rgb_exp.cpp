@@ -6,6 +6,7 @@
 //                             [--csv PATH|-] [--json PATH|-] [--no-table]
 //                             [--check]
 //   rgb_exp bench [--members N[,N...]] [--modes digest|full|both]
+//                 [--join dissem|snapshot|both]
 //                 [--tiers H] [--ring R] [--steady-ticks K] [--seed S]
 //                 [--json PATH|-] [--smoke]
 //
@@ -76,6 +77,7 @@ int usage(const char* argv0, int code) {
      << "  --members LIST comma-separated member counts\n"
      << "                 (default: 1000,10000,100000)\n"
      << "  --modes M      digest | full | both (default: both)\n"
+     << "  --join J       dissem | snapshot | both (default: dissem)\n"
      << "  --tiers H      ring tiers (default 2)\n"
      << "  --ring R       ring size (default 5)\n"
      << "  --steady-ticks K  probe ticks in the steady window (default 10)\n"
@@ -88,7 +90,9 @@ int usage(const char* argv0, int code) {
 int run_bench(int argc, char** argv) {
   rgb::exp::ScaleConfig base;
   std::vector<std::uint64_t> member_counts;
-  bool run_digest = true, run_full = true;
+  rgb::exp::SweepModes modes;
+  modes.snapshot = false;  // default: the paper's dissemination join only
+  bool join_flag_seen = false;
   bool smoke = false;
   std::string json_path;
 
@@ -115,10 +119,19 @@ int run_bench(int argc, char** argv) {
       }
     } else if (arg == "--modes") {
       const std::string mode = next();
-      run_digest = mode == "digest" || mode == "both";
-      run_full = mode == "full" || mode == "both";
-      if (!run_digest && !run_full) {
+      modes.digest = mode == "digest" || mode == "both";
+      modes.full = mode == "full" || mode == "both";
+      if (!modes.digest && !modes.full) {
         std::cerr << "rgb_exp: --modes must be digest, full or both\n";
+        return 2;
+      }
+    } else if (arg == "--join") {
+      join_flag_seen = true;
+      const std::string join = next();
+      modes.dissemination = join == "dissem" || join == "both";
+      modes.snapshot = join == "snapshot" || join == "both";
+      if (!modes.dissemination && !modes.snapshot) {
+        std::cerr << "rgb_exp: --join must be dissem, snapshot or both\n";
         return 2;
       }
     } else if (arg == "--tiers") {
@@ -138,15 +151,18 @@ int run_bench(int argc, char** argv) {
       return usage(argv[0], 2);
     }
   }
-  // --smoke bounds the sweep; an explicit --members list overrides it (in
-  // any argument order), so the two flags never silently fight.
+  // --smoke bounds the sweep; explicit --members / --join override it (in
+  // any argument order), so the flags never silently fight. Absent an
+  // explicit --join, the smoke profile covers both join modes so CI keeps
+  // a point on the snapshot-join trajectory too.
   if (member_counts.empty()) {
     member_counts = smoke ? std::vector<std::uint64_t>{200}
                           : std::vector<std::uint64_t>{1000, 10000, 100000};
   }
+  if (smoke && !join_flag_seen) modes.snapshot = true;
 
-  const std::vector<rgb::exp::ScaleStats> all = rgb::exp::run_scale_sweep(
-      base, member_counts, run_digest, run_full, std::cerr);
+  const std::vector<rgb::exp::ScaleStats> all =
+      rgb::exp::run_scale_sweep(base, member_counts, modes, std::cerr);
 
   if (!json_path.empty()) {
     if (json_path == "-") {
