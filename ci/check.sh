@@ -70,6 +70,18 @@ echo "== rgb_fuzz smoke =="
 "$BUILD_DIR/rgb_fuzz" --seeds 12 --start 1 --quiet
 "$BUILD_DIR/rgb_fuzz" --seeds 6 --start 1 --bursts 0 --handoffs 0 --quiet
 
+# Partition/heal conformance gate: the full 60-seed profile with partition
+# faults enabled (the ROADMAP open item closed by the post-heal
+# reconciliation round) must stay at zero violating seeds — this was 8/60
+# before the reconcile subsystem and the claim-epoch lattice landed. The
+# lossy-surge snapshot-join profile holds the bulk-join path (with its
+# flush-edge ack/retx) to the same bar. Fixed seeds, bounded time (~2 min).
+echo "== rgb_fuzz partition gate (60 seeds) =="
+"$BUILD_DIR/rgb_fuzz" --partitions 1 --seeds 60 --start 1 --quiet
+echo "== rgb_fuzz snapshot-join lossy profile =="
+"$BUILD_DIR/rgb_fuzz" --partitions 1 --snapshot-join 1 --seeds 20 --start 1 \
+    --quiet
+
 # Wire codec conformance: every registered kind must round-trip
 # byte-identically on randomized messages, and a bounded mutation-fuzz
 # sweep must produce only clean accepts/rejects (no crash, no UB, accepted
@@ -84,7 +96,7 @@ echo "== rgb_wire smoke =="
 # (full sweeps are produced by `bench_scale` / `rgb_exp bench`).
 echo "== bench_scale smoke =="
 bench_log="$(mktemp)"
-if ! "$BUILD_DIR/rgb_exp" bench --smoke --json "$BUILD_DIR/BENCH_PR4.json" \
+if ! "$BUILD_DIR/rgb_exp" bench --smoke --json "$BUILD_DIR/BENCH_PR5.json" \
     2> "$bench_log"; then
   echo "FAIL: bench smoke did not run clean:" >&2
   cat "$bench_log" >&2
@@ -92,6 +104,6 @@ if ! "$BUILD_DIR/rgb_exp" bench --smoke --json "$BUILD_DIR/BENCH_PR4.json" \
   exit 1
 fi
 rm -f "$bench_log"
-test -s "$BUILD_DIR/BENCH_PR4.json"
+test -s "$BUILD_DIR/BENCH_PR5.json"
 
 echo "OK"

@@ -199,6 +199,7 @@ Fixture build_fixture(const AdversarialConfig& cfg, net::Network& network,
       config.notify_timeout = sim::msec(300);
       config.max_notify_retx = 12;
       config.probe_period = sim::msec(250);
+      config.snapshot_join = cfg.snapshot_join;
       fx.rgb = std::make_unique<core::RgbSystem>(
           network, config,
           core::HierarchyLayout{cfg.tiers, cfg.ring_size});

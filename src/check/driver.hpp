@@ -87,6 +87,10 @@ struct AdversarialConfig {
   int tiers = 2;      ///< RGB ring tiers (tree height = tiers + 1)
   int ring_size = 3;  ///< ring size / branching factor
   int initial_members = 8;
+  /// RGB only: run the fixture in snapshot bulk-join mode (kSnapshot state
+  /// transfer with flush-edge acks) — the lossy-surge snapshot-join
+  /// conformance profile.
+  bool snapshot_join = false;
   unsigned check_mask = exp::kCheckAll;
   /// Quiet time after the last schedule event before quiescence checks.
   sim::Duration settle = sim::sec(20);

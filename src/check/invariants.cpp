@@ -179,14 +179,21 @@ void OracleSuite::check_monotone(const SystemModel& model, sim::Time now) {
       if (entry.seq == 0) continue;  // protocol does not track sequences
       auto& high =
           high_seq_[{view.id.value(), entry.record.guid.value()}];
-      if (entry.seq < high) {
+      // Lattice order (claim epoch first, seq within the epoch): a record
+      // of a newer attachment epoch legitimately carries any seq, so only
+      // a same-or-lower position is a regression. Epoch-less protocols
+      // (claim always 0) degenerate to the plain seq comparison.
+      const std::pair<std::uint64_t, std::uint64_t> position{entry.claim,
+                                                             entry.seq};
+      if (position < high) {
         std::ostringstream os;
         os << "node " << view.id.value() << " regressed member "
-           << entry.record.guid.value() << " from seq " << high << " to "
-           << entry.seq;
+           << entry.record.guid.value() << " from (claim " << high.first
+           << ", seq " << high.second << ") to (claim " << entry.claim
+           << ", seq " << entry.seq << ")";
         fire("monotone", now, os.str());
       }
-      high = std::max(high, entry.seq);
+      high = std::max(high, position);
     }
   }
 }

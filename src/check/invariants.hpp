@@ -77,9 +77,10 @@ class OracleSuite {
                                         p.second);
     }
   };
-  /// Highwater op sequence observed per (node, guid).
-  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t,
-                     PairHash>
+  /// Highwater (claim epoch, op sequence) observed per (node, guid) —
+  /// the protocol's record_precedes lattice position.
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>,
+                     std::pair<std::uint64_t, std::uint64_t>, PairHash>
       high_seq_;
 };
 

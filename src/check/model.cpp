@@ -14,10 +14,13 @@ namespace {
 
 std::vector<ViewEntry> entries_of(const core::MemberTable& table) {
   std::vector<ViewEntry> out;
-  for (const MemberRecord& rec : table.snapshot()) {
-    out.push_back(ViewEntry{rec, table.last_seq_of(rec.guid)});
+  for (const core::TableEntry& entry : table.export_entries()) {
+    if (entry.record.status == proto::MemberStatus::kOperational) {
+      out.push_back(
+          ViewEntry{entry.record, entry.last_seq, entry.claim_seq});
+    }
   }
-  return out;  // snapshot() is already guid-sorted
+  return out;  // export_entries() is already guid-sorted
 }
 
 std::vector<MemberRecord> sorted_records(

@@ -49,10 +49,14 @@ using common::NodeId;
 using proto::MemberRecord;
 
 /// One member as seen by one node, with the op sequence that produced the
-/// record (0 when the protocol does not track sequences).
+/// record (0 when the protocol does not track sequences) and the
+/// attachment epoch behind it (0 when the protocol has no epoch
+/// semantics). The monotone oracle holds the pair to the protocol's
+/// (claim, seq) lattice order.
 struct ViewEntry {
   MemberRecord record;
   std::uint64_t seq = 0;
+  std::uint64_t claim = 0;
 };
 
 /// One protocol node flattened for inspection.

@@ -17,11 +17,14 @@ std::uint64_t mix(std::uint64_t x) {
 }  // namespace
 
 std::uint64_t MemberTable::entry_hash(const MemberRecord& record,
-                                      std::uint64_t last_seq) {
+                                      std::uint64_t last_seq,
+                                      std::uint64_t claim_seq) {
   // Chained mixing over every field that reconciliation cares about: a
-  // change to the seq, the hosting AP or the status must flip the digest.
+  // change to the seq, the claim epoch, the hosting AP or the status must
+  // flip the digest.
   std::uint64_t h = mix(record.guid.value());
   h = mix(h ^ last_seq);
+  h = mix(h ^ claim_seq);
   h = mix(h ^ (record.access_proxy.value() * 4 +
                static_cast<std::uint64_t>(record.status)));
   return h;
@@ -32,13 +35,17 @@ bool MemberTable::apply(const MembershipOp& op) {
 
   const auto [it, inserted] = records_.try_emplace(op.member.guid);
   Entry& entry = it->second;
-  // Idempotent, monotone apply: an op older than what we already reflected
-  // for this member is a duplicate or a stale retransmission.
-  if (!inserted && entry.last_seq != 0 && op.seq <= entry.last_seq) {
+  // Idempotent lattice apply: an op that does not advance the record in
+  // (claim, seq) order is a duplicate, a stale retransmission, or an
+  // assertion derived from a superseded attachment epoch.
+  if (!inserted &&
+      !record_precedes(entry.claim_seq, entry.last_seq, op.claim_seq,
+                       op.seq)) {
     return false;
   }
   if (!inserted) digest_ ^= entry_hash(entry);
   entry.last_seq = op.seq;
+  entry.claim_seq = op.claim_seq;
   entry.record = op.member;
 
   switch (op.kind) {
@@ -77,6 +84,13 @@ std::optional<MemberRecord> MemberTable::find(Guid guid) const {
   return it->second.record;
 }
 
+std::optional<TableEntry> MemberTable::lookup(Guid guid) const {
+  const auto it = records_.find(guid);
+  if (it == records_.end()) return std::nullopt;
+  return TableEntry{it->second.record, it->second.last_seq,
+                    it->second.claim_seq};
+}
+
 bool MemberTable::contains(Guid guid) const {
   const auto it = records_.find(guid);
   return it != records_.end() &&
@@ -86,6 +100,11 @@ bool MemberTable::contains(Guid guid) const {
 std::uint64_t MemberTable::last_seq_of(Guid guid) const {
   const auto it = records_.find(guid);
   return it == records_.end() ? 0 : it->second.last_seq;
+}
+
+std::uint64_t MemberTable::claim_of(Guid guid) const {
+  const auto it = records_.find(guid);
+  return it == records_.end() ? 0 : it->second.claim_seq;
 }
 
 std::vector<MemberRecord> MemberTable::snapshot() const {
@@ -122,7 +141,10 @@ void MemberTable::merge(const MemberTable& other) {
   for (const auto& [guid, their] : other.records_) {
     const auto [it, inserted] = records_.try_emplace(guid);
     if (!inserted) {
-      if (their.last_seq <= it->second.last_seq) continue;
+      if (!record_precedes(it->second.claim_seq, it->second.last_seq,
+                           their.claim_seq, their.last_seq)) {
+        continue;
+      }
       digest_ ^= entry_hash(it->second);
     }
     it->second = their;
@@ -134,7 +156,7 @@ std::vector<TableEntry> MemberTable::export_entries() const {
   std::vector<TableEntry> out;
   out.reserve(records_.size());
   for (const auto& [guid, entry] : records_) {
-    out.push_back(TableEntry{entry.record, entry.last_seq});
+    out.push_back(TableEntry{entry.record, entry.last_seq, entry.claim_seq});
   }
   std::sort(out.begin(), out.end(),
             [](const TableEntry& a, const TableEntry& b) {
@@ -148,10 +170,14 @@ bool MemberTable::import_entries(const std::vector<TableEntry>& entries) {
   for (const TableEntry& incoming : entries) {
     const auto [it, inserted] = records_.try_emplace(incoming.record.guid);
     if (!inserted) {
-      if (incoming.last_seq <= it->second.last_seq) continue;
+      if (!record_precedes(it->second.claim_seq, it->second.last_seq,
+                           incoming.claim_seq, incoming.last_seq)) {
+        continue;
+      }
       digest_ ^= entry_hash(it->second);
     }
-    it->second = Entry{incoming.record, incoming.last_seq};
+    it->second = Entry{incoming.record, incoming.last_seq,
+                       incoming.claim_seq};
     digest_ ^= entry_hash(it->second);
     changed = true;
   }
@@ -160,16 +186,19 @@ bool MemberTable::import_entries(const std::vector<TableEntry>& entries) {
 
 std::vector<TableEntry> MemberTable::newer_than(
     const std::vector<TableEntry>& incoming) const {
-  std::unordered_map<Guid, std::uint64_t> theirs;
+  std::unordered_map<Guid, std::pair<std::uint64_t, std::uint64_t>> theirs;
   theirs.reserve(incoming.size());
   for (const TableEntry& entry : incoming) {
-    theirs[entry.record.guid] = entry.last_seq;
+    theirs[entry.record.guid] = {entry.claim_seq, entry.last_seq};
   }
   std::vector<TableEntry> out;
   for (const auto& [guid, entry] : records_) {
     const auto it = theirs.find(guid);
-    if (it == theirs.end() || entry.last_seq > it->second) {
-      out.push_back(TableEntry{entry.record, entry.last_seq});
+    if (it == theirs.end() ||
+        record_precedes(it->second.first, it->second.second, entry.claim_seq,
+                        entry.last_seq)) {
+      out.push_back(
+          TableEntry{entry.record, entry.last_seq, entry.claim_seq});
     }
   }
   std::sort(out.begin(), out.end(),

@@ -18,14 +18,32 @@
 namespace rgb::core {
 
 /// One reconciliation unit of a member table: the record plus the newest
-/// op sequence that produced it. Exchanged by the anti-entropy view sync
-/// (kViewSync) and applied with the same seq-keyed monotone rule as ops.
+/// op sequence that produced it and the attachment epoch it belongs to.
+/// Exchanged by the anti-entropy view sync (kViewSync), ring reforms,
+/// merges and snapshots, and applied with the same (claim_seq, seq)
+/// lattice rule as ops.
 struct TableEntry {
   MemberRecord record;
   std::uint64_t last_seq = 0;
+  /// Attachment epoch of the record (MembershipOp::claim_seq).
+  std::uint64_t claim_seq = 0;
 
   friend bool operator==(const TableEntry&, const TableEntry&) = default;
 };
+
+/// The conflict-resolution order of member records: attachment epochs
+/// order first (a newer physical join/handoff beats anything derived from
+/// an older epoch — detector-inferred failures, repair re-assertions —
+/// regardless of raw seq), and within one epoch the op sequence orders
+/// events. This is a join-semilattice: the same set of ops/entries applied
+/// in any order converges to the same table, which is what anti-entropy's
+/// digest comparison relies on.
+[[nodiscard]] constexpr bool record_precedes(std::uint64_t claim_a,
+                                             std::uint64_t seq_a,
+                                             std::uint64_t claim_b,
+                                             std::uint64_t seq_b) {
+  return claim_a != claim_b ? claim_a < claim_b : seq_a < seq_b;
+}
 
 /// Compact summary of a table for digest-first anti-entropy: an
 /// order-independent 64-bit hash over every (guid, seq, record) plus the
@@ -51,11 +69,18 @@ class MemberTable {
   void remove(Guid guid);
 
   [[nodiscard]] std::optional<MemberRecord> find(Guid guid) const;
+  /// Record, seq and claim epoch in one probe — the reaffirmation /
+  /// reconcile hot path reads all three per attached member per tick, and
+  /// three separate map lookups were measurable at scale.
+  [[nodiscard]] std::optional<TableEntry> lookup(Guid guid) const;
   [[nodiscard]] bool contains(Guid guid) const;
-  /// Newest op sequence applied to `guid` (0 when unknown). The sequence is
-  /// monotone per guid by construction of `apply`; the check-layer monotone
-  /// oracle asserts that observed views never regress it.
+  /// Newest op sequence applied to `guid` (0 when unknown). The pair
+  /// (claim_of, last_seq_of) is monotone per guid in `record_precedes`
+  /// order by construction of `apply`; the check-layer monotone oracle
+  /// asserts that observed views never regress it.
   [[nodiscard]] std::uint64_t last_seq_of(Guid guid) const;
+  /// Attachment epoch of `guid`'s record (0 when unknown / epoch-less).
+  [[nodiscard]] std::uint64_t claim_of(Guid guid) const;
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] bool empty() const { return records_.empty(); }
 
@@ -74,9 +99,9 @@ class MemberTable {
   /// the anti-entropy sync payload.
   [[nodiscard]] std::vector<TableEntry> export_entries() const;
 
-  /// Seq-keyed merge of exported entries: an entry lands only when its
-  /// sequence is newer than what this table reflects for the guid.
-  /// Returns true when anything changed.
+  /// Lattice merge of exported entries: an entry lands only when it is
+  /// newer than what this table reflects for the guid in
+  /// `record_precedes` order. Returns true when anything changed.
   bool import_entries(const std::vector<TableEntry>& entries);
 
   /// Entries of this table that are newer than (or absent from) `incoming`
@@ -95,7 +120,8 @@ class MemberTable {
   /// The hash one entry contributes to the digest (exposed for tests that
   /// need to predict or collide digests).
   [[nodiscard]] static std::uint64_t entry_hash(const MemberRecord& record,
-                                                std::uint64_t last_seq);
+                                                std::uint64_t last_seq,
+                                                std::uint64_t claim_seq);
 
   friend bool operator==(const MemberTable& a, const MemberTable& b);
 
@@ -105,9 +131,10 @@ class MemberTable {
   struct Entry {
     MemberRecord record;
     std::uint64_t last_seq = 0;  ///< newest op sequence applied to this guid
+    std::uint64_t claim_seq = 0; ///< attachment epoch of the record
   };
   [[nodiscard]] static std::uint64_t entry_hash(const Entry& entry) {
-    return entry_hash(entry.record, entry.last_seq);
+    return entry_hash(entry.record, entry.last_seq, entry.claim_seq);
   }
 
   std::unordered_map<Guid, Entry> records_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rgb/member_table.hpp"
+
 namespace rgb::core {
 
 namespace {
@@ -69,9 +71,13 @@ bool MessageQueue::try_aggregate(const MembershipOp& op,
 
     // A stale op — a disseminated copy of an *older* change racing a newer
     // pending one — must not chain with (let alone cancel) the newer op:
-    // last-writer-wins by seq. Absorb it; its information is superseded by
-    // the pending op, which is about to propagate with a higher seq anyway.
-    if (op.seq <= pending.op.seq) {
+    // last-writer-wins in the record_precedes lattice the table applies
+    // by, so the MQ can never absorb an op the table would have preferred
+    // (e.g. a newer attachment epoch racing a detector-inferred failure
+    // that carries a fresher seq). Absorb it; its information is
+    // superseded by the pending op.
+    if (!record_precedes(pending.op.claim_seq, pending.op.seq, op.claim_seq,
+                         op.seq)) {
       append_contributors(pending.contributors, contribs);
       return true;
     }
@@ -91,11 +97,16 @@ bool MessageQueue::try_aggregate(const MembershipOp& op,
       return true;
     }
 
-    // Handoff chain: a->b then b->c becomes a->c.
+    // Handoff chain: a->b then b->c becomes a->c. The collapsed op stands
+    // for the newest attachment, so it must carry that attachment's claim
+    // epoch along with its seq — keeping the superseded epoch would leave
+    // the collapsed record below the epoch every non-aggregating path
+    // disseminates, and the views could never agree.
     if (prev == OpKind::kMemberHandoff && next == OpKind::kMemberHandoff &&
         pending.op.member.access_proxy == op.old_ap) {
       pending.op.member.access_proxy = op.member.access_proxy;
       pending.op.seq = op.seq;  // newest seq wins for idempotence ordering
+      pending.op.claim_seq = op.claim_seq;
       pending.op.uid = op.uid;
       merge_provenance(pending.op, op);
       append_contributors(pending.contributors, contribs);
@@ -106,6 +117,7 @@ bool MessageQueue::try_aggregate(const MembershipOp& op,
     if (prev == OpKind::kMemberJoin && next == OpKind::kMemberHandoff) {
       pending.op.member.access_proxy = op.member.access_proxy;
       pending.op.seq = op.seq;
+      pending.op.claim_seq = op.claim_seq;
       pending.op.uid = op.uid;
       merge_provenance(pending.op, op);
       append_contributors(pending.contributors, contribs);

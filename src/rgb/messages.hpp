@@ -40,6 +40,9 @@ inline constexpr net::MessageKind kNeLeaveRequest = 23;
 inline constexpr net::MessageKind kViewSync = 24;
 inline constexpr net::MessageKind kSnapshotRequest = 25;
 inline constexpr net::MessageKind kSnapshot = 26;
+inline constexpr net::MessageKind kReconcile = 27;
+inline constexpr net::MessageKind kReconcileAck = 28;
+inline constexpr net::MessageKind kSnapshotAck = 29;
 // Edge-plane (MH <-> AP wireless traffic; also uncounted).
 inline constexpr net::MessageKind kMhRequest = 30;
 inline constexpr net::MessageKind kMhAck = 31;
@@ -201,6 +204,49 @@ struct SnapshotMsg {
   std::vector<std::uint8_t> blob;  ///< wire::encode_snapshot output
 };
 
+/// One attachment claim of a hosting AP: a locally-attached member and the
+/// physical attachment epoch backing the claim (the MembershipOp::claim_seq
+/// of the join / handoff-in that brought the member here).
+struct AttachClaim {
+  Guid mh;
+  std::uint64_t claim_seq = 0;
+
+  friend bool operator==(const AttachClaim&, const AttachClaim&) = default;
+};
+
+/// Post-heal re-anchoring round, request side: after a ring merge / reform
+/// completes (or on recovery from a crash window), a hosting AP asserts
+/// its attachment claims to its ring leader — leaders assert to their
+/// parent — which checks every claim against the merged table. The
+/// exchange is acked (kReconcileAck) and retransmitted, making the re-
+/// anchor an explicit protocol phase instead of a hope that anti-entropy
+/// eventually repairs false-failure records.
+struct ReconcileMsg {
+  std::uint64_t reconcile_id = 0;
+  std::vector<AttachClaim> claims;  ///< guid-ascending
+};
+
+/// Re-anchoring round, reply side: `superseding` carries the responder's
+/// table entry for every claim whose assertion its merged view out-ranks
+/// in record_precedes order (epochs ended elsewhere, or falsified by a
+/// cross-partition splice). The asker imports them and re-evaluates its
+/// claims: superseded epochs are dropped, falsified ones re-anchored with
+/// a fresh op through the normal round machinery. Claims absent from the
+/// list stand as asserted.
+struct ReconcileAckMsg {
+  std::uint64_t reconcile_id = 0;
+  std::vector<TableEntry> superseding;
+};
+
+/// Receipt ack of one kSnapshot push (flush-edge reliability): echoes the
+/// digest of the received snapshot so the sender can clear the matching
+/// pending push; an unacked flush push is retransmitted, closing the
+/// fire-and-forget gap of the bulk-join state transfer.
+struct SnapshotAckMsg {
+  std::uint64_t digest = 0;
+  std::uint64_t entry_count = 0;
+};
+
 /// A lone NE asks a ring leader to admit it (Section 4.3 join process).
 struct NeJoinRequestMsg {
   NodeId joiner;
@@ -264,17 +310,25 @@ struct QueryReplyMsg {
 namespace wire {
 /// Fixed per-message overhead: frame, ids, flags.
 inline constexpr std::uint32_t kBaseBytes = 64;
-/// One seq-keyed TableEntry: guid + AP + status + seq.
-inline constexpr std::uint32_t kTableEntryBytes = 24;
+/// One TableEntry: guid + AP + status + seq + claim epoch.
+inline constexpr std::uint32_t kTableEntryBytes = 34;
 /// One MemberRecord: guid + AP + status.
 inline constexpr std::uint32_t kMemberRecordBytes = 16;
 /// One NodeId (roster elements).
 inline constexpr std::uint32_t kNodeIdBytes = 8;
-/// One MembershipOp: kind + uid + seq + member + five ids.
-inline constexpr std::uint32_t kOpBytes = 64;
+/// One MembershipOp: kind + uid + seq + claim epoch + member + five ids.
+inline constexpr std::uint32_t kOpBytes = 80;
 /// One notify/round id.
 inline constexpr std::uint32_t kIdBytes = 10;
+/// One AttachClaim: guid + claim epoch.
+inline constexpr std::uint32_t kClaimBytes = 16;
 }  // namespace wire
+
+/// A bare flooded MembershipOp (the tree baseline's proposal): kOpBytes
+/// bounds the framed op on its own.
+[[nodiscard]] inline std::uint32_t wire_size(const MembershipOp&) {
+  return wire::kOpBytes;
+}
 
 [[nodiscard]] inline std::uint32_t wire_size(const TokenMsg& msg) {
   return wire::kBaseBytes +
@@ -321,6 +375,21 @@ inline constexpr std::uint32_t kIdBytes = 10;
 }
 
 [[nodiscard]] inline std::uint32_t wire_size(const SnapshotRequestMsg&) {
+  return wire::kBaseBytes;
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const ReconcileMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kClaimBytes * static_cast<std::uint32_t>(msg.claims.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const ReconcileAckMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kTableEntryBytes *
+             static_cast<std::uint32_t>(msg.superseding.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const SnapshotAckMsg&) {
   return wire::kBaseBytes;
 }
 

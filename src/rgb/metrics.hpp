@@ -29,6 +29,15 @@ struct RgbMetrics {
   common::Counter snapshots_sent;      ///< kSnapshot transfers pushed/served
   common::Counter snapshots_applied;   ///< snapshots that changed a view
   common::Counter snapshot_decode_errors;  ///< corrupt blobs rejected
+  common::Counter snapshot_retransmits;    ///< unacked flush pushes resent
+  common::Counter snapshot_push_give_ups;  ///< flush pushes past retx budget
+  // Post-heal reconciliation (kReconcile re-anchoring rounds). The check
+  // layer reads these to assert the round actually ran on heal paths.
+  common::Counter reconcile_rounds;    ///< claim exchanges initiated
+  common::Counter reconcile_replies;   ///< claim sets answered
+  common::Counter reconcile_retransmits;
+  common::Counter reconcile_give_ups;  ///< exchanges past the retx budget
+  common::Counter reconcile_reanchors; ///< falsified epochs re-asserted
 };
 
 /// Sum of proposal-plane sends (token circulation + inter-ring

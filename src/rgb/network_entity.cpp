@@ -126,17 +126,29 @@ void NetworkEntity::local_member_join(Guid mh) {
   op.kind = OpKind::kMemberJoin;
   op.seq = next_op_seq();
   op.uid = next_op_uid();
+  op.claim_seq = op.seq;  // a physical join starts a new attachment epoch
   op.member = MemberRecord{mh, id(), MemberStatus::kOperational};
-  local_attached_[mh] = op.seq;
+  local_attached_[mh] = op.claim_seq;
   enqueue_local_op(std::move(op));
 }
 
+std::uint64_t NetworkEntity::take_local_claim(Guid mh) {
+  // The epoch a departure op ends: our own attachment claim when we hold
+  // one (erased — the member is no longer ours), else whatever epoch the
+  // table reflects (a departure injected for a member we never claimed).
+  const auto it = local_attached_.find(mh);
+  if (it == local_attached_.end()) return ring_members_.claim_of(mh);
+  const std::uint64_t claim = it->second;
+  local_attached_.erase(it);
+  return claim;
+}
+
 void NetworkEntity::local_member_leave(Guid mh) {
-  local_attached_.erase(mh);
   MembershipOp op;
   op.kind = OpKind::kMemberLeave;
   op.seq = next_op_seq();
   op.uid = next_op_uid();
+  op.claim_seq = take_local_claim(mh);
   op.member = MemberRecord{mh, id(), MemberStatus::kDisconnected};
   enqueue_local_op(std::move(op));
 }
@@ -146,19 +158,36 @@ void NetworkEntity::local_member_handoff_in(Guid mh, NodeId old_ap) {
   op.kind = OpKind::kMemberHandoff;
   op.seq = next_op_seq();
   op.uid = next_op_uid();
+  op.claim_seq = op.seq;  // a handoff-in starts a new attachment epoch
   op.member = MemberRecord{mh, id(), MemberStatus::kOperational};
   op.old_ap = old_ap;
-  local_attached_[mh] = op.seq;
+  local_attached_[mh] = op.claim_seq;
   enqueue_local_op(std::move(op));
 }
 
 void NetworkEntity::local_member_fail(Guid mh) {
-  local_attached_.erase(mh);
   MembershipOp op;
   op.kind = OpKind::kMemberFail;
   op.seq = next_op_seq();
   op.uid = next_op_uid();
+  op.claim_seq = take_local_claim(mh);
   op.member = MemberRecord{mh, id(), MemberStatus::kFailed};
+  enqueue_local_op(std::move(op));
+}
+
+void NetworkEntity::reannounce_member(Guid mh, std::uint64_t claim_seq) {
+  // Re-anchors an existing attachment epoch with a fresh op sequence: the
+  // fresh seq out-ranks the false record *within* the epoch, while the
+  // preserved claim_seq keeps the assertion strictly below any newer
+  // physical attachment (a handoff the accusation raced with) in
+  // record_precedes order. Deliberately does NOT touch local_attached_ —
+  // a repair is not a new physical attachment.
+  MembershipOp op;
+  op.kind = OpKind::kMemberJoin;
+  op.seq = next_op_seq();
+  op.uid = next_op_uid();
+  op.claim_seq = claim_seq;
+  op.member = MemberRecord{mh, id(), MemberStatus::kOperational};
   enqueue_local_op(std::move(op));
 }
 
@@ -443,12 +472,12 @@ void NetworkEntity::apply_ops_and_notify(const Token& token) {
       // A handoff away from this AP is authoritative departure evidence:
       // without it, a racing (false) failure record could hide the
       // member's new attachment and trick reaffirmation into re-claiming
-      // a member that physically moved. Guarded by the claim seq: a stale
-      // handoff-away replayed after the member re-attached here must not
-      // drop the newer claim.
+      // a member that physically moved. Guarded by the claim epoch: a
+      // stale handoff-away replayed after the member re-attached here
+      // must not drop the newer claim.
       if (op.kind == OpKind::kMemberHandoff && op.old_ap == id()) {
         const auto it = local_attached_.find(op.member.guid);
-        if (it != local_attached_.end() && it->second < op.seq) {
+        if (it != local_attached_.end() && it->second < op.claim_seq) {
           local_attached_.erase(it);
         }
       }
@@ -680,6 +709,11 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
     m_op.kind = OpKind::kMemberFail;
     m_op.seq = next_op_seq();
     m_op.uid = next_op_uid();
+    // A detector-inferred failure ends only the epoch it observed: if the
+    // member has since re-attached elsewhere (a handoff this accusation
+    // races with across a partition), the newer epoch out-ranks this op in
+    // record_precedes order no matter which seq disseminates first.
+    m_op.claim_seq = ring_members_.claim_of(rec.guid);
     m_op.member = rec;
     m_op.member.status = MemberStatus::kFailed;
     enqueue_op(std::move(m_op), Contributor{});
@@ -879,7 +913,11 @@ void NetworkEntity::handle_ring_reform(const RingReformMsg& msg, NodeId from) {
       from != id()) {
     request_snapshot_from(from);
   }
-  on_mq_activity();
+  // A reform is a heal-path completion: re-aim any request chain at the
+  // (possibly new) leader and re-anchor local claims against the
+  // re-baselined table.
+  rearm_after_reconfigure();
+  schedule_reconcile();
 }
 
 void NetworkEntity::handle_child_rebind(const ChildRebindMsg& msg,
@@ -999,6 +1037,20 @@ void NetworkEntity::handle_holder_ack(const HolderAckMsg& msg) {
 // --------------------------------------------------------------------------
 
 void NetworkEntity::on_probe_tick() {
+  const sim::Time tick_time = now();
+  const bool crash_gap =
+      last_probe_tick_ != 0 &&
+      tick_time - last_probe_tick_ > 2 * config_.probe_period;
+  last_probe_tick_ = tick_time;
+  if (crash_gap) {
+    // Probe ticks are suppressed while crashed, so a multi-period gap
+    // means this NE just recovered from a crash window: its timers died
+    // with it (stranding any round it held) and cross-partition records
+    // may have falsified its attachment claims while it was silent —
+    // the AP-recovery trigger of the reconciliation round.
+    rearm_after_reconfigure();
+    schedule_reconcile();
+  }
   reaffirm_local_members();
   if (!is_leader()) {
     // Follower-side leader liveness: failure detection otherwise rides
@@ -1035,45 +1087,196 @@ void NetworkEntity::reaffirm_local_members() {
   if (local_attached_.empty()) return;
   std::vector<Guid> reannounce, departed;
   for (const auto& [mh, claim_seq] : local_attached_) {
-    const auto rec = ring_members_.find(mh);
+    const auto entry = ring_members_.lookup(mh);
     // No record yet: our own join/handoff op is still queued or in a
-    // round. Do NOT re-announce — a duplicate join with a fresher seq
-    // could outrank a legitimate concurrent op (e.g. the very handoff
-    // that brought the member here). The at-least-once round machinery
+    // round. Do NOT re-announce — a duplicate assertion could race the
+    // very op that carries the claim. The at-least-once round machinery
     // lands the original op.
-    if (!rec) continue;
-    const std::uint64_t rec_seq = ring_members_.last_seq_of(mh);
-    if (rec->status == MemberStatus::kOperational) {
-      if (rec->access_proxy == id()) continue;  // consistent: hosted here
-      // The record says the member moved to another AP. Only a record
-      // NEWER than our own claim proves a handoff we never saw locally —
-      // then the newer op wins and we stop claiming the member. An older
-      // operational record is the pre-handoff state still in view while
-      // our handoff-in op rides a round; treating it as a departure would
-      // erase the claim and permanently silence reaffirmation (a false
-      // failure record arriving next would then stick forever).
-      if (rec_seq > claim_seq) departed.push_back(mh);
+    if (!entry) continue;
+    const MemberRecord& rec = entry->record;
+    const std::uint64_t rec_claim = entry->claim_seq;
+    const std::uint64_t rec_seq = entry->last_seq;
+    if (rec_claim > claim_seq) {
+      // A newer attachment epoch exists: the member physically joined or
+      // handed off somewhere else after our claim (and possibly departed
+      // there too). Ours is history — stop claiming. Epoch comparison,
+      // not raw seq, makes this immune to detector-inferred records and
+      // repair re-assertions, which never start an epoch.
+      departed.push_back(mh);
       continue;
     }
-    // Failed or disconnected — yet the member never left *us* (a genuine
-    // departure goes through local_member_leave/fail, which erases it from
-    // local_attached_ first). A record older than our claim is outwaited
-    // (the claim op in flight out-ranks it on arrival); a newer one is a
-    // false accusation from a failure-detector false positive elsewhere.
-    // Re-announce with a fresh (higher-seq) op: the hosting AP is
-    // authoritative for its members.
-    if (rec_seq > claim_seq) reannounce.push_back(mh);
+    if (rec.status == MemberStatus::kOperational &&
+        rec.access_proxy == id()) {
+      continue;  // consistent: hosted here
+    }
+    if (rec_claim == claim_seq && rec_seq > claim_seq) {
+      // Our own epoch was ended or overridden by something we never saw
+      // locally — a genuine departure goes through local_member_leave /
+      // fail / the handoff-away guard, all of which erase the claim
+      // first. So this is a false accusation (failure-detector false
+      // positive elsewhere, typically a cross-partition splice). The
+      // hosting AP is authoritative: re-anchor the epoch with a fresh op.
+      reannounce.push_back(mh);
+      continue;
+    }
+    // rec_claim < claim_seq (stale pre-claim record), or rec_claim ==
+    // claim_seq with rec_seq <= claim_seq (our claim op not yet
+    // reflected): the in-flight claim assertion out-ranks the record in
+    // record_precedes order — outwait it.
   }
   // Deterministic processing order regardless of hash-map iteration.
   std::sort(departed.begin(), departed.end());
   std::sort(reannounce.begin(), reannounce.end());
   for (const Guid mh : departed) local_attached_.erase(mh);
   for (const Guid mh : reannounce) {
+    const std::uint64_t claim = local_attached_.at(mh);
     RGB_LOG(kInfo, "reaffirm")
-        << id() << " re-announces falsely failed local member "
-        << mh.value();
-    local_member_join(mh);
+        << id() << " re-anchors falsely failed local member " << mh.value()
+        << " (epoch " << claim << ")";
+    metrics_.reconcile_reanchors.increment();
+    reannounce_member(mh, claim);
   }
+}
+
+// --------------------------------------------------------------------------
+// Post-heal reconciliation round (kReconcile)
+// --------------------------------------------------------------------------
+
+std::vector<AttachClaim> NetworkEntity::local_claims() const {
+  std::vector<AttachClaim> claims;
+  claims.reserve(local_attached_.size());
+  for (const auto& [mh, claim] : local_attached_) {
+    claims.push_back(AttachClaim{mh, claim});
+  }
+  std::sort(claims.begin(), claims.end(),
+            [](const AttachClaim& a, const AttachClaim& b) {
+              return a.mh < b.mh;
+            });
+  return claims;
+}
+
+void NetworkEntity::rearm_after_reconfigure() {
+  // A request chain aimed at a replaced leader would wait out its full
+  // retx budget before re-aiming (every resend reads the current leader_,
+  // but the timer cadence is round_timeout) — during which this NE's MQ is
+  // blocked, exactly when the post-heal ring needs the queued fragment ops
+  // replayed. Reset the chain; on_mq_activity re-requests from the new
+  // leader immediately.
+  if (token_requested_ && !is_leader()) {
+    cancel_timer(request_retx_timer_);
+    token_requested_ = false;
+  }
+  // Timers die with a crashed node: a holder that crashed mid-round would
+  // otherwise keep holding_round_ set forever with no watchdog to abandon
+  // it, blocking its MQ permanently; same for a leader's reclaim
+  // watchdog. Re-arm both — for a live round this merely extends a
+  // deadline, for a dead one it restores the abandon/reclaim path.
+  if (holding_round_) arm_holder_watchdog(my_round_id_);
+  if (is_leader() && !token_free_ && !holding_round_) {
+    arm_round_watchdog(active_round_id_);
+  }
+  on_mq_activity();
+}
+
+void NetworkEntity::schedule_reconcile() {
+  if (!config_.reconcile_rounds) return;
+  if (local_attached_.empty()) return;
+  // Debounce: merge storms (several reforms while fragments knit back
+  // together) collapse into one exchange once the shape settles, and the
+  // trigger's entry imports land before the claims are checked.
+  cancel_timer(reconcile_timer_);
+  reconcile_timer_ = set_timer(config_.reconcile_delay,
+                               [this]() { run_reconcile_round(); });
+}
+
+void NetworkEntity::run_reconcile_round() {
+  if (local_attached_.empty()) return;
+  const NodeId target = is_leader() ? parent_ : leader_;
+  if (!target.valid() || target == id()) {
+    // Nobody above us to ask (singleton / detached root): our own table is
+    // the best merged view there is — evaluate the claims against it.
+    // Not counted in reconcile_rounds, which meters actual claim
+    // exchanges (the oracle-visibility contract of the metric).
+    reaffirm_local_members();
+    return;
+  }
+  metrics_.reconcile_rounds.increment();
+  const std::uint64_t rid = (id().value() << 24) | ++reconcile_counter_;
+  PendingReconcile pending;
+  pending.dest = target;
+  pending.claims = local_claims();
+  ReconcileMsg msg{rid, pending.claims};
+  const auto bytes = wire_size(msg);
+  RGB_LOG(kInfo, "reconcile")
+      << now() << " " << id() << " asserts " << msg.claims.size()
+      << " claim(s) to " << target;
+  send(target, kind::kReconcile, std::move(msg), bytes);
+  pending.timer = set_timer(config_.notify_timeout, [this, rid]() {
+    on_reconcile_retx_timeout(rid);
+  });
+  pending_reconciles_[rid] = std::move(pending);
+}
+
+void NetworkEntity::on_reconcile_retx_timeout(std::uint64_t reconcile_id) {
+  const auto it = pending_reconciles_.find(reconcile_id);
+  if (it == pending_reconciles_.end()) return;
+  PendingReconcile& pending = it->second;
+  if (++pending.retx <= config_.max_notify_retx) {
+    metrics_.reconcile_retransmits.increment();
+    ReconcileMsg msg{reconcile_id, pending.claims};
+    const auto bytes = wire_size(msg);
+    send(pending.dest, kind::kReconcile, std::move(msg), bytes);
+    pending.timer = set_timer(config_.notify_timeout, [this, reconcile_id]() {
+      on_reconcile_retx_timeout(reconcile_id);
+    });
+    return;
+  }
+  // The responder is unreachable: drop the exchange. The probe-tick
+  // reaffirmation pass keeps the same decision logic running against
+  // whatever anti-entropy brings in, so giving up loses promptness, not
+  // correctness.
+  metrics_.reconcile_give_ups.increment();
+  pending_reconciles_.erase(it);
+}
+
+void NetworkEntity::handle_reconcile(const ReconcileMsg& msg, NodeId from) {
+  ReconcileAckMsg ack;
+  ack.reconcile_id = msg.reconcile_id;
+  for (const AttachClaim& claim : msg.claims) {
+    const auto entry = ring_members_.lookup(claim.mh);
+    if (!entry) continue;
+    // Return our entry whenever the claim's assertion (claim, claim)
+    // loses to it in record_precedes order: a newer epoch supersedes the
+    // claim outright, and a same-epoch ending means the claim was
+    // falsified somewhere — either way the asker needs the record to
+    // decide. Entries the claim out-ranks are omitted (the claim stands),
+    // as is the asker's own re-anchored state — a same-epoch record
+    // operational at the asker confirms the claim, it does not supersede
+    // it, and echoing it back would cost superseding bytes on every
+    // round after any repair.
+    if (record_precedes(claim.claim_seq, claim.claim_seq, entry->claim_seq,
+                        entry->last_seq) &&
+        !(entry->claim_seq == claim.claim_seq &&
+          entry->record.status == MemberStatus::kOperational &&
+          entry->record.access_proxy == from)) {
+      ack.superseding.push_back(*entry);
+    }
+  }
+  metrics_.reconcile_replies.increment();
+  const auto bytes = wire_size(ack);
+  send(from, kind::kReconcileAck, std::move(ack), bytes);
+}
+
+void NetworkEntity::handle_reconcile_ack(const ReconcileAckMsg& msg) {
+  const auto it = pending_reconciles_.find(msg.reconcile_id);
+  if (it == pending_reconciles_.end()) return;  // stale or duplicate ack
+  cancel_timer(it->second.timer);
+  pending_reconciles_.erase(it);
+  ring_members_.import_entries(msg.superseding);
+  // Re-evaluate every claim against the responder-informed table: the
+  // shared decision core drops superseded epochs and re-anchors falsified
+  // ones through the normal round machinery.
+  reaffirm_local_members();
 }
 
 void NetworkEntity::anti_entropy_tick() {
@@ -1173,7 +1376,10 @@ void NetworkEntity::handle_view_sync(const ViewSyncMsg& msg, NodeId from) {
     recompute_pointers();
     ring_ok_ = true;
     if (!is_leader()) token_free_ = false;
-    on_mq_activity();
+    // Shape adoption is the convergent stand-in for a lost reform: same
+    // heal-path completion, same reconciliation trigger.
+    rearm_after_reconfigure();
+    schedule_reconcile();
   }
 
   if (msg.phase == ViewSyncMsg::Phase::kDigest) {
@@ -1264,6 +1470,12 @@ void NetworkEntity::merge_fragment(const std::vector<NodeId>& their_roster,
   } else {
     token_free_ = false;
   }
+  // Merge completion is the canonical post-heal moment: the fragments'
+  // tables just unioned, so any cross-partition false-failure record is
+  // now visible locally — re-anchor claims against the merged view and
+  // let queued fragment ops flow through the merged ring immediately.
+  rearm_after_reconfigure();
+  schedule_reconcile();
 }
 
 void NetworkEntity::handle_merge_offer(const MergeOfferMsg& msg,
@@ -1274,8 +1486,20 @@ void NetworkEntity::handle_merge_offer(const MergeOfferMsg& msg,
         msg.roster.end();
     if (i_am_in_offer) return;  // the offerer already rings with us
     if (leader_.valid() && leader_ != id() && leader_ != from) {
-      // A true fragment: relay to our fragment's leader.
+      // A true fragment: relay to our fragment's leader — and answer the
+      // offerer directly as well. The relay alone deadlocks when our
+      // leader pointer is fictional (the supposed leader repaired us out
+      // of its ring across the partition and drops the relayed offer as
+      // "already ringing with the offerer"): offers then die at the relay
+      // forever and the rosters never reconverge — the post-heal orphan
+      // class of the partition fuzz profile. The direct accept is safe in
+      // the healthy-fragment case too: merge_fragment unions rosters and
+      // elects deterministically, so it merely duplicates the leader-level
+      // merge the relay triggers.
       send(leader_, kind::kMergeOffer, msg, wire_size(msg));
+      MergeAcceptMsg accept{roster_, ring_members_.export_entries()};
+      const auto bytes = wire_size(accept);
+      send(from, kind::kMergeAccept, std::move(accept), bytes);
     } else {
       // Stale state: the node we believe leads us is the one telling us we
       // are not in its ring (e.g. we just recovered from a crash). Offer
@@ -1347,6 +1571,20 @@ SnapshotMsg NetworkEntity::make_snapshot_msg() const {
   return msg;
 }
 
+const net::Payload& NetworkEntity::snapshot_payload() {
+  const ViewDigest digest = ring_members_.digest();
+  if (!snapshot_payload_valid_ || snapshot_payload_digest_ != digest.hash ||
+      snapshot_payload_count_ != digest.count) {
+    SnapshotMsg msg = make_snapshot_msg();
+    snapshot_payload_digest_ = msg.digest;
+    snapshot_payload_count_ = msg.entry_count;
+    snapshot_payload_bytes_ = wire_size(msg);
+    snapshot_payload_cache_ = net::Payload{std::move(msg)};
+    snapshot_payload_valid_ = true;
+  }
+  return snapshot_payload_cache_;
+}
+
 void NetworkEntity::flush_snapshot() {
   const bool to_ring =
       snapshot_dirty_ring_ && is_leader() && roster_.size() > 1;
@@ -1355,21 +1593,71 @@ void NetworkEntity::flush_snapshot() {
   snapshot_dirty_ring_ = false;
   snapshot_dirty_child_ = false;
   if (!to_ring && !to_child) return;
-  SnapshotMsg msg = make_snapshot_msg();
-  const auto bytes = wire_size(msg);
-  // One encoded blob, shared by every push of this flush.
-  const net::Payload payload{std::move(msg)};
+  // One encoded blob, shared by every push of this flush (and by any
+  // retransmission until the table moves again).
+  const net::Payload& payload = snapshot_payload();
+  const auto bytes = snapshot_payload_bytes_;
+  const std::uint64_t digest = snapshot_payload_digest_;
+  const std::uint64_t entry_count = snapshot_payload_count_;
+  const auto push = [&](NodeId dest) {
+    send(dest, kind::kSnapshot, payload, bytes);
+    metrics_.snapshots_sent.increment();
+    // Flush-edge reliability: remember the push until its kSnapshotAck.
+    PendingSnapshotPush& pending = pending_snapshot_pushes_[dest];
+    cancel_timer(pending.timer);
+    pending.digest = digest;
+    pending.entry_count = entry_count;
+    pending.retx = 0;
+    pending.timer = set_timer(config_.notify_timeout, [this, dest]() {
+      on_snapshot_push_timeout(dest);
+    });
+  };
   if (to_ring) {
     for (const NodeId peer : roster_) {
       if (peer == id()) continue;
-      send(peer, kind::kSnapshot, payload, bytes);
-      metrics_.snapshots_sent.increment();
+      push(peer);
     }
   }
-  if (to_child) {
-    send(child_, kind::kSnapshot, payload, bytes);
-    metrics_.snapshots_sent.increment();
+  if (to_child) push(child_);
+}
+
+void NetworkEntity::on_snapshot_push_timeout(NodeId dest) {
+  const auto it = pending_snapshot_pushes_.find(dest);
+  if (it == pending_snapshot_pushes_.end()) return;
+  PendingSnapshotPush& pending = it->second;
+  if (++pending.retx > config_.max_notify_retx) {
+    // The edge is unreachable past the budget; anti-entropy probing and
+    // the next flush remain the safety net (monotone import makes any
+    // later, fresher transfer equivalent).
+    metrics_.snapshot_push_give_ups.increment();
+    pending_snapshot_pushes_.erase(it);
+    return;
   }
+  metrics_.snapshot_retransmits.increment();
+  // Retransmit the *current* table, not the stale blob: the receiver's
+  // import is monotone, so fresher is always at least as good, and the
+  // pending digest must track what was actually sent for the ack match.
+  // The cached payload makes this a shared-refcount send unless the table
+  // actually moved since the last encode.
+  const net::Payload& payload = snapshot_payload();
+  pending.digest = snapshot_payload_digest_;
+  pending.entry_count = snapshot_payload_count_;
+  send(dest, kind::kSnapshot, payload, snapshot_payload_bytes_);
+  metrics_.snapshots_sent.increment();
+  pending.timer = set_timer(config_.notify_timeout, [this, dest]() {
+    on_snapshot_push_timeout(dest);
+  });
+}
+
+void NetworkEntity::handle_snapshot_ack(const SnapshotAckMsg& msg,
+                                        NodeId from) {
+  const auto it = pending_snapshot_pushes_.find(from);
+  if (it == pending_snapshot_pushes_.end()) return;
+  // Only the ack of the *latest* push clears the pending entry — a stale
+  // ack racing a fresher flush must not silence its retransmission.
+  if (it->second.digest != msg.digest) return;
+  cancel_timer(it->second.timer);
+  pending_snapshot_pushes_.erase(it);
 }
 
 void NetworkEntity::request_snapshot_from(NodeId peer) {
@@ -1383,20 +1671,25 @@ void NetworkEntity::handle_snapshot_request(const SnapshotRequestMsg& msg,
                                             NodeId from) {
   const ViewDigest mine = ring_members_.digest();
   if (mine.hash == msg.digest && mine.count == msg.entry_count) return;
-  SnapshotMsg reply = make_snapshot_msg();
-  const auto bytes = wire_size(reply);
-  send(from, kind::kSnapshot, std::move(reply), bytes);
+  // Sequenced: snapshot_payload() refreshes snapshot_payload_bytes_, so
+  // the two must not be read in one unordered argument list.
+  const net::Payload& payload = snapshot_payload();
+  send(from, kind::kSnapshot, payload, snapshot_payload_bytes_);
   metrics_.snapshots_sent.increment();
 }
 
 void NetworkEntity::handle_snapshot(const SnapshotMsg& msg, NodeId from) {
   const ViewDigest mine = ring_members_.digest();
   if (mine.hash == msg.digest && mine.count == msg.entry_count) {
-    return;  // already in sync: skip the decode entirely
+    // Already in sync: skip the decode entirely, but still confirm the
+    // receipt so a pending flush push stops retransmitting.
+    send(from, kind::kSnapshotAck,
+         SnapshotAckMsg{msg.digest, msg.entry_count});
+    return;
   }
   // The blob is real wire bytes; a truncated or corrupted transfer decodes
-  // to a clean error and is dropped — the sender's next flush (or the
-  // anti-entropy tick) retries the transfer.
+  // to a clean error and is dropped *unacked* — the sender's retx loop
+  // (flush pushes) or the anti-entropy tick retries the transfer.
   const auto decoded = rgb::wire::decode_snapshot(msg.blob);
   if (!decoded.ok()) {
     metrics_.snapshot_decode_errors.increment();
@@ -1406,6 +1699,7 @@ void NetworkEntity::handle_snapshot(const SnapshotMsg& msg, NodeId from) {
         << decoded.error().offset;
     return;
   }
+  send(from, kind::kSnapshotAck, SnapshotAckMsg{msg.digest, msg.entry_count});
   if (!ring_members_.import_entries(decoded.value())) return;
   metrics_.snapshots_applied.increment();
   if (!config_.snapshot_join) return;
@@ -1489,6 +1783,15 @@ void NetworkEntity::clear_ring_state() {
   cancel_timer(round_watchdog_);
   cancel_timer(holder_watchdog_);
   cancel_timer(snapshot_flush_timer_);
+  cancel_timer(reconcile_timer_);
+  for (auto& [rid, pending] : pending_reconciles_) {
+    cancel_timer(pending.timer);
+  }
+  pending_reconciles_.clear();
+  for (auto& [dest, pending] : pending_snapshot_pushes_) {
+    cancel_timer(pending.timer);
+  }
+  pending_snapshot_pushes_.clear();
   snapshot_dirty_ring_ = false;
   snapshot_dirty_child_ = false;
   pending_round_ops_.clear();
@@ -1678,6 +1981,15 @@ void NetworkEntity::deliver(const net::Envelope& env) {
       break;
     case kind::kSnapshot:
       handle_snapshot(env.payload.get<SnapshotMsg>(), env.src);
+      break;
+    case kind::kSnapshotAck:
+      handle_snapshot_ack(env.payload.get<SnapshotAckMsg>(), env.src);
+      break;
+    case kind::kReconcile:
+      handle_reconcile(env.payload.get<ReconcileMsg>(), env.src);
+      break;
+    case kind::kReconcileAck:
+      handle_reconcile_ack(env.payload.get<ReconcileAckMsg>());
       break;
     case kind::kMhRequest: {
       const MhRequestMsg& req = env.payload.get<MhRequestMsg>();

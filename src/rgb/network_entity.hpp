@@ -78,6 +78,10 @@ class NetworkEntity : public proto::Process {
   void local_member_handoff_in(Guid mh, NodeId old_ap);
   void local_member_fail(Guid mh);
 
+  /// Claims this AP currently asserts (tests / reconcile introspection):
+  /// guid-sorted (member, attachment-epoch) pairs.
+  [[nodiscard]] std::vector<AttachClaim> local_claims() const;
+
   // --- dynamic NE membership (Section 4.3) -----------------------------------
 
   /// Asks `ring_leader` to admit this NE into its ring.
@@ -204,9 +208,39 @@ class NetworkEntity : public proto::Process {
   void schedule_snapshot_flush(bool to_ring, bool to_child);
   void flush_snapshot();
   [[nodiscard]] SnapshotMsg make_snapshot_msg() const;
+  /// The current table as an encoded, shareable kSnapshot payload —
+  /// rebuilt only when the table digest moved, so flush fan-outs,
+  /// request replies and the ack-driven retx loop all share one O(N)
+  /// encode (and one allocation) per table state instead of re-encoding
+  /// per destination per timeout.
+  const net::Payload& snapshot_payload();
   void request_snapshot_from(NodeId peer);
   void handle_snapshot_request(const SnapshotRequestMsg& msg, NodeId from);
   void handle_snapshot(const SnapshotMsg& msg, NodeId from);
+  void handle_snapshot_ack(const SnapshotAckMsg& msg, NodeId from);
+  void on_snapshot_push_timeout(NodeId dest);
+
+  // --- post-heal reconciliation round (kReconcile) -----------------------------
+  // When a ring merge / reform / shape adoption completes — or a crash
+  // window is detected on recovery — the heal may have imported
+  // cross-partition records that falsify or supersede this AP's
+  // attachment claims, and this AP's own ops may have been shadowed on
+  // the other side. The reconcile round makes the repair an explicit
+  // acked protocol phase: the AP asserts its claims to its ring leader
+  // (leaders: to their parent), the responder returns every table entry
+  // that out-ranks a claim, and the asker re-evaluates — superseded
+  // epochs are dropped, falsified ones re-anchored with a fresh op
+  // through the normal round machinery.
+  void schedule_reconcile();
+  void run_reconcile_round();
+  void handle_reconcile(const ReconcileMsg& msg, NodeId from);
+  void handle_reconcile_ack(const ReconcileAckMsg& msg);
+  void on_reconcile_retx_timeout(std::uint64_t reconcile_id);
+  /// Machinery re-arm shared by the reconcile triggers: timers that died
+  /// in a crash window are re-armed and request chains aimed at a
+  /// replaced leader are reset so queued ops flow through the new ring
+  /// immediately.
+  void rearm_after_reconfigure();
 
   // --- queries -------------------------------------------------------------------
   void handle_query(const QueryRequestMsg& msg, NodeId from);
@@ -328,6 +362,37 @@ class NetworkEntity : public proto::Process {
   sim::EventId snapshot_flush_timer_{};
   bool snapshot_dirty_ring_ = false;   ///< peers owed a push (leader only)
   bool snapshot_dirty_child_ = false;  ///< child ring leader owed a push
+  /// Flush-edge reliability: one pending push per destination, cleared by
+  /// the matching kSnapshotAck and retransmitted (with the then-current
+  /// table) until acked or past the notify retx budget.
+  struct PendingSnapshotPush {
+    std::uint64_t digest = 0;
+    std::uint64_t entry_count = 0;
+    int retx = 0;
+    sim::EventId timer{};
+  };
+  std::unordered_map<NodeId, PendingSnapshotPush> pending_snapshot_pushes_;
+  /// snapshot_payload() cache: the encoded table keyed by its digest.
+  net::Payload snapshot_payload_cache_;
+  std::uint64_t snapshot_payload_digest_ = 0;
+  std::uint64_t snapshot_payload_count_ = 0;
+  std::uint32_t snapshot_payload_bytes_ = 0;
+  bool snapshot_payload_valid_ = false;
+
+  // --- reconcile round state ---------------------------------------------------
+  sim::EventId reconcile_timer_{};
+  struct PendingReconcile {
+    NodeId dest;
+    std::vector<AttachClaim> claims;
+    int retx = 0;
+    sim::EventId timer{};
+  };
+  std::unordered_map<std::uint64_t, PendingReconcile> pending_reconciles_;
+  std::uint64_t reconcile_counter_ = 0;
+  /// Last probe tick seen; a gap of several periods means the ticks were
+  /// suppressed by a crash window — the recovery trigger of the
+  /// reconcile round (timers of a crashed node die with it).
+  sim::Time last_probe_tick_ = 0;
 
   // --- probing ----------------------------------------------------------------------------
   std::unique_ptr<proto::PeriodicTimer> probe_timer_;
@@ -348,17 +413,20 @@ class NetworkEntity : public proto::Process {
   // --- local-member re-affirmation ------------------------------------------
   // The authoritative attachment list of this AP: members that joined or
   // handed off here and have not left, failed or handed off away, each
-  // keyed to the op sequence of our own attachment claim. When a *foreign*
-  // record reaches us for one of these members, the claim seq decides who
-  // wins: a failure record newer than our claim is a false accusation
-  // (failure-detector false positive elsewhere) and the AP re-announces
-  // the member with a fresh op — the hosting AP, not the accuser, has the
-  // ground truth; any foreign record *older* than our claim is stale and
-  // simply outwaited (our claim op is still in flight and will out-rank
-  // it). Without the seq, a stale pre-handoff record observed between
-  // handoff-in and round application looked like a departure and silenced
-  // reaffirmation forever. Checked from the probe tick.
+  // keyed to the *attachment epoch* of our claim (the claim_seq of the
+  // physical join/handoff-in op; repair re-anchors never bump it). When a
+  // foreign record reaches us for one of these members, epochs decide:
+  // a record of a NEWER epoch proves the member attached elsewhere after
+  // our claim — we stop claiming; a record that ended OUR epoch without
+  // going through us is a false accusation (failure-detector false
+  // positive elsewhere) and the AP re-anchors the epoch with a fresh op —
+  // the hosting AP, not the accuser, has the ground truth; anything else
+  // is outwaited (our claim assertion is in flight and out-ranks it in
+  // record_precedes order). Checked from the probe tick and from
+  // reconcile-round replies.
   void reaffirm_local_members();
+  void reannounce_member(Guid mh, std::uint64_t claim_seq);
+  std::uint64_t take_local_claim(Guid mh);
   std::unordered_map<Guid, std::uint64_t> local_attached_;
 
   // --- counters ---------------------------------------------------------------------------

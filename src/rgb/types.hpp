@@ -61,6 +61,17 @@ struct MembershipOp {
   std::uint64_t uid = 0;
   std::uint64_t seq = 0;
 
+  /// Attachment-epoch provenance (member ops): the op sequence of the
+  /// *physical* attachment claim this op asserts or ends — a join or
+  /// handoff-in starts a new epoch (claim_seq == seq); a leave/fail ends
+  /// the epoch it refers to; a re-anchor re-asserts an existing epoch with
+  /// a fresh seq. Conflicting records order by (claim_seq, seq)
+  /// lexicographically, so a detector-inferred failure or a repair
+  /// re-assertion derived from an old epoch can never shadow a newer
+  /// physical attachment, no matter how fresh its seq. 0 = no epoch
+  /// semantics (NE ops, baseline protocols) — orders purely by seq.
+  std::uint64_t claim_seq = 0;
+
   // Member ops.
   MemberRecord member;
   NodeId old_ap;  ///< kMemberHandoff: the AP the member moved away from
@@ -171,6 +182,24 @@ struct RgbConfig {
   /// is also the per-tier latency a change pays to reach the bottom in
   /// this mode, so it trades bulk efficiency against freshness.
   sim::Duration snapshot_flush_quiet = sim::msec(50);
+
+  /// Post-heal reconciliation rounds (kReconcile): after a ring merge,
+  /// reform or crash-window recovery, hosting APs re-anchor their
+  /// attachment claims against the merged table through an acked,
+  /// retransmitted claim exchange with their ring leader (leaders: with
+  /// their parent), and falsified or superseded claims are repaired
+  /// through the normal round machinery immediately instead of waiting on
+  /// probe-tick reaffirmation to notice. Off disables the claim
+  /// *exchange* only (the A/B knob for the protocol phase): the
+  /// claim-epoch record ordering, probe-tick reaffirmation, and the
+  /// post-reconfigure machinery re-arming (watchdogs, token-request
+  /// chains) are unconditional correctness fixes and stay on.
+  bool reconcile_rounds = true;
+
+  /// Debounce between a reconcile trigger (merge/reform completion,
+  /// recovery) and the claim exchange, letting the trigger's entry
+  /// imports land first so claims are checked against the merged table.
+  sim::Duration reconcile_delay = sim::msec(100);
 
   /// Per-ring cap of ops carried by one token (0 = unlimited). Guards
   /// against unbounded token growth under extreme churn.

@@ -34,7 +34,7 @@ void TreeServer::forward(TreeServer* to, const MembershipOp& op) {
     to->propagate(op, id());
     return;
   }
-  send(to->id(), kTreeProposal, op);
+  send(to->id(), kTreeProposal, op, core::wire_size(op));
 }
 
 void TreeServer::deliver(const net::Envelope& env) {

@@ -45,6 +45,8 @@ struct Gen {
     o.kind = static_cast<core::OpKind>(rng.next_below(7));
     o.uid = options.realistic ? rng.next_below(1ULL << 56) : rng.next_u64();
     o.seq = options.realistic ? rng.next_below(1ULL << 62) : rng.next_u64();
+    o.claim_seq =
+        options.realistic ? rng.next_below(1ULL << 62) : rng.next_u64();
     o.member = record();
     o.old_ap = id<common::NodeId>();
     o.ne = id<common::NodeId>();
@@ -64,7 +66,19 @@ struct Gen {
     core::TableEntry e;
     e.record = record();
     e.last_seq = options.realistic ? rng.next_below(1ULL << 62) : rng.next_u64();
+    e.claim_seq =
+        options.realistic ? rng.next_below(1ULL << 62) : rng.next_u64();
     return e;
+  }
+
+  [[nodiscard]] std::vector<core::AttachClaim> claims() {
+    std::vector<core::AttachClaim> out(count());
+    for (auto& c : out) {
+      c.mh = id<common::Guid>();
+      c.claim_seq =
+          options.realistic ? rng.next_below(1ULL << 62) : rng.next_u64();
+    }
+    return out;
   }
 
   [[nodiscard]] std::vector<core::TableEntry> entries() {
@@ -165,6 +179,12 @@ net::Payload arbitrary_payload(net::MessageKind kind, common::RngStream& rng,
       m.blob = g.snapshot_blob();
       return m;
     }
+    case core::kind::kSnapshotAck:
+      return core::SnapshotAckMsg{g.rng.next_u64(), g.u64()};
+    case core::kind::kReconcile:
+      return core::ReconcileMsg{g.u64(), g.claims()};
+    case core::kind::kReconcileAck:
+      return core::ReconcileAckMsg{g.u64(), g.entries()};
     case core::kind::kMhRequest:
       return core::MhRequestMsg{
           static_cast<core::MhRequestKind>(g.rng.next_below(4)),
@@ -249,6 +269,12 @@ std::uint32_t estimated_wire_size(net::MessageKind kind,
       return wire_size(payload.get<core::SnapshotRequestMsg>());
     case core::kind::kSnapshot:
       return wire_size(payload.get<core::SnapshotMsg>());
+    case core::kind::kSnapshotAck:
+      return wire_size(payload.get<core::SnapshotAckMsg>());
+    case core::kind::kReconcile:
+      return wire_size(payload.get<core::ReconcileMsg>());
+    case core::kind::kReconcileAck:
+      return wire_size(payload.get<core::ReconcileAckMsg>());
     case core::kind::kQueryReply:
       return wire_size(payload.get<core::QueryReplyMsg>());
     default:
@@ -256,6 +282,9 @@ std::uint32_t estimated_wire_size(net::MessageKind kind,
   }
   // Baseline send-site estimates: the same wire_size() overloads the
   // senders call, so the band test can never drift from the real sites.
+  if (kind == tree::kTreeProposal) {
+    return wire_size(payload.get<core::MembershipOp>());
+  }
   if (kind == tree::kTreeQueryReply) {
     return wire_size(payload.get<core::QueryReplyMsg>());
   }

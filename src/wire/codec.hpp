@@ -35,7 +35,9 @@
 namespace rgb::wire {
 
 /// Version byte leading every framed message (WireRegistry::encode).
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: attachment-epoch claim_seq on MembershipOp / TableEntry bodies,
+/// kReconcile / kReconcileAck / kSnapshotAck kinds.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 enum class DecodeStatus : std::uint8_t {
   kOk = 0,

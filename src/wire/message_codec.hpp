@@ -1,4 +1,6 @@
-// Per-message body codecs (wire format version 1).
+// Per-message body codecs (wire format version 2 — version 1 plus the
+// attachment-epoch claim_seq field on MembershipOp and TableEntry, and the
+// kReconcile / kReconcileAck / kSnapshotAck messages).
 //
 // Every control message of the RGB protocol and of the tree/flatring/gossip
 // baselines gets a `write_body` / `read_body` pair. Writers are templated
@@ -43,11 +45,13 @@ template <typename Sink>
 void write_body(Writer<Sink>& w, const core::TableEntry& v) {
   write_body(w, v.record);
   w.varint(v.last_seq);
+  w.varint(v.claim_seq);
 }
 
 inline void read_body(Reader& r, core::TableEntry& v) {
   read_body(r, v.record);
   v.last_seq = r.varint();
+  v.claim_seq = r.varint();
 }
 
 template <typename Sink>
@@ -55,6 +59,7 @@ void write_body(Writer<Sink>& w, const core::MembershipOp& v) {
   w.u8(static_cast<std::uint8_t>(v.kind));
   w.varint(v.uid);
   w.varint(v.seq);
+  w.varint(v.claim_seq);
   write_body(w, v.member);
   w.id(v.old_ap);
   w.id(v.ne);
@@ -68,6 +73,7 @@ inline void read_body(Reader& r, core::MembershipOp& v) {
       static_cast<std::uint8_t>(core::OpKind::kNeFail));
   v.uid = r.varint();
   v.seq = r.varint();
+  v.claim_seq = r.varint();
   read_body(r, v.member);
   v.old_ap = r.id<common::NodeIdTag>();
   v.ne = r.id<common::NodeIdTag>();
@@ -127,7 +133,7 @@ inline void read_body(Reader& r, core::TokenMsg& v) {
   v.token.gid = r.id<common::GroupIdTag>();
   v.token.holder = r.id<common::NodeIdTag>();
   v.token.round_id = r.varint();
-  read_seq(r, v.token.ops, 9);  // op: kind + 8 one-byte-minimum fields
+  read_seq(r, v.token.ops, 10);  // op: kind + 9 one-byte-minimum fields
 }
 
 template <typename Sink>
@@ -175,7 +181,7 @@ void write_body(Writer<Sink>& w, const core::NotifyMsg& v) {
 inline void read_body(Reader& r, core::NotifyMsg& v) {
   v.notify_id = r.varint();
   v.downward = r.boolean();
-  read_seq(r, v.ops, 9);
+  read_seq(r, v.ops, 10);
 }
 
 template <typename Sink>
@@ -238,7 +244,7 @@ void write_body(Writer<Sink>& w, const core::MergeOfferMsg& v) {
 }
 inline void read_body(Reader& r, core::MergeOfferMsg& v) {
   read_ids(r, v.roster);
-  read_seq(r, v.entries, 4);  // entry: guid + ap + status + seq
+  read_seq(r, v.entries, 5);  // entry: guid + ap + status + seq + claim
 }
 
 template <typename Sink>
@@ -248,7 +254,7 @@ void write_body(Writer<Sink>& w, const core::MergeAcceptMsg& v) {
 }
 inline void read_body(Reader& r, core::MergeAcceptMsg& v) {
   read_ids(r, v.roster);
-  read_seq(r, v.entries, 4);
+  read_seq(r, v.entries, 5);
 }
 
 template <typename Sink>
@@ -260,7 +266,7 @@ void write_body(Writer<Sink>& w, const core::RingReformMsg& v) {
 inline void read_body(Reader& r, core::RingReformMsg& v) {
   read_ids(r, v.roster);
   v.leader = r.id<common::NodeIdTag>();
-  read_seq(r, v.entries, 4);
+  read_seq(r, v.entries, 5);
 }
 
 template <typename Sink>
@@ -281,7 +287,7 @@ inline void read_body(Reader& r, core::ViewSyncMsg& v) {
   if (count > UINT32_MAX) r.fail(DecodeStatus::kMalformed);
   v.entry_count = static_cast<std::uint32_t>(count);
   v.reply_requested = r.boolean();
-  read_seq(r, v.entries, 4);
+  read_seq(r, v.entries, 5);
   read_ids(r, v.roster);
   v.leader = r.id<common::NodeIdTag>();
 }
@@ -309,6 +315,46 @@ inline void read_body(Reader& r, core::SnapshotMsg& v) {
   const std::uint64_t n = r.length(1);
   const std::uint8_t* data = r.view(n);
   if (data != nullptr) v.blob.assign(data, data + n);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::SnapshotAckMsg& v) {
+  w.u64le(v.digest);
+  w.varint(v.entry_count);
+}
+inline void read_body(Reader& r, core::SnapshotAckMsg& v) {
+  v.digest = r.u64le();
+  v.entry_count = r.varint();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::AttachClaim& v) {
+  w.id(v.mh);
+  w.varint(v.claim_seq);
+}
+inline void read_body(Reader& r, core::AttachClaim& v) {
+  v.mh = r.id<common::GuidTag>();
+  v.claim_seq = r.varint();
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::ReconcileMsg& v) {
+  w.varint(v.reconcile_id);
+  write_seq(w, v.claims);
+}
+inline void read_body(Reader& r, core::ReconcileMsg& v) {
+  v.reconcile_id = r.varint();
+  read_seq(r, v.claims, 2);  // claim: guid + epoch
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::ReconcileAckMsg& v) {
+  w.varint(v.reconcile_id);
+  write_seq(w, v.superseding);
+}
+inline void read_body(Reader& r, core::ReconcileAckMsg& v) {
+  v.reconcile_id = r.varint();
+  read_seq(r, v.superseding, 5);
 }
 
 template <typename Sink>
@@ -407,7 +453,7 @@ void write_body(Writer<Sink>& w, const flatring::RingTokenMsg& v) {
   w.id(v.wake_target);
 }
 inline void read_body(Reader& r, flatring::RingTokenMsg& v) {
-  read_seq(r, v.entries, 10);  // op + hop count
+  read_seq(r, v.entries, 11);  // op + hop count
   v.wake_target = r.id<common::NodeIdTag>();
 }
 
@@ -442,7 +488,7 @@ void write_body(Writer<Sink>& w, const gossip::PingMsg& v) {
 }
 inline void read_body(Reader& r, gossip::PingMsg& v) {
   v.ping_id = r.varint();
-  read_seq(r, v.updates, 10);
+  read_seq(r, v.updates, 11);
 }
 
 template <typename Sink>
@@ -452,7 +498,7 @@ void write_body(Writer<Sink>& w, const gossip::AckMsg& v) {
 }
 inline void read_body(Reader& r, gossip::AckMsg& v) {
   v.ping_id = r.varint();
-  read_seq(r, v.updates, 10);
+  read_seq(r, v.updates, 11);
 }
 
 }  // namespace rgb::wire

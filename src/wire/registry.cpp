@@ -154,6 +154,12 @@ const WireRegistry& WireRegistry::global() {
     r.add(core::kind::kSnapshotRequest,
           make_codec<core::SnapshotRequestMsg>("snapshot-request"));
     r.add(core::kind::kSnapshot, make_codec<core::SnapshotMsg>("snapshot"));
+    r.add(core::kind::kSnapshotAck,
+          make_codec<core::SnapshotAckMsg>("snapshot-ack"));
+    r.add(core::kind::kReconcile,
+          make_codec<core::ReconcileMsg>("reconcile"));
+    r.add(core::kind::kReconcileAck,
+          make_codec<core::ReconcileAckMsg>("reconcile-ack"));
     // RGB edge plane.
     r.add(core::kind::kMhRequest, make_codec<core::MhRequestMsg>("mh-request"));
     r.add(core::kind::kMhAck, make_codec<core::MhAckMsg>("mh-ack"));

@@ -27,6 +27,7 @@ void write_snapshot(Writer<Sink>& w,
     w.id(entry.record.access_proxy);
     w.u8(static_cast<std::uint8_t>(entry.record.status));
     w.varint(entry.last_seq);
+    w.varint(entry.claim_seq);
   }
 }
 
@@ -52,8 +53,8 @@ Result<std::vector<core::TableEntry>> decode_snapshot(const std::uint8_t* data,
   if (r.ok() && version != kSnapshotVersion) {
     r.fail(DecodeStatus::kBadVersion);
   }
-  // Minimum 4 bytes per entry: guid delta + ap + status + seq.
-  const std::uint64_t count = r.length(4);
+  // Minimum 5 bytes per entry: guid delta + ap + status + seq + claim.
+  const std::uint64_t count = r.length(5);
   if (!r.ok()) return r.error();
 
   std::vector<core::TableEntry> entries;
@@ -79,6 +80,7 @@ Result<std::vector<core::TableEntry>> decode_snapshot(const std::uint8_t* data,
     entry.record.status = r.enum8<proto::MemberStatus>(
         static_cast<std::uint8_t>(proto::MemberStatus::kFailed));
     entry.last_seq = r.varint();
+    entry.claim_seq = r.varint();
     entries.push_back(entry);
   }
   if (!r.ok()) return r.error();

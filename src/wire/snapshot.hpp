@@ -24,7 +24,8 @@
 
 namespace rgb::wire {
 
-inline constexpr std::uint8_t kSnapshotVersion = 1;
+/// v2: per-entry attachment-epoch claim_seq after the op sequence.
+inline constexpr std::uint8_t kSnapshotVersion = 2;
 
 /// Encodes `entries` (strictly guid-ascending, as export_entries returns
 /// them) into `out`. Asserts the sort order in debug builds.

@@ -235,6 +235,89 @@ TEST(MemberTableDigest, IncrementalMaintenanceMatchesRebuild) {
   EXPECT_EQ(t.digest(), MemberTable{}.digest());
 }
 
+// ---------------------------------------------------------------------------
+// Attachment-epoch (claim_seq) lattice: records order by (claim, seq)
+// lexicographically — a newer physical attachment epoch beats anything
+// derived from an older one regardless of raw seq, which is what makes
+// cross-partition false-failure records and repair re-assertions unable to
+// shadow a legitimate handoff.
+// ---------------------------------------------------------------------------
+
+MembershipOp epoch_op(OpKind kind, std::uint64_t seq, std::uint64_t claim,
+                      std::uint64_t guid, std::uint64_t ap) {
+  MembershipOp o = op(kind, seq, guid, ap);
+  o.claim_seq = claim;
+  return o;
+}
+
+TEST(MemberTableLattice, NewerEpochBeatsFresherSeqOfOlderEpoch) {
+  // join@100 (epoch 10) -> detector false-fail with a very fresh seq
+  // (epoch 10) -> the real handoff@200 (epoch 20, seq 20) that raced it.
+  MemberTable t;
+  t.apply(epoch_op(OpKind::kMemberJoin, 10, 10, 1, 100));
+  t.apply(epoch_op(OpKind::kMemberFail, 1000, 10, 1, 100));
+  EXPECT_EQ(t.find(Guid{1})->status, proto::MemberStatus::kFailed);
+  // The handoff's seq (20) is far below the false-fail's (1000), yet its
+  // newer epoch wins: the attachment can never be shadowed.
+  EXPECT_TRUE(t.apply(epoch_op(OpKind::kMemberHandoff, 20, 20, 1, 200)));
+  EXPECT_EQ(t.find(Guid{1})->access_proxy, NodeId{200});
+  EXPECT_EQ(t.claim_of(Guid{1}), 20u);
+  // And the old epoch's records are now inert, whatever their seq.
+  EXPECT_FALSE(t.apply(epoch_op(OpKind::kMemberJoin, 5000, 10, 1, 100)));
+  EXPECT_EQ(t.find(Guid{1})->access_proxy, NodeId{200});
+}
+
+TEST(MemberTableLattice, ReanchorWinsWithinItsEpochOnly) {
+  // False accusation of epoch 10 (seq 50), re-anchored by the host with a
+  // fresh seq in the SAME epoch: wins against the accusation...
+  MemberTable t;
+  t.apply(epoch_op(OpKind::kMemberJoin, 10, 10, 1, 100));
+  t.apply(epoch_op(OpKind::kMemberFail, 50, 10, 1, 100));
+  EXPECT_TRUE(t.apply(epoch_op(OpKind::kMemberJoin, 60, 10, 1, 100)));
+  EXPECT_TRUE(t.contains(Guid{1}));
+  // ...but loses to any newer epoch, even one with a lower raw seq — the
+  // repair can never override an attachment it raced with.
+  EXPECT_TRUE(t.apply(epoch_op(OpKind::kMemberHandoff, 55, 55, 1, 200)));
+  EXPECT_FALSE(t.apply(epoch_op(OpKind::kMemberJoin, 70, 10, 1, 100)));
+  EXPECT_EQ(t.find(Guid{1})->access_proxy, NodeId{200});
+}
+
+TEST(MemberTableLattice, ImportAndMergeAndDiffUseLatticeOrder) {
+  MemberTable a, b;
+  a.apply(epoch_op(OpKind::kMemberJoin, 10, 10, 1, 100));
+  a.apply(epoch_op(OpKind::kMemberFail, 900, 10, 1, 100));  // false fail
+  b.apply(epoch_op(OpKind::kMemberHandoff, 20, 20, 1, 200));
+  // Import in both directions: the newer epoch wins on both sides.
+  MemberTable a2;
+  a2.import_entries(a.export_entries());
+  EXPECT_TRUE(a2.import_entries(b.export_entries()));
+  EXPECT_EQ(a2.find(Guid{1})->access_proxy, NodeId{200});
+  EXPECT_FALSE(b.import_entries(a.export_entries()));
+  EXPECT_EQ(b.find(Guid{1})->access_proxy, NodeId{200});
+  // newer_than: a's false-fail record is NOT newer than b's entry, so the
+  // diff b would send back for a's entries contains b's record.
+  const auto diff = b.newer_than(a.export_entries());
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].claim_seq, 20u);
+  // merge follows the same order.
+  a.merge(b);
+  EXPECT_EQ(a.find(Guid{1})->access_proxy, NodeId{200});
+}
+
+TEST(MemberTableLattice, ClaimChangesFlipTheDigest) {
+  MemberTable a, b;
+  a.apply(epoch_op(OpKind::kMemberJoin, 10, 10, 1, 100));
+  b.apply(epoch_op(OpKind::kMemberJoin, 10, 9, 1, 100));
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(
+      MemberTable::entry_hash(
+          MemberRecord{Guid{1}, NodeId{100}, proto::MemberStatus::kOperational},
+          10, 10),
+      MemberTable::entry_hash(
+          MemberRecord{Guid{1}, NodeId{100}, proto::MemberStatus::kOperational},
+          10, 9));
+}
+
 TEST(MemberTableDigest, EqualTablesAgreeDifferingTablesDiverge) {
   MemberTable a, b;
   for (std::uint64_t i = 1; i <= 50; ++i) {

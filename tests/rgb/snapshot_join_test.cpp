@@ -179,5 +179,44 @@ TEST(SnapshotJoin, CorruptBlobRejectedCleanly) {
   EXPECT_EQ(sys.view_divergence(), 0u);
 }
 
+/// Flush-edge reliability (kSnapshotAck): a snapshot push lost to a crash
+/// window is retransmitted until acked, so the bulk-join phase itself —
+/// not just the eventual anti-entropy probe — heals the transfer.
+TEST(SnapshotJoin, FlushPushRetransmitsUntilAcked) {
+  common::RngStream rng{0xACE};
+  sim::Simulator simulator;
+  net::Network network{simulator, rng.fork("net")};
+  RgbConfig config;
+  config.probe_period = sim::msec(100);
+  config.snapshot_join = true;
+  config.notify_timeout = sim::msec(200);
+  RgbSystem sys{network, config, HierarchyLayout{2, 3}};
+  sys.start_probing();
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    sys.join(Guid{i}, sys.aps()[i % sys.aps().size()]);
+  }
+  simulator.run_until(sim::sec(1));
+  const std::uint64_t retx_before =
+      sys.metrics().snapshot_retransmits.value();
+
+  // BR 1 owes its child (the ring-1 leader) a snapshot for any change that
+  // did not come from that subtree. Crash the child across the flush
+  // window: the push dies in flight, and only the ack-driven retx loop —
+  // not a second flush (there is none; the surge is over) — can land it.
+  const NodeId child_leader = sys.rings(1)[0].front();
+  sys.crash_ne(child_leader);
+  sys.join(Guid{77}, sys.aps()[4]);  // ring 2: propagates up, owed down
+  simulator.run_until(sim::msec(1600));
+  sys.recover_ne(child_leader);
+  simulator.run_until(sim::sec(6));
+
+  EXPECT_GT(sys.metrics().snapshot_retransmits.value(), retx_before)
+      << "the lost flush push must have been retried";
+  EXPECT_TRUE(
+      sys.entity(child_leader)->ring_members().contains(Guid{77}))
+      << "the retried transfer must deliver the missed member";
+  EXPECT_EQ(sys.view_divergence(), 0u);
+}
+
 }  // namespace
 }  // namespace rgb::core

@@ -126,9 +126,11 @@ TEST(SnapshotCodec, RejectsWrongVersionAndUnsortedStreams) {
   w.id(common::NodeId{1});           // ap
   w.u8(0);                           // status
   w.varint(9);                       // seq
+  w.varint(9);                       // claim epoch
   w.varint(0);                       // delta 0: duplicate guid
   w.id(common::NodeId{1});
   w.u8(0);
+  w.varint(9);
   w.varint(9);
   EXPECT_EQ(decode_snapshot(dup).error().status, DecodeStatus::kMalformed);
 }

@@ -48,6 +48,8 @@ int usage(const char* argv0, int code) {
      << "  --partitions B enable partition/heal faults (default 0)\n"
      << "  --bursts B     enable message-loss bursts (default 1)\n"
      << "  --handoffs B   enable handoff churn (default 1)\n"
+     << "  --snapshot-join B  RGB: snapshot bulk-join mode (default 0) —\n"
+     << "                 the lossy-surge snapshot-join conformance profile\n"
      << "  --mask BITS    invariant mask (default all; see EXPERIMENTS.md)\n"
      << "  --schedule F   replay schedule file F under seed --start\n"
      << "  --quiet        only report violations and the final summary\n";
@@ -107,6 +109,8 @@ int main(int argc, char** argv) {
         cfg.gen.drop_bursts = next_u64() != 0;
       } else if (arg == "--handoffs") {
         cfg.gen.handoffs = next_u64() != 0;
+      } else if (arg == "--snapshot-join") {
+        cfg.snapshot_join = next_u64() != 0;
       } else if (arg == "--mask") {
         cfg.check_mask = static_cast<unsigned>(next_u64());
       } else if (arg == "--schedule") {
