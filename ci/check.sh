@@ -8,6 +8,8 @@
 #   check       — invariant oracles, schedule replay, baseline conformance
 #   wire        — wire codec primitives, per-kind round-trip, snapshot codec,
 #                 estimate-vs-encoded metering band
+#   obs         — metrics registry/parity, op tracing, tick series, flight
+#                 recorder, violation-trace determinism
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +34,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L check -j
 
 echo "== ctest (wire) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L wire -j
+
+echo "== ctest (obs) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L obs -j
 
 echo "== rgb_exp smoke =="
 "$BUILD_DIR/rgb_exp" --list > /dev/null
@@ -96,14 +101,45 @@ echo "== rgb_wire smoke =="
 # (full sweeps are produced by `bench_scale` / `rgb_exp bench`).
 echo "== bench_scale smoke =="
 bench_log="$(mktemp)"
-if ! "$BUILD_DIR/rgb_exp" bench --smoke --json "$BUILD_DIR/BENCH_PR5.json" \
-    2> "$bench_log"; then
+if ! "$BUILD_DIR/rgb_exp" bench --smoke --json "$BUILD_DIR/BENCH_PR6.json" \
+    --series "$BUILD_DIR/BENCH_PR6_series.csv" --detect 2> "$bench_log"; then
   echo "FAIL: bench smoke did not run clean:" >&2
   cat "$bench_log" >&2
   rm -f "$bench_log"
   exit 1
 fi
 rm -f "$bench_log"
-test -s "$BUILD_DIR/BENCH_PR5.json"
+test -s "$BUILD_DIR/BENCH_PR6.json"
+# The series artifact must carry actual points (header + rows).
+test "$(wc -l < "$BUILD_DIR/BENCH_PR6_series.csv")" -gt 1
+
+# Observability determinism gates. The deterministic bench (wall-clock
+# fields zeroed) must be byte-identical run-to-run — that covers the
+# latency histograms and the tick series riding in the JSON. A violating
+# fuzz replay must print a byte-identical report + flight-recorder trace.
+echo "== obs determinism gates =="
+obs1="$(mktemp)"; obs2="$(mktemp)"
+"$BUILD_DIR/rgb_exp" bench --smoke --deterministic --detect --json "$obs1" \
+    2> /dev/null
+"$BUILD_DIR/rgb_exp" bench --smoke --deterministic --detect --json "$obs2" \
+    2> /dev/null
+if ! cmp -s "$obs1" "$obs2"; then
+  echo "FAIL: deterministic bench JSON differs between runs" >&2
+  exit 1
+fi
+sched="$(mktemp)"
+printf 'schedule ci-unhealed-partition\nat 1s partition ne 0 1\nat 2s handoff mh 2 ap 1\n' \
+    > "$sched"
+"$BUILD_DIR/rgb_fuzz" --schedule "$sched" --start 3 > "$obs1" || true
+"$BUILD_DIR/rgb_fuzz" --schedule "$sched" --start 3 > "$obs2" || true
+if ! cmp -s "$obs1" "$obs2"; then
+  echo "FAIL: fuzz replay (report + flight trace) differs between runs" >&2
+  exit 1
+fi
+if ! grep -q "flight recorder:" "$obs1"; then
+  echo "FAIL: violating replay did not dump a flight-recorder trace" >&2
+  exit 1
+fi
+rm -f "$obs1" "$obs2" "$sched"
 
 echo "OK"

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -106,6 +107,10 @@ struct CheckRunResult {
   FaultSchedule schedule;          ///< as executed
   std::uint64_t events_applied = 0;
   std::uint64_t messages_sent = 0;
+  /// Flight-recorder tail of the violating run (empty when the run passed
+  /// or the protocol keeps no recorder): the causal protocol-event trace
+  /// rgb_fuzz prints next to every repro.
+  std::string flight_trace;
   [[nodiscard]] bool passed() const { return report.passed(); }
 };
 

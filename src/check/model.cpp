@@ -112,6 +112,10 @@ std::vector<Guid> GroundTruth::uncertain() const {
 RgbModel::RgbModel(const core::RgbSystem& system, const GroundTruth* truth)
     : system_(system), truth_(truth) {}
 
+const obs::FlightRecorder* RgbModel::flight() const {
+  return &system_.obs().flight;
+}
+
 std::vector<NodeView> RgbModel::node_views() const {
   const core::RgbConfig& config = system_.config();
   const bool all_global = config.disseminate_down && config.retain_tier == 0;

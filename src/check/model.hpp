@@ -27,6 +27,7 @@
 
 #include "check/report.hpp"
 #include "net/network.hpp"
+#include "obs/flight.hpp"
 #include "proto/membership_service.hpp"
 
 namespace rgb::core {
@@ -104,6 +105,12 @@ class SystemModel {
   virtual void hierarchy_check(sim::Time now, std::size_t cell,
                                std::uint64_t trial, std::uint64_t& ordinal,
                                CheckReport& report) const;
+  /// The protocol's flight recorder, when it keeps one (RGB does). The
+  /// check driver dumps its tail next to a violating schedule so every
+  /// fuzz repro carries its causal trace.
+  [[nodiscard]] virtual const obs::FlightRecorder* flight() const {
+    return nullptr;
+  }
 };
 
 /// Ground truth mirror of the verbs issued through a MembershipService,
@@ -153,6 +160,7 @@ class RgbModel final : public SystemModel {
   void hierarchy_check(sim::Time now, std::size_t cell, std::uint64_t trial,
                        std::uint64_t& ordinal,
                        CheckReport& report) const override;
+  [[nodiscard]] const obs::FlightRecorder* flight() const override;
 
  private:
   const core::RgbSystem& system_;

@@ -36,16 +36,25 @@ Logger& Logger::instance() {
 
 void Logger::init_from_environment() {
   if (const char* env = std::getenv("RGB_LOG_LEVEL")) {
-    level_ = parse_log_level(env);
+    set_level(parse_log_level(env));
   }
 }
 
-void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock{sink_mutex_};
+  sink_ = std::move(sink);
+}
 
-void Logger::reset_sink() { sink_ = nullptr; }
+void Logger::reset_sink() {
+  const std::lock_guard<std::mutex> lock{sink_mutex_};
+  sink_ = nullptr;
+}
 
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view message) {
+  // The sink runs under the lock so a swap cannot race an in-flight call
+  // and concurrent trial workers emit whole lines; sinks must not log.
+  const std::lock_guard<std::mutex> lock{sink_mutex_};
   if (sink_) {
     sink_(level, component, message);
     return;

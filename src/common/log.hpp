@@ -4,12 +4,16 @@
 // is off by default and enabled per-run via `Logger::set_level` or the
 // RGB_LOG_LEVEL environment variable (error|warn|info|debug). Each line
 // carries the component tag so greps like "repair" or "merge" isolate one
-// machinery. The logger is process-global and not thread-safe by design —
-// the simulator is single-threaded.
+// machinery. Each simulation is single-threaded, but the experiment runner
+// executes trials on a worker pool sharing this process-global logger, so
+// the level is atomic and the sink is mutex-guarded: concurrent writes
+// interleave whole lines, never tear state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -35,8 +39,12 @@ class Logger {
   static Logger& instance();
 
   /// Current threshold; messages above it are discarded cheaply.
-  [[nodiscard]] LogLevel level() const { return level_; }
-  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
   /// Redirects output (default: stderr). Used by tests to capture lines.
   using Sink = std::function<void(LogLevel, std::string_view component,
@@ -48,7 +56,7 @@ class Logger {
              std::string_view message);
 
   [[nodiscard]] bool enabled(LogLevel level) const {
-    return level_ >= level && level != LogLevel::kOff;
+    return this->level() >= level && level != LogLevel::kOff;
   }
 
   /// Reads RGB_LOG_LEVEL once at startup (called lazily by instance()).
@@ -57,7 +65,8 @@ class Logger {
  private:
   Logger() { init_from_environment(); }
 
-  LogLevel level_ = LogLevel::kOff;
+  std::atomic<LogLevel> level_{LogLevel::kOff};
+  std::mutex sink_mutex_;  ///< guards sink_ install/reset/invoke
   Sink sink_;
 };
 

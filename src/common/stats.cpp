@@ -74,6 +74,7 @@ void Histogram::add(double value) {
   ++buckets_[bucket_for(value)];
   ++total_;
   sum_ += value;
+  max_ = std::max(max_, value);
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -83,6 +84,7 @@ void Histogram::merge(const Histogram& other) {
   }
   total_ += other.total_;
   sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
 }
 
 double Histogram::quantile(double q) const {

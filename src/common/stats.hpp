@@ -55,6 +55,10 @@ class Histogram {
   [[nodiscard]] double p50() const { return quantile(0.50); }
   [[nodiscard]] double p99() const { return quantile(0.99); }
   [[nodiscard]] double mean() const;
+  /// Exact largest sample seen (0 when empty) — tracked outside the
+  /// buckets, so it carries no bucketing error and survives overflow
+  /// clamping (a sample beyond max_value still reports its true maximum).
+  [[nodiscard]] double max() const { return max_; }
 
  private:
   [[nodiscard]] std::size_t bucket_for(double value) const;
@@ -65,6 +69,7 @@ class Histogram {
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;
   double sum_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// A named monotonically increasing counter.

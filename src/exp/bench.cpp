@@ -1,6 +1,8 @@
 #include "exp/bench.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 #include <ostream>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -8,7 +10,9 @@
 #endif
 
 #include "common/rng.hpp"
+#include "exp/scenario.hpp"
 #include "net/network.hpp"
+#include "rgb/mobile_host.hpp"
 #include "rgb/rgb.hpp"
 #include "sim/simulator.hpp"
 
@@ -31,6 +35,23 @@ double ms_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+LatencyStats latency_from(const common::Histogram& h) {
+  LatencyStats out;
+  out.count = h.count();
+  out.p50 = h.p50();
+  out.p99 = h.p99();
+  out.max = h.max();
+  out.mean = h.mean();
+  return out;
+}
+
+void write_latency_json(std::ostream& os, const LatencyStats& l) {
+  os << "{\"count\": " << l.count << ", \"p50_us\": " << format_double(l.p50)
+     << ", \"p99_us\": " << format_double(l.p99)
+     << ", \"max_us\": " << format_double(l.max)
+     << ", \"mean_us\": " << format_double(l.mean) << '}';
+}
+
 }  // namespace
 
 ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
@@ -50,6 +71,24 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   stats.digest = config.digest;
   stats.snapshot_join = config.snapshot_join;
 
+  // Tick time-series: cumulative counters probed at a fixed sim-time
+  // cadence (armed per phase below; see SeriesSampler's header for why the
+  // sample batches are finite).
+  obs::SeriesSampler sampler([&](sim::Time at, bool with_divergence) {
+    obs::SeriesPoint p;
+    p.at = at;
+    p.events = simulator.executed_events();
+    p.msgs_sent = network.metrics().sent;
+    p.bytes_sent = network.metrics().bytes_sent;
+    p.ops_disseminated = sys.metrics().ops_disseminated.value();
+    p.reconcile_rounds = sys.metrics().reconcile_rounds.value();
+    p.view_changes = sys.obs().tracer.view_changes().value();
+    if (with_divergence) {
+      p.divergence = static_cast<std::int64_t>(sys.view_divergence());
+    }
+    return p;
+  });
+
   // Join phase: members arrive spaced in virtual time, round-robin over
   // the APs; probing stays off so the phase measures dissemination alone.
   const auto& aps = sys.aps();
@@ -58,6 +97,15 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
       sys.join(common::Guid{i + 1}, aps[i % aps.size()]);
     });
   }
+  // The join window is timed (it feeds the join-events/s headline), so its
+  // samples skip the O(NE*N) divergence walk just like the steady window's;
+  // divergence series points come from the untimed warm-up phase below plus
+  // the explicit post-drain measurement.
+  constexpr int kJoinSamples = 16;
+  const sim::Duration arrival_window = config.join_spacing * config.members;
+  sampler.arm(simulator, 0,
+              std::max<sim::Duration>(arrival_window / kJoinSamples, 1),
+              kJoinSamples, /*with_divergence=*/false);
   const auto join_start = std::chrono::steady_clock::now();
   simulator.run();
   const auto join_end = std::chrono::steady_clock::now();
@@ -73,13 +121,19 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   // join surge left behind (anti-entropy mop-up); only then is the system
   // in steady state.
   sys.start_probing();
+  sampler.arm(simulator, simulator.now(), config.probe_period,
+              config.warmup_ticks, /*with_divergence=*/true);
   simulator.run_until(simulator.now() +
                       config.probe_period *
                           static_cast<std::uint64_t>(config.warmup_ticks));
   const std::uint64_t pre_steady_events = simulator.executed_events();
 
-  // Steady state: probing + anti-entropy only; measure one window.
+  // Steady state: probing + anti-entropy only; measure one window. The
+  // series rides along WITHOUT divergence sampling: the O(NE*N) walk would
+  // distort the window's wall clock, the headline perf number.
   network.reset_metrics();
+  sampler.arm(simulator, simulator.now(), config.probe_period,
+              config.steady_ticks, /*with_divergence=*/false);
   const auto steady_start = std::chrono::steady_clock::now();
   simulator.run_until(simulator.now() +
                       config.probe_period *
@@ -93,6 +147,14 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   stats.total_bytes = metrics.bytes_sent;
   stats.converged = sys.membership_converged();
 
+  const obs::OpTracer& tracer = sys.obs().tracer;
+  stats.dissemination_latency =
+      latency_from(tracer.merged_member_dissemination());
+  stats.join_latency = latency_from(tracer.join_latency());
+  stats.view_changes = tracer.view_changes().value();
+  stats.series = sampler.points();
+  stats.series_dropped = sampler.dropped();
+
   if (timed) {
     stats.join_wall_ms = ms_between(join_start, join_end);
     stats.steady_wall_ms = ms_between(steady_start, steady_end);
@@ -101,9 +163,55 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   return stats;
 }
 
+DetectStats run_detect_trial(std::uint64_t seed) {
+  common::RngStream rng{seed};
+  sim::Simulator simulator;
+  net::Network network{simulator, rng.fork("net")};
+  core::RgbConfig config;
+  config.probe_period = sim::msec(250);
+  config.mh_failure_timeout = sim::sec(1);
+  core::RgbSystem sys{network, config, core::HierarchyLayout{2, 3}};
+  sys.start_probing();
+
+  // A small heartbeating population over the 9 APs.
+  constexpr std::uint64_t kHosts = 18;
+  const auto& aps = sys.aps();
+  std::vector<std::unique_ptr<core::MobileHost>> hosts;
+  for (std::uint64_t i = 0; i < kHosts; ++i) {
+    hosts.push_back(std::make_unique<core::MobileHost>(
+        common::NodeId{900001 + i}, common::Guid{i + 1}, common::GroupId{1},
+        network, sim::msec(250)));
+    simulator.schedule_at(sim::msec(10) * i, [&hosts, &aps, i]() {
+      hosts[i]->join_via(aps[i % aps.size()]);
+    });
+  }
+  simulator.run_until(sim::sec(3));
+
+  DetectStats stats;
+  // Faulty disconnections, staggered so the sweep sees distinct silences.
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    simulator.schedule_at(sim::sec(4) + sim::msec(200) * i,
+                          [&hosts, i]() { hosts[i]->fail(); });
+    ++stats.failed_members;
+  }
+  // One AP crash: the ring splices it out (NE detection) and its stranded
+  // members are declared failed (crash-anchored member detection).
+  simulator.schedule_at(sim::sec(6), [&sys, &aps]() { sys.crash_ne(aps[1]); });
+  ++stats.crashed_nes;
+  simulator.run_until(sim::sec(12));
+  sys.recover_ne(aps[1]);
+  simulator.run_until(sim::sec(20));
+
+  const obs::OpTracer& tracer = sys.obs().tracer;
+  stats.member_detection = latency_from(tracer.member_detection());
+  stats.ne_detection = latency_from(tracer.ne_detection());
+  stats.view_changes = tracer.view_changes().value();
+  return stats;
+}
+
 std::vector<ScaleStats> run_scale_sweep(
     const ScaleConfig& base, const std::vector<std::uint64_t>& member_counts,
-    const SweepModes& modes, std::ostream& log) {
+    const SweepModes& modes, std::ostream& log, bool timed) {
   std::vector<ScaleStats> all;
   for (const std::uint64_t members : member_counts) {
     for (const bool snapshot : {false, true}) {
@@ -117,7 +225,7 @@ std::vector<ScaleStats> run_scale_sweep(
         log << "bench: members=" << members
             << " join=" << (snapshot ? "snapshot" : "dissemination")
             << " sync=" << (digest ? "digest" : "full") << " ...\n";
-        const ScaleStats stats = run_scale_trial(config);
+        const ScaleStats stats = run_scale_trial(config, timed);
         log << "  join " << stats.join_events << " events / "
             << stats.join_bytes << " bytes in " << stats.join_wall_ms
             << " ms ("
@@ -145,8 +253,8 @@ bool all_converged(const std::vector<ScaleStats>& stats) {
 }
 
 void write_bench_json(const ScaleConfig& base,
-                      const std::vector<ScaleStats>& stats,
-                      std::ostream& os) {
+                      const std::vector<ScaleStats>& stats, std::ostream& os,
+                      const DetectStats* detect) {
   os << "{\n"
      << "  \"bench\": \"bench_scale\",\n"
      << "  \"layout\": {\"tiers\": " << base.tiers
@@ -176,10 +284,52 @@ void write_bench_json(const ScaleConfig& base,
        << ", \"viewsync_msgs\": " << s.viewsync_msgs
        << ", \"viewsync_bytes\": " << s.viewsync_bytes
        << ", \"total_bytes\": " << s.total_bytes << "},\n"
+       << "     \"latency\": {\"dissemination\": ";
+    write_latency_json(os, s.dissemination_latency);
+    os << ", \"join_to_root\": ";
+    write_latency_json(os, s.join_latency);
+    os << "},\n"
+       << "     \"view_changes\": " << s.view_changes << ",\n"
+       << "     \"series_dropped\": " << s.series_dropped << ",\n"
+       << "     \"series\": [";
+    for (std::size_t j = 0; j < s.series.size(); ++j) {
+      const obs::SeriesPoint& p = s.series[j];
+      os << (j == 0 ? "\n" : ",\n")
+         << "       {\"at_us\": " << p.at << ", \"events\": " << p.events
+         << ", \"msgs\": " << p.msgs_sent << ", \"bytes\": " << p.bytes_sent
+         << ", \"ops\": " << p.ops_disseminated
+         << ", \"reconcile_rounds\": " << p.reconcile_rounds
+         << ", \"view_changes\": " << p.view_changes
+         << ", \"divergence\": " << p.divergence << "}";
+    }
+    os << (s.series.empty() ? "" : "\n     ") << "],\n"
        << "     \"peak_rss_kb\": " << s.peak_rss_kb << "}"
        << (i + 1 < stats.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  if (detect != nullptr) {
+    os << ",\n  \"detect\": {\"failed_members\": " << detect->failed_members
+       << ", \"crashed_nes\": " << detect->crashed_nes
+       << ", \"view_changes\": " << detect->view_changes << ",\n"
+       << "    \"member\": ";
+    write_latency_json(os, detect->member_detection);
+    os << ",\n    \"ne\": ";
+    write_latency_json(os, detect->ne_detection);
+    os << "}";
+  }
+  os << "\n}\n";
+}
+
+void write_series_csv(const ScaleStats& stats, std::ostream& os) {
+  os << "at_us,events,msgs,bytes,ops,reconcile_rounds,view_changes,"
+        "divergence\n";
+  for (const obs::SeriesPoint& p : stats.series) {
+    os << p.at << ',' << p.events << ',' << p.msgs_sent << ','
+       << p.bytes_sent << ',' << p.ops_disseminated << ','
+       << p.reconcile_rounds << ',' << p.view_changes << ',';
+    if (p.divergence >= 0) os << p.divergence;
+    os << '\n';
+  }
 }
 
 }  // namespace rgb::exp

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/series.hpp"
 #include "sim/time.hpp"
 
 namespace rgb::exp {
@@ -48,6 +49,17 @@ struct ScaleConfig {
   std::uint64_t seed = 0xBE7C4ULL;
 };
 
+/// Digest of one latency histogram (sim-time microseconds), exported into
+/// the bench JSON. Quantiles inherit the histogram's geometric-bucket
+/// relative-error bound (~5% at growth 1.1); `max` is exact.
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
 struct ScaleStats {
   // Echo of the cell.
   std::uint64_t members = 0;
@@ -71,6 +83,19 @@ struct ScaleStats {
   std::uint64_t total_bytes = 0;    ///< all bytes over the window
   bool converged = false;
 
+  // Observability (deterministic): causal-latency digests from the op
+  // tracer and the per-phase tick time-series from the SeriesSampler.
+  LatencyStats dissemination_latency;  ///< op birth -> apply, member classes
+  LatencyStats join_latency;           ///< join birth -> visible at tier 0
+  std::uint64_t view_changes = 0;      ///< ring-shape transitions, whole trial
+  /// Sampled cumulative counters: ~16 points over the join surge and one
+  /// per probe tick over warmup + steady (divergence sampled only in the
+  /// untimed warm-up phase — the O(NE*N) walk inside a timed window would
+  /// skew the wall-clock headlines). Rates are first differences within a
+  /// phase; the network counters reset at the steady-window start.
+  std::vector<obs::SeriesPoint> series;
+  std::uint64_t series_dropped = 0;
+
   // Wall-clock metrics (zero when only the deterministic part ran).
   double join_wall_ms = 0.0;
   double steady_wall_ms = 0.0;
@@ -90,6 +115,20 @@ struct ScaleStats {
 [[nodiscard]] ScaleStats run_scale_trial(const ScaleConfig& config,
                                          bool timed = true);
 
+/// Failure-detection micro-trial: a small hierarchy with heartbeating
+/// MobileHost agents; a staggered batch goes silent and one AP crashes,
+/// exercising both detection paths (silent-member sweep, token-retx ring
+/// repair). Fully deterministic in `seed`.
+struct DetectStats {
+  std::uint64_t failed_members = 0;       ///< silent MH failures injected
+  std::uint64_t crashed_nes = 0;          ///< NE crashes injected
+  LatencyStats member_detection;          ///< silence/crash -> Member-Failure
+  LatencyStats ne_detection;              ///< NE crash -> spliced from ring
+  std::uint64_t view_changes = 0;
+};
+
+[[nodiscard]] DetectStats run_detect_trial(std::uint64_t seed = 0xDE7EC7ULL);
+
 /// Which cells of the (anti-entropy mode x join mode) grid a sweep runs.
 struct SweepModes {
   bool digest = true;         ///< digest-first anti-entropy
@@ -101,9 +140,11 @@ struct SweepModes {
 /// Runs the full members x mode grid (timed), logging one summary line per
 /// cell to `log`. Shared by `bench_scale` and `rgb_exp bench` so the sweep
 /// semantics — cell order, mode selection, reporting — live in one place.
+/// `timed = false` zeroes the wall-clock fields, making the JSON artifact
+/// byte-identical across hosts and replays (the CI determinism gate).
 [[nodiscard]] std::vector<ScaleStats> run_scale_sweep(
     const ScaleConfig& base, const std::vector<std::uint64_t>& member_counts,
-    const SweepModes& modes, std::ostream& log);
+    const SweepModes& modes, std::ostream& log, bool timed = true);
 
 /// True when every cell reached convergence — a non-converged cell means a
 /// window measured a system still reconciling, so its numbers are not
@@ -111,8 +152,14 @@ struct SweepModes {
 [[nodiscard]] bool all_converged(const std::vector<ScaleStats>& stats);
 
 /// Writes the BENCH_*.json perf-trajectory artifact: one record per stats
-/// entry plus the shared sweep configuration.
+/// entry plus the shared sweep configuration. `detect` (when non-null)
+/// adds the failure-detection latency block.
 void write_bench_json(const ScaleConfig& base,
-                      const std::vector<ScaleStats>& stats, std::ostream& os);
+                      const std::vector<ScaleStats>& stats, std::ostream& os,
+                      const DetectStats* detect = nullptr);
+
+/// Writes one cell's tick series as CSV (`rgb_exp bench --series`):
+/// header + one row per point, divergence empty where not sampled.
+void write_series_csv(const ScaleStats& stats, std::ostream& os);
 
 }  // namespace rgb::exp

@@ -46,15 +46,28 @@ const LinkConfig& Network::link_between(NodeId a, NodeId b) const {
   return it == links_.end() ? default_link_ : it->second;
 }
 
-void Network::crash(NodeId id) { crashed_[id] = true; }
+void Network::crash(NodeId id) {
+  if (!is_crashed(id)) crashed_at_[id] = sim_.now();
+  crashed_[id] = true;
+}
 
-void Network::recover(NodeId id) { crashed_.erase(id); }
+void Network::recover(NodeId id) {
+  crashed_.erase(id);
+  crashed_at_.erase(id);
+}
 
 bool Network::is_crashed(NodeId id) const {
   // Fast path for the common fault-free run: no hash probe at all.
   if (crashed_.empty()) return false;
   const auto it = crashed_.find(id);
   return it != crashed_.end() && it->second;
+}
+
+std::optional<sim::Time> Network::crashed_since(NodeId id) const {
+  if (!is_crashed(id)) return std::nullopt;
+  const auto it = crashed_at_.find(id);
+  if (it == crashed_at_.end()) return std::nullopt;
+  return it->second;
 }
 
 void Network::set_partition(NodeId id, int partition) {

@@ -114,6 +114,10 @@ class Network {
   void crash(NodeId id);
   void recover(NodeId id);
   [[nodiscard]] bool is_crashed(NodeId id) const;
+  /// Sim time the node's current crash began (nullopt when not crashed).
+  /// Observability ground truth: lets detectors meter how long a crash
+  /// went unnoticed without the protocol ever reading it for decisions.
+  [[nodiscard]] std::optional<sim::Time> crashed_since(NodeId id) const;
 
   /// Places `id` into reachability class `partition`. Messages cross only
   /// between nodes of the same class. Default class is 0 for everyone.
@@ -152,6 +156,7 @@ class Network {
   std::unordered_map<NodeId, Endpoint*> endpoints_;
   std::unordered_map<NodeId, int> partitions_;
   std::unordered_map<NodeId, bool> crashed_;
+  std::unordered_map<NodeId, sim::Time> crashed_at_;
   std::unordered_map<std::uint64_t, LinkConfig> links_;
   Metrics metrics_;
   Tap tap_;

@@ -1,0 +1,94 @@
+// Flight recorder: a bounded per-trial ring buffer of structured protocol
+// events (op births, round lifecycle, repairs, merges, reconcile activity,
+// failure detections). It runs default-on — recording is a couple of stores
+// into a preallocated ring, no per-event allocation — and when an invariant
+// oracle fires, the check layer dumps the tail next to the violated
+// schedule so every fuzz repro arrives with its causal trace.
+//
+// Everything is keyed to sim time only; the formatted dump is a pure
+// function of the recorded events and therefore byte-identical across
+// replays and runner thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace rgb::obs {
+
+/// What happened. Kept deliberately coarse: one enum value per protocol
+/// machinery transition worth seeing in a repro trace, not per message.
+enum class FlightKind : std::uint8_t {
+  kOpBorn,            ///< a=op uid, b=OpKind
+  kRoundStarted,      ///< a=round id, b=ops carried
+  kRoundCompleted,    ///< a=round id, b=ops carried
+  kTokenRetx,         ///< a=round id, b=retx count so far
+  kRepair,            ///< a=faulty NE spliced out, b=stranded members
+  kLeaderFailover,    ///< a=new leader (the recording NE), b=old leader
+  kRingReform,        ///< a=new leader, b=roster size
+  kMerge,             ///< a=absorbed fragment leader, b=roster size after
+  kShapeAdopt,        ///< a=sync sender, b=roster size adopted
+  kReconcileRound,    ///< a=claims sent, b=target NE
+  kReconcileReanchor, ///< a=member guid re-anchored, b=claim seq
+  kSnapshotApplied,   ///< a=sender, b=entries imported
+  kSnapshotRejected,  ///< a=sender, b=decode error count so far
+  kDetectMemberFail,  ///< a=member guid, b=detection latency (us)
+  kDetectNeFail,      ///< a=detected NE, b=detection latency (us)
+  kNeJoin,            ///< a=joining NE, b=predecessor in ring
+  kNeLeave,           ///< a=leaving NE
+};
+
+[[nodiscard]] const char* to_string(FlightKind kind);
+
+/// One recorded event. Two generic operands keep the record POD-sized; the
+/// per-kind meaning is documented on FlightKind and decoded by format().
+struct FlightEvent {
+  sim::Time at = 0;
+  common::NodeId ne;  ///< the NE that recorded the event
+  FlightKind kind = FlightKind::kOpBorn;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Fixed-capacity ring of FlightEvents. Oldest entries are overwritten;
+/// `dropped()` says how many, so a dump is honest about truncation.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void record(sim::Time at, common::NodeId ne, FlightKind kind,
+              std::uint64_t a = 0, std::uint64_t b = 0);
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return recorded_ - ring_.size();
+  }
+
+  /// Events oldest-to-newest (materialized view over the ring).
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+
+  /// Writes the newest `max_events` (0 = all retained) oldest-to-newest,
+  /// one line each, with a header noting drops. Deterministic.
+  void format_tail(std::ostream& os, std::size_t max_events = 0) const;
+  [[nodiscard]] std::string format_tail_string(
+      std::size_t max_events = 0) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;
+  std::size_t next_ = 0;          ///< overwrite cursor once full
+  std::uint64_t recorded_ = 0;    ///< lifetime total, including overwritten
+};
+
+}  // namespace rgb::obs

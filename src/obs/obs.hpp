@@ -1,0 +1,29 @@
+// Umbrella for the observability layer: one ProtocolObs per protocol
+// instance (owned by core::RgbSystem, threaded by reference into every
+// NetworkEntity). Everything inside is per-trial state keyed to sim time —
+// no globals, no wall clock — so concurrent trial workers never share
+// observability state and all output is byte-identical across thread
+// counts.
+#pragma once
+
+#include "obs/flight.hpp"
+#include "obs/registry.hpp"
+#include "obs/series.hpp"
+#include "obs/trace.hpp"
+
+namespace rgb::obs {
+
+/// The per-instance observability bundle. Default-on and allocation
+/// bounded: the flight ring is preallocated, histograms are fixed-size
+/// bucket arrays, and the registry holds pointers into sibling members.
+struct ProtocolObs {
+  ProtocolObs() : tracer(flight) {}
+  ProtocolObs(const ProtocolObs&) = delete;
+  ProtocolObs& operator=(const ProtocolObs&) = delete;
+
+  FlightRecorder flight;
+  OpTracer tracer;
+  MetricsRegistry registry;
+};
+
+}  // namespace rgb::obs

@@ -1,0 +1,283 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <utility>
+
+#include "net/network.hpp"
+#include "obs/trace.hpp"
+#include "rgb/metrics.hpp"
+
+namespace rgb::obs {
+
+namespace {
+
+/// Shortest round-tripping decimal (same algorithm as exp::format_double;
+/// duplicated rather than imported so obs stays below the exp layer).
+std::string format_double(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::add_counter(std::string name,
+                                  const common::Counter* counter) {
+  entries_.push_back(
+      {std::move(name), [counter]() { return counter->value(); }, nullptr});
+}
+
+void MetricsRegistry::add_value(std::string name,
+                                const std::uint64_t* value) {
+  entries_.push_back({std::move(name), [value]() { return *value; }, nullptr});
+}
+
+void MetricsRegistry::add_gauge(std::string name,
+                                std::function<std::uint64_t()> gauge) {
+  entries_.push_back({std::move(name), std::move(gauge), nullptr});
+}
+
+void MetricsRegistry::add_family(
+    std::function<std::vector<Sample>()> family) {
+  entries_.push_back({{}, nullptr, std::move(family)});
+}
+
+void MetricsRegistry::add_histogram(std::string name,
+                                    const common::Histogram* histogram) {
+  histograms_.push_back(
+      {std::move(name), [histogram]() { return *histogram; }});
+}
+
+void MetricsRegistry::add_histogram(
+    std::string name, std::function<common::Histogram()> producer) {
+  histograms_.push_back({std::move(name), std::move(producer)});
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    if (entry.family) {
+      for (Sample& sample : entry.family()) out.push_back(std::move(sample));
+    } else {
+      out.push_back({entry.name, entry.read()});
+    }
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::HistogramSample> MetricsRegistry::histograms()
+    const {
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const HistogramEntry& entry : histograms_) {
+    const common::Histogram h = entry.produce();
+    out.push_back(
+        {entry.name, h.count(), h.p50(), h.p99(), h.max(), h.mean()});
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> MetricsRegistry::value_of(
+    std::string_view name) const {
+  for (const Sample& sample : snapshot()) {
+    if (sample.name == name) return sample.value;
+  }
+  return std::nullopt;
+}
+
+void MetricsRegistry::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "{\n" << pad << "  \"counters\": {";
+  bool first = true;
+  for (const Sample& sample : snapshot()) {
+    os << (first ? "\n" : ",\n") << pad << "    \"" << sample.name
+       << "\": " << sample.value;
+    first = false;
+  }
+  os << '\n' << pad << "  },\n" << pad << "  \"histograms\": {";
+  first = true;
+  for (const HistogramSample& h : histograms()) {
+    os << (first ? "\n" : ",\n") << pad << "    \"" << h.name
+       << "\": {\"count\": " << h.count << ", \"p50\": " << format_double(h.p50)
+       << ", \"p99\": " << format_double(h.p99)
+       << ", \"max\": " << format_double(h.max)
+       << ", \"mean\": " << format_double(h.mean) << '}';
+    first = false;
+  }
+  os << '\n' << pad << "  }\n" << pad << "}\n";
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "name,value\n";
+  for (const Sample& sample : snapshot()) {
+    os << sample.name << ',' << sample.value << '\n';
+  }
+  os << "name,count,p50,p99,max,mean\n";
+  for (const HistogramSample& h : histograms()) {
+    os << h.name << ',' << h.count << ',' << format_double(h.p50) << ','
+       << format_double(h.p99) << ',' << format_double(h.max) << ','
+       << format_double(h.mean) << '\n';
+  }
+}
+
+// One registration line per counter; the static_assert pins the struct so
+// a new RgbMetrics field cannot ship without a line here (and a parity
+// entry below).
+static_assert(sizeof(core::RgbMetrics) == 24 * sizeof(common::Counter),
+              "RgbMetrics changed: update register_rgb_metrics and "
+              "registry_parity_ok in obs/registry.cpp");
+
+void register_rgb_metrics(MetricsRegistry& registry,
+                          const core::RgbMetrics& m) {
+  registry.add_counter("rgb.rounds_started", &m.rounds_started);
+  registry.add_counter("rgb.rounds_completed", &m.rounds_completed);
+  registry.add_counter("rgb.empty_probe_rounds", &m.empty_probe_rounds);
+  registry.add_counter("rgb.ops_disseminated", &m.ops_disseminated);
+  registry.add_counter("rgb.ops_aggregated", &m.ops_aggregated);
+  registry.add_counter("rgb.token_retransmits", &m.token_retransmits);
+  registry.add_counter("rgb.repairs", &m.repairs);
+  registry.add_counter("rgb.leader_failovers", &m.leader_failovers);
+  registry.add_counter("rgb.notifications_sent", &m.notifications_sent);
+  registry.add_counter("rgb.notify_retransmits", &m.notify_retransmits);
+  registry.add_counter("rgb.holder_acks", &m.holder_acks);
+  registry.add_counter("rgb.merges", &m.merges);
+  registry.add_counter("rgb.ne_joins", &m.ne_joins);
+  registry.add_counter("rgb.ne_leaves", &m.ne_leaves);
+  registry.add_counter("rgb.snapshots_sent", &m.snapshots_sent);
+  registry.add_counter("rgb.snapshots_applied", &m.snapshots_applied);
+  registry.add_counter("rgb.snapshot_decode_errors",
+                       &m.snapshot_decode_errors);
+  registry.add_counter("rgb.snapshot_retransmits", &m.snapshot_retransmits);
+  registry.add_counter("rgb.snapshot_push_give_ups",
+                       &m.snapshot_push_give_ups);
+  registry.add_counter("rgb.reconcile_rounds", &m.reconcile_rounds);
+  registry.add_counter("rgb.reconcile_replies", &m.reconcile_replies);
+  registry.add_counter("rgb.reconcile_retransmits",
+                       &m.reconcile_retransmits);
+  registry.add_counter("rgb.reconcile_give_ups", &m.reconcile_give_ups);
+  registry.add_counter("rgb.reconcile_reanchors", &m.reconcile_reanchors);
+}
+
+namespace {
+
+/// Expands a per-kind map into "prefix<kind>" samples ordered by kind id
+/// (unordered_map iteration order would leak hash-table layout into the
+/// export and break cross-run byte-identity).
+std::vector<MetricsRegistry::Sample> kind_family(
+    const std::string& prefix,
+    const std::unordered_map<net::MessageKind, std::uint64_t>& per_kind) {
+  std::vector<std::pair<net::MessageKind, std::uint64_t>> sorted{
+      per_kind.begin(), per_kind.end()};
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<MetricsRegistry::Sample> out;
+  out.reserve(sorted.size());
+  for (const auto& [kind, value] : sorted) {
+    out.push_back({prefix + std::to_string(kind), value});
+  }
+  return out;
+}
+
+}  // namespace
+
+void register_network_metrics(MetricsRegistry& registry,
+                              const net::Network& network) {
+  const net::Network::Metrics& m = network.metrics();
+  registry.add_value("net.sent", &m.sent);
+  registry.add_value("net.delivered", &m.delivered);
+  registry.add_value("net.dropped_loss", &m.dropped_loss);
+  registry.add_value("net.dropped_crash", &m.dropped_crash);
+  registry.add_value("net.dropped_src_crash", &m.dropped_src_crash);
+  registry.add_value("net.dropped_partition", &m.dropped_partition);
+  registry.add_value("net.dropped_unattached", &m.dropped_unattached);
+  registry.add_value("net.bytes_sent", &m.bytes_sent);
+  registry.add_family(
+      [&m]() { return kind_family("net.sent.kind", m.sent_per_kind); });
+  registry.add_family(
+      [&m]() { return kind_family("net.bytes.kind", m.bytes_per_kind); });
+}
+
+void register_tracer(MetricsRegistry& registry, const OpTracer& tracer) {
+  registry.add_counter("obs.view_changes", &tracer.view_changes());
+  static constexpr std::array<const char*, kOpKindCount> kKindSlugs = {
+      "member_join", "member_leave",   "member_handoff", "member_fail",
+      "ne_join",     "ne_leave",       "ne_fail"};
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    registry.add_histogram(
+        std::string{"obs.lat.dissemination."} + kKindSlugs[i],
+        &tracer.dissemination(static_cast<core::OpKind>(i)));
+  }
+  registry.add_histogram("obs.lat.join_to_root", &tracer.join_latency());
+  registry.add_histogram("obs.lat.detect.member", &tracer.member_detection());
+  registry.add_histogram("obs.lat.detect.ne", &tracer.ne_detection());
+}
+
+bool registry_parity_ok(const MetricsRegistry& registry,
+                        const core::RgbMetrics& metrics,
+                        const net::Network& network) {
+  const auto matches = [&registry](const char* name, std::uint64_t legacy) {
+    const std::optional<std::uint64_t> value = registry.value_of(name);
+    return value.has_value() && *value == legacy;
+  };
+  const net::Network::Metrics& n = network.metrics();
+  return matches("rgb.rounds_started", metrics.rounds_started.value()) &&
+         matches("rgb.rounds_completed", metrics.rounds_completed.value()) &&
+         matches("rgb.empty_probe_rounds",
+                 metrics.empty_probe_rounds.value()) &&
+         matches("rgb.ops_disseminated", metrics.ops_disseminated.value()) &&
+         matches("rgb.ops_aggregated", metrics.ops_aggregated.value()) &&
+         matches("rgb.token_retransmits",
+                 metrics.token_retransmits.value()) &&
+         matches("rgb.repairs", metrics.repairs.value()) &&
+         matches("rgb.leader_failovers", metrics.leader_failovers.value()) &&
+         matches("rgb.notifications_sent",
+                 metrics.notifications_sent.value()) &&
+         matches("rgb.notify_retransmits",
+                 metrics.notify_retransmits.value()) &&
+         matches("rgb.holder_acks", metrics.holder_acks.value()) &&
+         matches("rgb.merges", metrics.merges.value()) &&
+         matches("rgb.ne_joins", metrics.ne_joins.value()) &&
+         matches("rgb.ne_leaves", metrics.ne_leaves.value()) &&
+         matches("rgb.snapshots_sent", metrics.snapshots_sent.value()) &&
+         matches("rgb.snapshots_applied",
+                 metrics.snapshots_applied.value()) &&
+         matches("rgb.snapshot_decode_errors",
+                 metrics.snapshot_decode_errors.value()) &&
+         matches("rgb.snapshot_retransmits",
+                 metrics.snapshot_retransmits.value()) &&
+         matches("rgb.snapshot_push_give_ups",
+                 metrics.snapshot_push_give_ups.value()) &&
+         matches("rgb.reconcile_rounds", metrics.reconcile_rounds.value()) &&
+         matches("rgb.reconcile_replies",
+                 metrics.reconcile_replies.value()) &&
+         matches("rgb.reconcile_retransmits",
+                 metrics.reconcile_retransmits.value()) &&
+         matches("rgb.reconcile_give_ups",
+                 metrics.reconcile_give_ups.value()) &&
+         matches("rgb.reconcile_reanchors",
+                 metrics.reconcile_reanchors.value()) &&
+         matches("net.sent", n.sent) && matches("net.delivered", n.delivered) &&
+         matches("net.dropped_loss", n.dropped_loss) &&
+         matches("net.dropped_crash", n.dropped_crash) &&
+         matches("net.dropped_src_crash", n.dropped_src_crash) &&
+         matches("net.dropped_partition", n.dropped_partition) &&
+         matches("net.dropped_unattached", n.dropped_unattached) &&
+         matches("net.bytes_sent", n.bytes_sent);
+}
+
+}  // namespace rgb::obs

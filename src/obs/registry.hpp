@@ -1,0 +1,131 @@
+// MetricsRegistry: a flat, insertion-ordered catalogue of named metrics —
+// counters (pointers into live structs), computed gauges, dynamic families
+// (the network's per-kind maps) and latency histograms — enumerable for
+// deterministic JSON/CSV export. Exporters iterate the registry instead of
+// hand-listing struct fields, so adding a metric is one registration line,
+// not an edit in every writer.
+//
+// Naming scheme (see EXPERIMENTS.md "Observability"):
+//   rgb.<counter>           protocol counters (core::RgbMetrics)
+//   net.<counter>           network totals (net::Network::Metrics)
+//   net.sent.kind<K>        per-message-kind sends, ordered by kind id
+//   net.bytes.kind<K>       per-message-kind bytes, ordered by kind id
+//   obs.view_changes        ring-shape transitions (OpTracer)
+//   obs.lat.<instrument>    histograms: dissemination.<op-kind>,
+//                           join_to_root, detect.member, detect.ne
+//
+// The registry stores raw pointers/closures over the trial's own metric
+// objects: it must not outlive the RgbSystem that registered into it (in
+// practice both live side by side inside ProtocolObs/RgbSystem).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace rgb::core {
+struct RgbMetrics;
+}
+namespace rgb::net {
+class Network;
+}
+
+namespace rgb::obs {
+
+class OpTracer;
+
+class MetricsRegistry {
+ public:
+  struct Sample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+
+  /// Histogram summary row: quantiles carry the bucket relative-error
+  /// bound of common::Histogram; max is exact.
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers a live counter; the registry reads it at snapshot time.
+  void add_counter(std::string name, const common::Counter* counter);
+  /// Registers a plain uint64 location (the network metric fields).
+  void add_value(std::string name, const std::uint64_t* value);
+  /// Registers a computed scalar.
+  void add_gauge(std::string name, std::function<std::uint64_t()> gauge);
+  /// Registers a dynamic family: the producer returns fully-named samples
+  /// (must be deterministically ordered — sort by key, not map order).
+  void add_family(std::function<std::vector<Sample>()> family);
+  /// Registers a live histogram.
+  void add_histogram(std::string name, const common::Histogram* histogram);
+  /// Registers a computed histogram (e.g. a merge of several live ones).
+  void add_histogram(std::string name,
+                     std::function<common::Histogram()> producer);
+
+  /// All scalar metrics in registration order (families expanded inline).
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+  /// All histogram summaries in registration order.
+  [[nodiscard]] std::vector<HistogramSample> histograms() const;
+  /// Scalar lookup by exact name (families included); nullopt if absent.
+  [[nodiscard]] std::optional<std::uint64_t> value_of(
+      std::string_view name) const;
+
+  /// {"counters": {...}, "histograms": {...}} — key order = registration
+  /// order, numbers printed with the repo-wide deterministic formatting.
+  void write_json(std::ostream& os, int indent = 0) const;
+  /// name,value rows, then name,count,p50,p99,max,mean histogram rows.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  struct Entry {
+    std::string name;  ///< empty for families (they self-name)
+    std::function<std::uint64_t()> read;
+    std::function<std::vector<Sample>()> family;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::function<common::Histogram()> produce;
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<HistogramEntry> histograms_;
+};
+
+/// Registers every core::RgbMetrics counter under "rgb.<field>". The
+/// definition site carries a static_assert pinning sizeof(RgbMetrics), so
+/// adding a counter without registering it breaks the build here.
+void register_rgb_metrics(MetricsRegistry& registry,
+                          const core::RgbMetrics& metrics);
+
+/// Registers net totals under "net.<field>" and the per-kind families.
+void register_network_metrics(MetricsRegistry& registry,
+                              const net::Network& network);
+
+/// Registers the tracer's view-change counter and latency histograms.
+void register_tracer(MetricsRegistry& registry, const OpTracer& tracer);
+
+/// Satellite guard: the registry-enumerated export must agree with the
+/// legacy hand-read fields while both exist. Checks every RgbMetrics
+/// counter and the Network totals against `value_of`; returns false on any
+/// missing name or value drift. Asserted (debug) in the bench export path
+/// and exercised by tests/obs/registry_test.cpp.
+[[nodiscard]] bool registry_parity_ok(const MetricsRegistry& registry,
+                                      const core::RgbMetrics& metrics,
+                                      const net::Network& network);
+
+}  // namespace rgb::obs

@@ -1,0 +1,29 @@
+#include "obs/series.hpp"
+
+#include <utility>
+
+namespace rgb::obs {
+
+SeriesSampler::SeriesSampler(Probe probe, std::size_t capacity)
+    : probe_(std::move(probe)), capacity_(capacity) {}
+
+void SeriesSampler::arm(sim::Simulator& simulator, sim::Time t0,
+                        sim::Duration period, int count,
+                        bool with_divergence) {
+  for (int i = 1; i <= count; ++i) {
+    const sim::Time at = t0 + period * static_cast<sim::Duration>(i);
+    simulator.schedule_at(at, [this, at, with_divergence]() {
+      sample(at, with_divergence);
+    });
+  }
+}
+
+void SeriesSampler::sample(sim::Time at, bool with_divergence) {
+  if (points_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  points_.push_back(probe_(at, with_divergence));
+}
+
+}  // namespace rgb::obs

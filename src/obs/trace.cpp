@@ -1,0 +1,82 @@
+#include "obs/trace.hpp"
+
+namespace rgb::obs {
+
+OpTracer::OpTracer(FlightRecorder& flight) : flight_(flight) {}
+
+void OpTracer::on_op_born(const core::MembershipOp& op, common::NodeId at,
+                          sim::Time now) {
+  flight_.record(now, at, FlightKind::kOpBorn, op.uid,
+                 static_cast<std::uint64_t>(op.kind));
+}
+
+void OpTracer::on_op_applied(const core::MembershipOp& op, int tier,
+                             sim::Time now) {
+  // Ops forged without a birth stamp (e.g. baseline protocols outside the
+  // RGB fixture) carry born == 0 with a non-zero apply tick; a stamp is
+  // only trustworthy when it is <= now.
+  if (op.born > now) return;
+  const auto latency = static_cast<double>(now - op.born);
+  dissemination_[static_cast<std::size_t>(op.kind)].add(latency);
+  if (op.kind == core::OpKind::kMemberJoin && tier == 0) {
+    // First root-tier apply per uid = the join became visible "at root".
+    if (joins_seen_at_root_.insert(op.uid).second) {
+      joins_seen_order_.push_back(op.uid);
+      if (joins_seen_order_.size() > kJoinDedupCap) {
+        joins_seen_at_root_.erase(joins_seen_order_.front());
+        joins_seen_order_.pop_front();
+      }
+      join_latency_.add(latency);
+    }
+  }
+}
+
+void OpTracer::on_member_detected(common::Guid mh, common::NodeId detector,
+                                  sim::Duration latency, sim::Time now) {
+  member_detection_.add(static_cast<double>(latency));
+  flight_.record(now, detector, FlightKind::kDetectMemberFail, mh.value(),
+                 latency);
+}
+
+void OpTracer::on_ne_detected(common::NodeId ne, common::NodeId detector,
+                              sim::Duration latency, sim::Time now) {
+  ne_detection_.add(static_cast<double>(latency));
+  flight_.record(now, detector, FlightKind::kDetectNeFail, ne.value(),
+                 latency);
+}
+
+void OpTracer::on_view_change(FlightKind kind, common::NodeId at,
+                              std::uint64_t a, std::uint64_t b,
+                              sim::Time now) {
+  view_changes_.increment();
+  flight_.record(now, at, kind, a, b);
+}
+
+common::Histogram OpTracer::merged_member_dissemination() const {
+  common::Histogram merged;
+  for (const core::OpKind kind :
+       {core::OpKind::kMemberJoin, core::OpKind::kMemberLeave,
+        core::OpKind::kMemberHandoff, core::OpKind::kMemberFail}) {
+    merged.merge(dissemination_[static_cast<std::size_t>(kind)]);
+  }
+  return merged;
+}
+
+common::Histogram OpTracer::merged_detection() const {
+  common::Histogram merged;
+  merged.merge(member_detection_);
+  merged.merge(ne_detection_);
+  return merged;
+}
+
+void OpTracer::reset() {
+  for (auto& histogram : dissemination_) histogram = common::Histogram{};
+  join_latency_ = common::Histogram{};
+  member_detection_ = common::Histogram{};
+  ne_detection_ = common::Histogram{};
+  view_changes_.reset();
+  joins_seen_at_root_.clear();
+  joins_seen_order_.clear();
+}
+
+}  // namespace rgb::obs

@@ -1,0 +1,99 @@
+// Causal op tracing: every MembershipOp is stamped with its birth sim-tick
+// by the originating NE; each successful apply feeds (apply_tick - born)
+// into a per-op-class dissemination-latency histogram. Three derived
+// instruments ride on the same stamps:
+//
+//  * join latency  — birth of a kMemberJoin to its first apply at a tier-0
+//    (root/retained-tier) NE: the paper's "request -> visible at root".
+//  * detection latency — how long a crashed NE / silent member went
+//    undetected (fed by the repair and silent-member-sweep machinery).
+//  * view changes — count of ring-shape transitions (repair, failover,
+//    reform, merge, shape adoption), the seed of the ROADMAP oscillation
+//    metric.
+//
+// All values are sim-time microseconds; everything is deterministic and
+// per-trial (owned by the trial's RgbSystem), so multi-threaded runners
+// never share tracer state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "common/ids.hpp"
+#include "common/stats.hpp"
+#include "obs/flight.hpp"
+#include "rgb/types.hpp"
+#include "sim/time.hpp"
+
+namespace rgb::obs {
+
+/// Number of OpKind values (dissemination histograms are indexed by kind).
+inline constexpr std::size_t kOpKindCount = 7;
+
+class OpTracer {
+ public:
+  explicit OpTracer(FlightRecorder& flight);
+
+  /// The originating NE stamped `op.born` and is about to disseminate it.
+  void on_op_born(const core::MembershipOp& op, common::NodeId at,
+                  sim::Time now);
+
+  /// An NE applied `op` to its member/roster table at `tier`.
+  void on_op_applied(const core::MembershipOp& op, int tier, sim::Time now);
+
+  /// A silent local member was declared failed `latency` after it was last
+  /// heard from (or after its AP's crash for crash-stranded members).
+  void on_member_detected(common::Guid mh, common::NodeId detector,
+                          sim::Duration latency, sim::Time now);
+
+  /// A crashed ring member was spliced out `latency` after the crash.
+  void on_ne_detected(common::NodeId ne, common::NodeId detector,
+                      sim::Duration latency, sim::Time now);
+
+  /// A ring-shape transition (repair/failover/reform/merge/adoption):
+  /// records the flight event and bumps the view-change counter.
+  void on_view_change(FlightKind kind, common::NodeId at, std::uint64_t a,
+                      std::uint64_t b, sim::Time now);
+
+  [[nodiscard]] const common::Histogram& dissemination(
+      core::OpKind kind) const {
+    return dissemination_[static_cast<std::size_t>(kind)];
+  }
+  /// All member-op classes merged into one histogram (for summary export).
+  [[nodiscard]] common::Histogram merged_member_dissemination() const;
+  [[nodiscard]] const common::Histogram& join_latency() const {
+    return join_latency_;
+  }
+  [[nodiscard]] const common::Histogram& member_detection() const {
+    return member_detection_;
+  }
+  [[nodiscard]] const common::Histogram& ne_detection() const {
+    return ne_detection_;
+  }
+  /// Member + NE detections merged (for summary export).
+  [[nodiscard]] common::Histogram merged_detection() const;
+  [[nodiscard]] const common::Counter& view_changes() const {
+    return view_changes_;
+  }
+
+  void reset();
+
+ private:
+  /// Caps the join-dedup set: past this many distinct join uids the oldest
+  /// entries are forgotten FIFO. A forgotten uid can at worst double-count
+  /// one join sample; memory stays bounded on million-member runs.
+  static constexpr std::size_t kJoinDedupCap = 1 << 16;
+
+  FlightRecorder& flight_;
+  std::array<common::Histogram, kOpKindCount> dissemination_;
+  common::Histogram join_latency_;
+  common::Histogram member_detection_;
+  common::Histogram ne_detection_;
+  common::Counter view_changes_;
+  std::unordered_set<std::uint64_t> joins_seen_at_root_;
+  std::deque<std::uint64_t> joins_seen_order_;
+};
+
+}  // namespace rgb::obs

@@ -35,6 +35,11 @@ RgbSystem::RgbSystem(net::Network& network, RgbConfig config,
   assert(layout_.ring_tiers >= 1);
   assert(layout_.ring_size >= 1);
   if (config_.wire_metering) rgb::wire::attach_encoded_metering(network_);
+  // One registration pass wires the enumerable export; exporters iterate
+  // the registry instead of hand-listing RgbMetrics/Network fields.
+  obs::register_rgb_metrics(obs_.registry, metrics_);
+  obs::register_network_metrics(obs_.registry, network_);
+  obs::register_tracer(obs_.registry, obs_.tracer);
   build();
 }
 
@@ -64,7 +69,7 @@ void RgbSystem::build() {
         const NodeId id{next_id++};
         auto ne = std::make_unique<NetworkEntity>(
             id, role_for_tier(tier, layout_.ring_tiers), tier, network_,
-            config_, metrics_);
+            config_, metrics_, obs_);
         by_id_.emplace(id, ne.get());
         entities_.push_back(std::move(ne));
         ring.push_back(id);
@@ -340,6 +345,13 @@ std::uint64_t RgbSystem::view_divergence() const {
 NodeId RgbSystem::ap_of(Guid mh) const {
   const auto it = attachments_.find(mh);
   return it == attachments_.end() ? NodeId{} : it->second;
+}
+
+std::vector<obs::MetricsRegistry::Sample> RgbSystem::metrics_snapshot()
+    const {
+  assert(obs::registry_parity_ok(obs_.registry, metrics_, network_) &&
+         "registry-enumerated export drifted from the legacy metric fields");
+  return obs_.registry.snapshot();
 }
 
 }  // namespace rgb::core

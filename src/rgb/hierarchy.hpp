@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "proto/membership_service.hpp"
 #include "rgb/metrics.hpp"
 #include "rgb/network_entity.hpp"
@@ -91,6 +92,18 @@ class RgbSystem : public proto::MembershipService {
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] const net::Network& network() const { return network_; }
 
+  /// Per-instance observability: flight recorder, op tracer and the
+  /// metrics registry (pre-registered with this system's RgbMetrics, the
+  /// network metrics and the tracer instruments). Default-on.
+  [[nodiscard]] obs::ProtocolObs& obs() { return obs_; }
+  [[nodiscard]] const obs::ProtocolObs& obs() const { return obs_; }
+
+  /// Registry-enumerated snapshot of every scalar metric. Debug-asserts
+  /// registry/legacy parity so the enumerated export can never silently
+  /// drift from the hand-written RgbMetrics/Network fields.
+  [[nodiscard]] std::vector<obs::MetricsRegistry::Sample> metrics_snapshot()
+      const;
+
   /// The membership the system *should* converge to (all joins minus
   /// leaves/fails, at their latest APs), derived from the calls made
   /// through this facade.
@@ -127,6 +140,7 @@ class RgbSystem : public proto::MembershipService {
   HierarchyLayout layout_;
   std::uint64_t first_node_id_;
   RgbMetrics metrics_;
+  obs::ProtocolObs obs_;  ///< must precede entities_: NEs hold a reference
 
   std::vector<std::unique_ptr<NetworkEntity>> entities_;
   std::unordered_map<NodeId, NetworkEntity*> by_id_;

@@ -24,12 +24,13 @@ NodeId elect_leader(const std::vector<NodeId>& roster) {
 
 NetworkEntity::NetworkEntity(NodeId id, NeRole role, int tier,
                              net::Network& network, const RgbConfig& config,
-                             RgbMetrics& metrics)
+                             RgbMetrics& metrics, obs::ProtocolObs& obs)
     : proto::Process(id, network),
       role_(role),
       tier_(tier),
       config_(config),
       metrics_(metrics),
+      obs_(obs),
       mq_(config.aggregate_mq) {}
 
 // --------------------------------------------------------------------------
@@ -192,6 +193,10 @@ void NetworkEntity::reannounce_member(Guid mh, std::uint64_t claim_seq) {
 }
 
 void NetworkEntity::enqueue_local_op(MembershipOp op) {
+  // Single funnel for locally-originated ops: the birth stamp anchors the
+  // dissemination/join latency instruments downstream.
+  op.born = now();
+  obs_.tracer.on_op_born(op, id(), now());
   enqueue_op(std::move(op), Contributor{});
 }
 
@@ -345,6 +350,8 @@ void NetworkEntity::start_round(std::uint64_t round_id) {
   token.ops = std::move(batch.ops);
 
   metrics_.rounds_started.increment();
+  obs_.flight.record(now(), id(), obs::FlightKind::kRoundStarted,
+                     token.round_id, token.ops.size());
   remember_round(token.round_id);
   apply_ops_and_notify(token);
   remember_disseminated(token.ops);
@@ -468,7 +475,10 @@ void NetworkEntity::handle_token(TokenMsg msg, NodeId from) {
 void NetworkEntity::apply_ops_and_notify(const Token& token) {
   for (const MembershipOp& op : token.ops) {
     if (op.is_member_op()) {
-      if (ring_members_.apply(op)) metrics_.ops_disseminated.increment();
+      if (ring_members_.apply(op)) {
+        metrics_.ops_disseminated.increment();
+        obs_.tracer.on_op_applied(op, tier_, now());
+      }
       // A handoff away from this AP is authoritative departure evidence:
       // without it, a racing (false) failure record could hide the
       // member's new attachment and trick reaffirmation into re-claiming
@@ -544,6 +554,8 @@ void NetworkEntity::complete_round(const Token& token) {
     metrics_.empty_probe_rounds.increment();
   } else {
     metrics_.rounds_completed.increment();
+    obs_.flight.record(now(), id(), obs::FlightKind::kRoundCompleted,
+                       token.round_id, token.ops.size());
   }
 
   if (is_leader()) {
@@ -627,6 +639,8 @@ void NetworkEntity::on_token_retx_timeout(std::uint64_t round_id) {
   InflightHop& hop = it->second;
   if (++hop.retx <= config_.max_retx) {
     metrics_.token_retransmits.increment();
+    obs_.flight.record(now(), id(), obs::FlightKind::kTokenRetx, round_id,
+                       static_cast<std::uint64_t>(hop.retx));
     const net::MessageKind kind =
         hop.token.ops.empty() ? kind::kProbe : kind::kToken;
     TokenMsg msg{hop.token};
@@ -672,6 +686,14 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
   metrics_.repairs.increment();
   RGB_LOG(kInfo, "repair") << now() << " " << id() << " declares " << faulty
                            << " faulty and splices it out";
+  // Detection latency ground truth: how long the crash went unnoticed.
+  // Read-only observability — the repair decision itself never consults it.
+  const auto crashed_at = network().crashed_since(faulty);
+  if (crashed_at) {
+    obs_.tracer.on_ne_detected(faulty, id(), now() - *crashed_at, now());
+  }
+  obs_.tracer.on_view_change(obs::FlightKind::kRepair, id(), faulty.value(),
+                             ring_members_.members_at(faulty).size(), now());
   suspected_faulty_.insert(faulty);
   const bool was_leader = (faulty == leader_);
   remove_from_roster(faulty);
@@ -679,6 +701,8 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
   if (was_leader) {
     leader_ = elect_leader(roster_);
     metrics_.leader_failovers.increment();
+    obs_.tracer.on_view_change(obs::FlightKind::kLeaderFailover, id(),
+                               leader_.value(), faulty.value(), now());
     if (leader_ == id()) adopt_leadership();
   }
   recompute_pointers();
@@ -703,8 +727,14 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
   ne_op.seq = next_op_seq();
   ne_op.uid = next_op_uid();
   ne_op.ne = faulty;
-  enqueue_op(std::move(ne_op), Contributor{});
+  enqueue_local_op(std::move(ne_op));
   for (const MemberRecord& rec : ring_members_.members_at(faulty)) {
+    // Stranded members share the NE's detection moment: declaring them
+    // failed is the first point any detector could have noticed them.
+    if (crashed_at) {
+      obs_.tracer.on_member_detected(rec.guid, id(), now() - *crashed_at,
+                                     now());
+    }
     MembershipOp m_op;
     m_op.kind = OpKind::kMemberFail;
     m_op.seq = next_op_seq();
@@ -716,7 +746,7 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
     m_op.claim_seq = ring_members_.claim_of(rec.guid);
     m_op.member = rec;
     m_op.member.status = MemberStatus::kFailed;
-    enqueue_op(std::move(m_op), Contributor{});
+    enqueue_local_op(std::move(m_op));
   }
 
   // Keep interrupted rounds alive: every hop that was awaiting the faulty
@@ -784,9 +814,13 @@ void NetworkEntity::handle_repair(const RepairMsg& msg, NodeId from) {
     suspected_faulty_.insert(f);
     const bool was_leader = (f == leader_);
     remove_from_roster(f);
+    obs_.tracer.on_view_change(obs::FlightKind::kRepair, id(), f.value(), 0,
+                               now());
     if (was_leader) {
       leader_ = elect_leader(roster_);
       metrics_.leader_failovers.increment();
+      obs_.tracer.on_view_change(obs::FlightKind::kLeaderFailover, id(),
+                                 leader_.value(), f.value(), now());
       if (leader_ == id()) adopt_leadership();
     }
   }
@@ -808,6 +842,8 @@ void NetworkEntity::apply_ne_op(const MembershipOp& op) {
       applied_ne_ops_.erase(applied_ne_ops_order_.front());
       applied_ne_ops_order_.pop_front();
     }
+    // First processing of this NE op at this node = its apply tick.
+    obs_.tracer.on_op_applied(op, tier_, now());
   }
   switch (op.kind) {
     case OpKind::kNeFail:
@@ -822,6 +858,10 @@ void NetworkEntity::apply_ne_op(const MembershipOp& op) {
       const bool was_leader = (op.ne == leader_);
       if (op.kind == OpKind::kNeFail) suspected_faulty_.insert(op.ne);
       remove_from_roster(op.ne);
+      obs_.tracer.on_view_change(op.kind == OpKind::kNeFail
+                                     ? obs::FlightKind::kRepair
+                                     : obs::FlightKind::kNeLeave,
+                                 id(), op.ne.value(), 0, now());
       if (was_leader) {
         leader_ = elect_leader(roster_);
         if (leader_ == id()) adopt_leadership();
@@ -841,6 +881,8 @@ void NetworkEntity::apply_ne_op(const MembershipOp& op) {
       roster_set_.insert(op.ne);
       remember_peer(op.ne);
       suspected_faulty_.erase(op.ne);
+      obs_.tracer.on_view_change(obs::FlightKind::kNeJoin, id(),
+                                 op.ne.value(), op.ne_after.value(), now());
       recompute_pointers();
       if (is_leader()) {
         // Hand the joiner its initial state. Under snapshot_join the
@@ -879,6 +921,8 @@ NodeId NetworkEntity::predecessor_of(NodeId node) const {
 }
 
 void NetworkEntity::handle_ring_reform(const RingReformMsg& msg, NodeId from) {
+  obs_.tracer.on_view_change(obs::FlightKind::kRingReform, id(),
+                             msg.leader.value(), msg.roster.size(), now());
   roster_ = msg.roster;
   rebuild_roster_index();
   leader_ = msg.leader;
@@ -1134,6 +1178,8 @@ void NetworkEntity::reaffirm_local_members() {
         << id() << " re-anchors falsely failed local member " << mh.value()
         << " (epoch " << claim << ")";
     metrics_.reconcile_reanchors.increment();
+    obs_.flight.record(now(), id(), obs::FlightKind::kReconcileReanchor,
+                       mh.value(), claim);
     reannounce_member(mh, claim);
   }
 }
@@ -1201,6 +1247,8 @@ void NetworkEntity::run_reconcile_round() {
     return;
   }
   metrics_.reconcile_rounds.increment();
+  obs_.flight.record(now(), id(), obs::FlightKind::kReconcileRound,
+                     local_attached_.size(), target.value());
   const std::uint64_t rid = (id().value() << 24) | ++reconcile_counter_;
   PendingReconcile pending;
   pending.dest = target;
@@ -1366,6 +1414,8 @@ void NetworkEntity::handle_view_sync(const ViewSyncMsg& msg, NodeId from) {
     RGB_LOG(kInfo, "sync") << id() << " adopts ring shape from leader "
                            << from << " (" << msg.roster.size()
                            << " members)";
+    obs_.tracer.on_view_change(obs::FlightKind::kShapeAdopt, id(),
+                               from.value(), msg.roster.size(), now());
     roster_ = msg.roster;
     rebuild_roster_index();
     leader_ = msg.leader;
@@ -1448,6 +1498,10 @@ void NetworkEntity::merge_fragment(const std::vector<NodeId>& their_roster,
   ring_members_.import_entries(entries);
 
   metrics_.merges.increment();
+  obs_.tracer.on_view_change(obs::FlightKind::kMerge, id(),
+                             their_roster.empty() ? 0
+                                                  : their_roster.front().value(),
+                             merged.size(), now());
   RGB_LOG(kInfo, "merge") << now() << " " << id()
                           << " merges fragments into a ring of "
                           << merged.size() << " under " << new_leader;
@@ -1693,6 +1747,9 @@ void NetworkEntity::handle_snapshot(const SnapshotMsg& msg, NodeId from) {
   const auto decoded = rgb::wire::decode_snapshot(msg.blob);
   if (!decoded.ok()) {
     metrics_.snapshot_decode_errors.increment();
+    obs_.flight.record(now(), id(), obs::FlightKind::kSnapshotRejected,
+                       from.value(),
+                       metrics_.snapshot_decode_errors.value());
     RGB_LOG(kWarn, "snapshot")
         << id() << " rejects corrupt snapshot from " << from << ": "
         << rgb::wire::to_string(decoded.error().status) << " at offset "
@@ -1702,6 +1759,8 @@ void NetworkEntity::handle_snapshot(const SnapshotMsg& msg, NodeId from) {
   send(from, kind::kSnapshotAck, SnapshotAckMsg{msg.digest, msg.entry_count});
   if (!ring_members_.import_entries(decoded.value())) return;
   metrics_.snapshots_applied.increment();
+  obs_.flight.record(now(), id(), obs::FlightKind::kSnapshotApplied,
+                     from.value(), decoded.value().size());
   if (!config_.snapshot_join) return;
   // Cascade: state learned by snapshot (not by a token round, which every
   // ring peer sees anyway) is owed onward — across the ring when we lead
@@ -1734,6 +1793,8 @@ void NetworkEntity::handle_ne_join_request(const NeJoinRequestMsg& msg,
   op.uid = next_op_uid();
   op.ne = msg.joiner;
   op.ne_after = id();
+  op.born = now();
+  obs_.tracer.on_op_born(op, id(), now());
   enqueue_op(std::move(op), Contributor{msg.joiner, msg.notify_id});
 }
 
@@ -1811,6 +1872,8 @@ void NetworkEntity::handle_ne_leave_request(const NeLeaveRequestMsg& msg,
   op.seq = next_op_seq();
   op.uid = next_op_uid();
   op.ne = msg.leaver;
+  op.born = now();
+  obs_.tracer.on_op_born(op, id(), now());
   enqueue_op(std::move(op), Contributor{msg.leaver, msg.notify_id});
 }
 
@@ -1858,12 +1921,15 @@ void NetworkEntity::sweep_silent_members() {
       ++it;
       continue;
     }
+    const sim::Time last_heard = it->second;
     it = mh_last_heard_.erase(it);
     // Only members still attached here are ours to report; a handed-off
     // member is monitored by its new AP.
     const auto record = ring_members_.find(mh);
     if (record && record->status == MemberStatus::kOperational &&
         record->access_proxy == id()) {
+      // Detection latency: silence began at the last heartbeat heard.
+      obs_.tracer.on_member_detected(mh, id(), now() - last_heard, now());
       local_member_fail(mh);
     }
   }

@@ -35,6 +35,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "proto/process.hpp"
 #include "rgb/member_table.hpp"
 #include "rgb/message_queue.hpp"
@@ -46,10 +47,11 @@ namespace rgb::core {
 
 class NetworkEntity : public proto::Process {
  public:
-  /// `tier` counts from the top: 0 = BR ring tier. `metrics` may be shared
-  /// across all NEs of a deployment; it must outlive the NE.
+  /// `tier` counts from the top: 0 = BR ring tier. `metrics` and `obs` may
+  /// be shared across all NEs of a deployment; both must outlive the NE.
   NetworkEntity(NodeId id, NeRole role, int tier, net::Network& network,
-                const RgbConfig& config, RgbMetrics& metrics);
+                const RgbConfig& config, RgbMetrics& metrics,
+                obs::ProtocolObs& obs);
 
   // --- wiring (HierarchyBuilder / dynamic join) ------------------------------
 
@@ -253,6 +255,7 @@ class NetworkEntity : public proto::Process {
   int tier_;
   const RgbConfig& config_;
   RgbMetrics& metrics_;
+  obs::ProtocolObs& obs_;
 
   // --- paper data structure (Section 4.2) -----------------------------------------
   NodeId leader_;

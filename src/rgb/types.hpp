@@ -72,6 +72,12 @@ struct MembershipOp {
   /// semantics (NE ops, baseline protocols) — orders purely by seq.
   std::uint64_t claim_seq = 0;
 
+  /// Birth sim-tick stamped by the originating NE (observability only: the
+  /// causal anchor for dissemination/join latency histograms). Deliberately
+  /// NOT wire-encoded — it is local instrumentation, not protocol state,
+  /// and a peer's decode must not influence its latency bookkeeping.
+  sim::Time born = 0;
+
   // Member ops.
   MemberRecord member;
   NodeId old_ap;  ///< kMemberHandoff: the AP the member moved away from

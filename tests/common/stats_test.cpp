@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 namespace rgb::common {
 namespace {
@@ -119,6 +122,64 @@ TEST(Histogram, MergeAddsCounts) {
   EXPECT_EQ(a.count(), 2u);
   EXPECT_LE(a.quantile(0.25), 12.0);
   EXPECT_GT(a.quantile(0.99), 800.0);
+}
+
+TEST(Histogram, QuantileRelativeErrorIsBoundedVsExact) {
+  // Deterministic pseudo-random positive samples (no RNG dependency).
+  std::vector<double> values;
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(1.0 + static_cast<double>(x % 1'000'000));
+  }
+  Histogram h;
+  for (const double v : values) h.add(v);
+  std::sort(values.begin(), values.end());
+
+  for (const double q : {0.10, 0.50, 0.90, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const double exact = values[rank - 1];
+    const double approx = h.quantile(q);
+    // Geometric buckets (growth 1.1) return the bucket upper bound, so the
+    // estimate sits in [exact, exact * growth]: never below, at most ~10%
+    // relative error above.
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, exact * 1.1 + 1e-9) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeEqualsCombinedAddStream) {
+  Histogram combined, left, right;
+  for (int i = 1; i <= 400; ++i) {
+    const double v = static_cast<double>((i * 7919) % 10000 + 1);
+    combined.add(v);
+    (i % 3 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_DOUBLE_EQ(left.mean(), combined.mean());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+  // Identical bucket contents -> identical quantiles at every probe point.
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(left.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MaxIsExactAndSurvivesOverflowClamp) {
+  Histogram h{/*max_value=*/1000.0};
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.max(), 3.5);
+  h.add(123456.0);  // clamped into the overflow bucket...
+  EXPECT_DOUBLE_EQ(h.max(), 123456.0);  // ...but max stays exact
+  EXPECT_LE(h.quantile(1.0), 1200.0);   // quantile read is clamped
+
+  Histogram other{/*max_value=*/1000.0};
+  other.add(999999.0);
+  h.merge(other);
+  EXPECT_DOUBLE_EQ(h.max(), 999999.0);  // merge carries the exact max too
 }
 
 TEST(Counter, IncrementAndReset) {

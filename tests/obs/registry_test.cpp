@@ -1,0 +1,120 @@
+// MetricsRegistry: enumeration order, lookup, deterministic JSON/CSV
+// export, and the registry/legacy-field parity guard (the debug assertion
+// behind RgbSystem::metrics_snapshot).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/registry.hpp"
+#include "test_util.hpp"
+
+namespace rgb::obs {
+namespace {
+
+using rgb::testing::RgbSystemTest;
+
+TEST(MetricsRegistry, EnumeratesInRegistrationOrder) {
+  common::Counter a, b;
+  a.increment(3);
+  MetricsRegistry reg;
+  reg.add_counter("z.second", &b);
+  reg.add_counter("a.first", &a);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "z.second");  // registration order, not sorted
+  EXPECT_EQ(snap[0].value, 0u);
+  EXPECT_EQ(snap[1].name, "a.first");
+  EXPECT_EQ(snap[1].value, 3u);
+}
+
+TEST(MetricsRegistry, ReadsLiveValuesAtSnapshotTime) {
+  common::Counter c;
+  MetricsRegistry reg;
+  reg.add_counter("c", &c);
+  EXPECT_EQ(reg.value_of("c"), 0u);
+  c.increment(7);
+  EXPECT_EQ(reg.value_of("c"), 7u);
+  EXPECT_FALSE(reg.value_of("missing").has_value());
+}
+
+TEST(MetricsRegistry, FamiliesExpandInline) {
+  MetricsRegistry reg;
+  reg.add_family([]() {
+    return std::vector<MetricsRegistry::Sample>{{"fam.x", 1}, {"fam.y", 2}};
+  });
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "fam.x");
+  EXPECT_EQ(reg.value_of("fam.y"), 2u);
+}
+
+TEST(MetricsRegistry, HistogramSummariesAndJsonAreDeterministic) {
+  common::Histogram h;
+  h.add(10.0);
+  h.add(1000.0);
+  common::Counter c;
+  c.increment(5);
+  MetricsRegistry reg;
+  reg.add_counter("n", &c);
+  reg.add_histogram("lat", &h);
+
+  const auto rows = reg.histograms();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "lat");
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_EQ(rows[0].max, 1000.0);
+
+  std::ostringstream j1, j2, csv;
+  reg.write_json(j1);
+  reg.write_json(j2);
+  reg.write_csv(csv);
+  EXPECT_EQ(j1.str(), j2.str());
+  EXPECT_NE(j1.str().find("\"n\": 5"), std::string::npos) << j1.str();
+  EXPECT_NE(csv.str().find("n,5"), std::string::npos) << csv.str();
+}
+
+class RegistryParityTest : public RgbSystemTest {};
+
+/// Satellite guard: after real protocol activity, the registry-enumerated
+/// export and the legacy hand-read RgbMetrics / Network::Metrics fields
+/// agree on every value.
+TEST_F(RegistryParityTest, RegisteredExportMatchesLegacyFields) {
+  auto& sys = build(2, 3);
+  sys.start_probing();
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    sys.join(common::Guid{i}, sys.aps()[i % sys.aps().size()]);
+  }
+  run_for_ms(2000);
+  sys.crash_ne(sys.aps()[0]);  // exercise repair/detection counters too
+  run_for_ms(3000);
+
+  EXPECT_TRUE(registry_parity_ok(sys.obs().registry, sys.metrics(), network_));
+  // The asserting snapshot path agrees with a direct registry read.
+  EXPECT_EQ(sys.metrics_snapshot().size(), sys.obs().registry.snapshot().size());
+  // Spot-check one name against the legacy field.
+  EXPECT_EQ(sys.obs().registry.value_of("rgb.rounds_started"),
+            sys.metrics().rounds_started.value());
+  EXPECT_EQ(sys.obs().registry.value_of("net.sent"), network_.metrics().sent);
+}
+
+/// Drift is detected, not silently exported: a registry whose entry reads a
+/// different location than the legacy field fails the parity check.
+TEST_F(RegistryParityTest, DriftingRegistryFailsParity) {
+  auto& sys = build(1, 3);
+  sys.join(common::Guid{1}, sys.aps()[0]);
+  run_all();
+
+  MetricsRegistry drifted;
+  register_rgb_metrics(drifted, sys.metrics());
+  register_network_metrics(drifted, network_);
+  EXPECT_TRUE(registry_parity_ok(drifted, sys.metrics(), network_));
+
+  core::RgbMetrics other;  // same shape, different (idle) instance
+  MetricsRegistry wrong;
+  register_rgb_metrics(wrong, other);
+  register_network_metrics(wrong, network_);
+  EXPECT_FALSE(registry_parity_ok(wrong, sys.metrics(), network_));
+}
+
+}  // namespace
+}  // namespace rgb::obs

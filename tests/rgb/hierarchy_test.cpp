@@ -232,8 +232,9 @@ TEST_F(HierarchyTest, NeJoinSplicesIntoRingAfterLeader) {
   auto& sys = build(1, 4);
   RgbConfig joiner_config;  // must outlive the NE
   RgbMetrics metrics;
+  obs::ProtocolObs obs;
   NetworkEntity newcomer{NodeId{5000}, NeRole::kAccessProxy, 0, network_,
-                         joiner_config, metrics};
+                         joiner_config, metrics, obs};
   const auto leader = sys.rings(0).front().front();
   newcomer.request_ring_join(leader);
   run_all();
@@ -253,8 +254,9 @@ TEST_F(HierarchyTest, JoinedNeReceivesMembershipState) {
   run_all();
   RgbConfig joiner_config;
   RgbMetrics metrics;
+  obs::ProtocolObs obs;
   NetworkEntity newcomer{NodeId{5000}, NeRole::kAccessProxy, 0, network_,
-                         joiner_config, metrics};
+                         joiner_config, metrics, obs};
   newcomer.request_ring_join(sys.rings(0).front().front());
   run_all();
   EXPECT_TRUE(newcomer.ring_members().contains(common::Guid{42}));
@@ -299,14 +301,15 @@ TEST_F(HierarchyTest, LeaderLeaveHandsOverLeadership) {
 TEST_F(HierarchyTest, SingletonFormationThenGrowth) {
   RgbConfig config;  // outlives the NEs
   RgbMetrics metrics;
+  obs::ProtocolObs obs;
   NetworkEntity first{NodeId{7000}, NeRole::kAccessProxy, 0, network_,
-                      config, metrics};
+                      config, metrics, obs};
   first.form_singleton_ring();
   EXPECT_TRUE(first.is_leader());
   EXPECT_EQ(first.roster().size(), 1u);
 
   NetworkEntity second{NodeId{7001}, NeRole::kAccessProxy, 0, network_,
-                       config, metrics};
+                       config, metrics, obs};
   second.request_ring_join(first.id());
   run_all();
   EXPECT_EQ(first.roster().size(), 2u);

@@ -113,8 +113,9 @@ TEST(SnapshotJoin, NeJoinPullsOneFramedStateTransfer) {
 
   // A fresh NE asks the ring leader for admission.
   RgbMetrics metrics;
+  obs::ProtocolObs obs;
   NetworkEntity joiner{NodeId{777}, NeRole::kAccessProxy, 0, network, config,
-                       metrics};
+                       metrics, obs};
   std::uint64_t snapshot_bytes = 0;
   std::uint64_t snapshot_msgs = 0;
   network.set_tap([&](const net::Envelope& env, bool) {

@@ -8,7 +8,8 @@
 //   rgb_exp bench [--members N[,N...]] [--modes digest|full|both]
 //                 [--join dissem|snapshot|both]
 //                 [--tiers H] [--ring R] [--steady-ticks K] [--seed S]
-//                 [--json PATH|-] [--smoke]
+//                 [--json PATH|-] [--smoke] [--series PATH|-] [--detect]
+//                 [--deterministic]
 //
 // Aggregate output of `run` (table / CSV / JSON on stdout) is a pure
 // function of (scenario, seed, trials): byte-identical for any --threads
@@ -83,7 +84,13 @@ int usage(const char* argv0, int code) {
      << "  --steady-ticks K  probe ticks in the steady window (default 10)\n"
      << "  --seed S       trial seed (default 0xBE7C4)\n"
      << "  --json PATH    write the BENCH json artifact ('-' for stdout)\n"
-     << "  --smoke        bounded CI profile (members=200, both modes)\n";
+     << "  --smoke        bounded CI profile (members=200, both modes)\n"
+     << "  --series PATH  write the first cell's tick series as CSV\n"
+     << "                 ('-' for stdout)\n"
+     << "  --detect       append the failure-detection latency micro-trial\n"
+     << "  --deterministic  zero the wall-clock fields: the JSON becomes a\n"
+     << "                 pure function of (config, seed) — the CI\n"
+     << "                 byte-identity gate\n";
   return code;
 }
 
@@ -94,7 +101,10 @@ int run_bench(int argc, char** argv) {
   modes.snapshot = false;  // default: the paper's dissemination join only
   bool join_flag_seen = false;
   bool smoke = false;
+  bool detect = false;
+  bool deterministic = false;
   std::string json_path;
+  std::string series_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -146,6 +156,12 @@ int run_bench(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--series") {
+      series_path = next();
+    } else if (arg == "--detect") {
+      detect = true;
+    } else if (arg == "--deterministic") {
+      deterministic = true;
     } else {
       std::cerr << "rgb_exp: unknown bench option '" << arg << "'\n";
       return usage(argv[0], 2);
@@ -162,11 +178,15 @@ int run_bench(int argc, char** argv) {
   if (smoke && !join_flag_seen) modes.snapshot = true;
 
   const std::vector<rgb::exp::ScaleStats> all =
-      rgb::exp::run_scale_sweep(base, member_counts, modes, std::cerr);
+      rgb::exp::run_scale_sweep(base, member_counts, modes, std::cerr,
+                                /*timed=*/!deterministic);
+  rgb::exp::DetectStats detect_stats;
+  if (detect) detect_stats = rgb::exp::run_detect_trial();
 
   if (!json_path.empty()) {
+    const rgb::exp::DetectStats* dp = detect ? &detect_stats : nullptr;
     if (json_path == "-") {
-      rgb::exp::write_bench_json(base, all, std::cout);
+      rgb::exp::write_bench_json(base, all, std::cout, dp);
     } else {
       std::ofstream file{json_path};
       if (!file) {
@@ -174,8 +194,22 @@ int run_bench(int argc, char** argv) {
                   << "' for writing\n";
         return 1;
       }
-      rgb::exp::write_bench_json(base, all, file);
+      rgb::exp::write_bench_json(base, all, file, dp);
       std::cerr << "wrote " << json_path << '\n';
+    }
+  }
+  if (!series_path.empty() && !all.empty()) {
+    if (series_path == "-") {
+      rgb::exp::write_series_csv(all.front(), std::cout);
+    } else {
+      std::ofstream file{series_path};
+      if (!file) {
+        std::cerr << "rgb_exp: cannot open '" << series_path
+                  << "' for writing\n";
+        return 1;
+      }
+      rgb::exp::write_series_csv(all.front(), file);
+      std::cerr << "wrote " << series_path << '\n';
     }
   }
   return rgb::exp::all_converged(all) ? 0 : 1;

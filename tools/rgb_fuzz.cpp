@@ -150,6 +150,7 @@ int main(int argc, char** argv) {
               << result.events_applied << " events, " << result.messages_sent
               << " msgs\n";
     result.report.print(std::cout);
+    if (!result.flight_trace.empty()) std::cout << result.flight_trace;
     return result.passed() ? 0 : 1;
   }
 
@@ -169,6 +170,7 @@ int main(int argc, char** argv) {
     std::cout << "seed " << seed << ": " << result.report.size()
               << " violation(s)\n";
     result.report.print(std::cout);
+    if (!result.flight_trace.empty()) std::cout << result.flight_trace;
 
     std::uint64_t replays = 0;
     const rgb::check::FaultSchedule minimized =
