@@ -87,6 +87,36 @@ echo "== rgb_fuzz snapshot-join lossy profile =="
 "$BUILD_DIR/rgb_fuzz" --partitions 1 --snapshot-join 1 --seeds 20 --start 1 \
     --quiet
 
+# Sharded-runner determinism gates. The sharded kernel's contract is that
+# the trajectory depends only on the *logical* shard count (fixed by
+# ring_size), never on the worker-thread count: the same fuzz profile and
+# the same deterministic bench must be byte-identical at 1, 2 and 8 shard
+# workers, and the fuzz profiles must stay at zero violations on the
+# sharded runner too.
+echo "== sharded fuzz smoke + worker-identity gate =="
+sw1="$(mktemp)"; sw2="$(mktemp)"; sw8="$(mktemp)"
+"$BUILD_DIR/rgb_fuzz" --seeds 12 --start 1 --shard-workers 1 --quiet > "$sw1"
+"$BUILD_DIR/rgb_fuzz" --seeds 12 --start 1 --shard-workers 2 --quiet > "$sw2"
+"$BUILD_DIR/rgb_fuzz" --seeds 12 --start 1 --shard-workers 8 --quiet > "$sw8"
+if ! cmp -s "$sw1" "$sw2" || ! cmp -s "$sw1" "$sw8"; then
+  echo "FAIL: sharded fuzz output differs across 1/2/8 shard workers" >&2
+  exit 1
+fi
+"$BUILD_DIR/rgb_fuzz" --partitions 1 --seeds 12 --start 1 --shard-workers 2 \
+    --quiet
+echo "== sharded bench determinism gate =="
+"$BUILD_DIR/rgb_exp" bench --smoke --deterministic --shards 1 --json "$sw1" \
+    2> /dev/null
+"$BUILD_DIR/rgb_exp" bench --smoke --deterministic --shards 2 --json "$sw2" \
+    2> /dev/null
+"$BUILD_DIR/rgb_exp" bench --smoke --deterministic --shards 8 --json "$sw8" \
+    2> /dev/null
+if ! cmp -s "$sw1" "$sw2" || ! cmp -s "$sw1" "$sw8"; then
+  echo "FAIL: deterministic bench JSON differs across 1/2/8 shard workers" >&2
+  exit 1
+fi
+rm -f "$sw1" "$sw2" "$sw8"
+
 # Wire codec conformance: every registered kind must round-trip
 # byte-identically on randomized messages, and a bounded mutation-fuzz
 # sweep must produce only clean accepts/rejects (no crash, no UB, accepted
@@ -141,5 +171,29 @@ if ! grep -q "flight recorder:" "$obs1"; then
   exit 1
 fi
 rm -f "$obs1" "$obs2" "$sched"
+
+# ThreadSanitizer gate over the concurrent kernel (sim worker pool +
+# cross-shard outboxes, net stripe metering, striped obs instruments,
+# atomic protocol counters): build the library and the two drivers with
+# -fsanitize=thread, then run bounded sharded smokes at 8 workers so shard
+# windows genuinely race. halt_on_error turns any finding into a CI
+# failure.
+echo "== tsan sharded smoke =="
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
+cmake --build "$TSAN_DIR" -j --target rgb_fuzz rgb_exp > /dev/null
+tsan_bench="$(mktemp)"
+TSAN_OPTIONS="halt_on_error=1" \
+    "$TSAN_DIR/rgb_fuzz" --seeds 4 --start 1 --shard-workers 8 --quiet
+TSAN_OPTIONS="halt_on_error=1" \
+    "$TSAN_DIR/rgb_fuzz" --partitions 1 --seeds 3 --start 1 \
+    --shard-workers 8 --quiet
+TSAN_OPTIONS="halt_on_error=1" \
+    "$TSAN_DIR/rgb_exp" bench --members 1000 --modes digest --join both \
+    --deterministic --shards 8 --json "$tsan_bench" 2> /dev/null
+test -s "$tsan_bench"
+rm -f "$tsan_bench"
 
 echo "OK"

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -72,15 +73,32 @@ class Histogram {
   double max_ = 0.0;
 };
 
-/// A named monotonically increasing counter.
+/// A named monotonically increasing counter. Increments are relaxed
+/// atomics: protocol counters shared across shard windows (e.g. one
+/// RgbMetrics for all NEs) are bumped from concurrent worker threads, and
+/// integer sums commute — the total is deterministic even though the
+/// interleaving is not. Reads are meaningful between windows.
 class Counter {
  public:
-  void increment(std::uint64_t by = 1) { value_ += by; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  Counter() = default;
+  Counter(const Counter& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void increment(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 }  // namespace rgb::common

@@ -57,6 +57,17 @@ void write_latency_json(std::ostream& os, const LatencyStats& l) {
 ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   common::RngStream rng{config.seed};
   sim::Simulator simulator;
+  // Sharded trial: one logical shard per tier-0 region (= ring_size), with
+  // the epoch window set to the minimum cross-shard link latency so every
+  // cross-shard message lands beyond the window it was sent in. Configured
+  // before anything schedules.
+  const bool sharded = config.shard_workers > 0;
+  const auto shard_count = static_cast<std::uint32_t>(config.ring_size);
+  if (sharded) {
+    simulator.configure_shards(shard_count,
+                               net::LinkConfig{}.latency.min_delay());
+    simulator.set_workers(config.shard_workers);
+  }
   net::Network network{simulator, rng.fork("net")};
   core::RgbConfig rgb_config;
   rgb_config.probe_period = config.probe_period;
@@ -64,6 +75,7 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   rgb_config.snapshot_join = config.snapshot_join;
   core::RgbSystem sys{network, rgb_config,
                       core::HierarchyLayout{config.tiers, config.ring_size}};
+  if (sharded) sys.configure_shards(shard_count);
 
   ScaleStats stats;
   stats.members = config.members;
@@ -93,9 +105,17 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   // the APs; probing stays off so the phase measures dissemination alone.
   const auto& aps = sys.aps();
   for (std::uint64_t i = 0; i < config.members; ++i) {
-    simulator.schedule_at(config.join_spacing * i, [&sys, &aps, i]() {
-      sys.join(common::Guid{i + 1}, aps[i % aps.size()]);
-    });
+    const auto ap = aps[i % aps.size()];
+    auto join = [&sys, ap, i]() { sys.join(common::Guid{i + 1}, ap); };
+    if (sharded) {
+      // Joins land directly on the joining AP's home shard, so the surge
+      // runs inside the parallel windows instead of serializing a million
+      // barrier events.
+      simulator.schedule_on(sys.shard_of(ap), config.join_spacing * i,
+                            std::move(join));
+    } else {
+      simulator.schedule_at(config.join_spacing * i, std::move(join));
+    }
   }
   // The join window is timed (it feeds the join-events/s headline), so its
   // samples skip the O(NE*N) divergence walk just like the steady window's;
@@ -264,6 +284,10 @@ void write_bench_json(const ScaleConfig& base,
      << "  \"steady_ticks\": " << base.steady_ticks << ",\n"
      << "  \"join_spacing_us\": " << base.join_spacing << ",\n"
      << "  \"seed\": " << base.seed << ",\n"
+     // Deliberately a bool, not the worker count: outputs must stay
+     // byte-identical across worker counts (the shard determinism gate).
+     << "  \"sharded\": " << (base.shard_workers > 0 ? "true" : "false")
+     << ",\n"
      << "  \"cells\": [\n";
   for (std::size_t i = 0; i < stats.size(); ++i) {
     const ScaleStats& s = stats[i];

@@ -47,6 +47,13 @@ struct ScaleConfig {
   /// Steady-state measurement window, in probe periods.
   int steady_ticks = 10;
   std::uint64_t seed = 0xBE7C4ULL;
+  /// 0 = classic serial trial. > 0 = sharded trial: the hierarchy splits
+  /// into ring_size logical shards (one per tier-0 region) advancing in
+  /// epoch windows, with this many worker threads executing the windows.
+  /// The trajectory is a function of the *logical* shard count (i.e. of
+  /// ring_size) — every positive worker count yields byte-identical
+  /// deterministic metrics; the worker count only moves the wall clock.
+  unsigned shard_workers = 0;
 };
 
 /// Digest of one latency histogram (sim-time microseconds), exported into

@@ -1,13 +1,75 @@
 #include "net/network.hpp"
 
 #include <cassert>
+#include <string>
 #include <utility>
 
 namespace rgb::net {
 
+namespace {
+
+/// Shard-order merge of one stripe into the running totals. Counters are
+/// plain sums (commutative); the latency accumulator and the per-kind maps
+/// merge in the fixed stripe order, so the result is a function of the
+/// logical shard count alone — never of worker interleaving.
+void merge_metrics(Network::Metrics& out, const Network::Metrics& in) {
+  out.sent += in.sent;
+  out.delivered += in.delivered;
+  out.dropped_loss += in.dropped_loss;
+  out.dropped_crash += in.dropped_crash;
+  out.dropped_src_crash += in.dropped_src_crash;
+  out.dropped_partition += in.dropped_partition;
+  out.dropped_unattached += in.dropped_unattached;
+  out.bytes_sent += in.bytes_sent;
+  for (const auto& [kind, count] : in.sent_per_kind) {
+    out.sent_per_kind[kind] += count;
+  }
+  for (const auto& [kind, bytes] : in.bytes_per_kind) {
+    out.bytes_per_kind[kind] += bytes;
+  }
+  out.delivery_latency_us.merge(in.delivery_latency_us);
+}
+
+}  // namespace
+
 Network::Network(sim::Simulator& simulator, common::RngStream rng,
                  LinkConfig default_link)
-    : sim_(simulator), rng_(std::move(rng)), default_link_(default_link) {}
+    : sim_(simulator), base_rng_(std::move(rng)), default_link_(default_link) {
+  stripes_.push_back(ShardState{base_rng_, Metrics{}});
+}
+
+void Network::configure_shards(std::uint32_t count) {
+  assert(count >= 1);
+  assert(metrics().sent == 0 && metrics().dropped_src_crash == 0 &&
+         "configure_shards before any traffic");
+  stripes_.clear();
+  stripes_.reserve(count);
+  if (count == 1) {
+    // Serial: the base stream itself, byte-identical to the unsharded path.
+    stripes_.push_back(ShardState{base_rng_, Metrics{}});
+    return;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    stripes_.push_back(ShardState{
+        base_rng_.fork("shard" + std::to_string(i)), Metrics{}});
+  }
+}
+
+void Network::assign_shard(NodeId id, std::uint32_t shard) {
+  assert(shard < stripes_.size());
+  node_shard_[id] = shard;
+}
+
+std::uint32_t Network::shard_of(NodeId id) const {
+  if (node_shard_.empty()) return 0;
+  const auto it = node_shard_.find(id);
+  return it == node_shard_.end() ? 0 : it->second;
+}
+
+Network::ShardState& Network::stripe() {
+  const std::uint32_t s = sim::current_executing_shard();
+  return stripes_[s < stripes_.size() ? s : 0];
+}
 
 void Network::attach(NodeId id, Endpoint* endpoint) {
   assert(id.valid());
@@ -21,12 +83,10 @@ bool Network::is_attached(NodeId id) const {
   return endpoints_.count(id) != 0;
 }
 
-std::uint64_t Network::link_key(NodeId a, NodeId b) {
+LinkKey Network::link_key(NodeId a, NodeId b) {
   auto lo = a.value(), hi = b.value();
   if (lo > hi) std::swap(lo, hi);
-  // Links connect at most a few thousand simulated nodes; 32 bits per side
-  // is ample and keeps the key a single integer.
-  return (lo << 32) | (hi & 0xFFFFFFFFULL);
+  return LinkKey{lo, hi};
 }
 
 void Network::set_link(NodeId a, NodeId b, LinkConfig cfg) {
@@ -82,10 +142,22 @@ int Network::partition_of(NodeId id) const {
   return it == partitions_.end() ? 0 : it->second;
 }
 
-void Network::reset_metrics() { metrics_ = Metrics{}; }
+void Network::reset_metrics() {
+  for (ShardState& s : stripes_) s.metrics = Metrics{};
+  merged_ = Metrics{};
+}
+
+const Network::Metrics& Network::metrics() const {
+  if (stripes_.size() == 1) return stripes_[0].metrics;
+  merged_ = Metrics{};
+  for (const ShardState& s : stripes_) merge_metrics(merged_, s.metrics);
+  return merged_;
+}
 
 void Network::send(Envelope env) {
   assert(env.src.valid() && env.dst.valid());
+
+  ShardState& st = stripe();
 
   // Encoded-size hook: re-price the envelope before anything else — byte
   // counters, taps (including the src-crash drop tap below) and delivery
@@ -99,60 +171,73 @@ void Network::send(Envelope env) {
   // A crashed source produces nothing at all — the attempt never enters the
   // network, so it is metered apart from `sent` and the in-network drops.
   if (is_crashed(env.src)) {
-    ++metrics_.dropped_src_crash;
+    ++st.metrics.dropped_src_crash;
     if (tap_) tap_(env, false);
     return;
   }
 
-  ++metrics_.sent;
-  metrics_.bytes_sent += env.size_bytes;
-  ++metrics_.sent_per_kind[env.kind];
-  metrics_.bytes_per_kind[env.kind] += env.size_bytes;
+  ++st.metrics.sent;
+  st.metrics.bytes_sent += env.size_bytes;
+  ++st.metrics.sent_per_kind[env.kind];
+  st.metrics.bytes_per_kind[env.kind] += env.size_bytes;
 
   const LinkConfig& link = link_between(env.src, env.dst);
 
   if (partition_of(env.src) != partition_of(env.dst)) {
-    ++metrics_.dropped_partition;
+    ++st.metrics.dropped_partition;
     if (tap_) tap_(env, false);
     return;
   }
-  if (link.drop_probability > 0.0 && rng_.chance(link.drop_probability)) {
-    ++metrics_.dropped_loss;
+  if (link.drop_probability > 0.0 && st.rng.chance(link.drop_probability)) {
+    ++st.metrics.dropped_loss;
     if (tap_) tap_(env, false);
     return;
   }
 
-  const sim::Duration delay = link.latency.sample(rng_);
+  const sim::Duration delay = link.latency.sample(st.rng);
   const sim::Time sent_at = sim_.now();
+  const NodeId dst = env.dst;
 
-  sim_.schedule_after(delay, [this, env = std::move(env), sent_at]() {
-    // Re-check at delivery time: the destination may have crashed, a
-    // partition may have formed, or the endpoint may have detached while
-    // the message was in flight. The checks are ordered early-returns so a
-    // message failing several of them (e.g. a destination that is both
-    // crashed and partitioned away) is counted in exactly one drop bucket.
+  auto deliver = [this, env = std::move(env), sent_at]() {
+    // Runs inside the destination's shard window (or the serial loop), so
+    // it meters into the destination's stripe. Re-check at delivery time:
+    // the destination may have crashed, a partition may have formed, or the
+    // endpoint may have detached while the message was in flight. The
+    // checks are ordered early-returns so a message failing several of them
+    // (e.g. a destination that is both crashed and partitioned away) is
+    // counted in exactly one drop bucket.
+    ShardState& at_dst = stripe();
     if (is_crashed(env.dst)) {
-      ++metrics_.dropped_crash;
+      ++at_dst.metrics.dropped_crash;
       if (tap_) tap_(env, false);
       return;
     }
     if (partition_of(env.src) != partition_of(env.dst)) {
-      ++metrics_.dropped_partition;
+      ++at_dst.metrics.dropped_partition;
       if (tap_) tap_(env, false);
       return;
     }
     const auto it = endpoints_.find(env.dst);
     if (it == endpoints_.end()) {
-      ++metrics_.dropped_unattached;
+      ++at_dst.metrics.dropped_unattached;
       if (tap_) tap_(env, false);
       return;
     }
-    ++metrics_.delivered;
-    metrics_.delivery_latency_us.add(
+    ++at_dst.metrics.delivered;
+    at_dst.metrics.delivery_latency_us.add(
         static_cast<double>(sim_.now() - sent_at));
     if (tap_) tap_(env, true);
     it->second->deliver(env);
-  });
+  };
+
+  if (sim_.is_sharded()) {
+    // Route to the destination's home shard; same-shard sends take the
+    // direct path, cross-shard ones ride the barrier outbox (the link
+    // latency >= epoch contract keeps them beyond the current window).
+    sim_.schedule_on(shard_of(dst), sent_at + delay, std::move(deliver));
+  } else {
+    sim_.schedule_after(delay, std::move(deliver));
+  }
 }
 
 }  // namespace rgb::net

@@ -16,6 +16,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
@@ -25,6 +26,32 @@
 #include "sim/simulator.hpp"
 
 namespace rgb::net {
+
+/// Unordered node-id pair identifying a symmetric link override. Both ids
+/// are kept at full 64-bit width: the previous single-word key packed the
+/// pair as `(lo << 32) | hi` without masking `lo`, so once ids crossed 32
+/// bits distinct pairs silently collided onto one override (e.g. {1, 2}
+/// and {1, 2^32 + 2}).
+struct LinkKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool operator==(const LinkKey&) const = default;
+};
+
+struct LinkKeyHash {
+  std::size_t operator()(const LinkKey& k) const {
+    // splitmix64-style mix of each half; shift-xor combine keeps the pair
+    // order-sensitive (lo <= hi by construction, so that is irrelevant
+    // here, but it costs nothing).
+    auto mix = [](std::uint64_t x) {
+      x += 0x9E3779B97F4A7C15ULL;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      return x ^ (x >> 31);
+    };
+    return static_cast<std::size_t>(mix(k.lo) ^ (mix(k.hi) << 1));
+  }
+};
 
 /// Anything attachable to the network: protocol processes, hosts, probes.
 class Endpoint {
@@ -108,6 +135,22 @@ class Network {
   /// crashed. Loss/partition/crash checks happen per the rules above.
   void send(Envelope env);
 
+  // --- sharding ------------------------------------------------------------
+
+  /// Splits the metering and the loss/latency RNG into `count` per-shard
+  /// stripes (stripe i forked from the base stream as "shard<i>") so that
+  /// concurrent shard windows never touch shared mutable state; a send
+  /// meters into the stripe of the shard executing it, a delivery into the
+  /// destination's stripe. Call before any traffic, paired with the
+  /// simulator's configure_shards. `metrics()` merges the stripes in shard
+  /// order, so totals are a function of the logical shard count alone.
+  void configure_shards(std::uint32_t count);
+
+  /// Homes `id` on `shard`: its message deliveries execute inside that
+  /// shard's windows. Unassigned nodes live on shard 0.
+  void assign_shard(NodeId id, std::uint32_t shard);
+  [[nodiscard]] std::uint32_t shard_of(NodeId id) const;
+
   // --- fault injection -----------------------------------------------------
 
   /// Crashes a node: it stops sending and receiving until `recover`.
@@ -127,7 +170,9 @@ class Network {
 
   // --- metering ------------------------------------------------------------
 
-  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  /// Metering totals. Sharded: stripes merged in shard order on each call
+  /// (cheap — callers sample between windows, not per message).
+  [[nodiscard]] const Metrics& metrics() const;
   void reset_metrics();
 
   /// Test/trace hook, called for every send attempt with the final verdict.
@@ -147,18 +192,30 @@ class Network {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
+  /// Per-shard mutable state: everything the send/delivery hot path writes.
+  /// One stripe (the default) is the classic serial network, byte-for-byte.
+  struct ShardState {
+    common::RngStream rng;
+    Metrics metrics;
+  };
+
   [[nodiscard]] const LinkConfig& link_between(NodeId a, NodeId b) const;
-  static std::uint64_t link_key(NodeId a, NodeId b);
+  static LinkKey link_key(NodeId a, NodeId b);
+  /// The stripe belonging to the shard window the calling thread executes
+  /// (stripe 0 outside any window, and always in serial mode).
+  [[nodiscard]] ShardState& stripe();
 
   sim::Simulator& sim_;
-  common::RngStream rng_;
+  common::RngStream base_rng_;  ///< stripes fork from this; unused after
   LinkConfig default_link_;
   std::unordered_map<NodeId, Endpoint*> endpoints_;
   std::unordered_map<NodeId, int> partitions_;
   std::unordered_map<NodeId, bool> crashed_;
   std::unordered_map<NodeId, sim::Time> crashed_at_;
-  std::unordered_map<std::uint64_t, LinkConfig> links_;
-  Metrics metrics_;
+  std::unordered_map<LinkKey, LinkConfig, LinkKeyHash> links_;
+  std::unordered_map<NodeId, std::uint32_t> node_shard_;
+  std::vector<ShardState> stripes_;
+  mutable Metrics merged_;  ///< metrics() merge target in sharded mode
   Tap tap_;
   Sizer sizer_;
 };

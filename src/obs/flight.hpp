@@ -8,6 +8,11 @@
 // Everything is keyed to sim time only; the formatted dump is a pure
 // function of the recorded events and therefore byte-identical across
 // replays and runner thread counts.
+//
+// Sharded trials (configure_shards) give every shard its own ring, written
+// only from that shard's windows; reads merge the rings by (time, shard,
+// intra-shard order) — per-shard event order is time-monotone, so the
+// merged view is deterministic for any worker count.
 #pragma once
 
 #include <cstddef>
@@ -63,15 +68,17 @@ class FlightRecorder {
 
   explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
 
+  /// One ring per shard (each holding the full `capacity()`), so recording
+  /// from concurrent shard windows shares no state. Call before recording.
+  void configure_shards(std::uint32_t count);
+
   void record(sim::Time at, common::NodeId ne, FlightKind kind,
               std::uint64_t a = 0, std::uint64_t b = 0);
 
-  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
-  [[nodiscard]] std::uint64_t dropped() const {
-    return recorded_ - ring_.size();
-  }
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const { return recorded() - size(); }
 
   /// Events oldest-to-newest (materialized view over the ring).
   [[nodiscard]] std::vector<FlightEvent> events() const;
@@ -85,10 +92,20 @@ class FlightRecorder {
   void clear();
 
  private:
+  /// One shard's ring. Events land here in that shard's execution order,
+  /// which is time-monotone — the merge in events() relies on it.
+  struct Ring {
+    std::vector<FlightEvent> ring;
+    std::size_t next = 0;        ///< overwrite cursor once full
+    std::uint64_t recorded = 0;  ///< lifetime total, incl. overwritten
+  };
+
+  /// The ring of the shard window the calling thread executes (ring 0
+  /// outside any window, and always in serial mode).
+  [[nodiscard]] Ring& stripe();
+
   std::size_t capacity_;
-  std::vector<FlightEvent> ring_;
-  std::size_t next_ = 0;          ///< overwrite cursor once full
-  std::uint64_t recorded_ = 0;    ///< lifetime total, including overwritten
+  std::vector<Ring> stripes_{1};
 };
 
 }  // namespace rgb::obs

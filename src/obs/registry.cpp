@@ -197,19 +197,28 @@ std::vector<MetricsRegistry::Sample> kind_family(
 
 void register_network_metrics(MetricsRegistry& registry,
                               const net::Network& network) {
-  const net::Network::Metrics& m = network.metrics();
-  registry.add_value("net.sent", &m.sent);
-  registry.add_value("net.delivered", &m.delivered);
-  registry.add_value("net.dropped_loss", &m.dropped_loss);
-  registry.add_value("net.dropped_crash", &m.dropped_crash);
-  registry.add_value("net.dropped_src_crash", &m.dropped_src_crash);
-  registry.add_value("net.dropped_partition", &m.dropped_partition);
-  registry.add_value("net.dropped_unattached", &m.dropped_unattached);
-  registry.add_value("net.bytes_sent", &m.bytes_sent);
+  // Gauges, not field pointers: a sharded network merges its per-shard
+  // stripes on each metrics() call, so every read must go through it.
+  const net::Network* n = &network;
+  registry.add_gauge("net.sent", [n] { return n->metrics().sent; });
+  registry.add_gauge("net.delivered", [n] { return n->metrics().delivered; });
+  registry.add_gauge("net.dropped_loss",
+                     [n] { return n->metrics().dropped_loss; });
+  registry.add_gauge("net.dropped_crash",
+                     [n] { return n->metrics().dropped_crash; });
+  registry.add_gauge("net.dropped_src_crash",
+                     [n] { return n->metrics().dropped_src_crash; });
+  registry.add_gauge("net.dropped_partition",
+                     [n] { return n->metrics().dropped_partition; });
+  registry.add_gauge("net.dropped_unattached",
+                     [n] { return n->metrics().dropped_unattached; });
+  registry.add_gauge("net.bytes_sent",
+                     [n] { return n->metrics().bytes_sent; });
   registry.add_family(
-      [&m]() { return kind_family("net.sent.kind", m.sent_per_kind); });
-  registry.add_family(
-      [&m]() { return kind_family("net.bytes.kind", m.bytes_per_kind); });
+      [n]() { return kind_family("net.sent.kind", n->metrics().sent_per_kind); });
+  registry.add_family([n]() {
+    return kind_family("net.bytes.kind", n->metrics().bytes_per_kind);
+  });
 }
 
 void register_tracer(MetricsRegistry& registry, const OpTracer& tracer) {
@@ -217,14 +226,20 @@ void register_tracer(MetricsRegistry& registry, const OpTracer& tracer) {
   static constexpr std::array<const char*, kOpKindCount> kKindSlugs = {
       "member_join", "member_leave",   "member_handoff", "member_fail",
       "ne_join",     "ne_leave",       "ne_fail"};
+  // Producers, not histogram pointers: a sharded tracer merges its stripes
+  // on each accessor call, so the registry must re-read through it.
+  const OpTracer* t = &tracer;
   for (std::size_t i = 0; i < kOpKindCount; ++i) {
     registry.add_histogram(
         std::string{"obs.lat.dissemination."} + kKindSlugs[i],
-        &tracer.dissemination(static_cast<core::OpKind>(i)));
+        [t, i] { return t->dissemination(static_cast<core::OpKind>(i)); });
   }
-  registry.add_histogram("obs.lat.join_to_root", &tracer.join_latency());
-  registry.add_histogram("obs.lat.detect.member", &tracer.member_detection());
-  registry.add_histogram("obs.lat.detect.ne", &tracer.ne_detection());
+  registry.add_histogram("obs.lat.join_to_root",
+                         [t] { return t->join_latency(); });
+  registry.add_histogram("obs.lat.detect.member",
+                         [t] { return t->member_detection(); });
+  registry.add_histogram("obs.lat.detect.ne",
+                         [t] { return t->ne_detection(); });
 }
 
 bool registry_parity_ok(const MetricsRegistry& registry,

@@ -1,8 +1,19 @@
 #include "obs/trace.hpp"
 
+#include "sim/simulator.hpp"
+
 namespace rgb::obs {
 
 OpTracer::OpTracer(FlightRecorder& flight) : flight_(flight) {}
+
+void OpTracer::configure_shards(std::uint32_t count) {
+  stripes_.assign(count == 0 ? 1 : count, Stripe{});
+}
+
+OpTracer::Stripe& OpTracer::stripe() {
+  const std::uint32_t s = sim::current_executing_shard();
+  return stripes_[s < stripes_.size() ? s : 0];
+}
 
 void OpTracer::on_op_born(const core::MembershipOp& op, common::NodeId at,
                           sim::Time now) {
@@ -16,31 +27,42 @@ void OpTracer::on_op_applied(const core::MembershipOp& op, int tier,
   // RGB fixture) carry born == 0 with a non-zero apply tick; a stamp is
   // only trustworthy when it is <= now.
   if (op.born > now) return;
+  Stripe& st = stripe();
   const auto latency = static_cast<double>(now - op.born);
-  dissemination_[static_cast<std::size_t>(op.kind)].add(latency);
+  st.dissemination[static_cast<std::size_t>(op.kind)].add(latency);
   if (op.kind == core::OpKind::kMemberJoin && tier == 0) {
     // First root-tier apply per uid = the join became visible "at root".
-    if (joins_seen_at_root_.insert(op.uid).second) {
-      joins_seen_order_.push_back(op.uid);
-      if (joins_seen_order_.size() > kJoinDedupCap) {
-        joins_seen_at_root_.erase(joins_seen_order_.front());
-        joins_seen_order_.pop_front();
+    // Sharded: every root-tier NE applies the join eventually, and root
+    // NEs of one ring live on different shards — per-stripe dedup alone
+    // would record the sample once per shard. Each uid therefore has one
+    // designated recording stripe (uid mod shard count): exactly one
+    // sample per join, picked deterministically.
+    const auto stripe_idx =
+        static_cast<std::size_t>(&st - stripes_.data());
+    if (stripes_.size() > 1 && op.uid % stripes_.size() != stripe_idx) {
+      return;
+    }
+    if (st.joins_seen_at_root.insert(op.uid).second) {
+      st.joins_seen_order.push_back(op.uid);
+      if (st.joins_seen_order.size() > kJoinDedupCap) {
+        st.joins_seen_at_root.erase(st.joins_seen_order.front());
+        st.joins_seen_order.pop_front();
       }
-      join_latency_.add(latency);
+      st.join_latency.add(latency);
     }
   }
 }
 
 void OpTracer::on_member_detected(common::Guid mh, common::NodeId detector,
                                   sim::Duration latency, sim::Time now) {
-  member_detection_.add(static_cast<double>(latency));
+  stripe().member_detection.add(static_cast<double>(latency));
   flight_.record(now, detector, FlightKind::kDetectMemberFail, mh.value(),
                  latency);
 }
 
 void OpTracer::on_ne_detected(common::NodeId ne, common::NodeId detector,
                               sim::Duration latency, sim::Time now) {
-  ne_detection_.add(static_cast<double>(latency));
+  stripe().ne_detection.add(static_cast<double>(latency));
   flight_.record(now, detector, FlightKind::kDetectNeFail, ne.value(),
                  latency);
 }
@@ -52,31 +74,56 @@ void OpTracer::on_view_change(FlightKind kind, common::NodeId at,
   flight_.record(now, at, kind, a, b);
 }
 
+const common::Histogram& OpTracer::merged(common::Histogram Stripe::*member,
+                                          common::Histogram& cache) const {
+  if (stripes_.size() == 1) return stripes_[0].*member;
+  cache = common::Histogram{};
+  for (const Stripe& s : stripes_) cache.merge(s.*member);
+  return cache;
+}
+
+const common::Histogram& OpTracer::dissemination(core::OpKind kind) const {
+  const auto k = static_cast<std::size_t>(kind);
+  if (stripes_.size() == 1) return stripes_[0].dissemination[k];
+  merge_cache_.dissemination[k] = common::Histogram{};
+  for (const Stripe& s : stripes_) {
+    merge_cache_.dissemination[k].merge(s.dissemination[k]);
+  }
+  return merge_cache_.dissemination[k];
+}
+
+const common::Histogram& OpTracer::join_latency() const {
+  return merged(&Stripe::join_latency, merge_cache_.join_latency);
+}
+
+const common::Histogram& OpTracer::member_detection() const {
+  return merged(&Stripe::member_detection, merge_cache_.member_detection);
+}
+
+const common::Histogram& OpTracer::ne_detection() const {
+  return merged(&Stripe::ne_detection, merge_cache_.ne_detection);
+}
+
 common::Histogram OpTracer::merged_member_dissemination() const {
   common::Histogram merged;
   for (const core::OpKind kind :
        {core::OpKind::kMemberJoin, core::OpKind::kMemberLeave,
         core::OpKind::kMemberHandoff, core::OpKind::kMemberFail}) {
-    merged.merge(dissemination_[static_cast<std::size_t>(kind)]);
+    merged.merge(dissemination(kind));
   }
   return merged;
 }
 
 common::Histogram OpTracer::merged_detection() const {
   common::Histogram merged;
-  merged.merge(member_detection_);
-  merged.merge(ne_detection_);
+  merged.merge(member_detection());
+  merged.merge(ne_detection());
   return merged;
 }
 
 void OpTracer::reset() {
-  for (auto& histogram : dissemination_) histogram = common::Histogram{};
-  join_latency_ = common::Histogram{};
-  member_detection_ = common::Histogram{};
-  ne_detection_ = common::Histogram{};
+  for (Stripe& st : stripes_) st = Stripe{};
   view_changes_.reset();
-  joins_seen_at_root_.clear();
-  joins_seen_order_.clear();
 }
 
 }  // namespace rgb::obs

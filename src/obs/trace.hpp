@@ -14,12 +14,20 @@
 // All values are sim-time microseconds; everything is deterministic and
 // per-trial (owned by the trial's RgbSystem), so multi-threaded runners
 // never share tracer state.
+//
+// Sharded trials (configure_shards) stripe the histograms per shard —
+// each written only from its shard's windows — and the accessors merge
+// the stripes in shard order, so the exported digests are a function of
+// the logical shard count alone, never of worker interleaving. The
+// view-change counter stays shared (common::Counter is a relaxed atomic;
+// sums commute).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <deque>
 #include <unordered_set>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/stats.hpp"
@@ -35,6 +43,10 @@ inline constexpr std::size_t kOpKindCount = 7;
 class OpTracer {
  public:
   explicit OpTracer(FlightRecorder& flight);
+
+  /// Stripes the tracer's instruments into `count` per-shard copies. Call
+  /// before any tracing, paired with the simulator's configure_shards.
+  void configure_shards(std::uint32_t count);
 
   /// The originating NE stamped `op.born` and is about to disseminate it.
   void on_op_born(const core::MembershipOp& op, common::NodeId at,
@@ -57,21 +69,16 @@ class OpTracer {
   void on_view_change(FlightKind kind, common::NodeId at, std::uint64_t a,
                       std::uint64_t b, sim::Time now);
 
+  /// Accessor references stay valid until the next accessor call on the
+  /// same instrument: sharded tracers merge stripes into an internal cache
+  /// on each read (serial tracers hand out the live histogram directly).
   [[nodiscard]] const common::Histogram& dissemination(
-      core::OpKind kind) const {
-    return dissemination_[static_cast<std::size_t>(kind)];
-  }
+      core::OpKind kind) const;
   /// All member-op classes merged into one histogram (for summary export).
   [[nodiscard]] common::Histogram merged_member_dissemination() const;
-  [[nodiscard]] const common::Histogram& join_latency() const {
-    return join_latency_;
-  }
-  [[nodiscard]] const common::Histogram& member_detection() const {
-    return member_detection_;
-  }
-  [[nodiscard]] const common::Histogram& ne_detection() const {
-    return ne_detection_;
-  }
+  [[nodiscard]] const common::Histogram& join_latency() const;
+  [[nodiscard]] const common::Histogram& member_detection() const;
+  [[nodiscard]] const common::Histogram& ne_detection() const;
   /// Member + NE detections merged (for summary export).
   [[nodiscard]] common::Histogram merged_detection() const;
   [[nodiscard]] const common::Counter& view_changes() const {
@@ -86,14 +93,25 @@ class OpTracer {
   /// one join sample; memory stays bounded on million-member runs.
   static constexpr std::size_t kJoinDedupCap = 1 << 16;
 
+  /// One shard's instruments, written only from that shard's windows.
+  struct Stripe {
+    std::array<common::Histogram, kOpKindCount> dissemination;
+    common::Histogram join_latency;
+    common::Histogram member_detection;
+    common::Histogram ne_detection;
+    std::unordered_set<std::uint64_t> joins_seen_at_root;
+    std::deque<std::uint64_t> joins_seen_order;
+  };
+
+  [[nodiscard]] Stripe& stripe();
+  [[nodiscard]] const common::Histogram& merged(
+      common::Histogram Stripe::*member, common::Histogram& cache) const;
+
   FlightRecorder& flight_;
-  std::array<common::Histogram, kOpKindCount> dissemination_;
-  common::Histogram join_latency_;
-  common::Histogram member_detection_;
-  common::Histogram ne_detection_;
   common::Counter view_changes_;
-  std::unordered_set<std::uint64_t> joins_seen_at_root_;
-  std::deque<std::uint64_t> joins_seen_order_;
+  std::vector<Stripe> stripes_{1};
+  /// Merge targets for the sharded accessors (see the accessor contract).
+  mutable Stripe merge_cache_;
 };
 
 }  // namespace rgb::obs

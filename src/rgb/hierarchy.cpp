@@ -45,6 +45,61 @@ RgbSystem::RgbSystem(net::Network& network, RgbConfig config,
 
 RgbSystem::~RgbSystem() = default;
 
+void RgbSystem::configure_shards(std::uint32_t count) {
+  assert(count >= 1);
+  assert(network_.simulator().shard_count() == count &&
+         "configure the simulator's shards (count + epoch) first");
+  network_.configure_shards(count);
+  obs_.flight.configure_shards(count);
+  obs_.tracer.configure_shards(count);
+  attachments_.assign(count, {});
+
+  // Region rule: tier-0 node at flattened position p anchors region p;
+  // a tier-t ring (t >= 1) with index ridx hangs transitively under
+  // position ridx / r^(t-1), so all its members join that region. Regions
+  // map round-robin onto shards.
+  {
+    std::uint32_t p = 0;
+    for (const auto& ring : tiers_.front()) {
+      for (const NodeId id : ring) network_.assign_shard(id, p++ % count);
+    }
+  }
+  std::uint64_t rings_per_region = 1;
+  for (int tier = 1; tier < layout_.ring_tiers; ++tier) {
+    const auto& rings = tiers_[static_cast<std::size_t>(tier)];
+    for (std::size_t ridx = 0; ridx < rings.size(); ++ridx) {
+      const auto shard =
+          static_cast<std::uint32_t>((ridx / rings_per_region) % count);
+      for (const NodeId id : rings[ridx]) network_.assign_shard(id, shard);
+    }
+    rings_per_region *= static_cast<std::uint64_t>(layout_.ring_size);
+  }
+}
+
+std::uint32_t RgbSystem::shard_of(NodeId id) const {
+  return network_.shard_of(id);
+}
+
+void RgbSystem::with_entity_shard(NodeId id,
+                                  const std::function<void()>& fn) {
+  sim::Simulator& simulator = network_.simulator();
+  if (!simulator.is_sharded()) {
+    fn();
+    return;
+  }
+  const std::uint32_t home = network_.shard_of(id);
+  if (sim::in_shard_context()) {
+    // Already executing inside a shard window (e.g. a join scheduled onto
+    // its AP's home shard): the context must match — entity state is owned
+    // by its home shard.
+    assert(sim::current_executing_shard() == home &&
+           "facade entity call from a foreign shard's window");
+    fn();
+    return;
+  }
+  simulator.run_as(home, fn);
+}
+
 namespace {
 NeRole role_for_tier(int tier, int tiers) {
   if (tier == 0) return NeRole::kBorderRouter;
@@ -113,36 +168,62 @@ void RgbSystem::build() {
 void RgbSystem::join(Guid mh, NodeId ap) {
   NetworkEntity* ne = entity(ap);
   assert(ne != nullptr && "join via unknown AP");
-  attachments_[mh] = ap;
-  ne->local_member_join(mh);
+  const std::uint32_t home = shard_of(ap);
+  if (attachments_.size() > 1 && !sim::in_shard_context()) {
+    // Re-join via an AP homed elsewhere: retire the stale record. Only
+    // safe single-threaded — inside shard windows joins must be fresh
+    // guids (the concurrent-join contract in configure_shards).
+    for (std::uint32_t s = 0; s < attachments_.size(); ++s) {
+      if (s != home) attachments_[s].erase(mh);
+    }
+  }
+  attachments_[home][mh] = ap;
+  with_entity_shard(ap, [&] { ne->local_member_join(mh); });
 }
 
 void RgbSystem::leave(Guid mh) {
-  const auto it = attachments_.find(mh);
-  if (it == attachments_.end()) return;
-  NetworkEntity* ne = entity(it->second);
-  attachments_.erase(it);
-  if (ne != nullptr) ne->local_member_leave(mh);
+  for (auto& stripe : attachments_) {
+    const auto it = stripe.find(mh);
+    if (it == stripe.end()) continue;
+    const NodeId ap = it->second;
+    NetworkEntity* ne = entity(ap);
+    stripe.erase(it);
+    if (ne != nullptr) {
+      with_entity_shard(ap, [&] { ne->local_member_leave(mh); });
+    }
+    return;
+  }
 }
 
 void RgbSystem::handoff(Guid mh, NodeId new_ap) {
-  const auto it = attachments_.find(mh);
-  if (it == attachments_.end()) return;
-  const NodeId old_ap = it->second;
-  if (old_ap == new_ap) return;
-  NetworkEntity* ne = entity(new_ap);
-  assert(ne != nullptr && "handoff to unknown AP");
-  it->second = new_ap;
-  ne->local_member_handoff_in(mh, old_ap);
+  for (auto& stripe : attachments_) {
+    const auto it = stripe.find(mh);
+    if (it == stripe.end()) continue;
+    const NodeId old_ap = it->second;
+    if (old_ap == new_ap) return;
+    NetworkEntity* ne = entity(new_ap);
+    assert(ne != nullptr && "handoff to unknown AP");
+    stripe.erase(it);
+    attachments_[shard_of(new_ap)][mh] = new_ap;
+    with_entity_shard(new_ap,
+                      [&] { ne->local_member_handoff_in(mh, old_ap); });
+    return;
+  }
 }
 
 void RgbSystem::fail(Guid mh) {
-  const auto it = attachments_.find(mh);
-  if (it == attachments_.end()) return;
-  NetworkEntity* ne = entity(it->second);
-  attachments_.erase(it);
-  // The failure is detected and reported at the member's access proxy.
-  if (ne != nullptr) ne->local_member_fail(mh);
+  for (auto& stripe : attachments_) {
+    const auto it = stripe.find(mh);
+    if (it == stripe.end()) continue;
+    const NodeId ap = it->second;
+    NetworkEntity* ne = entity(ap);
+    stripe.erase(it);
+    // The failure is detected and reported at the member's access proxy.
+    if (ne != nullptr) {
+      with_entity_shard(ap, [&] { ne->local_member_fail(mh); });
+    }
+    return;
+  }
 }
 
 std::vector<proto::MemberRecord> RgbSystem::membership(
@@ -226,15 +307,22 @@ void RgbSystem::crash_ne(NodeId id) { network_.crash(id); }
 void RgbSystem::recover_ne(NodeId id) { network_.recover(id); }
 
 void RgbSystem::start_probing() {
-  for (const auto& ne : entities_) ne->start_probing();
+  for (const auto& ne : entities_) {
+    with_entity_shard(ne->id(), [&] { ne->start_probing(); });
+  }
 }
 
 std::vector<proto::MemberRecord> RgbSystem::expected_membership() const {
   std::vector<proto::MemberRecord> out;
-  out.reserve(attachments_.size());
-  for (const auto& [guid, ap] : attachments_) {
-    out.push_back(
-        proto::MemberRecord{guid, ap, proto::MemberStatus::kOperational});
+  std::size_t total = 0;
+  for (const auto& stripe : attachments_) total += stripe.size();
+  out.reserve(total);
+  // Stripe iteration order is irrelevant: the sort below canonicalizes.
+  for (const auto& stripe : attachments_) {
+    for (const auto& [guid, ap] : stripe) {
+      out.push_back(
+          proto::MemberRecord{guid, ap, proto::MemberStatus::kOperational});
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const proto::MemberRecord& a, const proto::MemberRecord& b) {
@@ -343,8 +431,11 @@ std::uint64_t RgbSystem::view_divergence() const {
 }
 
 NodeId RgbSystem::ap_of(Guid mh) const {
-  const auto it = attachments_.find(mh);
-  return it == attachments_.end() ? NodeId{} : it->second;
+  for (const auto& stripe : attachments_) {
+    const auto it = stripe.find(mh);
+    if (it != stripe.end()) return it->second;
+  }
+  return NodeId{};
 }
 
 std::vector<obs::MetricsRegistry::Sample> RgbSystem::metrics_snapshot()

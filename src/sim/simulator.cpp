@@ -2,88 +2,290 @@
 
 #include <algorithm>
 #include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 namespace rgb::sim {
 
-std::uint32_t Simulator::acquire_slot(Callback cb, std::uint64_t seq) {
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+namespace {
+
+/// Shard context of the calling thread. A worker (or a run_as/inline
+/// window on the owning thread) belongs to exactly one simulator at a
+/// time, so a flat thread-local is unambiguous even with trial-parallel
+/// runners each owning their own simulator.
+constexpr std::uint32_t kNoShard = 0xFFFFFFFEu;
+thread_local std::uint32_t tls_shard = kNoShard;
+
+struct ShardContextGuard {
+  explicit ShardContextGuard(std::uint32_t shard) : prev(tls_shard) {
+    tls_shard = shard;
   }
-  slots_[slot].cb = std::move(cb);
-  slots_[slot].seq = seq;
-  return slot;
+  ~ShardContextGuard() { tls_shard = prev; }
+  std::uint32_t prev;
+};
+
+}  // namespace
+
+std::uint32_t current_executing_shard() {
+  return tls_shard == kNoShard ? 0 : tls_shard;
 }
 
-void Simulator::release_slot(std::uint32_t slot) {
-  slots_[slot].cb = nullptr;
-  slots_[slot].seq = 0;
-  free_slots_.push_back(slot);
+bool in_shard_context() { return tls_shard != kNoShard; }
+
+/// Worker pool for parallel windows: generation-counted dispatch, shards
+/// assigned round-robin by index so the work split is static and the
+/// barrier (mutex + condvars) gives the happens-before edge between a
+/// window's shard-local writes and the owning thread's barrier reads.
+struct Simulator::Pool {
+  explicit Pool(Simulator& sim, unsigned count) {
+    threads.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+      threads.emplace_back([this, &sim, i, count] { worker(sim, i, count); });
+    }
+  }
+
+  void run_generation(Time window_end) {
+    std::unique_lock lock{mu};
+    end = window_end;
+    pending = static_cast<unsigned>(threads.size());
+    ++generation;
+    cv_work.notify_all();
+    cv_done.wait(lock, [this] { return pending == 0; });
+  }
+
+  void stop() {
+    {
+      std::lock_guard lock{mu};
+      stopping = true;
+      cv_work.notify_all();
+    }
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+  }
+
+ private:
+  void worker(Simulator& sim, unsigned id, unsigned count) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Time window_end;
+      {
+        std::unique_lock lock{mu};
+        cv_work.wait(lock, [&] { return stopping || generation != seen; });
+        if (stopping) return;
+        seen = generation;
+        window_end = end;
+      }
+      const std::uint32_t shard_total = sim.shard_count();
+      for (std::uint32_t s = id; s < shard_total; s += count) {
+        ShardContextGuard ctx{s};
+        sim.run_window(s, window_end);
+      }
+      {
+        std::lock_guard lock{mu};
+        if (--pending == 0) cv_done.notify_one();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable cv_work, cv_done;
+  std::uint64_t generation = 0;
+  Time end = 0;
+  unsigned pending = 0;
+  bool stopping = false;
+};
+
+Simulator::Simulator() = default;
+Simulator::~Simulator() { stop_pool(); }
+
+void Simulator::stop_pool() {
+  if (pool_) {
+    pool_->stop();
+    pool_.reset();
+  }
+}
+
+void Simulator::configure_shards(std::uint32_t count, Duration epoch) {
+  assert(count >= 1);
+  assert(epoch >= 1 && "epoch must be a positive lookahead window");
+  assert(executed_events() == 0 && pending_events() == 0 &&
+         global_events_.empty() && "configure_shards before any scheduling");
+  stop_pool();
+  shards_.clear();
+  shards_.resize(count);
+  epoch_ = epoch;
+}
+
+void Simulator::set_workers(unsigned workers) {
+  workers_ = std::max(1u, workers);
+  stop_pool();  // re-created lazily at the next parallel window
+}
+
+void Simulator::run_as(std::uint32_t shard, const std::function<void()>& fn) {
+  assert(shard < shards_.size());
+  if (!is_sharded()) {
+    fn();
+    return;
+  }
+  assert(!in_window_ && "run_as is a between-windows facade hook");
+  // An idle shard's clock may trail the fence; pull it forward so events
+  // the callee schedules "now" are never in the shard's past.
+  Shard& sh = shards_[shard];
+  sh.now = std::max(sh.now, global_now_);
+  ShardContextGuard ctx{shard};
+  fn();
+}
+
+Time Simulator::now() const {
+  if (tls_shard != kNoShard && tls_shard < shards_.size()) {
+    return shards_[tls_shard].now;
+  }
+  return is_sharded() ? global_now_ : shards_[0].now;
+}
+
+EventId Simulator::push_event(std::uint32_t shard_idx, Time t, Callback cb) {
+  Shard& sh = shards_[shard_idx];
+  assert(t >= sh.now && "cannot schedule into the past");
+  assert(cb && "empty callback");
+  const std::uint64_t seq = sh.next_seq++;
+  std::uint32_t slot;
+  if (!sh.free_slots.empty()) {
+    slot = sh.free_slots.back();
+    sh.free_slots.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(sh.slots.size());
+    sh.slots.emplace_back();
+  }
+  sh.slots[slot].cb = std::move(cb);
+  sh.slots[slot].seq = seq;
+  sh.heap.push_back(Entry{t, seq, slot});
+  std::push_heap(sh.heap.begin(), sh.heap.end(), std::greater<>{});
+  ++sh.live;
+  return EventId{seq, slot, shard_idx};
 }
 
 EventId Simulator::schedule_at(Time t, Callback cb) {
-  assert(t >= now_ && "cannot schedule into the past");
-  assert(cb && "empty callback");
-  const std::uint64_t seq = next_seq_++;
-  const std::uint32_t slot = acquire_slot(std::move(cb), seq);
-  heap_.push_back(Entry{t, seq, slot});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  ++live_;
-  return EventId{seq, slot};
+  if (tls_shard != kNoShard && tls_shard < shards_.size()) {
+    return push_event(tls_shard, t, std::move(cb));
+  }
+  if (is_sharded()) return schedule_global(t, std::move(cb));
+  return push_event(0, t, std::move(cb));
 }
 
 EventId Simulator::schedule_after(Duration delay, Callback cb) {
-  return schedule_at(now_ + delay, std::move(cb));
+  return schedule_at(now() + delay, std::move(cb));
+}
+
+EventId Simulator::schedule_on(std::uint32_t shard, Time t, Callback cb) {
+  assert(shard < shards_.size());
+  const std::uint32_t ctx =
+      tls_shard != kNoShard && tls_shard < shards_.size() ? tls_shard
+                                                          : kNoShard;
+  if (in_window_ && ctx != kNoShard && ctx != shard) {
+    // Cross-shard handoff: parked in the source shard's outbox, renumbered
+    // into the destination heap at the barrier. The lookahead contract
+    // keeps the destination from having passed the delivery time.
+    assert(t > window_end_ &&
+           "cross-shard event lands inside the current window: epoch "
+           "exceeds the cross-shard lookahead (minimum link latency)");
+    shards_[ctx].outbox.push_back(Handoff{shard, t, std::move(cb)});
+    return EventId{};
+  }
+  return push_event(shard, t, std::move(cb));
+}
+
+EventId Simulator::schedule_global(Time t, Callback cb) {
+  if (!is_sharded()) return schedule_at(t, std::move(cb));
+  assert(tls_shard == kNoShard &&
+         "global events are scheduled from outside shard contexts");
+  assert(t >= global_now_ && "cannot schedule into the past");
+  assert(cb && "empty callback");
+  const std::uint64_t seq = next_global_seq_++;
+  global_events_.emplace(std::make_pair(t, seq), std::move(cb));
+  return EventId{seq, 0, kGlobalShard};
 }
 
 void Simulator::cancel(EventId id) {
-  if (!id.valid() || id.slot >= slots_.size()) return;
-  Slot& slot = slots_[id.slot];
+  if (!id.valid()) return;
+  if (id.shard == kGlobalShard) {
+    for (auto it = global_events_.begin(); it != global_events_.end(); ++it) {
+      if (it->first.second == id.seq) {
+        global_events_.erase(it);
+        return;
+      }
+    }
+    return;
+  }
+  if (id.shard >= shards_.size()) return;
+  assert((!in_window_ || tls_shard == id.shard) &&
+         "cross-shard cancel inside a window would race the owner");
+  Shard& sh = shards_[id.shard];
+  if (id.slot >= sh.slots.size()) return;
+  Slot& slot = sh.slots[id.slot];
   if (slot.seq != id.seq) return;  // already fired or cancelled
   slot.cb = nullptr;
   slot.seq = 0;  // tombstone: the heap entry no longer matches
-  --live_;
-  ++tombstones_;
+  --sh.live;
+  ++sh.tombstones;
   // Cancel-heavy churn (retransmission timers armed and disarmed per
   // message) would otherwise pile tombstones up until their heap entries
   // pop naturally — for long-lived timers, effectively never.
-  if (tombstones_ > live_ && tombstones_ > 64) purge_tombstones();
+  if (sh.tombstones > sh.live && sh.tombstones > 64) purge_tombstones(sh);
 }
 
-void Simulator::purge_tombstones() {
-  const auto is_tombstone = [this](const Entry& e) {
-    return slots_[e.slot].seq != e.seq;
+void Simulator::release_slot(Shard& sh, std::uint32_t slot) {
+  sh.slots[slot].cb = nullptr;
+  sh.slots[slot].seq = 0;
+  sh.free_slots.push_back(slot);
+}
+
+void Simulator::purge_tombstones(Shard& sh) {
+  const auto is_tombstone = [&sh](const Entry& e) {
+    return sh.slots[e.slot].seq != e.seq;
   };
-  for (const Entry& e : heap_) {
-    if (is_tombstone(e)) free_slots_.push_back(e.slot);
+  for (const Entry& e : sh.heap) {
+    if (is_tombstone(e)) sh.free_slots.push_back(e.slot);
   }
-  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), is_tombstone),
-              heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  tombstones_ = 0;
+  sh.heap.erase(
+      std::remove_if(sh.heap.begin(), sh.heap.end(), is_tombstone),
+      sh.heap.end());
+  std::make_heap(sh.heap.begin(), sh.heap.end(), std::greater<>{});
+  sh.tombstones = 0;
+}
+
+const Simulator::Entry* Simulator::peek_live(Shard& sh) {
+  while (!sh.heap.empty()) {
+    const Entry& top = sh.heap.front();
+    if (sh.slots[top.slot].seq == top.seq) return &sh.heap.front();
+    sh.free_slots.push_back(top.slot);
+    --sh.tombstones;
+    std::pop_heap(sh.heap.begin(), sh.heap.end(), std::greater<>{});
+    sh.heap.pop_back();
+  }
+  return nullptr;
 }
 
 bool Simulator::step() {
-  while (!heap_.empty()) {
-    const Entry top = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    heap_.pop_back();
-    Slot& slot = slots_[top.slot];
+  assert(!is_sharded() && "step() drives the serial scheduler only");
+  Shard& sh = shards_[0];
+  while (!sh.heap.empty()) {
+    const Entry top = sh.heap.front();
+    std::pop_heap(sh.heap.begin(), sh.heap.end(), std::greater<>{});
+    sh.heap.pop_back();
+    Slot& slot = sh.slots[top.slot];
     if (slot.seq != top.seq) {  // cancelled tombstone
-      free_slots_.push_back(top.slot);
-      --tombstones_;
+      sh.free_slots.push_back(top.slot);
+      --sh.tombstones;
       continue;
     }
     Callback cb = std::move(slot.cb);
-    release_slot(top.slot);
-    --live_;
-    now_ = top.time;
-    ++executed_;
+    release_slot(sh, top.slot);
+    --sh.live;
+    sh.now = top.time;
+    ++sh.executed;
     cb();
     return true;
   }
@@ -91,29 +293,155 @@ bool Simulator::step() {
 }
 
 std::uint64_t Simulator::run(std::uint64_t max_events) {
+  if (is_sharded()) {
+    return run_until_sharded(kNever, max_events,
+                             /*advance_to_deadline=*/false);
+  }
   std::uint64_t n = 0;
   while (n < max_events && step()) ++n;
   return n;
 }
 
 std::uint64_t Simulator::run_until(Time deadline, std::uint64_t max_events) {
+  if (is_sharded()) {
+    return run_until_sharded(deadline, max_events,
+                             /*advance_to_deadline=*/true);
+  }
+  return run_until_serial(deadline, max_events);
+}
+
+std::uint64_t Simulator::run_until_serial(Time deadline,
+                                          std::uint64_t max_events) {
+  Shard& sh = shards_[0];
   std::uint64_t n = 0;
-  while (n < max_events && !heap_.empty()) {
-    // Skip cancelled tombstones without advancing the clock.
-    const Entry& top = heap_.front();
-    if (slots_[top.slot].seq != top.seq) {
-      free_slots_.push_back(top.slot);
-      --tombstones_;
-      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-      heap_.pop_back();
-      continue;
-    }
-    if (top.time > deadline) break;
+  while (n < max_events) {
+    const Entry* top = peek_live(sh);
+    if (top == nullptr || top->time > deadline) break;
     step();
     ++n;
   }
-  now_ = std::max(now_, deadline);
+  // Advance the clock through the quiet remainder only when nothing due
+  // on or before the deadline is still pending. When the max_events cap
+  // stops the run mid-window, teleporting now() to the deadline would make
+  // the next step() run the clock backwards (and let fresh schedule_at
+  // calls insert ahead of already-due events).
+  const Entry* top = peek_live(sh);
+  if (top == nullptr || top->time > deadline) {
+    sh.now = std::max(sh.now, deadline);
+  }
   return n;
+}
+
+void Simulator::run_window(std::uint32_t shard_idx, Time window_end) {
+  Shard& sh = shards_[shard_idx];
+  for (;;) {
+    const Entry* top = peek_live(sh);
+    if (top == nullptr || top->time > window_end) return;
+    const Entry entry = *top;
+    std::pop_heap(sh.heap.begin(), sh.heap.end(), std::greater<>{});
+    sh.heap.pop_back();
+    Callback cb = std::move(sh.slots[entry.slot].cb);
+    release_slot(sh, entry.slot);
+    --sh.live;
+    sh.now = entry.time;
+    ++sh.executed;
+    cb();
+  }
+}
+
+void Simulator::dispatch_window(Time window_end) {
+  in_window_ = true;
+  window_end_ = window_end;
+  const unsigned workers =
+      std::min<unsigned>(workers_, static_cast<unsigned>(shards_.size()));
+  if (workers <= 1) {
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      ShardContextGuard ctx{s};
+      run_window(s, window_end);
+    }
+  } else {
+    if (!pool_) pool_ = std::make_unique<Pool>(*this, workers);
+    pool_->run_generation(window_end);
+  }
+  in_window_ = false;
+  // Barrier: drain cross-shard handoffs in (source shard, enqueue order),
+  // renumbering each into its destination's FIFO space — the fixed drain
+  // order is what makes the merge independent of worker interleaving.
+  for (Shard& src : shards_) {
+    for (Handoff& h : src.outbox) {
+      assert(h.time > window_end);
+      push_event(h.dst_shard, h.time, std::move(h.cb));
+    }
+    src.outbox.clear();
+  }
+}
+
+std::uint64_t Simulator::run_until_sharded(Time deadline,
+                                           std::uint64_t max_events,
+                                           bool advance_to_deadline) {
+  std::uint64_t n = 0;
+  for (;;) {
+    // Globals due at the fence run first, in (time, seq) order; each may
+    // schedule more work (including more globals at the same instant).
+    while (!global_events_.empty() &&
+           global_events_.begin()->first.first <= global_now_ &&
+           n < max_events) {
+      auto node = global_events_.extract(global_events_.begin());
+      ++globals_executed_;
+      ++n;
+      node.mapped()();
+    }
+    if (n >= max_events) return n;
+
+    const Time next_global = global_events_.empty()
+                                 ? kNever
+                                 : global_events_.begin()->first.first;
+    Time next_shard = kNever;
+    for (Shard& sh : shards_) {
+      const Entry* top = peek_live(sh);
+      if (top != nullptr && top->time < next_shard) next_shard = top->time;
+    }
+    const Time next_t = std::min(next_shard, next_global);
+    if (next_t == kNever || next_t > deadline) {
+      if (advance_to_deadline) global_now_ = std::max(global_now_, deadline);
+      return n;
+    }
+    if (next_global <= next_shard) {
+      // Next activity is a global: jump the fence to it and loop.
+      global_now_ = next_global;
+      continue;
+    }
+    // Shard window [next_shard .. end]: bounded by the epoch lookahead so
+    // cross-shard sends made inside it land strictly beyond it, and by the
+    // next global so barrier actions interleave at their exact tick.
+    const std::uint64_t before = executed_events();
+    Time end = next_shard + (epoch_ - 1);
+    if (end < next_shard) end = kNever - 1;  // overflow clamp
+    end = std::min(end, deadline);
+    end = std::min(end, next_global);
+    dispatch_window(end);
+    n += executed_events() - before;
+    global_now_ = end;
+    if (n >= max_events) return n;  // window-granular cap: fence stays put
+  }
+}
+
+std::size_t Simulator::pending_events() const {
+  std::size_t total = global_events_.size();
+  for (const Shard& sh : shards_) total += sh.live;
+  return total;
+}
+
+std::uint64_t Simulator::executed_events() const {
+  std::uint64_t total = globals_executed_;
+  for (const Shard& sh : shards_) total += sh.executed;
+  return total;
+}
+
+std::size_t Simulator::queued_entries() const {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) total += sh.heap.size();
+  return total;
 }
 
 }  // namespace rgb::sim

@@ -253,6 +253,54 @@ TEST_F(NetworkTest, ResetMetricsClears) {
   EXPECT_TRUE(network_.metrics().sent_per_kind.empty());
 }
 
+TEST_F(NetworkTest, LinkKeySeparatesHighBitNodeIds) {
+  // Regression: the packed 64-bit key ORed the ids together unmasked
+  // ((min << 32) | max), so {1, 2} and {1, 2^32 + 2} collided onto the
+  // same link record — an override for one silently governed the other.
+  const NodeId high{(1ULL << 32) + 2};
+  Recorder rhigh;
+  network_.attach(high, &rhigh);
+  network_.set_link(a_, b_,
+                    LinkConfig{LatencyModel::fixed(sim::msec(50)), 0.0});
+  network_.send(Envelope{a_, high, 0, 64, 0});
+  sim_.run();
+  ASSERT_EQ(rhigh.received.size(), 1u);
+  EXPECT_EQ(sim_.now(), sim::msec(1));  // default link, not the {1,2} one
+  // Both links hold distinct configs side by side.
+  network_.set_link(a_, high,
+                    LinkConfig{LatencyModel::fixed(sim::msec(7)), 0.0});
+  send_ab();
+  sim_.run();
+  EXPECT_EQ(sim_.now(), sim::msec(51));
+  network_.send(Envelope{a_, high, 0, 64, 0});
+  sim_.run();
+  EXPECT_EQ(sim_.now(), sim::msec(58));
+  EXPECT_EQ(rhigh.received.size(), 2u);
+}
+
+TEST_F(NetworkTest, NoNegativeDeliveryLatencyAcrossCappedRuns) {
+  // Companion to the run_until cap bugfix: driving the simulation in
+  // event-capped chunks (the bench/oracle pattern) must never observe a
+  // delivery earlier than its send — every latency sample stays the exact
+  // link delay.
+  network_.set_link(a_, b_,
+                    LinkConfig{LatencyModel::fixed(sim::msec(2)), 0.0});
+  for (int burst = 0; burst < 5; ++burst) {
+    const sim::Time deadline = sim::sec(static_cast<sim::Time>(burst + 1));
+    send_ab();
+    send_ab();
+    // A deadline far past the pending deliveries with a tiny event budget:
+    // the buggy clock jumped here, making later sends look "in the past".
+    sim_.run_until(deadline, 1);
+    send_ab();
+    sim_.run_until(deadline);
+  }
+  const auto& lat = network_.metrics().delivery_latency_us;
+  EXPECT_EQ(lat.count(), 15u);
+  EXPECT_DOUBLE_EQ(lat.min(), static_cast<double>(sim::msec(2)));
+  EXPECT_DOUBLE_EQ(lat.max(), static_cast<double>(sim::msec(2)));
+}
+
 TEST_F(NetworkTest, AttachReplacesEndpoint) {
   Recorder rb2;
   network_.attach(b_, &rb2);

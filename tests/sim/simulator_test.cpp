@@ -256,6 +256,49 @@ TEST(Simulator, ExecutedEventsCounter) {
   EXPECT_EQ(s.executed_events(), 5u);
 }
 
+TEST(Simulator, RunUntilCapKeepsClockBehindPendingEvents) {
+  // Regression: when the max_events cap stopped a run_until with events
+  // <= deadline still pending, the clock used to jump to the deadline
+  // anyway — the survivors then fired "in the past", so now() ran
+  // backwards and latencies measured across the jump went negative.
+  Simulator s;
+  std::vector<Time> fired_at;
+  for (Time t = 1; t <= 6; ++t) {
+    s.schedule_at(msec(t), [&] { fired_at.push_back(s.now()); });
+  }
+  EXPECT_EQ(s.run_until(sec(1), 3), 3u);
+  EXPECT_EQ(s.now(), msec(3));  // parked at the last executed event
+  EXPECT_EQ(s.pending_events(), 3u);
+  EXPECT_EQ(s.run_until(sec(1)), 3u);
+  EXPECT_EQ(s.now(), sec(1));  // drained: the deadline applies again
+  EXPECT_TRUE(std::is_sorted(fired_at.begin(), fired_at.end()));
+  EXPECT_EQ(fired_at.back(), msec(6));
+}
+
+TEST(Simulator, RunUntilZeroBudgetLeavesClockUntouched) {
+  // Degenerate corner of the same regression: a zero event budget with
+  // work pending inside the deadline must not move the clock at all.
+  Simulator s;
+  s.schedule_at(msec(5), [] {});
+  EXPECT_EQ(s.run_until(sec(1), 0), 0u);
+  EXPECT_EQ(s.now(), 0u);
+  s.run();
+  EXPECT_EQ(s.now(), msec(5));
+}
+
+TEST(Simulator, NowStaysMonotoneAcrossCappedChunks) {
+  // Driving a run in small capped chunks (the bench/oracle sampling
+  // pattern) must observe a non-decreasing clock from inside events.
+  Simulator s;
+  std::vector<Time> observed;
+  for (Time t = 1; t <= 40; ++t) {
+    s.schedule_at(usec(t * 7), [&] { observed.push_back(s.now()); });
+  }
+  while (s.pending_events() > 0) s.run_until(sec(1), 3);
+  EXPECT_EQ(observed.size(), 40u);
+  EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator s;
   Time last = 0;

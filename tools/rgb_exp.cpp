@@ -8,6 +8,7 @@
 //   rgb_exp bench [--members N[,N...]] [--modes digest|full|both]
 //                 [--join dissem|snapshot|both]
 //                 [--tiers H] [--ring R] [--steady-ticks K] [--seed S]
+//                 [--warmup-ticks K] [--join-spacing US] [--shards W]
 //                 [--json PATH|-] [--smoke] [--series PATH|-] [--detect]
 //                 [--deterministic]
 //
@@ -82,6 +83,11 @@ int usage(const char* argv0, int code) {
      << "  --tiers H      ring tiers (default 2)\n"
      << "  --ring R       ring size (default 5)\n"
      << "  --steady-ticks K  probe ticks in the steady window (default 10)\n"
+     << "  --warmup-ticks K  probe ticks of pre-window warm-up (default 10)\n"
+     << "  --join-spacing US virtual us between member arrivals (default 500)\n"
+     << "  --shards W     sharded trial: one logical shard per tier-0\n"
+     << "                 region, W worker threads on the windows; the\n"
+     << "                 deterministic output is identical for any W >= 1\n"
      << "  --seed S       trial seed (default 0xBE7C4)\n"
      << "  --json PATH    write the BENCH json artifact ('-' for stdout)\n"
      << "  --smoke        bounded CI profile (members=200, both modes)\n"
@@ -150,6 +156,12 @@ int run_bench(int argc, char** argv) {
       base.ring_size = static_cast<int>(next_u64());
     } else if (arg == "--steady-ticks") {
       base.steady_ticks = static_cast<int>(next_u64());
+    } else if (arg == "--warmup-ticks") {
+      base.warmup_ticks = static_cast<int>(next_u64());
+    } else if (arg == "--join-spacing") {
+      base.join_spacing = next_u64();
+    } else if (arg == "--shards") {
+      base.shard_workers = static_cast<unsigned>(next_u64());
     } else if (arg == "--seed") {
       base.seed = next_u64();
     } else if (arg == "--json") {

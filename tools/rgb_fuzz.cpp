@@ -4,7 +4,8 @@
 //   rgb_fuzz [--proto rgb|tree|flatring|gossip] [--seeds N] [--start S]
 //            [--tiers H] [--ring R] [--members M] [--events E]
 //            [--crashes 0|1] [--partitions 0|1] [--bursts 0|1]
-//            [--handoffs 0|1] [--mask BITS] [--schedule FILE] [--quiet]
+//            [--handoffs 0|1] [--mask BITS] [--shard-workers W]
+//            [--schedule FILE] [--quiet]
 //
 // For each seed in [start, start+N) the tool generates a random fault
 // schedule, replays it against the chosen protocol, and runs the invariant
@@ -50,6 +51,9 @@ int usage(const char* argv0, int code) {
      << "  --handoffs B   enable handoff churn (default 1)\n"
      << "  --snapshot-join B  RGB: snapshot bulk-join mode (default 0) —\n"
      << "                 the lossy-surge snapshot-join conformance profile\n"
+     << "  --shard-workers W  RGB: run sharded with W worker threads\n"
+     << "                 (default 0 = serial; reports are byte-identical\n"
+     << "                 for every W >= 1)\n"
      << "  --mask BITS    invariant mask (default all; see EXPERIMENTS.md)\n"
      << "  --schedule F   replay schedule file F under seed --start\n"
      << "  --quiet        only report violations and the final summary\n";
@@ -111,6 +115,8 @@ int main(int argc, char** argv) {
         cfg.gen.handoffs = next_u64() != 0;
       } else if (arg == "--snapshot-join") {
         cfg.snapshot_join = next_u64() != 0;
+      } else if (arg == "--shard-workers") {
+        cfg.shard_workers = static_cast<unsigned>(next_u64());
       } else if (arg == "--mask") {
         cfg.check_mask = static_cast<unsigned>(next_u64());
       } else if (arg == "--schedule") {
