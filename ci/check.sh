@@ -87,6 +87,19 @@ echo "== rgb_fuzz snapshot-join lossy profile =="
 "$BUILD_DIR/rgb_fuzz" --partitions 1 --snapshot-join 1 --seeds 20 --start 1 \
     --quiet
 
+# Sustained-churn conformance gate (the PR8 stability layer). The churn
+# profile adds 0.5–3%-per-tick member churn windows to the base fault mix;
+# both detector modes must hold every oracle at zero violations — the
+# single-observer baseline (stability off) and the multi-observer cut
+# detector (stability on), serially and on the sharded runner at 8
+# workers. Fixed seeds, bounded time.
+echo "== rgb_fuzz churn gate (stability off/on, serial + sharded) =="
+"$BUILD_DIR/rgb_fuzz" --churn 1 --seeds 15 --start 1 --quiet
+"$BUILD_DIR/rgb_fuzz" --churn 1 --stability 1 --seeds 15 --start 1 --quiet
+"$BUILD_DIR/rgb_fuzz" --churn 1 --seeds 8 --start 1 --shard-workers 8 --quiet
+"$BUILD_DIR/rgb_fuzz" --churn 1 --stability 1 --seeds 8 --start 1 \
+    --shard-workers 8 --quiet
+
 # Sharded-runner determinism gates. The sharded kernel's contract is that
 # the trajectory depends only on the *logical* shard count (fixed by
 # ring_size), never on the worker-thread count: the same fuzz profile and
@@ -143,6 +156,27 @@ test -s "$BUILD_DIR/BENCH_PR6.json"
 # The series artifact must carry actual points (header + rows).
 test "$(wc -l < "$BUILD_DIR/BENCH_PR6_series.csv")" -gt 1
 
+# Stability A/B oscillation smoke (PR8): the flap-suppression comparison
+# must run clean, both cells must converge after the churn window, and the
+# stability cell must cut steady view changes by at least the ROADMAP's
+# 10x bar. The trial is fully deterministic, so exact-threshold gating is
+# not flaky.
+echo "== oscillation A/B smoke =="
+osc_json="$(mktemp)"
+"$BUILD_DIR/rgb_exp" bench --smoke --deterministic --oscillation \
+    --json "$osc_json" 2> /dev/null
+python3 - "$osc_json" <<'EOF'
+import json, sys
+cells = {c["stability"]: c for c in json.load(open(sys.argv[1]))["oscillation"]}
+off, on = cells[False], cells[True]
+assert off["converged"] and on["converged"], "oscillation cell did not converge"
+assert on["view_changes"] * 10 <= off["view_changes"], (
+    f"stability gave only {off['view_changes']}/{max(on['view_changes'], 1)}x "
+    "fewer view changes (need >= 10x)")
+assert on["suppressed_flaps"] > 0, "stability cell suppressed no flaps"
+EOF
+rm -f "$osc_json"
+
 # Observability determinism gates. The deterministic bench (wall-clock
 # fields zeroed) must be byte-identical run-to-run — that covers the
 # latency histograms and the tick series riding in the JSON. A violating
@@ -189,6 +223,9 @@ TSAN_OPTIONS="halt_on_error=1" \
     "$TSAN_DIR/rgb_fuzz" --seeds 4 --start 1 --shard-workers 8 --quiet
 TSAN_OPTIONS="halt_on_error=1" \
     "$TSAN_DIR/rgb_fuzz" --partitions 1 --seeds 3 --start 1 \
+    --shard-workers 8 --quiet
+TSAN_OPTIONS="halt_on_error=1" \
+    "$TSAN_DIR/rgb_fuzz" --churn 1 --stability 1 --seeds 3 --start 1 \
     --shard-workers 8 --quiet
 TSAN_OPTIONS="halt_on_error=1" \
     "$TSAN_DIR/rgb_exp" bench --members 1000 --modes digest --join both \

@@ -1,6 +1,7 @@
 #include "check/driver.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -33,6 +34,11 @@ Protocol protocol_from_name(std::string_view name) {
 }
 
 // --- ScheduleDriver ---------------------------------------------------------
+
+namespace {
+/// Churn expansion granularity: one toggle draw per member per tick.
+constexpr sim::Duration kChurnTick = sim::msec(100);
+}  // namespace
 
 ScheduleDriver::ScheduleDriver(sim::Simulator& simulator,
                                net::Network& network,
@@ -142,6 +148,48 @@ void ScheduleDriver::apply(const FaultEvent& event) {
       ++events_applied_;
       break;
     }
+    case FaultAction::kChurn: {
+      // Sustained membership churn: for `duration`, every kChurnTick each
+      // guid in [1, max_guid] independently toggles with probability
+      // `probability` — live members leave or fail (coin flip), dead ones
+      // rejoin at a random AP. The stream is a pure function of the event
+      // fields (seeded from them, not from the run seed), so a replayed
+      // schedule line expands byte-identically.
+      if (topology_.max_guid == 0 || topology_.aps.empty()) break;
+      const auto rng = std::make_shared<common::RngStream>(
+          common::RngStream{event.at + event.duration}.fork("churn"));
+      const sim::Time end = sim_.now() + event.duration;
+      const double rate = event.probability;
+      const auto step = std::make_shared<std::function<void()>>();
+      *step = [this, rng, end, rate, step]() {
+        for (std::uint64_t g = 1; g <= topology_.max_guid; ++g) {
+          if (rng->uniform(0.0, 1.0) >= rate) continue;
+          const common::Guid mh{g};
+          if (truth_.is_live(mh)) {
+            if (network_.is_crashed(truth_.ap_of(mh))) continue;
+            if (rng->next_below(2) == 0) {
+              service_.leave(mh);
+              truth_.leave(mh);
+            } else {
+              service_.fail(mh);
+              truth_.fail(mh);
+            }
+          } else {
+            const common::NodeId ap =
+                topology_.aps[rng->next_below(topology_.aps.size())];
+            if (network_.is_crashed(ap)) continue;
+            service_.join(mh, ap);
+            truth_.join(mh, ap);
+          }
+          ++events_applied_;
+        }
+        if (sim_.now() + kChurnTick <= end) {
+          sim_.schedule_after(kChurnTick, [step] { (*step)(); });
+        }
+      };
+      (*step)();
+      break;
+    }
   }
 }
 
@@ -200,6 +248,7 @@ Fixture build_fixture(const AdversarialConfig& cfg, net::Network& network,
       config.max_notify_retx = 12;
       config.probe_period = sim::msec(250);
       config.snapshot_join = cfg.snapshot_join;
+      config.stability = cfg.stability;
       fx.rgb = std::make_unique<core::RgbSystem>(
           network, config,
           core::HierarchyLayout{cfg.tiers, cfg.ring_size});
@@ -248,6 +297,9 @@ Fixture build_fixture(const AdversarialConfig& cfg, net::Network& network,
       break;
     }
   }
+  // Same member universe the schedule generator draws guids from: churn
+  // expansion toggles exactly the seeded membership.
+  fx.topology.max_guid = static_cast<std::uint64_t>(cfg.initial_members);
   return fx;
 }
 

@@ -44,6 +44,8 @@ enum class Protocol : std::uint8_t { kRgb, kTree, kFlatRing, kGossip };
 struct Topology {
   std::vector<common::NodeId> nes;  ///< crash/partition targets
   std::vector<common::NodeId> aps;  ///< member injection points
+  /// Member universe for churn expansion: guids drawn from [1, max_guid].
+  std::uint64_t max_guid = 0;
 };
 
 /// Replays a FaultSchedule against a live system: resolves indexes,
@@ -92,6 +94,10 @@ struct AdversarialConfig {
   /// transfer with flush-edge acks) — the lossy-surge snapshot-join
   /// conformance profile.
   bool snapshot_join = false;
+  /// RGB only: enable the multi-observer stability layer (alert-based cut
+  /// detection instead of first-observation declaration) — the A/B knob the
+  /// churn conformance profile and the oscillation bench flip.
+  bool stability = false;
   unsigned check_mask = exp::kCheckAll;
   /// Quiet time after the last schedule event before quiescence checks.
   sim::Duration settle = sim::sec(20);

@@ -21,6 +21,7 @@ const char* to_string(FaultAction action) {
     case FaultAction::kJoin: return "join";
     case FaultAction::kLeave: return "leave";
     case FaultAction::kFail: return "fail";
+    case FaultAction::kChurn: return "churn";
   }
   return "?";
 }
@@ -102,6 +103,7 @@ std::string FaultEvent::to_line() const {
     case FaultAction::kHeal:
       break;
     case FaultAction::kDropBurst:
+    case FaultAction::kChurn:
       os << ' ' << exp::format_double(probability) << ' '
          << format_time(duration);
       break;
@@ -176,9 +178,10 @@ FaultSchedule parse_schedule(const std::string& text) {
     } else if (verb == "heal") {
       expect_tokens(3);
       event.action = FaultAction::kHeal;
-    } else if (verb == "dropburst") {
+    } else if (verb == "dropburst" || verb == "churn") {
       expect_tokens(5);
-      event.action = FaultAction::kDropBurst;
+      event.action = verb == "dropburst" ? FaultAction::kDropBurst
+                                         : FaultAction::kChurn;
       event.probability = parse_probability(tokens[3], line_no);
       event.duration = parse_time(tokens[4], line_no);
     } else if (verb == "handoff" || verb == "join") {
@@ -220,6 +223,9 @@ FaultSchedule random_schedule(const ScheduleGenConfig& config,
   if (config.handoffs && config.max_guid > 0 && config.ap_count > 0) {
     kinds.push_back(FaultAction::kHandoff);
   }
+  if (config.churn && config.max_guid > 0 && config.ap_count > 0) {
+    kinds.push_back(FaultAction::kChurn);
+  }
   if (kinds.empty()) return schedule;
 
   bool partitioned = false;
@@ -257,6 +263,15 @@ FaultSchedule random_schedule(const ScheduleGenConfig& config,
       case FaultAction::kHandoff: {
         event.subject = 1 + rng.next_below(config.max_guid);
         event.arg = rng.next_below(config.ap_count);
+        schedule.events.push_back(event);
+        break;
+      }
+      case FaultAction::kChurn: {
+        // Per-tick toggle rates around 1% sustain the mobile-internet churn
+        // regime the stability layer is built for without emptying the
+        // group: over a 1-3s window each member flips a handful of times.
+        event.probability = rng.uniform(0.005, 0.03);
+        event.duration = sim::sec(1) + rng.next_below(sim::sec(2));
         schedule.events.push_back(event);
         break;
       }

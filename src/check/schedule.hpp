@@ -16,6 +16,7 @@
 //   at 5s dropburst 0.25 800ms
 //   at 6s handoff mh 4 ap 2
 //   at 7s leave mh 2
+//   at 8s churn 0.01 2s
 //
 // `random_schedule` draws a schedule from a seeded RngStream — the
 // adversarial generator behind rgb_fuzz — and `minimize` (driver.hpp)
@@ -43,6 +44,12 @@ enum class FaultAction : std::uint8_t {
   kJoin,       ///< join mh <guid> ap <index>
   kLeave,      ///< leave mh <guid>
   kFail,       ///< fail mh <guid>
+  /// churn <rate> <duration> — sustained membership churn: for `duration`,
+  /// every 100ms tick each guid in the run's universe independently toggles
+  /// with probability `rate` (live members leave or fail, dead ones rejoin
+  /// at a random AP). The expansion is a pure function of the event fields,
+  /// so a replayed schedule produces the identical join/leave/fail stream.
+  kChurn,
 };
 
 [[nodiscard]] const char* to_string(FaultAction action);
@@ -93,6 +100,9 @@ struct ScheduleGenConfig {
   bool partitions = false;
   bool drop_bursts = true;
   bool handoffs = true;
+  /// Sustained-churn windows (the stability-layer conformance profile):
+  /// per-tick toggling of the whole member universe for 1-3s stretches.
+  bool churn = false;
 };
 
 /// Pure function of (config, seed).

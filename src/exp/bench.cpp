@@ -95,6 +95,7 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
     p.ops_disseminated = sys.metrics().ops_disseminated.value();
     p.reconcile_rounds = sys.metrics().reconcile_rounds.value();
     p.view_changes = sys.obs().tracer.view_changes().value();
+    p.repairs = sys.metrics().repairs.value();
     if (with_divergence) {
       p.divergence = static_cast<std::int64_t>(sys.view_divergence());
     }
@@ -147,6 +148,8 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
                       config.probe_period *
                           static_cast<std::uint64_t>(config.warmup_ticks));
   const std::uint64_t pre_steady_events = simulator.executed_events();
+  const std::uint64_t pre_steady_vc = sys.obs().tracer.view_changes().value();
+  const std::uint64_t pre_steady_repairs = sys.metrics().repairs.value();
 
   // Steady state: probing + anti-entropy only; measure one window. The
   // series rides along WITHOUT divergence sampling: the O(NE*N) walk would
@@ -172,6 +175,8 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
       latency_from(tracer.merged_member_dissemination());
   stats.join_latency = latency_from(tracer.join_latency());
   stats.view_changes = tracer.view_changes().value();
+  stats.steady_view_changes = tracer.view_changes().value() - pre_steady_vc;
+  stats.steady_repairs = sys.metrics().repairs.value() - pre_steady_repairs;
   stats.series = sampler.points();
   stats.series_dropped = sampler.dropped();
 
@@ -229,6 +234,87 @@ DetectStats run_detect_trial(std::uint64_t seed) {
   return stats;
 }
 
+OscillationStats run_oscillation_trial(bool stability, std::uint64_t seed) {
+  common::RngStream rng{seed};
+  sim::Simulator simulator;
+  net::Network network{simulator, rng.fork("net")};
+  core::RgbConfig config;
+  config.probe_period = sim::msec(250);
+  // Starved retransmission budget: one short loss streak on a token hop
+  // exhausts it, so every streak becomes a single-observer false suspicion
+  // — exactly the per-flap reconfiguration regime the stability layer
+  // exists to suppress. The A/B cells differ ONLY in `stability`.
+  config.retx_timeout = sim::msec(20);
+  config.max_retx = 2;
+  config.round_timeout = sim::msec(500);
+  config.stability = stability;
+  core::RgbSystem sys{network, config, core::HierarchyLayout{2, 3}};
+  sys.start_probing();
+
+  OscillationStats stats;
+  stats.stability = stability;
+  stats.window = sim::sec(10);
+
+  // Seed a small population round-robin over the APs and let it converge.
+  constexpr std::uint64_t kMembers = 18;
+  const auto& aps = sys.aps();
+  for (std::uint64_t i = 0; i < kMembers; ++i) {
+    sys.join(common::Guid{i + 1}, aps[i % aps.size()]);
+  }
+  simulator.run_until(sim::sec(2));
+
+  // Churn + loss window: 20% sustained loss, and every 100ms each member
+  // independently toggles (leave or fail when present, rejoin when absent)
+  // with 2% probability — the check layer's churn-verb regime.
+  const std::uint64_t pre_vc = sys.obs().tracer.view_changes().value();
+  const std::uint64_t pre_repairs = sys.metrics().repairs.value();
+  const std::uint64_t pre_merges = sys.metrics().merges.value();
+  network.set_default_drop_probability(0.20);
+  const sim::Time window_end = simulator.now() + stats.window;
+  const auto churn_rng =
+      std::make_shared<common::RngStream>(rng.fork("churn"));
+  std::vector<bool> live(kMembers, true);
+  const auto step = std::make_shared<std::function<void()>>();
+  *step = [&, churn_rng, window_end, step]() {
+    for (std::uint64_t i = 0; i < kMembers; ++i) {
+      if (churn_rng->uniform(0.0, 1.0) >= 0.02) continue;
+      const common::Guid mh{i + 1};
+      if (live[i]) {
+        if (churn_rng->next_below(2) == 0) {
+          sys.leave(mh);
+        } else {
+          sys.fail(mh);
+        }
+        live[i] = false;
+      } else {
+        sys.join(mh, aps[churn_rng->next_below(aps.size())]);
+        live[i] = true;
+      }
+      ++stats.churn_events;
+    }
+    if (simulator.now() + sim::msec(100) <= window_end) {
+      simulator.schedule_after(sim::msec(100), [step] { (*step)(); });
+    }
+  };
+  (*step)();
+  simulator.run_until(window_end);
+  network.set_default_drop_probability(0.0);
+
+  stats.view_changes = sys.obs().tracer.view_changes().value() - pre_vc;
+  stats.repairs = sys.metrics().repairs.value() - pre_repairs;
+  stats.merges = sys.metrics().merges.value() - pre_merges;
+  stats.alerts = sys.metrics().stability_alerts.value();
+  stats.cuts = sys.metrics().stability_cuts.value();
+  stats.suppressed_flaps = sys.metrics().stability_suppressed_flaps.value();
+  stats.fallbacks = sys.metrics().stability_timeout_fallbacks.value();
+
+  // Loss over: the reaffirm/merge machinery heals any residual false
+  // splices, then convergence is a fair ask again.
+  simulator.run_until(window_end + sim::sec(10));
+  stats.converged = sys.membership_converged();
+  return stats;
+}
+
 std::vector<ScaleStats> run_scale_sweep(
     const ScaleConfig& base, const std::vector<std::uint64_t>& member_counts,
     const SweepModes& modes, std::ostream& log, bool timed) {
@@ -274,7 +360,8 @@ bool all_converged(const std::vector<ScaleStats>& stats) {
 
 void write_bench_json(const ScaleConfig& base,
                       const std::vector<ScaleStats>& stats, std::ostream& os,
-                      const DetectStats* detect) {
+                      const DetectStats* detect,
+                      const std::vector<OscillationStats>* oscillation) {
   os << "{\n"
      << "  \"bench\": \"bench_scale\",\n"
      << "  \"layout\": {\"tiers\": " << base.tiers
@@ -307,7 +394,9 @@ void write_bench_json(const ScaleConfig& base,
        << ", \"events_per_sec\": " << s.steady_events_per_sec()
        << ", \"viewsync_msgs\": " << s.viewsync_msgs
        << ", \"viewsync_bytes\": " << s.viewsync_bytes
-       << ", \"total_bytes\": " << s.total_bytes << "},\n"
+       << ", \"total_bytes\": " << s.total_bytes
+       << ", \"view_changes\": " << s.steady_view_changes
+       << ", \"repairs\": " << s.steady_repairs << "},\n"
        << "     \"latency\": {\"dissemination\": ";
     write_latency_json(os, s.dissemination_latency);
     os << ", \"join_to_root\": ";
@@ -324,6 +413,7 @@ void write_bench_json(const ScaleConfig& base,
          << ", \"ops\": " << p.ops_disseminated
          << ", \"reconcile_rounds\": " << p.reconcile_rounds
          << ", \"view_changes\": " << p.view_changes
+         << ", \"repairs\": " << p.repairs
          << ", \"divergence\": " << p.divergence << "}";
     }
     os << (s.series.empty() ? "" : "\n     ") << "],\n"
@@ -341,16 +431,34 @@ void write_bench_json(const ScaleConfig& base,
     write_latency_json(os, detect->ne_detection);
     os << "}";
   }
+  if (oscillation != nullptr && !oscillation->empty()) {
+    os << ",\n  \"oscillation\": [";
+    for (std::size_t i = 0; i < oscillation->size(); ++i) {
+      const OscillationStats& o = (*oscillation)[i];
+      os << (i == 0 ? "\n" : ",\n")
+         << "    {\"stability\": " << (o.stability ? "true" : "false")
+         << ", \"window_us\": " << o.window
+         << ", \"churn_events\": " << o.churn_events
+         << ", \"view_changes\": " << o.view_changes
+         << ", \"repairs\": " << o.repairs << ", \"merges\": " << o.merges
+         << ",\n     \"alerts\": " << o.alerts << ", \"cuts\": " << o.cuts
+         << ", \"suppressed_flaps\": " << o.suppressed_flaps
+         << ", \"fallbacks\": " << o.fallbacks
+         << ", \"converged\": " << (o.converged ? "true" : "false") << "}";
+    }
+    os << "\n  ]";
+  }
   os << "\n}\n";
 }
 
 void write_series_csv(const ScaleStats& stats, std::ostream& os) {
-  os << "at_us,events,msgs,bytes,ops,reconcile_rounds,view_changes,"
+  os << "at_us,events,msgs,bytes,ops,reconcile_rounds,view_changes,repairs,"
         "divergence\n";
   for (const obs::SeriesPoint& p : stats.series) {
     os << p.at << ',' << p.events << ',' << p.msgs_sent << ','
        << p.bytes_sent << ',' << p.ops_disseminated << ','
-       << p.reconcile_rounds << ',' << p.view_changes << ',';
+       << p.reconcile_rounds << ',' << p.view_changes << ',' << p.repairs
+       << ',';
     if (p.divergence >= 0) os << p.divergence;
     os << '\n';
   }

@@ -95,6 +95,11 @@ struct ScaleStats {
   LatencyStats dissemination_latency;  ///< op birth -> apply, member classes
   LatencyStats join_latency;           ///< join birth -> visible at tier 0
   std::uint64_t view_changes = 0;      ///< ring-shape transitions, whole trial
+  /// Oscillation metric: ring-shape transitions and reconfiguration rounds
+  /// confined to the measured steady window. A healthy steady state is 0/0;
+  /// anything else is the protocol reconfiguring under no faults.
+  std::uint64_t steady_view_changes = 0;
+  std::uint64_t steady_repairs = 0;
   /// Sampled cumulative counters: ~16 points over the join surge and one
   /// per probe tick over warmup + steady (divergence sampled only in the
   /// untimed warm-up phase — the O(NE*N) walk inside a timed window would
@@ -136,6 +141,30 @@ struct DetectStats {
 
 [[nodiscard]] DetectStats run_detect_trial(std::uint64_t seed = 0xDE7EC7ULL);
 
+/// Oscillation A/B micro-trial: a small hierarchy under sustained member
+/// churn and message loss with a deliberately starved token-retx budget —
+/// the regime where every loss streak becomes a single-observer false
+/// suspicion. One cell runs classic first-observation declaration
+/// (`stability = false`), the other the multi-observer stability layer;
+/// comparing `view_changes` across the two cells is the headline
+/// flap-suppression claim (>= 10x reduction). Deterministic in `seed`.
+struct OscillationStats {
+  bool stability = false;
+  sim::Duration window = 0;          ///< churn/loss window measured over
+  std::uint64_t churn_events = 0;    ///< join/leave/fail stream injected
+  std::uint64_t view_changes = 0;    ///< ring-shape transitions in window
+  std::uint64_t repairs = 0;         ///< reconfiguration rounds in window
+  std::uint64_t merges = 0;          ///< reform/merge rounds in window
+  std::uint64_t alerts = 0;          ///< stability alerts raised
+  std::uint64_t cuts = 0;            ///< batched cuts applied
+  std::uint64_t suppressed_flaps = 0;  ///< alerts retracted on liveness
+  std::uint64_t fallbacks = 0;       ///< stability-timeout fallbacks
+  bool converged = false;            ///< after loss ends + settle
+};
+
+[[nodiscard]] OscillationStats run_oscillation_trial(
+    bool stability, std::uint64_t seed = 0x05C111ULL);
+
 /// Which cells of the (anti-entropy mode x join mode) grid a sweep runs.
 struct SweepModes {
   bool digest = true;         ///< digest-first anti-entropy
@@ -160,10 +189,13 @@ struct SweepModes {
 
 /// Writes the BENCH_*.json perf-trajectory artifact: one record per stats
 /// entry plus the shared sweep configuration. `detect` (when non-null)
-/// adds the failure-detection latency block.
+/// adds the failure-detection latency block; `oscillation` (when non-null)
+/// adds the stability A/B flap-suppression cells.
 void write_bench_json(const ScaleConfig& base,
                       const std::vector<ScaleStats>& stats, std::ostream& os,
-                      const DetectStats* detect = nullptr);
+                      const DetectStats* detect = nullptr,
+                      const std::vector<OscillationStats>* oscillation =
+                          nullptr);
 
 /// Writes one cell's tick series as CSV (`rgb_exp bench --series`):
 /// header + one row per point, divergence empty where not sampled.

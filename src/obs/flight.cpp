@@ -44,6 +44,12 @@ const char* to_string(FlightKind kind) {
       return "ne_join";
     case FlightKind::kNeLeave:
       return "ne_leave";
+    case FlightKind::kAlertRaised:
+      return "alert_raised";
+    case FlightKind::kCutApplied:
+      return "cut_applied";
+    case FlightKind::kStabilityFallback:
+      return "stability_fallback";
   }
   return "?";
 }
@@ -92,6 +98,11 @@ OperandNames operand_names(FlightKind kind) {
       return {"ne", "after"};
     case FlightKind::kNeLeave:
       return {"ne", nullptr};
+    case FlightKind::kAlertRaised:
+    case FlightKind::kStabilityFallback:
+      return {"suspect", "alert"};
+    case FlightKind::kCutApplied:
+      return {"suspects", "observers"};
   }
   return {"a", "b"};
 }

@@ -46,6 +46,9 @@ enum class FlightKind : std::uint8_t {
   kDetectNeFail,      ///< a=detected NE, b=detection latency (us)
   kNeJoin,            ///< a=joining NE, b=predecessor in ring
   kNeLeave,           ///< a=leaving NE
+  kAlertRaised,       ///< a=suspect, b=observer alert id
+  kCutApplied,        ///< a=suspects in the cut, b=distinct observers
+  kStabilityFallback, ///< a=suspect, b=observer alert id
 };
 
 [[nodiscard]] const char* to_string(FlightKind kind);

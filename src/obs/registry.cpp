@@ -139,7 +139,7 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
 // One registration line per counter; the static_assert pins the struct so
 // a new RgbMetrics field cannot ship without a line here (and a parity
 // entry below).
-static_assert(sizeof(core::RgbMetrics) == 24 * sizeof(common::Counter),
+static_assert(sizeof(core::RgbMetrics) == 29 * sizeof(common::Counter),
               "RgbMetrics changed: update register_rgb_metrics and "
               "registry_parity_ok in obs/registry.cpp");
 
@@ -172,6 +172,14 @@ void register_rgb_metrics(MetricsRegistry& registry,
                        &m.reconcile_retransmits);
   registry.add_counter("rgb.reconcile_give_ups", &m.reconcile_give_ups);
   registry.add_counter("rgb.reconcile_reanchors", &m.reconcile_reanchors);
+  registry.add_counter("rgb.stability_alerts", &m.stability_alerts);
+  registry.add_counter("rgb.stability_cuts", &m.stability_cuts);
+  registry.add_counter("rgb.stability_batched_failures",
+                       &m.stability_batched_failures);
+  registry.add_counter("rgb.stability_suppressed_flaps",
+                       &m.stability_suppressed_flaps);
+  registry.add_counter("rgb.stability_timeout_fallbacks",
+                       &m.stability_timeout_fallbacks);
 }
 
 namespace {
@@ -286,6 +294,14 @@ bool registry_parity_ok(const MetricsRegistry& registry,
                  metrics.reconcile_give_ups.value()) &&
          matches("rgb.reconcile_reanchors",
                  metrics.reconcile_reanchors.value()) &&
+         matches("rgb.stability_alerts", metrics.stability_alerts.value()) &&
+         matches("rgb.stability_cuts", metrics.stability_cuts.value()) &&
+         matches("rgb.stability_batched_failures",
+                 metrics.stability_batched_failures.value()) &&
+         matches("rgb.stability_suppressed_flaps",
+                 metrics.stability_suppressed_flaps.value()) &&
+         matches("rgb.stability_timeout_fallbacks",
+                 metrics.stability_timeout_fallbacks.value()) &&
          matches("net.sent", n.sent) && matches("net.delivered", n.delivered) &&
          matches("net.dropped_loss", n.dropped_loss) &&
          matches("net.dropped_crash", n.dropped_crash) &&

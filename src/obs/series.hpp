@@ -29,6 +29,7 @@ struct SeriesPoint {
   std::uint64_t ops_disseminated = 0;  ///< token-applied ops, all NEs
   std::uint64_t reconcile_rounds = 0;  ///< post-heal claim exchanges
   std::uint64_t view_changes = 0;      ///< ring-shape transitions
+  std::uint64_t repairs = 0;           ///< reconfiguration rounds (splices)
   /// Global view divergence at this point; -1 = not sampled (the O(NE*N)
   /// walk is too expensive inside a timed steady window).
   std::int64_t divergence = -1;

@@ -38,6 +38,13 @@ class MessageQueue {
   /// ops).
   void insert(MembershipOp op, Contributor contributor = {});
 
+  /// Enqueues a correlated batch of locally originated ops (a stability
+  /// cut's NE-Failure + stranded Member-Failure set, a batched silent-
+  /// member flush): per-op aggregation rules still apply, the queue just
+  /// absorbs everything in one call so the caller can kick the round
+  /// engine once for the whole batch.
+  void insert_batch(std::vector<MembershipOp> ops);
+
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const { return queue_.size(); }
 

@@ -43,6 +43,9 @@ inline constexpr net::MessageKind kSnapshot = 26;
 inline constexpr net::MessageKind kReconcile = 27;
 inline constexpr net::MessageKind kReconcileAck = 28;
 inline constexpr net::MessageKind kSnapshotAck = 29;
+// Stability plane (multi-observer cut detection; also uncounted).
+inline constexpr net::MessageKind kAlert = 33;
+inline constexpr net::MessageKind kAlertAck = 34;
 // Edge-plane (MH <-> AP wireless traffic; also uncounted).
 inline constexpr net::MessageKind kMhRequest = 30;
 inline constexpr net::MessageKind kMhAck = 31;
@@ -108,6 +111,26 @@ struct HolderAckMsg {
 struct RepairMsg {
   NodeId new_previous;
   std::vector<NodeId> faulty;  ///< nodes declared faulty by the repairer
+};
+
+/// Multi-observer failure alert (stability layer). Two uses share the
+/// type, told apart by destination:
+///  * observer -> aggregating leader: "I suspect `suspects`" (or, with
+///    `retract`, "I observed liveness — cancel my alert");
+///  * observer -> suspect: a liveness ping; a live suspect answers
+///    kAlertAck, which is the counter-observation cancelling the alert.
+struct AlertMsg {
+  NodeId observer;
+  std::uint64_t alert_id = 0;     ///< per-observer, keys the ack/retraction
+  std::vector<NodeId> suspects;   ///< implicated nodes (usually one)
+  bool retract = false;           ///< liveness counter-evidence: unsuspect
+};
+
+/// A pinged suspect's proof of life: echoes the observer's alert id so the
+/// observer can cancel exactly the pending alert that pinged it.
+struct AlertAckMsg {
+  NodeId responder;
+  std::uint64_t alert_id = 0;
 };
 
 /// Tells a parent NE that the leader of its child ring changed.
@@ -348,6 +371,15 @@ inline constexpr std::uint32_t kClaimBytes = 16;
 [[nodiscard]] inline std::uint32_t wire_size(const RepairMsg& msg) {
   return wire::kBaseBytes +
          wire::kNodeIdBytes * static_cast<std::uint32_t>(msg.faulty.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const AlertMsg& msg) {
+  return wire::kBaseBytes +
+         wire::kNodeIdBytes * static_cast<std::uint32_t>(msg.suspects.size());
+}
+
+[[nodiscard]] inline std::uint32_t wire_size(const AlertAckMsg&) {
+  return wire::kBaseBytes;
 }
 
 [[nodiscard]] inline std::uint32_t wire_size(const MergeOfferMsg& msg) {

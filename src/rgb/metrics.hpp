@@ -38,6 +38,14 @@ struct RgbMetrics {
   common::Counter reconcile_retransmits;
   common::Counter reconcile_give_ups;  ///< exchanges past the retx budget
   common::Counter reconcile_reanchors; ///< falsified epochs re-asserted
+  // Multi-observer cut detection (stability layer). The A/B bench and the
+  // stability tests read these to assert batching/suppression happened.
+  common::Counter stability_alerts;      ///< kAlert raised by observers
+  common::Counter stability_cuts;        ///< batched cuts applied
+  common::Counter stability_batched_failures;  ///< suspects failed via cuts
+  common::Counter stability_suppressed_flaps;  ///< alerts cancelled by
+                                               ///< liveness counter-evidence
+  common::Counter stability_timeout_fallbacks; ///< single-observer fallback
 };
 
 /// Sum of proposal-plane sends (token circulation + inter-ring

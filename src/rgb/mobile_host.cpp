@@ -63,6 +63,13 @@ void MobileHost::fail() {
 
 void MobileHost::deliver(const net::Envelope& env) {
   if (env.kind == kind::kMhAck) ++acks_;
+  if (env.kind == kind::kAlert) {
+    // Stability-plane counter-probe from the AP: it is about to declare
+    // this MH failed for silence. A live MH answers with an immediate
+    // heartbeat, cancelling the pending failure; a genuinely failed one
+    // stays silent (on_heartbeat_tick guards on operational status).
+    on_heartbeat_tick();
+  }
 }
 
 }  // namespace rgb::core

@@ -200,6 +200,27 @@ void NetworkEntity::enqueue_local_op(MembershipOp op) {
   enqueue_op(std::move(op), Contributor{});
 }
 
+void NetworkEntity::enqueue_local_ops(std::vector<MembershipOp> ops) {
+  if (ops.empty()) return;
+  const std::uint64_t collapsed_before = mq_.ops_collapsed();
+  for (MembershipOp& op : ops) {
+    op.born = now();
+    obs_.tracer.on_op_born(op, id(), now());
+  }
+  mq_.insert_batch(std::move(ops));
+  metrics_.ops_aggregated.increment(mq_.ops_collapsed() - collapsed_before);
+  for (const Contributor& orphan : mq_.take_orphaned_acks()) {
+    HolderAckMsg ack{{orphan.notify_id}};
+    const auto bytes = wire_size(ack);
+    send(orphan.ne, kind::kHolderAck, std::move(ack), bytes);
+    metrics_.holder_acks.increment();
+  }
+  // One activity kick for the whole batch: at a leader with a free token
+  // the per-op path would race the first op out in its own round while the
+  // rest of the batch was still being inserted.
+  on_mq_activity();
+}
+
 void NetworkEntity::enqueue_op(MembershipOp op, Contributor contributor) {
   const std::uint64_t collapsed_before = mq_.ops_collapsed();
   mq_.insert(std::move(op), contributor);
@@ -267,11 +288,13 @@ void NetworkEntity::send_token_request() {
     if (++request_retx_count_ <= config_.max_retx) {
       send_token_request();
     } else {
-      // The leader is unresponsive: declare it faulty and fail over. Our
-      // queued ops go out once the repaired ring grants us the token.
+      // The leader is unresponsive: declare it faulty and fail over (or,
+      // under the stability layer, file an alert and let the cut/fallback
+      // machinery decide). Our queued ops go out once the repaired ring
+      // grants us the token.
       token_requested_ = false;
       if (leader_.valid() && leader_ != id()) {
-        declare_faulty_and_repair(leader_);
+        report_suspect(leader_);
       }
       on_mq_activity();
     }
@@ -651,6 +674,24 @@ void NetworkEntity::on_token_retx_timeout(std::uint64_t round_id) {
     });
     return;
   }
+  if (config_.stability && in_roster(hop.target) && hop.target != id()) {
+    // Stability: file an alert and keep the hop alive at retx cadence.
+    // Whatever resolves the suspect — a batched cut, a RepairMsg from a
+    // peer, or this observer's own stability-timeout fallback — removes it
+    // from the roster, and the next timeout falls through to the repair
+    // and reroute below. Liveness stays bounded by stability_timeout.
+    report_suspect(hop.target);
+    metrics_.token_retransmits.increment();
+    const net::MessageKind kind =
+        hop.token.ops.empty() ? kind::kProbe : kind::kToken;
+    TokenMsg msg{hop.token};
+    const auto bytes = wire_size(msg);
+    send(hop.target, kind, std::move(msg), bytes);
+    hop.timer = set_timer(config_.retx_timeout, [this, round_id]() {
+      on_token_retx_timeout(round_id);
+    });
+    return;
+  }
   declare_faulty_and_repair(hop.target);
   // The repair normally reroutes this hop. When it could not — the target
   // was already spliced out by an earlier repair or reform, so
@@ -679,30 +720,47 @@ void NetworkEntity::on_token_retx_timeout(std::uint64_t round_id) {
 // --------------------------------------------------------------------------
 
 void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
-  if (faulty == id() || !faulty.valid()) return;
-  if (!in_roster(faulty)) {
-    return;  // already repaired (e.g. several hops detected it at once)
+  declare_cut({faulty});
+}
+
+void NetworkEntity::declare_cut(const std::vector<NodeId>& suspects) {
+  std::vector<NodeId> cut;
+  for (const NodeId f : suspects) {
+    if (f == id() || !f.valid()) continue;
+    if (!in_roster(f)) {
+      continue;  // already repaired (e.g. several hops detected it at once)
+    }
+    if (std::find(cut.begin(), cut.end(), f) == cut.end()) cut.push_back(f);
   }
+  if (cut.empty()) return;
   metrics_.repairs.increment();
-  RGB_LOG(kInfo, "repair") << now() << " " << id() << " declares " << faulty
-                           << " faulty and splices it out";
-  // Detection latency ground truth: how long the crash went unnoticed.
-  // Read-only observability — the repair decision itself never consults it.
-  const auto crashed_at = network().crashed_since(faulty);
-  if (crashed_at) {
-    obs_.tracer.on_ne_detected(faulty, id(), now() - *crashed_at, now());
+  bool was_leader = false;
+  for (const NodeId faulty : cut) {
+    RGB_LOG(kInfo, "repair") << now() << " " << id() << " declares " << faulty
+                             << " faulty and splices it out";
+    // Detection latency ground truth: how long the crash went unnoticed.
+    // Read-only observability — the repair decision itself never consults
+    // it.
+    const auto crashed_at = network().crashed_since(faulty);
+    if (crashed_at) {
+      obs_.tracer.on_ne_detected(faulty, id(), now() - *crashed_at, now());
+    }
+    obs_.tracer.on_view_change(obs::FlightKind::kRepair, id(), faulty.value(),
+                               ring_members_.members_at(faulty).size(), now());
+    suspected_faulty_.insert(faulty);
+    was_leader = was_leader || (faulty == leader_);
+    remove_from_roster(faulty);
+    // The verdict is in: any pending stability evidence about this node is
+    // consumed (the alert resolved) rather than left to fire again.
+    stability_.forget(faulty);
+    cancel_alert(faulty);
   }
-  obs_.tracer.on_view_change(obs::FlightKind::kRepair, id(), faulty.value(),
-                             ring_members_.members_at(faulty).size(), now());
-  suspected_faulty_.insert(faulty);
-  const bool was_leader = (faulty == leader_);
-  remove_from_roster(faulty);
 
   if (was_leader) {
     leader_ = elect_leader(roster_);
     metrics_.leader_failovers.increment();
     obs_.tracer.on_view_change(obs::FlightKind::kLeaderFailover, id(),
-                               leader_.value(), faulty.value(), now());
+                               leader_.value(), cut.front().value(), now());
     if (leader_ == id()) adopt_leadership();
   }
   recompute_pointers();
@@ -711,8 +769,9 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
   // the ring", Section 5.2) to every surviving ring member: rings are small
   // (the paper argues for small r), so the control cost is a handful of
   // messages, and it makes leadership convergence independent of a working
-  // round — essential when the faulty node WAS the leader.
-  RepairMsg repair{id(), {faulty}};
+  // round — essential when a faulty node WAS the leader. One RepairMsg
+  // carries the whole cut: a correlated outage costs one notice, not N.
+  RepairMsg repair{id(), cut};
   const auto repair_bytes = wire_size(repair);
   const net::Payload repair_notice{std::move(repair)};
   for (const NodeId peer : roster_) {
@@ -720,41 +779,50 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
     send(peer, kind::kRepair, repair_notice, repair_bytes);
   }
 
-  // Disseminate the failure: NE-Failure for the node, Member-Failure for
-  // every member stranded at it.
-  MembershipOp ne_op;
-  ne_op.kind = OpKind::kNeFail;
-  ne_op.seq = next_op_seq();
-  ne_op.uid = next_op_uid();
-  ne_op.ne = faulty;
-  enqueue_local_op(std::move(ne_op));
-  for (const MemberRecord& rec : ring_members_.members_at(faulty)) {
-    // Stranded members share the NE's detection moment: declaring them
-    // failed is the first point any detector could have noticed them.
-    if (crashed_at) {
-      obs_.tracer.on_member_detected(rec.guid, id(), now() - *crashed_at,
-                                     now());
+  // Disseminate the failures as ONE batch: NE-Failure per cut node plus
+  // Member-Failure for every member stranded at one, all entering the MQ
+  // in a single flush so the entire cut rides one token round.
+  std::vector<MembershipOp> ops;
+  for (const NodeId faulty : cut) {
+    const auto crashed_at = network().crashed_since(faulty);
+    MembershipOp ne_op;
+    ne_op.kind = OpKind::kNeFail;
+    ne_op.seq = next_op_seq();
+    ne_op.uid = next_op_uid();
+    ne_op.ne = faulty;
+    ops.push_back(std::move(ne_op));
+    for (const MemberRecord& rec : ring_members_.members_at(faulty)) {
+      // Stranded members share the NE's detection moment: declaring them
+      // failed is the first point any detector could have noticed them.
+      if (crashed_at) {
+        obs_.tracer.on_member_detected(rec.guid, id(), now() - *crashed_at,
+                                       now());
+      }
+      MembershipOp m_op;
+      m_op.kind = OpKind::kMemberFail;
+      m_op.seq = next_op_seq();
+      m_op.uid = next_op_uid();
+      // A detector-inferred failure ends only the epoch it observed: if the
+      // member has since re-attached elsewhere (a handoff this accusation
+      // races with across a partition), the newer epoch out-ranks this op
+      // in record_precedes order no matter which seq disseminates first.
+      m_op.claim_seq = ring_members_.claim_of(rec.guid);
+      m_op.member = rec;
+      m_op.member.status = MemberStatus::kFailed;
+      ops.push_back(std::move(m_op));
     }
-    MembershipOp m_op;
-    m_op.kind = OpKind::kMemberFail;
-    m_op.seq = next_op_seq();
-    m_op.uid = next_op_uid();
-    // A detector-inferred failure ends only the epoch it observed: if the
-    // member has since re-attached elsewhere (a handoff this accusation
-    // races with across a partition), the newer epoch out-ranks this op in
-    // record_precedes order no matter which seq disseminates first.
-    m_op.claim_seq = ring_members_.claim_of(rec.guid);
-    m_op.member = rec;
-    m_op.member.status = MemberStatus::kFailed;
-    enqueue_local_op(std::move(m_op));
   }
+  enqueue_local_ops(std::move(ops));
 
-  // Keep interrupted rounds alive: every hop that was awaiting the faulty
+  // Keep interrupted rounds alive: every hop that was awaiting a cut
   // node's ack re-routes to the spliced successor; orphaned rounds (their
   // holder died) are adopted.
+  const auto in_cut = [&cut](NodeId n) {
+    return std::find(cut.begin(), cut.end(), n) != cut.end();
+  };
   std::vector<Token> reroute;
   for (auto it = inflight_hops_.begin(); it != inflight_hops_.end();) {
-    if (it->second.target == faulty) {
+    if (in_cut(it->second.target)) {
       cancel_timer(it->second.timer);
       reroute.push_back(std::move(it->second.token));
       it = inflight_hops_.erase(it);
@@ -763,7 +831,7 @@ void NetworkEntity::declare_faulty_and_repair(NodeId faulty) {
     }
   }
   for (Token& token : reroute) {
-    if (token.holder == faulty) {
+    if (in_cut(token.holder)) {
       token.holder = id();
       holding_round_ = true;
       my_round_id_ = token.round_id;
@@ -1856,6 +1924,9 @@ void NetworkEntity::clear_ring_state() {
   snapshot_dirty_ring_ = false;
   snapshot_dirty_child_ = false;
   pending_round_ops_.clear();
+  // Stability evidence is ring-scoped: alerts and pending cuts reference a
+  // roster this NE no longer has.
+  reset_stability_state();
 }
 
 void NetworkEntity::handle_ne_leave_request(const NeLeaveRequestMsg& msg,
@@ -1896,12 +1967,200 @@ void NetworkEntity::handle_query(const QueryRequestMsg& msg, NodeId from) {
 }
 
 // --------------------------------------------------------------------------
+// Stability plane (multi-observer cut detection)
+// --------------------------------------------------------------------------
+
+void NetworkEntity::report_suspect(NodeId suspect) {
+  if (!config_.stability) {
+    declare_faulty_and_repair(suspect);
+    return;
+  }
+  raise_alert(suspect);
+}
+
+void NetworkEntity::raise_alert(NodeId suspect) {
+  if (suspect == id() || !suspect.valid() || !in_roster(suspect)) return;
+  if (pending_alerts_.count(suspect) != 0) return;  // already filed
+  PendingAlert pa;
+  pa.alert_id = (id().value() << 24) | ++alert_counter_;
+  // Alerts converge at the ring leader's aggregator; when the leader
+  // itself is the suspect they converge at the presumptive next leader
+  // instead, so the NE-level cut decision survives leader death.
+  NodeId aggregator = leader_;
+  if (suspect == leader_) {
+    std::vector<NodeId> rest;
+    for (const NodeId n : roster_) {
+      if (n != suspect) rest.push_back(n);
+    }
+    aggregator = elect_leader(rest);
+  }
+  pa.aggregator = aggregator;
+  metrics_.stability_alerts.increment();
+  obs_.flight.record(now(), id(), obs::FlightKind::kAlertRaised,
+                     suspect.value(), pa.alert_id);
+  RGB_LOG(kDebug, "stability") << now() << " " << id() << " alerts on "
+                               << suspect << " to " << aggregator;
+  AlertMsg alert{id(), pa.alert_id, {suspect}, false};
+  const auto bytes = wire_size(alert);
+  if (aggregator == id()) {
+    observe_alert(suspect, id());
+  } else if (aggregator.valid()) {
+    send(aggregator, kind::kAlert, alert, bytes);
+  }
+  // Liveness counter-check: the suspect itself gets the alert too; a live
+  // one answers kAlertAck and the accusation is withdrawn before any cut.
+  send(suspect, kind::kAlert, std::move(alert), bytes);
+  const NodeId s = suspect;
+  pa.ping_timer = set_timer(config_.retx_timeout,
+                            [this, s]() { on_alert_ping_timeout(s); });
+  const std::uint64_t aid = pa.alert_id;
+  pa.fallback_timer = set_timer(config_.stability_timeout, [this, s, aid]() {
+    on_stability_fallback(s, aid);
+  });
+  pending_alerts_.emplace(suspect, std::move(pa));
+}
+
+void NetworkEntity::cancel_alert(NodeId suspect) {
+  const auto it = pending_alerts_.find(suspect);
+  if (it == pending_alerts_.end()) return;
+  cancel_timer(it->second.ping_timer);
+  cancel_timer(it->second.fallback_timer);
+  pending_alerts_.erase(it);
+}
+
+void NetworkEntity::on_alert_ping_timeout(NodeId suspect) {
+  const auto it = pending_alerts_.find(suspect);
+  if (it == pending_alerts_.end()) return;
+  // Re-ping until the ack, a cut, or the fallback resolves the alert: a
+  // loss burst that swallowed the first ping must not be enough to turn a
+  // live node into a cut member.
+  AlertMsg ping{id(), it->second.alert_id, {suspect}, false};
+  const auto bytes = wire_size(ping);
+  send(suspect, kind::kAlert, std::move(ping), bytes);
+  it->second.ping_timer = set_timer(config_.retx_timeout, [this, suspect]() {
+    on_alert_ping_timeout(suspect);
+  });
+}
+
+void NetworkEntity::on_stability_fallback(NodeId suspect,
+                                          std::uint64_t alert_id) {
+  const auto it = pending_alerts_.find(suspect);
+  if (it == pending_alerts_.end() || it->second.alert_id != alert_id) return;
+  cancel_timer(it->second.ping_timer);
+  pending_alerts_.erase(it);
+  if (!in_roster(suspect)) return;  // a cut or repair resolved it already
+  // No cut arrived within the stability timeout: degrade to the proven
+  // single-observer declare so detection latency stays bounded and
+  // liveness never regresses below the pre-stability protocol.
+  metrics_.stability_timeout_fallbacks.increment();
+  obs_.flight.record(now(), id(), obs::FlightKind::kStabilityFallback,
+                     suspect.value(), alert_id);
+  declare_faulty_and_repair(suspect);
+}
+
+void NetworkEntity::handle_alert(const AlertMsg& msg, NodeId from) {
+  if (!config_.stability) return;
+  if (msg.retract) {
+    for (const NodeId s : msg.suspects) stability_.retract(s, msg.observer);
+    return;
+  }
+  bool about_me = false;
+  for (const NodeId s : msg.suspects) {
+    if (s == id()) {
+      about_me = true;
+    } else {
+      observe_alert(s, msg.observer);
+    }
+  }
+  if (about_me) {
+    // Counter-observation of liveness: we are evidently alive; the ack
+    // makes the observer withdraw the accusation.
+    send(from, kind::kAlertAck, AlertAckMsg{id(), msg.alert_id},
+         wire_size(AlertAckMsg{}));
+  }
+}
+
+void NetworkEntity::handle_alert_ack(const AlertAckMsg& msg, NodeId /*from*/) {
+  const auto it = pending_alerts_.find(msg.responder);
+  if (it == pending_alerts_.end() || it->second.alert_id != msg.alert_id) {
+    return;
+  }
+  // The suspect answered: suppress the flap — cancel locally and retract
+  // at the aggregator so a pending cut loses this observation.
+  metrics_.stability_suppressed_flaps.increment();
+  const NodeId aggregator = it->second.aggregator;
+  const std::uint64_t alert_id = it->second.alert_id;
+  cancel_alert(msg.responder);
+  if (aggregator == id()) {
+    stability_.retract(msg.responder, id());
+  } else if (aggregator.valid()) {
+    AlertMsg retraction{id(), alert_id, {msg.responder}, true};
+    const auto bytes = wire_size(retraction);
+    send(aggregator, kind::kAlert, std::move(retraction), bytes);
+  }
+}
+
+void NetworkEntity::observe_alert(NodeId suspect, NodeId observer) {
+  if (!in_roster(suspect) || suspect == id()) return;
+  stability_.observe(suspect, observer, now());
+  check_stability_cut();
+}
+
+void NetworkEntity::check_stability_cut() {
+  // K is clamped to the observers that can exist (ring peers minus the
+  // suspect): a K nobody can reach would disable early firing entirely and
+  // every cut would wait out the full window.
+  const int feasible =
+      roster_.size() > 1 ? static_cast<int>(roster_.size()) - 1 : 1;
+  const int k = std::max(1, std::min(config_.stability_k, feasible));
+  if (stability_.ready(now(), config_.stability_window, k)) {
+    const StabilityAggregator::Cut cut = stability_.take();
+    metrics_.stability_cuts.increment();
+    metrics_.stability_batched_failures.increment(cut.suspects.size());
+    obs_.flight.record(now(), id(), obs::FlightKind::kCutApplied,
+                       cut.suspects.size(), cut.observers);
+    RGB_LOG(kInfo, "stability")
+        << now() << " " << id() << " applies a cut of " << cut.suspects.size()
+        << " suspect(s) from " << cut.observers << " observer(s)";
+    declare_cut(cut.suspects);
+  }
+  arm_stability_cut_timer();
+}
+
+void NetworkEntity::arm_stability_cut_timer() {
+  cancel_timer(stability_cut_timer_);
+  const sim::Time deadline = stability_.deadline(config_.stability_window);
+  if (deadline == 0) return;
+  const sim::Duration delay = deadline > now() ? deadline - now() : 1;
+  stability_cut_timer_ = set_timer(delay, [this]() { check_stability_cut(); });
+}
+
+void NetworkEntity::reset_stability_state() {
+  for (auto& [suspect, pending] : pending_alerts_) {
+    cancel_timer(pending.ping_timer);
+    cancel_timer(pending.fallback_timer);
+  }
+  pending_alerts_.clear();
+  stability_.clear();
+  cancel_timer(stability_cut_timer_);
+}
+
+// --------------------------------------------------------------------------
 // MH liveness monitoring (faulty-disconnection detection, Section 1)
 // --------------------------------------------------------------------------
 
-void NetworkEntity::handle_mh_heartbeat(const MhHeartbeatMsg& msg) {
+void NetworkEntity::handle_mh_heartbeat(const MhHeartbeatMsg& msg,
+                                        NodeId from) {
   if (config_.mh_failure_timeout == 0) return;
-  mh_last_heard_[msg.mh] = now();
+  mh_last_heard_[msg.mh] = MhLiveness{now(), from};
+  const auto pending = pending_silent_.find(msg.mh);
+  if (pending != pending_silent_.end()) {
+    // Counter-observation: the member is alive after all — the pending
+    // failure was a flap (heartbeats lost in transit), not a faulty
+    // disconnection.
+    pending_silent_.erase(pending);
+    metrics_.stability_suppressed_flaps.increment();
+  }
   if (!mh_sweep_timer_) {
     mh_sweep_timer_ = std::make_unique<proto::PeriodicTimer>(
         network(), id(), config_.mh_failure_timeout / 2,
@@ -1917,22 +2176,74 @@ void NetworkEntity::sweep_silent_members() {
           : now() - config_.mh_failure_timeout;
   for (auto it = mh_last_heard_.begin(); it != mh_last_heard_.end();) {
     const Guid mh = it->first;
-    if (it->second > deadline) {
+    if (it->second.last_heard > deadline) {
       ++it;
       continue;
     }
-    const sim::Time last_heard = it->second;
+    const MhLiveness liveness = it->second;
     it = mh_last_heard_.erase(it);
     // Only members still attached here are ours to report; a handed-off
     // member is monitored by its new AP.
     const auto record = ring_members_.find(mh);
     if (record && record->status == MemberStatus::kOperational &&
         record->access_proxy == id()) {
+      if (config_.stability) {
+        // Defer into the stability window instead of failing on the first
+        // silent sweep, and counter-probe the member — a live-but-quiet MH
+        // answers with an immediate heartbeat, which cancels the pending
+        // failure (flap suppression for lost-heartbeat bursts).
+        pending_silent_[mh] =
+            PendingSilent{liveness.last_heard, now(), liveness.mh_node};
+        if (liveness.mh_node.valid()) {
+          AlertMsg probe{id(), 0, {}, false};
+          const auto bytes = wire_size(probe);
+          send(liveness.mh_node, kind::kAlert, std::move(probe), bytes);
+        }
+        continue;
+      }
       // Detection latency: silence began at the last heartbeat heard.
-      obs_.tracer.on_member_detected(mh, id(), now() - last_heard, now());
+      obs_.tracer.on_member_detected(mh, id(), now() - liveness.last_heard,
+                                     now());
       local_member_fail(mh);
     }
   }
+  flush_silent_members();
+}
+
+void NetworkEntity::flush_silent_members() {
+  if (pending_silent_.empty()) return;
+  std::vector<Guid> expired;
+  for (const auto& [mh, pending] : pending_silent_) {
+    if (now() - pending.deferred_at >= config_.stability_window) {
+      expired.push_back(mh);
+    }
+  }
+  if (expired.empty()) return;
+  // Deterministic batch order regardless of hash-map iteration.
+  std::sort(expired.begin(), expired.end());
+  std::vector<MembershipOp> ops;
+  for (const Guid mh : expired) {
+    const PendingSilent pending = pending_silent_.at(mh);
+    pending_silent_.erase(mh);
+    const auto record = ring_members_.find(mh);
+    if (!record || record->status != MemberStatus::kOperational ||
+        record->access_proxy != id()) {
+      continue;  // handed off or departed while deferred
+    }
+    obs_.tracer.on_member_detected(mh, id(), now() - pending.last_heard,
+                                   now());
+    MembershipOp op;
+    op.kind = OpKind::kMemberFail;
+    op.seq = next_op_seq();
+    op.uid = next_op_uid();
+    op.claim_seq = take_local_claim(mh);
+    op.member = MemberRecord{mh, id(), MemberStatus::kFailed};
+    ops.push_back(std::move(op));
+  }
+  // A correlated silence (regional outage, crashed coverage area) becomes
+  // ONE batched flush — one token round — instead of one round per member.
+  metrics_.stability_batched_failures.increment(ops.size());
+  enqueue_local_ops(std::move(ops));
 }
 
 // --------------------------------------------------------------------------
@@ -2077,7 +2388,13 @@ void NetworkEntity::deliver(const net::Envelope& env) {
       break;
     }
     case kind::kMhHeartbeat:
-      handle_mh_heartbeat(env.payload.get<MhHeartbeatMsg>());
+      handle_mh_heartbeat(env.payload.get<MhHeartbeatMsg>(), env.src);
+      break;
+    case kind::kAlert:
+      handle_alert(env.payload.get<AlertMsg>(), env.src);
+      break;
+    case kind::kAlertAck:
+      handle_alert_ack(env.payload.get<AlertAckMsg>(), env.src);
       break;
     case kind::kQueryRequest:
       handle_query(env.payload.get<QueryRequestMsg>(), env.src);

@@ -41,6 +41,7 @@
 #include "rgb/message_queue.hpp"
 #include "rgb/messages.hpp"
 #include "rgb/metrics.hpp"
+#include "rgb/stability.hpp"
 #include "rgb/types.hpp"
 
 namespace rgb::core {
@@ -135,6 +136,10 @@ class NetworkEntity : public proto::Process {
  private:
   // --- MQ intake -------------------------------------------------------------
   void enqueue_local_op(MembershipOp op);
+  /// Correlated batch intake: stamps and inserts every op, then kicks the
+  /// round engine ONCE — the whole batch rides a single token round
+  /// instead of the first op racing a round out ahead of the rest.
+  void enqueue_local_ops(std::vector<MembershipOp> ops);
   void enqueue_op(MembershipOp op, Contributor contributor);
   void on_mq_activity();
   std::uint64_t next_op_seq();
@@ -163,7 +168,16 @@ class NetworkEntity : public proto::Process {
   void handle_token_pass_ack(const TokenPassAckMsg& msg);
 
   // --- repair & rosters ---------------------------------------------------------
+  /// Single-suspect wrapper around declare_cut (the pre-stability detector
+  /// verdict and the stability-timeout fallback path).
   void declare_faulty_and_repair(NodeId faulty);
+  /// Applies an almost-everywhere cut as ONE batched reconfiguration: every
+  /// suspect still in the roster is spliced in a single pass — one
+  /// RepairMsg broadcast, at most one leader failover, and one batched MQ
+  /// flush of the NE-Failure + stranded Member-Failure ops (all stamped
+  /// through the claim_seq lattice), so a crashed ring or regional outage
+  /// costs one view change instead of N cascading repair rounds.
+  void declare_cut(const std::vector<NodeId>& suspects);
   void handle_repair(const RepairMsg& msg, NodeId from);
   void apply_ne_op(const MembershipOp& op);
   [[nodiscard]] NodeId successor_of(NodeId node) const;
@@ -407,11 +421,66 @@ class NetworkEntity : public proto::Process {
   std::uint32_t idle_probe_ticks_ = 0;
   static constexpr std::uint32_t kIdleTicksBeforeLeaderCheck = 4;
 
+  // --- stability plane (multi-observer cut detection) --------------------------
+  // With config.stability on, the three detector sites (token-hop retx
+  // exhaustion, unanswered token requests, the silent-member sweep) no
+  // longer declare on first observation. An NE suspect gets an *alert*:
+  // sent to the ring leader's aggregator (leader-death: to the presumptive
+  // next leader) and, as a liveness counter-check, to the suspect itself —
+  // a live suspect's kAlertAck cancels the pending alert and retracts it
+  // at the aggregator. The observer arms a stability_timeout fallback that
+  // degrades to today's single-observer declare, so detection latency
+  // stays bounded and liveness never regresses.
+  void report_suspect(NodeId suspect);
+  void raise_alert(NodeId suspect);
+  void cancel_alert(NodeId suspect);
+  void handle_alert(const AlertMsg& msg, NodeId from);
+  void handle_alert_ack(const AlertAckMsg& msg, NodeId from);
+  void on_alert_ping_timeout(NodeId suspect);
+  void on_stability_fallback(NodeId suspect, std::uint64_t alert_id);
+  /// Aggregator intake + fire check (this NE hosts the cut decision).
+  void observe_alert(NodeId suspect, NodeId observer);
+  void check_stability_cut();
+  void arm_stability_cut_timer();
+  /// Cancels every pending alert and pending cut (ring reconfigured: the
+  /// evidence predates the new shape; live detectors re-alert).
+  void reset_stability_state();
+
+  /// One alert this NE raised and has not resolved, keyed by suspect.
+  struct PendingAlert {
+    std::uint64_t alert_id = 0;
+    NodeId aggregator;           ///< where the alert was filed
+    sim::EventId ping_timer{};   ///< liveness ping retx cadence
+    sim::EventId fallback_timer{};
+  };
+  std::unordered_map<NodeId, PendingAlert> pending_alerts_;
+  StabilityAggregator stability_;
+  sim::EventId stability_cut_timer_{};
+  std::uint64_t alert_counter_ = 0;
+
   // --- MH liveness monitoring (faulty-disconnection detection) ----------------
-  void handle_mh_heartbeat(const MhHeartbeatMsg& msg);
+  void handle_mh_heartbeat(const MhHeartbeatMsg& msg, NodeId from);
   void sweep_silent_members();
-  std::unordered_map<Guid, sim::Time> mh_last_heard_;
+  /// Batch-fails every deferred silent member whose window expired.
+  void flush_silent_members();
+  /// Last heartbeat per attached member, plus the MH's network address so
+  /// the stability layer can counter-probe a silent member.
+  struct MhLiveness {
+    sim::Time last_heard = 0;
+    NodeId mh_node;
+  };
+  std::unordered_map<Guid, MhLiveness> mh_last_heard_;
   std::unique_ptr<proto::PeriodicTimer> mh_sweep_timer_;
+  /// Stability-deferred silent members: instead of failing on the sweep
+  /// that notices the silence, the member enters this window; a heartbeat
+  /// (often provoked by the counter-probe) cancels it, and everything
+  /// whose window expired is batch-failed in ONE MQ flush.
+  struct PendingSilent {
+    sim::Time last_heard = 0;
+    sim::Time deferred_at = 0;
+    NodeId mh_node;
+  };
+  std::unordered_map<Guid, PendingSilent> pending_silent_;
 
   // --- local-member re-affirmation ------------------------------------------
   // The authoritative attachment list of this AP: members that joined or

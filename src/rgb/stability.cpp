@@ -1,0 +1,63 @@
+#include "rgb/stability.hpp"
+
+#include <algorithm>
+
+namespace rgb::core {
+
+void StabilityAggregator::observe(NodeId suspect, NodeId observer,
+                                  sim::Time at) {
+  PendingSuspect& p = pending_[suspect];
+  if (p.observers.empty()) p.first_seen = at;
+  if (std::find(p.observers.begin(), p.observers.end(), observer) ==
+      p.observers.end()) {
+    p.observers.push_back(observer);
+  }
+}
+
+void StabilityAggregator::retract(NodeId suspect, NodeId observer) {
+  const auto it = pending_.find(suspect);
+  if (it == pending_.end()) return;
+  auto& obs = it->second.observers;
+  obs.erase(std::remove(obs.begin(), obs.end(), observer), obs.end());
+  if (obs.empty()) pending_.erase(it);
+}
+
+void StabilityAggregator::forget(NodeId suspect) { pending_.erase(suspect); }
+
+sim::Time StabilityAggregator::deadline(sim::Duration window) const {
+  sim::Time earliest = 0;
+  for (const auto& [suspect, p] : pending_) {
+    const sim::Time d = p.first_seen + window;
+    if (earliest == 0 || d < earliest) earliest = d;
+  }
+  return earliest;
+}
+
+bool StabilityAggregator::ready(sim::Time now, sim::Duration window,
+                                int k) const {
+  if (pending_.empty()) return false;
+  const sim::Time d = deadline(window);
+  if (d != 0 && now >= d) return true;
+  for (const auto& [suspect, p] : pending_) {
+    if (p.observers.size() >= static_cast<std::size_t>(k)) return true;
+  }
+  return false;
+}
+
+StabilityAggregator::Cut StabilityAggregator::take() {
+  Cut cut;
+  std::vector<NodeId> distinct;
+  for (const auto& [suspect, p] : pending_) {
+    cut.suspects.push_back(suspect);
+    for (const NodeId o : p.observers) {
+      if (std::find(distinct.begin(), distinct.end(), o) == distinct.end()) {
+        distinct.push_back(o);
+      }
+    }
+  }
+  cut.observers = distinct.size();
+  pending_.clear();
+  return cut;
+}
+
+}  // namespace rgb::core

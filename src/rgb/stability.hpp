@@ -1,0 +1,80 @@
+// Multi-observer cut detection (the stability layer of the ROADMAP's
+// Rapid-style open item): instead of splicing a suspect out of the ring on
+// the first missed ack, detectors raise *alerts*; this aggregator —
+// running at the ring leader (or, when the leader itself is the suspect,
+// at the presumptive next leader) — collects them into an almost-
+// everywhere cut that is applied as ONE batched reconfiguration.
+//
+// Semantics:
+//   * observe() files an alert: the suspect becomes pending with the
+//     reporting observer; further observers accumulate into a distinct set.
+//   * retract() withdraws one observer's alert (the suspect answered a
+//     liveness ping); a suspect whose last observer retracts expires
+//     without any effect — that is the flap-suppression path.
+//   * The cut fires when either the earliest pending alert is a full
+//     stability window old, or some suspect has reached K distinct
+//     observers (K pre-clamped by the caller to the feasible observer
+//     count — a K no observer set can reach would disable early firing).
+//   * take() removes and returns EVERY pending suspect as one correlated
+//     cut: failures that alert within the same window (a crashed ring, a
+//     regional outage) collapse into a single view change instead of N
+//     cascading repair rounds. Suspects still alive merely had their
+//     retraction outrun by the window; the existing reaffirmation/merge
+//     machinery re-admits them, exactly as it heals today's single-
+//     observer false positives.
+//
+// The class is pure and deterministic: no timers, no clocks — sim::Time is
+// passed in, pending suspects iterate in NodeId order.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "rgb/types.hpp"
+#include "sim/time.hpp"
+
+namespace rgb::core {
+
+class StabilityAggregator {
+ public:
+  struct Cut {
+    std::vector<NodeId> suspects;  ///< NodeId-sorted
+    std::size_t observers = 0;     ///< distinct observers across the cut
+  };
+
+  /// Files observer's alert against suspect (idempotent per pair).
+  void observe(NodeId suspect, NodeId observer, sim::Time at);
+
+  /// Withdraws observer's alert; the suspect expires when none remain.
+  void retract(NodeId suspect, NodeId observer);
+
+  /// Drops a suspect outright (spliced by an unrelated repair/reform).
+  void forget(NodeId suspect);
+
+  void clear() { pending_.clear(); }
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+  /// Earliest (first alert + window) across pending suspects; 0 when none.
+  [[nodiscard]] sim::Time deadline(sim::Duration window) const;
+
+  /// True when the cut should fire: the window deadline passed, or some
+  /// suspect reached `k` distinct observers.
+  [[nodiscard]] bool ready(sim::Time now, sim::Duration window, int k) const;
+
+  /// Removes and returns all pending suspects as one correlated cut.
+  [[nodiscard]] Cut take();
+
+ private:
+  struct PendingSuspect {
+    std::vector<NodeId> observers;  ///< distinct, insertion order
+    sim::Time first_seen = 0;
+  };
+
+  /// Ordered map: iteration (and thus cut composition) is deterministic
+  /// for any insertion history.
+  std::map<NodeId, PendingSuspect> pending_;
+};
+
+}  // namespace rgb::core

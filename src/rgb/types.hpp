@@ -217,6 +217,36 @@ struct RgbConfig {
   /// Members injected through the facade without an MH agent are never
   /// subject to it (they never heartbeat).
   sim::Duration mh_failure_timeout = 0;
+
+  /// Multi-observer cut detection (Rapid-style stability layer). When on,
+  /// a detector that exhausts its retransmission budget no longer splices
+  /// the suspect immediately: it raises a kAlert towards the ring's
+  /// aggregating leader (and pings the suspect, whose kAlertAck is a
+  /// liveness counter-observation cancelling the alert), and the leader
+  /// batches overlapping alerts within `stability_window` into one
+  /// almost-everywhere cut — one multi-node splice, one reform, one set of
+  /// claim-seq-stamped failure ops — instead of N cascading repairs.
+  /// Silent-member sweeps defer through the same window. Off by default:
+  /// the single-observer behaviour is the paper's protocol and the
+  /// fuzz/conformance baseline.
+  bool stability = false;
+
+  /// Alerts from this many distinct observers fire the cut early (before
+  /// the window closes). Clamped to the feasible observer count, so
+  /// degenerate rings (2 survivors) still converge.
+  int stability_k = 2;
+
+  /// Aggregation window: the cut fires at the latest this long after the
+  /// first alert for a pending suspect, batching whatever correlated
+  /// alerts arrived meanwhile. Alerts older than the window expire.
+  sim::Duration stability_window = sim::msec(150);
+
+  /// Observer-side liveness bound: an observer whose alert produced
+  /// neither a cut/repair nor a liveness counter-observation within this
+  /// long falls back to the single-observer declaration (the pre-stability
+  /// path), so detection latency is bounded at roughly
+  /// single-observer + stability_timeout even if the aggregator died.
+  sim::Duration stability_timeout = sim::msec(400);
 };
 
 }  // namespace rgb::core

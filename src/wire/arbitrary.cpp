@@ -185,6 +185,11 @@ net::Payload arbitrary_payload(net::MessageKind kind, common::RngStream& rng,
       return core::ReconcileMsg{g.u64(), g.claims()};
     case core::kind::kReconcileAck:
       return core::ReconcileAckMsg{g.u64(), g.entries()};
+    case core::kind::kAlert:
+      return core::AlertMsg{g.id<common::NodeId>(), g.u64(), g.roster(),
+                            g.coin()};
+    case core::kind::kAlertAck:
+      return core::AlertAckMsg{g.id<common::NodeId>(), g.u64()};
     case core::kind::kMhRequest:
       return core::MhRequestMsg{
           static_cast<core::MhRequestKind>(g.rng.next_below(4)),
@@ -275,6 +280,10 @@ std::uint32_t estimated_wire_size(net::MessageKind kind,
       return wire_size(payload.get<core::ReconcileMsg>());
     case core::kind::kReconcileAck:
       return wire_size(payload.get<core::ReconcileAckMsg>());
+    case core::kind::kAlert:
+      return wire_size(payload.get<core::AlertMsg>());
+    case core::kind::kAlertAck:
+      return wire_size(payload.get<core::AlertAckMsg>());
     case core::kind::kQueryReply:
       return wire_size(payload.get<core::QueryReplyMsg>());
     default:

@@ -35,9 +35,10 @@
 namespace rgb::wire {
 
 /// Version byte leading every framed message (WireRegistry::encode).
+/// v3: kAlert / kAlertAck stability-plane kinds.
 /// v2: attachment-epoch claim_seq on MembershipOp / TableEntry bodies,
 /// kReconcile / kReconcileAck / kSnapshotAck kinds.
-inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersion = 3;
 
 enum class DecodeStatus : std::uint8_t {
   kOk = 0,

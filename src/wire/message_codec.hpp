@@ -1,6 +1,7 @@
-// Per-message body codecs (wire format version 2 — version 1 plus the
-// attachment-epoch claim_seq field on MembershipOp and TableEntry, and the
-// kReconcile / kReconcileAck / kSnapshotAck messages).
+// Per-message body codecs (wire format version 3 — version 2 plus the
+// kAlert / kAlertAck stability-plane messages; version 2 was version 1
+// plus the attachment-epoch claim_seq field on MembershipOp and
+// TableEntry, and the kReconcile / kReconcileAck / kSnapshotAck messages).
 //
 // Every control message of the RGB protocol and of the tree/flatring/gossip
 // baselines gets a `write_body` / `read_body` pair. Writers are templated
@@ -209,6 +210,30 @@ void write_body(Writer<Sink>& w, const core::RepairMsg& v) {
 inline void read_body(Reader& r, core::RepairMsg& v) {
   v.new_previous = r.id<common::NodeIdTag>();
   read_ids(r, v.faulty);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::AlertMsg& v) {
+  w.id(v.observer);
+  w.varint(v.alert_id);
+  w.boolean(v.retract);
+  write_ids(w, v.suspects);
+}
+inline void read_body(Reader& r, core::AlertMsg& v) {
+  v.observer = r.id<common::NodeIdTag>();
+  v.alert_id = r.varint();
+  v.retract = r.boolean();
+  read_ids(r, v.suspects);
+}
+
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::AlertAckMsg& v) {
+  w.id(v.responder);
+  w.varint(v.alert_id);
+}
+inline void read_body(Reader& r, core::AlertAckMsg& v) {
+  v.responder = r.id<common::NodeIdTag>();
+  v.alert_id = r.varint();
 }
 
 template <typename Sink>

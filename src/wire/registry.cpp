@@ -160,6 +160,9 @@ const WireRegistry& WireRegistry::global() {
           make_codec<core::ReconcileMsg>("reconcile"));
     r.add(core::kind::kReconcileAck,
           make_codec<core::ReconcileAckMsg>("reconcile-ack"));
+    // RGB stability plane (multi-observer cut detection).
+    r.add(core::kind::kAlert, make_codec<core::AlertMsg>("alert"));
+    r.add(core::kind::kAlertAck, make_codec<core::AlertAckMsg>("alert-ack"));
     // RGB edge plane.
     r.add(core::kind::kMhRequest, make_codec<core::MhRequestMsg>("mh-request"));
     r.add(core::kind::kMhAck, make_codec<core::MhAckMsg>("mh-ack"));

@@ -22,6 +22,7 @@ TEST(ScheduleFormat, SerializeParseRoundTrips) {
       {sim::sec(7), FaultAction::kJoin, 9, 1, 0.0, 0},
       {sim::sec(8), FaultAction::kLeave, 4, 0, 0.0, 0},
       {sim::usec(9000001), FaultAction::kFail, 9, 0, 0.0, 0},
+      {sim::sec(10), FaultAction::kChurn, 0, 0, 0.01, sim::sec(2)},
   };
   const std::string text = schedule.serialize();
   const FaultSchedule parsed = parse_schedule(text);
@@ -63,6 +64,7 @@ TEST(ScheduleFormat, RejectsMalformedInput) {
   EXPECT_THROW(parse_schedule("at 1s crash ne\n"), std::invalid_argument);
   EXPECT_THROW(parse_schedule("at 1s dropburst 1.5 100ms\n"),
                std::invalid_argument);
+  EXPECT_THROW(parse_schedule("at 1s churn 2.0 1s\n"), std::invalid_argument);
   EXPECT_THROW(parse_schedule("crash ne 1\n"), std::invalid_argument);
 }
 

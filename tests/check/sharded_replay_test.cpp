@@ -81,6 +81,24 @@ TEST(ShardedReplay, RandomSchedulesIdenticalAcrossWorkerCounts) {
   }
 }
 
+TEST(ShardedReplay, ChurnWithStabilityIdenticalAcrossWorkerCounts) {
+  // The stability layer's alert/cut machinery plus sustained churn windows:
+  // alert timers, batched cuts and the churn expansion must all stay on the
+  // deterministic sharded path.
+  AdversarialConfig gen_cfg = sharded_config(1);
+  gen_cfg.stability = true;
+  gen_cfg.gen.churn = true;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const FaultSchedule schedule = random_schedule_for(gen_cfg, seed);
+    AdversarialConfig cfg = gen_cfg;
+    const RunDigest one = digest(cfg, schedule, seed);
+    cfg.shard_workers = 2;
+    EXPECT_EQ(digest(cfg, schedule, seed), one) << "seed " << seed;
+    cfg.shard_workers = 8;
+    EXPECT_EQ(digest(cfg, schedule, seed), one) << "seed " << seed;
+  }
+}
+
 TEST(ShardedReplay, ViolatingRunReportsIdenticallyAcrossWorkerCounts) {
   // An unhealed split violates convergence by design; the violation report
   // (message counts, sampled timestamps, flight tail) must not depend on

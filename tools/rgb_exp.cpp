@@ -94,6 +94,8 @@ int usage(const char* argv0, int code) {
      << "  --series PATH  write the first cell's tick series as CSV\n"
      << "                 ('-' for stdout)\n"
      << "  --detect       append the failure-detection latency micro-trial\n"
+     << "  --oscillation  append the stability A/B flap-suppression cells\n"
+     << "                 (churn + loss window, stability off vs on)\n"
      << "  --deterministic  zero the wall-clock fields: the JSON becomes a\n"
      << "                 pure function of (config, seed) — the CI\n"
      << "                 byte-identity gate\n";
@@ -108,6 +110,7 @@ int run_bench(int argc, char** argv) {
   bool join_flag_seen = false;
   bool smoke = false;
   bool detect = false;
+  bool oscillation = false;
   bool deterministic = false;
   std::string json_path;
   std::string series_path;
@@ -172,6 +175,8 @@ int run_bench(int argc, char** argv) {
       series_path = next();
     } else if (arg == "--detect") {
       detect = true;
+    } else if (arg == "--oscillation") {
+      oscillation = true;
     } else if (arg == "--deterministic") {
       deterministic = true;
     } else {
@@ -194,11 +199,26 @@ int run_bench(int argc, char** argv) {
                                 /*timed=*/!deterministic);
   rgb::exp::DetectStats detect_stats;
   if (detect) detect_stats = rgb::exp::run_detect_trial();
+  std::vector<rgb::exp::OscillationStats> oscillation_stats;
+  if (oscillation) {
+    for (const bool with_stability : {false, true}) {
+      const auto o = rgb::exp::run_oscillation_trial(with_stability);
+      std::cerr << "oscillation: stability="
+                << (with_stability ? "on" : "off") << " view_changes="
+                << o.view_changes << " repairs=" << o.repairs
+                << " suppressed_flaps=" << o.suppressed_flaps
+                << " fallbacks=" << o.fallbacks
+                << " converged=" << (o.converged ? "yes" : "NO") << '\n';
+      oscillation_stats.push_back(o);
+    }
+  }
 
   if (!json_path.empty()) {
     const rgb::exp::DetectStats* dp = detect ? &detect_stats : nullptr;
+    const std::vector<rgb::exp::OscillationStats>* op =
+        oscillation ? &oscillation_stats : nullptr;
     if (json_path == "-") {
-      rgb::exp::write_bench_json(base, all, std::cout, dp);
+      rgb::exp::write_bench_json(base, all, std::cout, dp, op);
     } else {
       std::ofstream file{json_path};
       if (!file) {
@@ -206,7 +226,7 @@ int run_bench(int argc, char** argv) {
                   << "' for writing\n";
         return 1;
       }
-      rgb::exp::write_bench_json(base, all, file, dp);
+      rgb::exp::write_bench_json(base, all, file, dp, op);
       std::cerr << "wrote " << json_path << '\n';
     }
   }

@@ -4,8 +4,8 @@
 //   rgb_fuzz [--proto rgb|tree|flatring|gossip] [--seeds N] [--start S]
 //            [--tiers H] [--ring R] [--members M] [--events E]
 //            [--crashes 0|1] [--partitions 0|1] [--bursts 0|1]
-//            [--handoffs 0|1] [--mask BITS] [--shard-workers W]
-//            [--schedule FILE] [--quiet]
+//            [--handoffs 0|1] [--churn 0|1] [--stability 0|1]
+//            [--mask BITS] [--shard-workers W] [--schedule FILE] [--quiet]
 //
 // For each seed in [start, start+N) the tool generates a random fault
 // schedule, replays it against the chosen protocol, and runs the invariant
@@ -17,6 +17,11 @@
 // With --schedule FILE the tool skips generation and replays the given
 // schedule file (e.g. a minimized repro from a previous run) under seed
 // `start` — deterministic down to the violation report bytes.
+//
+// `--churn 1` adds sustained-churn windows (per-tick membership toggling
+// for 1-3s stretches) to the generated schedules — the stability-layer
+// conformance profile; pair with `--stability 1` to run RGB with
+// multi-observer cut detection enabled.
 //
 // The default profile matches the paper's fault model (node crashes with
 // recovery + message loss bursts + handoff churn); `--partitions 1` adds
@@ -49,6 +54,9 @@ int usage(const char* argv0, int code) {
      << "  --partitions B enable partition/heal faults (default 0)\n"
      << "  --bursts B     enable message-loss bursts (default 1)\n"
      << "  --handoffs B   enable handoff churn (default 1)\n"
+     << "  --churn B      enable sustained-churn windows (default 0) —\n"
+     << "                 the stability-layer conformance profile\n"
+     << "  --stability B  RGB: multi-observer cut detection (default 0)\n"
      << "  --snapshot-join B  RGB: snapshot bulk-join mode (default 0) —\n"
      << "                 the lossy-surge snapshot-join conformance profile\n"
      << "  --shard-workers W  RGB: run sharded with W worker threads\n"
@@ -113,6 +121,10 @@ int main(int argc, char** argv) {
         cfg.gen.drop_bursts = next_u64() != 0;
       } else if (arg == "--handoffs") {
         cfg.gen.handoffs = next_u64() != 0;
+      } else if (arg == "--churn") {
+        cfg.gen.churn = next_u64() != 0;
+      } else if (arg == "--stability") {
+        cfg.stability = next_u64() != 0;
       } else if (arg == "--snapshot-join") {
         cfg.snapshot_join = next_u64() != 0;
       } else if (arg == "--shard-workers") {
@@ -189,6 +201,7 @@ int main(int argc, char** argv) {
               << rgb::check::to_string(cfg.protocol) << " --tiers "
               << cfg.tiers << " --ring " << cfg.ring_size << " --members "
               << cfg.initial_members << " --start " << seed
+              << (cfg.stability ? " --stability 1" : "")
               << " --schedule <file> ---\n";
   }
 
