@@ -206,6 +206,48 @@ if ! grep -q "flight recorder:" "$obs1"; then
 fi
 rm -f "$obs1" "$obs2" "$sched"
 
+# Causal trace export gate (PR9). `rgb_exp trace` must emit valid Chrome
+# trace-event JSON with cross-NE flow events, and the export — spans,
+# flow binding ids, track metadata, everything — must be byte-identical
+# at 1, 2 and 8 shard workers (the span layer's determinism contract).
+# The full flight-ring dump holds the same bar on the fuzz driver.
+echo "== trace export gate =="
+tr1="$(mktemp)"; tr2="$(mktemp)"; tr8="$(mktemp)"
+"$BUILD_DIR/rgb_exp" trace --members 500 --shards 1 --out "$tr1" 2> /dev/null
+"$BUILD_DIR/rgb_exp" trace --members 500 --shards 2 --out "$tr2" 2> /dev/null
+"$BUILD_DIR/rgb_exp" trace --members 500 --shards 8 --out "$tr8" 2> /dev/null
+if ! cmp -s "$tr1" "$tr2" || ! cmp -s "$tr1" "$tr8"; then
+  echo "FAIL: trace export differs across 1/2/8 shard workers" >&2
+  exit 1
+fi
+python3 - "$tr1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+phases = {}
+for e in events:
+    phases[e["ph"]] = phases.get(e["ph"], 0) + 1
+assert phases.get("s", 0) > 0, "no flow-start events in the trace"
+assert phases.get("s") == phases.get("f"), "unbalanced flow start/finish"
+assert phases.get("X", 0) > 0, "no handler complete events"
+assert doc["otherData"]["spans_dropped"] == 0, "span ring overflowed"
+EOF
+"$BUILD_DIR/rgb_fuzz" --seeds 3 --start 1 --flight-full --shard-workers 1 \
+    --quiet > "$tr1"
+"$BUILD_DIR/rgb_fuzz" --seeds 3 --start 1 --flight-full --shard-workers 2 \
+    --quiet > "$tr2"
+"$BUILD_DIR/rgb_fuzz" --seeds 3 --start 1 --flight-full --shard-workers 8 \
+    --quiet > "$tr8"
+if ! cmp -s "$tr1" "$tr2" || ! cmp -s "$tr1" "$tr8"; then
+  echo "FAIL: --flight-full dump differs across 1/2/8 shard workers" >&2
+  exit 1
+fi
+if ! grep -q "flight recorder:" "$tr1"; then
+  echo "FAIL: --flight-full did not dump the flight ring" >&2
+  exit 1
+fi
+rm -f "$tr1" "$tr2" "$tr8"
+
 # ThreadSanitizer gate over the concurrent kernel (sim worker pool +
 # cross-shard outboxes, net stripe metering, striped obs instruments,
 # atomic protocol counters): build the library and the two drivers with

@@ -112,6 +112,10 @@ struct AdversarialConfig {
   /// byte-identical for every positive value; the knob exists so the fuzz
   /// profiles can exercise the sharded kernel's handoff/merge paths.
   unsigned shard_workers = 0;
+  /// Dump the complete retained flight ring into CheckRunResult even when
+  /// the run passes (rgb_fuzz --flight-full). Like everything else in the
+  /// result, the dump is byte-identical across worker counts.
+  bool flight_full = false;
 };
 
 struct CheckRunResult {

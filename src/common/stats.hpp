@@ -54,7 +54,9 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const { return total_; }
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
   [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double p999() const { return quantile(0.999); }
   [[nodiscard]] double mean() const;
   /// Exact largest sample seen (0 when empty) — tracked outside the
   /// buckets, so it carries no bucketing error and survives overflow

@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "exp/scenario.hpp"
 #include "net/network.hpp"
+#include "obs/trace_export.hpp"
 #include "rgb/mobile_host.hpp"
 #include "rgb/rgb.hpp"
 #include "sim/simulator.hpp"
@@ -39,7 +40,9 @@ LatencyStats latency_from(const common::Histogram& h) {
   LatencyStats out;
   out.count = h.count();
   out.p50 = h.p50();
+  out.p90 = h.p90();
   out.p99 = h.p99();
+  out.p999 = h.p999();
   out.max = h.max();
   out.mean = h.mean();
   return out;
@@ -47,14 +50,37 @@ LatencyStats latency_from(const common::Histogram& h) {
 
 void write_latency_json(std::ostream& os, const LatencyStats& l) {
   os << "{\"count\": " << l.count << ", \"p50_us\": " << format_double(l.p50)
+     << ", \"p90_us\": " << format_double(l.p90)
      << ", \"p99_us\": " << format_double(l.p99)
+     << ", \"p999_us\": " << format_double(l.p999)
      << ", \"max_us\": " << format_double(l.max)
      << ", \"mean_us\": " << format_double(l.mean) << '}';
 }
 
-}  // namespace
+ProfileStats profile_from(const obs::HandlerProfiler& profiler) {
+  ProfileStats out;
+  out.handled_total = profiler.handled_total();
+  const obs::HandlerProfiler::PerKind handled = profiler.handled_per_kind();
+  for (std::size_t k = 0; k < handled.size(); ++k) {
+    if (handled[k] != 0) {
+      out.handled.emplace_back(static_cast<unsigned>(k), handled[k]);
+    }
+  }
+  if (profiler.wall_enabled()) {
+    const obs::HandlerProfiler::PerKind wall = profiler.wall_ns_per_kind();
+    for (std::size_t k = 0; k < wall.size(); ++k) {
+      if (wall[k] != 0) {
+        out.wall_ns.emplace_back(static_cast<unsigned>(k), wall[k]);
+      }
+    }
+  }
+  return out;
+}
 
-ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
+/// The one trial body behind run_scale_trial and run_trace_trial:
+/// `trace_out`, when set, receives the Chrome trace export of the trial.
+ScaleStats run_scale_trial_impl(const ScaleConfig& config, bool timed,
+                                std::ostream* trace_out) {
   common::RngStream rng{config.seed};
   sim::Simulator simulator;
   // Sharded trial: one logical shard per tier-0 region (= ring_size), with
@@ -76,12 +102,17 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   core::RgbSystem sys{network, rgb_config,
                       core::HierarchyLayout{config.tiers, config.ring_size}};
   if (sharded) sys.configure_shards(shard_count);
+  // Spans flip on before any traffic so every op gets a complete causal
+  // tree; wall attribution only on timed runs (untimed = deterministic).
+  sys.obs().spans.set_enabled(config.spans);
+  sys.obs().profiler.set_wall_enabled(config.profile_wall && timed);
 
   ScaleStats stats;
   stats.members = config.members;
   stats.ne_count = sys.layout().ne_count();
   stats.digest = config.digest;
   stats.snapshot_join = config.snapshot_join;
+  stats.spans = config.spans;
 
   // Tick time-series: cumulative counters probed at a fixed sim-time
   // cadence (armed per phase below; see SeriesSampler's header for why the
@@ -179,13 +210,32 @@ ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
   stats.steady_repairs = sys.metrics().repairs.value() - pre_steady_repairs;
   stats.series = sampler.points();
   stats.series_dropped = sampler.dropped();
+  stats.profile = profile_from(sys.obs().profiler);
+  stats.spans_recorded = sys.obs().spans.recorded();
+  stats.spans_dropped = sys.obs().spans.dropped();
 
   if (timed) {
     stats.join_wall_ms = ms_between(join_start, join_end);
     stats.steady_wall_ms = ms_between(steady_start, steady_end);
     stats.peak_rss_kb = peak_rss_kb();
   }
+  if (trace_out != nullptr) {
+    obs::write_chrome_trace(*trace_out, sys.obs().spans, sys.obs().flight);
+  }
   return stats;
+}
+
+}  // namespace
+
+ScaleStats run_scale_trial(const ScaleConfig& config, bool timed) {
+  return run_scale_trial_impl(config, timed, nullptr);
+}
+
+ScaleStats run_trace_trial(const ScaleConfig& config,
+                           std::ostream& trace_out) {
+  ScaleConfig traced = config;
+  traced.spans = true;
+  return run_scale_trial_impl(traced, /*timed=*/false, &trace_out);
 }
 
 DetectStats run_detect_trial(std::uint64_t seed) {
@@ -324,27 +374,33 @@ std::vector<ScaleStats> run_scale_sweep(
       if (snapshot ? !modes.snapshot : !modes.dissemination) continue;
       for (const bool digest : {true, false}) {
         if (digest ? !modes.digest : !modes.full) continue;
-        ScaleConfig config = base;
-        config.members = members;
-        config.digest = digest;
-        config.snapshot_join = snapshot;
-        log << "bench: members=" << members
-            << " join=" << (snapshot ? "snapshot" : "dissemination")
-            << " sync=" << (digest ? "digest" : "full") << " ...\n";
-        const ScaleStats stats = run_scale_trial(config, timed);
-        log << "  join " << stats.join_events << " events / "
-            << stats.join_bytes << " bytes in " << stats.join_wall_ms
-            << " ms ("
-            << static_cast<std::uint64_t>(stats.join_events_per_sec())
-            << " ev/s), divergence " << stats.join_divergence << "; steady "
-            << stats.steady_events << " events in " << stats.steady_wall_ms
-            << " ms ("
-            << static_cast<std::uint64_t>(stats.steady_events_per_sec())
-            << " ev/s); kViewSync " << stats.viewsync_msgs << " msgs / "
-            << stats.viewsync_bytes << " bytes; rss " << stats.peak_rss_kb
-            << " KiB; converged=" << (stats.converged ? "yes" : "NO")
-            << std::endl;
-        all.push_back(stats);
+        for (const bool spans : {false, true}) {
+          if (spans && !modes.spans_ab) continue;
+          ScaleConfig config = base;
+          config.members = members;
+          config.digest = digest;
+          config.snapshot_join = snapshot;
+          config.spans = spans;
+          log << "bench: members=" << members
+              << " join=" << (snapshot ? "snapshot" : "dissemination")
+              << " sync=" << (digest ? "digest" : "full")
+              << (modes.spans_ab ? (spans ? " spans=on" : " spans=off") : "")
+              << " ...\n";
+          const ScaleStats stats = run_scale_trial(config, timed);
+          log << "  join " << stats.join_events << " events / "
+              << stats.join_bytes << " bytes in " << stats.join_wall_ms
+              << " ms ("
+              << static_cast<std::uint64_t>(stats.join_events_per_sec())
+              << " ev/s), divergence " << stats.join_divergence << "; steady "
+              << stats.steady_events << " events in " << stats.steady_wall_ms
+              << " ms ("
+              << static_cast<std::uint64_t>(stats.steady_events_per_sec())
+              << " ev/s); kViewSync " << stats.viewsync_msgs << " msgs / "
+              << stats.viewsync_bytes << " bytes; rss " << stats.peak_rss_kb
+              << " KiB; converged=" << (stats.converged ? "yes" : "NO")
+              << std::endl;
+          all.push_back(stats);
+        }
       }
     }
   }
@@ -381,6 +437,7 @@ void write_bench_json(const ScaleConfig& base,
     os << "    {\"members\": " << s.members << ", \"ne_count\": " << s.ne_count
        << ", \"digest\": " << (s.digest ? "true" : "false")
        << ", \"snapshot_join\": " << (s.snapshot_join ? "true" : "false")
+       << ", \"spans\": " << (s.spans ? "true" : "false")
        << ", \"converged\": " << (s.converged ? "true" : "false") << ",\n"
        << "     \"join\": {\"events\": " << s.join_events
        << ", \"bytes\": " << s.join_bytes
@@ -416,8 +473,28 @@ void write_bench_json(const ScaleConfig& base,
          << ", \"repairs\": " << p.repairs
          << ", \"divergence\": " << p.divergence << "}";
     }
-    os << (s.series.empty() ? "" : "\n     ") << "],\n"
-       << "     \"peak_rss_kb\": " << s.peak_rss_kb << "}"
+    os << (s.series.empty() ? "" : "\n     ") << "],\n";
+    // Deterministic handler-profile digest: invocation counts per kind.
+    os << "     \"profile\": {\"handled_total\": " << s.profile.handled_total
+       << ", \"handled\": {";
+    for (std::size_t j = 0; j < s.profile.handled.size(); ++j) {
+      os << (j == 0 ? "" : ", ") << "\"kind" << s.profile.handled[j].first
+         << "\": " << s.profile.handled[j].second;
+    }
+    os << "}, \"spans_recorded\": " << s.spans_recorded
+       << ", \"spans_dropped\": " << s.spans_dropped << "},\n";
+    // Wall-CPU attribution — the one NON-deterministic block (present only
+    // when --profile-wall asked for it on a timed run): keep it out of any
+    // byte-identity comparison.
+    if (!s.profile.wall_ns.empty()) {
+      os << "     \"profile_wall_ns\": {";
+      for (std::size_t j = 0; j < s.profile.wall_ns.size(); ++j) {
+        os << (j == 0 ? "" : ", ") << "\"kind" << s.profile.wall_ns[j].first
+           << "\": " << s.profile.wall_ns[j].second;
+      }
+      os << "},\n";
+    }
+    os << "     \"peak_rss_kb\": " << s.peak_rss_kb << "}"
        << (i + 1 < stats.size() ? "," : "") << "\n";
   }
   os << "  ]";

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/series.hpp"
@@ -54,6 +55,14 @@ struct ScaleConfig {
   /// ring_size) — every positive worker count yields byte-identical
   /// deterministic metrics; the worker count only moves the wall clock.
   unsigned shard_workers = 0;
+  /// Causal-span recording (SpanRecorder) on for the trial. Off by default
+  /// so the perf trajectory measures the protocol, not the tracer; the
+  /// spans A/B sweep (SweepModes::spans_ab) quantifies the overhead.
+  bool spans = false;
+  /// Wall-CPU handler attribution. Non-deterministic by nature; its
+  /// numbers go only into the clearly separated "profile_wall_ns" bench
+  /// block and are zeroed (with the other wall fields) by untimed runs.
+  bool profile_wall = false;
 };
 
 /// Digest of one latency histogram (sim-time microseconds), exported into
@@ -62,9 +71,22 @@ struct ScaleConfig {
 struct LatencyStats {
   std::uint64_t count = 0;
   double p50 = 0.0;
+  double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   double max = 0.0;
   double mean = 0.0;
+};
+
+/// Deterministic handler-profile digest of one trial: per-message-kind
+/// delivery handler invocation counts (non-zero kinds only, ordered by
+/// kind id). `wall_ns` is the one non-deterministic member — filled only
+/// when ScaleConfig::profile_wall asked for attribution on a timed run,
+/// and exported under its own clearly separated JSON key.
+struct ProfileStats {
+  std::uint64_t handled_total = 0;
+  std::vector<std::pair<unsigned, std::uint64_t>> handled;
+  std::vector<std::pair<unsigned, std::uint64_t>> wall_ns;
 };
 
 struct ScaleStats {
@@ -73,6 +95,7 @@ struct ScaleStats {
   std::uint64_t ne_count = 0;
   bool digest = true;
   bool snapshot_join = false;
+  bool spans = false;  ///< causal-span recording was on for this cell
 
   // Deterministic protocol metrics.
   std::uint64_t join_events = 0;    ///< events to build + converge the group
@@ -107,6 +130,11 @@ struct ScaleStats {
   /// phase; the network counters reset at the steady-window start.
   std::vector<obs::SeriesPoint> series;
   std::uint64_t series_dropped = 0;
+  /// Handler-profiler digest (whole trial); see ProfileStats.
+  ProfileStats profile;
+  /// Span-layer accounting when spans were on (otherwise both zero).
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
 
   // Wall-clock metrics (zero when only the deterministic part ran).
   double join_wall_ms = 0.0;
@@ -126,6 +154,14 @@ struct ScaleStats {
 /// (the deterministic fields never depend on it).
 [[nodiscard]] ScaleStats run_scale_trial(const ScaleConfig& config,
                                          bool timed = true);
+
+/// Runs one untimed scale trial with causal spans forced on and writes the
+/// Chrome trace-event JSON export (Perfetto / chrome://tracing) of the
+/// trial's span layer + flight ring to `trace_out`. The export is a pure
+/// function of (config, seed): byte-identical for any shard worker count.
+/// Backs `rgb_exp trace`.
+[[nodiscard]] ScaleStats run_trace_trial(const ScaleConfig& config,
+                                         std::ostream& trace_out);
 
 /// Failure-detection micro-trial: a small hierarchy with heartbeating
 /// MobileHost agents; a staggered batch goes silent and one AP crashes,
@@ -171,6 +207,9 @@ struct SweepModes {
   bool full = true;           ///< full-table anti-entropy
   bool dissemination = true;  ///< per-op downward dissemination join
   bool snapshot = false;      ///< kSnapshot bulk-join state transfer
+  /// Adds a spans-on twin for every selected cell (spans-off first), so
+  /// the bench JSON carries the span-layer overhead A/B side by side.
+  bool spans_ab = false;
 };
 
 /// Runs the full members x mode grid (timed), logging one summary line per

@@ -93,6 +93,15 @@ struct Envelope {
   /// Approximate wire size; used only by byte counters, not by latency.
   std::uint32_t size_bytes = 64;
   Payload payload;
+  /// Causal-span metadata stamped by the network's TraceHooks: the op
+  /// trace this message carries work for and the send span the delivery
+  /// handler parents under. Sim-only observability state, deliberately
+  /// NOT wire-encoded (the MembershipOp::born convention): the byte
+  /// counters and codecs never see it, and a real transport implements
+  /// the same hook contract without framing it. 0 = untraced. Declared
+  /// after the payload so existing aggregate-init sites stay valid.
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
 };
 
 }  // namespace rgb::net

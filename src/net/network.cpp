@@ -176,6 +176,11 @@ void Network::send(Envelope env) {
     return;
   }
 
+  // Causal stamping happens on admission, before the loss/partition
+  // verdicts: a dropped message still happened at the sender, and the
+  // delivery closure below must capture the stamped envelope.
+  if (trace_hooks_ != nullptr) trace_hooks_->on_send(env, sim_.now());
+
   ++st.metrics.sent;
   st.metrics.bytes_sent += env.size_bytes;
   ++st.metrics.sent_per_kind[env.kind];
@@ -227,7 +232,11 @@ void Network::send(Envelope env) {
     at_dst.metrics.delivery_latency_us.add(
         static_cast<double>(sim_.now() - sent_at));
     if (tap_) tap_(env, true);
-    it->second->deliver(env);
+    if (trace_hooks_ != nullptr) {
+      trace_hooks_->on_deliver(env, sim_.now(), *it->second);
+    } else {
+      it->second->deliver(env);
+    }
   };
 
   if (sim_.is_sharded()) {

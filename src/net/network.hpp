@@ -61,6 +61,25 @@ class Endpoint {
   virtual void deliver(const Envelope& env) = 0;
 };
 
+/// Observability hooks around the message path — the instrumentation
+/// contract the span layer (and any future transport) implements. The
+/// network stays protocol- and obs-agnostic: it only gives the hooks the
+/// two moments that matter, stamping on admission and wrapping delivery.
+class TraceHooks {
+ public:
+  virtual ~TraceHooks() = default;
+  /// A send admitted into the network (source alive; called before the
+  /// loss/partition verdicts — a dropped message still *happened* at the
+  /// sender). May stamp env.trace / env.span; the delivery closure and
+  /// taps see the stamped envelope.
+  virtual void on_send(Envelope& env, sim::Time now) = 0;
+  /// Wraps the endpoint's deliver call at delivery time, inside the
+  /// destination's shard window. The hook must invoke
+  /// `endpoint.deliver(env)` exactly once.
+  virtual void on_deliver(const Envelope& env, sim::Time now,
+                          Endpoint& endpoint) = 0;
+};
+
 /// Per-link behaviour. Links are symmetric; the default applies to every
 /// pair without an explicit override.
 struct LinkConfig {
@@ -189,6 +208,12 @@ class Network {
   void set_sizer(Sizer sizer) { sizer_ = std::move(sizer); }
   [[nodiscard]] bool has_sizer() const { return static_cast<bool>(sizer_); }
 
+  /// Installs (or clears, with nullptr) the causal-trace hooks. Not owned;
+  /// the hooks must outlive the network or be cleared first (RgbSystem
+  /// installs its ProtocolObs hooks and clears them on destruction).
+  void set_trace_hooks(TraceHooks* hooks) { trace_hooks_ = hooks; }
+  [[nodiscard]] TraceHooks* trace_hooks() const { return trace_hooks_; }
+
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
@@ -218,6 +243,7 @@ class Network {
   mutable Metrics merged_;  ///< metrics() merge target in sharded mode
   Tap tap_;
   Sizer sizer_;
+  TraceHooks* trace_hooks_ = nullptr;
 };
 
 }  // namespace rgb::net

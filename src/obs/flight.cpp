@@ -54,16 +54,7 @@ const char* to_string(FlightKind kind) {
   return "?";
 }
 
-namespace {
-
-/// Per-kind operand labels so a dumped trace reads as protocol activity,
-/// not as an (a, b) puzzle. Must stay in sync with the FlightKind docs.
-struct OperandNames {
-  const char* a;
-  const char* b;  ///< nullptr = kind has no second operand
-};
-
-OperandNames operand_names(FlightKind kind) {
+FlightOperandNames flight_operand_names(FlightKind kind) {
   switch (kind) {
     case FlightKind::kOpBorn:
       return {"uid", "kind"};
@@ -106,8 +97,6 @@ OperandNames operand_names(FlightKind kind) {
   }
   return {"a", "b"};
 }
-
-}  // namespace
 
 FlightRecorder::FlightRecorder(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
@@ -187,7 +176,7 @@ void FlightRecorder::format_tail(std::ostream& os,
   os << '\n';
   for (std::size_t i = all.size() - n; i < all.size(); ++i) {
     const FlightEvent& e = all[i];
-    const OperandNames names = operand_names(e.kind);
+    const FlightOperandNames names = flight_operand_names(e.kind);
     os << "  t=" << e.at << "us ne=" << e.ne.value() << ' '
        << to_string(e.kind) << ' ' << names.a << '=' << e.a;
     if (names.b != nullptr) os << ' ' << names.b << '=' << e.b;

@@ -53,6 +53,15 @@ enum class FlightKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(FlightKind kind);
 
+/// Per-kind operand labels so dumps and the trace exporter read as
+/// protocol activity, not as an (a, b) puzzle. `b` is nullptr for kinds
+/// without a second operand. Must stay in sync with the FlightKind docs.
+struct FlightOperandNames {
+  const char* a;
+  const char* b;
+};
+[[nodiscard]] FlightOperandNames flight_operand_names(FlightKind kind);
+
 /// One recorded event. Two generic operands keep the record POD-sized; the
 /// per-kind meaning is documented on FlightKind and decoded by format().
 struct FlightEvent {

@@ -1,0 +1,65 @@
+#include "obs/hooks.hpp"
+
+#include <chrono>
+
+namespace rgb::obs {
+
+void ObsTraceHooks::on_send(net::Envelope& env, sim::Time now) {
+  if (!spans_.enabled()) return;
+  const SpanRecorder::Context ctx = spans_.current();
+  if (ctx.trace == 0) return;  // untraced traffic stays unstamped
+  env.trace = ctx.trace;
+  env.span = spans_.record(now, env.src, SpanKind::kSend, ctx.trace, ctx.span,
+                           env.kind, env.dst.value());
+}
+
+void ObsTraceHooks::on_deliver(const net::Envelope& env, sim::Time now,
+                               net::Endpoint& endpoint) {
+  if (!spans_.enabled()) {
+    // Default-on profile path: one array bump, then the handler. The wall
+    // clock is read only when attribution was explicitly enabled — it is
+    // the repo's single non-deterministic instrument.
+    if (!profiler_.wall_enabled()) {
+      endpoint.deliver(env);
+      profiler_.on_handled(env.kind);
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    endpoint.deliver(env);
+    const auto end = std::chrono::steady_clock::now();
+    profiler_.on_handled(env.kind);
+    profiler_.add_wall_ns(
+        env.kind, static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          end - start)
+                          .count()));
+    return;
+  }
+
+  // Traced path: the handler span parents under the envelope's send span
+  // (0 for untraced traffic) and becomes the causal context for sends and
+  // applies inside the handler. Deliveries never nest — every message is
+  // re-delivered through a scheduled event — so a single save/restore
+  // scope per stripe is sound.
+  const std::uint64_t handler = spans_.record(
+      now, env.dst, SpanKind::kHandler, env.trace, env.span, env.kind,
+      env.src.value());
+  const SpanRecorder::Scope scope{spans_,
+                                  SpanRecorder::Context{env.trace, handler}};
+  if (!profiler_.wall_enabled()) {
+    endpoint.deliver(env);
+    profiler_.on_handled(env.kind);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  endpoint.deliver(env);
+  const auto end = std::chrono::steady_clock::now();
+  profiler_.on_handled(env.kind);
+  profiler_.add_wall_ns(
+      env.kind,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+              .count()));
+}
+
+}  // namespace rgb::obs

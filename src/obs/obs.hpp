@@ -7,8 +7,11 @@
 #pragma once
 
 #include "obs/flight.hpp"
+#include "obs/hooks.hpp"
+#include "obs/profile.hpp"
 #include "obs/registry.hpp"
 #include "obs/series.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace rgb::obs {
@@ -16,13 +19,19 @@ namespace rgb::obs {
 /// The per-instance observability bundle. Default-on and allocation
 /// bounded: the flight ring is preallocated, histograms are fixed-size
 /// bucket arrays, and the registry holds pointers into sibling members.
+/// The span layer is the one opt-in piece (SpanRecorder::set_enabled);
+/// `hooks` is what RgbSystem installs on its network to drive spans and
+/// the handler profiler.
 struct ProtocolObs {
-  ProtocolObs() : tracer(flight) {}
+  ProtocolObs() : tracer(flight, spans), hooks(spans, profiler) {}
   ProtocolObs(const ProtocolObs&) = delete;
   ProtocolObs& operator=(const ProtocolObs&) = delete;
 
   FlightRecorder flight;
+  SpanRecorder spans;
+  HandlerProfiler profiler;
   OpTracer tracer;
+  ObsTraceHooks hooks;
   MetricsRegistry registry;
 };
 

@@ -1,0 +1,66 @@
+// Deterministic handler profiler: per-message-kind delivery counts riding
+// the same network hooks as the span layer, striped per shard and merged
+// in shard order — a pure function of the logical shard count, enumerable
+// through the metrics registry under `obs.prof.*`.
+//
+// Wall-CPU attribution (per-kind nanoseconds inside the delivery handler)
+// is the one deliberately non-deterministic instrument in the repo: it is
+// opt-in (`set_wall_enabled`), never feeds the registry, and the bench
+// exports it only into a clearly separated `profile_wall` block that the
+// byte-identity gates exclude.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace rgb::obs {
+
+class HandlerProfiler {
+ public:
+  /// Fixed per-kind slot count (message kinds top out at 41 today); kinds
+  /// at or beyond the cap share the last slot so counting never allocates.
+  static constexpr std::size_t kMaxKinds = 64;
+
+  using PerKind = std::array<std::uint64_t, kMaxKinds>;
+
+  /// One stripe per shard, written only from that shard's windows. Call
+  /// before any traffic.
+  void configure_shards(std::uint32_t count);
+
+  /// A delivery handler for `kind` ran to completion.
+  void on_handled(net::MessageKind kind);
+
+  /// Opt-in wall-CPU attribution (see the file header).
+  void set_wall_enabled(bool on) { wall_enabled_ = on; }
+  [[nodiscard]] bool wall_enabled() const { return wall_enabled_; }
+  void add_wall_ns(net::MessageKind kind, std::uint64_t ns);
+
+  /// Deterministic reads: stripes merged in shard order.
+  [[nodiscard]] PerKind handled_per_kind() const;
+  [[nodiscard]] std::uint64_t handled_total() const;
+  /// Non-deterministic read (all zero unless wall attribution ran).
+  [[nodiscard]] PerKind wall_ns_per_kind() const;
+
+  void clear();
+
+  [[nodiscard]] static std::size_t slot_of(net::MessageKind kind) {
+    return kind < kMaxKinds ? kind : kMaxKinds - 1;
+  }
+
+ private:
+  struct Stripe {
+    PerKind handled{};
+    PerKind wall_ns{};
+  };
+
+  [[nodiscard]] Stripe& stripe();
+
+  bool wall_enabled_ = false;
+  std::vector<Stripe> stripes_{1};
+};
+
+}  // namespace rgb::obs

@@ -38,6 +38,7 @@ class Network;
 
 namespace rgb::obs {
 
+class HandlerProfiler;
 class OpTracer;
 
 class MetricsRegistry {
@@ -53,9 +54,19 @@ class MetricsRegistry {
     std::string name;
     std::uint64_t count = 0;
     double p50 = 0.0;
+    double p90 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
     double max = 0.0;
     double mean = 0.0;
+  };
+
+  /// Catalog row: what a metric is, independent of its current value.
+  /// Families list their naming pattern (e.g. "net.sent.kind<K>").
+  struct CatalogEntry {
+    std::string name;
+    const char* type = "counter";  ///< counter|gauge|family|histogram
+    std::string description;
   };
 
   MetricsRegistry() = default;
@@ -63,19 +74,27 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Registers a live counter; the registry reads it at snapshot time.
-  void add_counter(std::string name, const common::Counter* counter);
+  void add_counter(std::string name, const common::Counter* counter,
+                   std::string description = {});
   /// Registers a plain uint64 location (the network metric fields).
-  void add_value(std::string name, const std::uint64_t* value);
+  void add_value(std::string name, const std::uint64_t* value,
+                 std::string description = {});
   /// Registers a computed scalar.
-  void add_gauge(std::string name, std::function<std::uint64_t()> gauge);
+  void add_gauge(std::string name, std::function<std::uint64_t()> gauge,
+                 std::string description = {});
   /// Registers a dynamic family: the producer returns fully-named samples
   /// (must be deterministically ordered — sort by key, not map order).
-  void add_family(std::function<std::vector<Sample>()> family);
+  /// `pattern` is the catalog name (e.g. "net.sent.kind<K>").
+  void add_family(std::string pattern,
+                  std::function<std::vector<Sample>()> family,
+                  std::string description = {});
   /// Registers a live histogram.
-  void add_histogram(std::string name, const common::Histogram* histogram);
+  void add_histogram(std::string name, const common::Histogram* histogram,
+                     std::string description = {});
   /// Registers a computed histogram (e.g. a merge of several live ones).
   void add_histogram(std::string name,
-                     std::function<common::Histogram()> producer);
+                     std::function<common::Histogram()> producer,
+                     std::string description = {});
 
   /// All scalar metrics in registration order (families expanded inline).
   [[nodiscard]] std::vector<Sample> snapshot() const;
@@ -85,21 +104,31 @@ class MetricsRegistry {
   [[nodiscard]] std::optional<std::uint64_t> value_of(
       std::string_view name) const;
 
+  /// Registration-ordered catalog (scalars first, then histograms) — the
+  /// self-describing index behind `rgb_exp metrics --catalog`.
+  [[nodiscard]] std::vector<CatalogEntry> catalog() const;
+
   /// {"counters": {...}, "histograms": {...}} — key order = registration
   /// order, numbers printed with the repo-wide deterministic formatting.
   void write_json(std::ostream& os, int indent = 0) const;
-  /// name,value rows, then name,count,p50,p99,max,mean histogram rows.
+  /// name,value rows, then histogram digest rows
+  /// (name,count,p50,p90,p99,p999,max,mean).
   void write_csv(std::ostream& os) const;
+  /// One aligned "name  type  description" line per catalog entry.
+  void write_catalog(std::ostream& os) const;
 
  private:
   struct Entry {
-    std::string name;  ///< empty for families (they self-name)
+    std::string name;  ///< the family naming pattern for families
     std::function<std::uint64_t()> read;
     std::function<std::vector<Sample>()> family;
+    const char* type = "counter";
+    std::string description;
   };
   struct HistogramEntry {
     std::string name;
     std::function<common::Histogram()> produce;
+    std::string description;
   };
 
   std::vector<Entry> entries_;
@@ -118,6 +147,14 @@ void register_network_metrics(MetricsRegistry& registry,
 
 /// Registers the tracer's view-change counter and latency histograms.
 void register_tracer(MetricsRegistry& registry, const OpTracer& tracer);
+
+/// Registers the handler profiler: "obs.prof.handled.kind<K>" per-kind
+/// invocation counts (non-zero kinds only) and "obs.prof.handled.total".
+/// Wall-clock attribution is deliberately NOT registered — the registry
+/// surface stays deterministic; wall numbers live only in the clearly
+/// separated bench-JSON block.
+void register_profiler(MetricsRegistry& registry,
+                       const HandlerProfiler& profiler);
 
 /// Satellite guard: the registry-enumerated export must agree with the
 /// legacy hand-read fields while both exist. Checks every RgbMetrics

@@ -1,0 +1,150 @@
+// Causal span layer: the hop-by-hop timeline behind every MembershipOp.
+//
+// Every op birth opens a *trace* whose id is the op's uid; every message
+// carrying protocol work records spans for its send -> deliver -> apply
+// hops. Span/trace ids ride on the net::Envelope as sim-only metadata
+// (deliberately NOT wire-encoded, mirroring the MembershipOp::born
+// convention): the causal links are local instrumentation, not protocol
+// state, and the future socket transport implements the same hook contract
+// without ever framing them.
+//
+// Causality is threaded through a per-stripe *context* {trace, span}:
+//  * an op birth installs {uid, root span} around the send chain it
+//    triggers (token request -> grant -> token hops), so those sends
+//    inherit the trace;
+//  * a delivery installs {env.trace, handler span} around the handler, so
+//    sends and applies inside it parent under the handler span.
+// Shard windows execute one event at a time per shard and deliveries never
+// nest, so a single save/restore slot per stripe is sufficient.
+//
+// Determinism: spans land in bounded per-shard rings written only from
+// that shard's windows; span ids are allocated per-stripe (stripe index in
+// the high bits, a per-stripe counter below), and reads merge the rings by
+// (time, stripe, intra-stripe order) — the whole surface, export included,
+// is a function of the logical shard count alone, byte-identical for any
+// worker count.
+//
+// Recording is off by default (`set_enabled`) so untraced runs pay only a
+// branch; the handler profiler rides the same hooks and stays default-on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace rgb::obs {
+
+/// What a span marks. One value per hop stage; the operand meaning per
+/// kind is documented on Span.
+enum class SpanKind : std::uint8_t {
+  kOpRoot,   ///< op birth: the root of trace `trace` (= op uid)
+  kSend,     ///< a message send admitted into the network
+  kHandler,  ///< a delivery handler executing at the destination
+  kApply,    ///< an op applied to a member/roster table
+};
+
+[[nodiscard]] const char* to_string(SpanKind kind);
+
+/// One recorded span. POD-sized; `a`/`b` are per-kind operands:
+///   kOpRoot  a=OpKind,       b=op uid
+///   kSend    a=MessageKind,  b=destination NE
+///   kHandler a=MessageKind,  b=source NE
+///   kApply   a=OpKind,       b=op uid
+struct Span {
+  sim::Time at = 0;
+  common::NodeId ne;  ///< the NE the span executed at
+  SpanKind kind = SpanKind::kOpRoot;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root (no causal parent recorded)
+  std::uint64_t trace = 0;   ///< op uid whose causal tree this span is in
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Bounded per-shard span rings plus the per-stripe causal context.
+class SpanRecorder {
+ public:
+  /// Per-stripe ring capacity. Spans are ~4x denser than flight events
+  /// (every traced hop records one), so the default ring is deeper.
+  static constexpr std::size_t kDefaultCapacity = 1 << 15;
+
+  /// The causal context of the currently executing scope: the trace the
+  /// work belongs to and the span new work should parent under.
+  struct Context {
+    std::uint64_t trace = 0;
+    std::uint64_t span = 0;
+  };
+
+  explicit SpanRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// One ring (+ id counter + context slot) per shard, written only from
+  /// that shard's windows. Call before recording.
+  void configure_shards(std::uint32_t count);
+
+  /// Master switch. Off (the default): record() is a no-op returning id 0
+  /// and the context never changes, so untraced runs pay one branch per
+  /// hook. Flip before traffic; flipping mid-run is safe but leaves a
+  /// truncated causal prefix.
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Records one span and returns its id (0 when disabled). `parent` and
+  /// `trace` come from the caller (usually the current context or the
+  /// envelope metadata).
+  std::uint64_t record(sim::Time at, common::NodeId ne, SpanKind kind,
+                       std::uint64_t trace, std::uint64_t parent,
+                       std::uint64_t a, std::uint64_t b);
+
+  /// The executing stripe's context ({0, 0} outside any causal scope).
+  [[nodiscard]] Context current();
+  /// Installs `next` as the stripe context, returning the previous one.
+  Context exchange(Context next);
+
+  /// RAII causal scope: installs `ctx` for the enclosed block. Used around
+  /// op-birth send chains and delivery handlers.
+  class Scope {
+   public:
+    Scope(SpanRecorder& recorder, Context ctx)
+        : recorder_(recorder), prev_(recorder.exchange(ctx)) {}
+    ~Scope() { recorder_.exchange(prev_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SpanRecorder& recorder_;
+    Context prev_;
+  };
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const { return recorded() - size(); }
+
+  /// Spans merged oldest-to-newest by (time, stripe, intra-stripe order) —
+  /// deterministic for any worker count (each stripe is time-monotone).
+  [[nodiscard]] std::vector<Span> spans() const;
+
+  void clear();
+
+ private:
+  /// One shard's ring + id allocator + context slot. The context is safe
+  /// un-synchronised: one thread executes one shard's window at a time.
+  struct Ring {
+    std::vector<Span> ring;
+    std::size_t next = 0;        ///< overwrite cursor once full
+    std::uint64_t recorded = 0;  ///< lifetime total, incl. overwritten
+    std::uint64_t next_id = 0;   ///< per-stripe span id counter
+    Context ctx;
+  };
+
+  [[nodiscard]] Ring& stripe();
+
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::vector<Ring> stripes_{1};
+};
+
+}  // namespace rgb::obs

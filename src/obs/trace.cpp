@@ -4,7 +4,8 @@
 
 namespace rgb::obs {
 
-OpTracer::OpTracer(FlightRecorder& flight) : flight_(flight) {}
+OpTracer::OpTracer(FlightRecorder& flight, SpanRecorder& spans)
+    : flight_(flight), spans_(spans) {}
 
 void OpTracer::configure_shards(std::uint32_t count) {
   stripes_.assign(count == 0 ? 1 : count, Stripe{});
@@ -15,14 +16,34 @@ OpTracer::Stripe& OpTracer::stripe() {
   return stripes_[s < stripes_.size() ? s : 0];
 }
 
-void OpTracer::on_op_born(const core::MembershipOp& op, common::NodeId at,
-                          sim::Time now) {
+SpanRecorder::Context OpTracer::on_op_born(const core::MembershipOp& op,
+                                           common::NodeId at, sim::Time now) {
   flight_.record(now, at, FlightKind::kOpBorn, op.uid,
                  static_cast<std::uint64_t>(op.kind));
+  if (!spans_.enabled()) return spans_.current();
+  // The birth is the root of the op's causal tree: trace id = uid,
+  // parent = none (a birth inside a delivery handler still opens a fresh
+  // trace — the op is new protocol work, not a continuation).
+  const std::uint64_t root =
+      spans_.record(now, at, SpanKind::kOpRoot, op.uid, 0,
+                    static_cast<std::uint64_t>(op.kind), op.uid);
+  return SpanRecorder::Context{op.uid, root};
 }
 
-void OpTracer::on_op_applied(const core::MembershipOp& op, int tier,
-                             sim::Time now) {
+void OpTracer::on_op_applied(const core::MembershipOp& op, common::NodeId at,
+                             int tier, sim::Time now) {
+  if (spans_.enabled()) {
+    // The apply parents under the executing context (the delivering
+    // handler's span, or the birth scope for a local apply) and stays in
+    // that context's trace, so per-trace parent links always resolve
+    // within the trace. The op uid rides in operand b — a token handler
+    // applies many ops under one trace.
+    const SpanRecorder::Context ctx = spans_.current();
+    if (ctx.trace != 0) {
+      spans_.record(now, at, SpanKind::kApply, ctx.trace, ctx.span,
+                    static_cast<std::uint64_t>(op.kind), op.uid);
+    }
+  }
   // Ops forged without a birth stamp (e.g. baseline protocols outside the
   // RGB fixture) carry born == 0 with a non-zero apply tick; a stamp is
   // only trustworthy when it is <= now.

@@ -32,6 +32,7 @@
 #include "common/ids.hpp"
 #include "common/stats.hpp"
 #include "obs/flight.hpp"
+#include "obs/span.hpp"
 #include "rgb/types.hpp"
 #include "sim/time.hpp"
 
@@ -42,18 +43,26 @@ inline constexpr std::size_t kOpKindCount = 7;
 
 class OpTracer {
  public:
-  explicit OpTracer(FlightRecorder& flight);
+  OpTracer(FlightRecorder& flight, SpanRecorder& spans);
 
   /// Stripes the tracer's instruments into `count` per-shard copies. Call
   /// before any tracing, paired with the simulator's configure_shards.
   void configure_shards(std::uint32_t count);
 
   /// The originating NE stamped `op.born` and is about to disseminate it.
-  void on_op_born(const core::MembershipOp& op, common::NodeId at,
-                  sim::Time now);
+  /// Opens the op's causal trace (trace id = uid, root span = the birth)
+  /// and returns the context the birth site should install — via
+  /// SpanRecorder::Scope — around the send chain the birth triggers, so
+  /// downstream hops inherit the trace. A no-change context when spans
+  /// are disabled.
+  SpanRecorder::Context on_op_born(const core::MembershipOp& op,
+                                   common::NodeId at, sim::Time now);
 
-  /// An NE applied `op` to its member/roster table at `tier`.
-  void on_op_applied(const core::MembershipOp& op, int tier, sim::Time now);
+  /// An NE applied `op` to its member/roster table at `tier`. Records the
+  /// kApply span under the executing causal context (the delivering
+  /// handler's span) when spans are enabled.
+  void on_op_applied(const core::MembershipOp& op, common::NodeId at,
+                     int tier, sim::Time now);
 
   /// A silent local member was declared failed `latency` after it was last
   /// heard from (or after its AP's crash for crash-stranded members).
@@ -108,6 +117,7 @@ class OpTracer {
       common::Histogram Stripe::*member, common::Histogram& cache) const;
 
   FlightRecorder& flight_;
+  SpanRecorder& spans_;
   common::Counter view_changes_;
   std::vector<Stripe> stripes_{1};
   /// Merge targets for the sharded accessors (see the accessor contract).

@@ -40,10 +40,32 @@ RgbSystem::RgbSystem(net::Network& network, RgbConfig config,
   obs::register_rgb_metrics(obs_.registry, metrics_);
   obs::register_network_metrics(obs_.registry, network_);
   obs::register_tracer(obs_.registry, obs_.tracer);
+  obs::register_profiler(obs_.registry, obs_.profiler);
+  // Cost/queue gauges close the profiler picture: how much sim work is
+  // outstanding and how much protocol work is parked in MQs right now.
+  obs_.registry.add_gauge(
+      "obs.prof.sim_pending",
+      [this] { return network_.simulator().pending_events(); },
+      "simulator events currently pending");
+  obs_.registry.add_gauge(
+      "obs.prof.sim_executed",
+      [this] { return network_.simulator().executed_events(); },
+      "simulator events executed so far");
+  obs_.registry.add_gauge(
+      "obs.prof.mq_depth",
+      [this] {
+        std::uint64_t total = 0;
+        for (const auto& ne : entities_) total += ne->message_queue().size();
+        return total;
+      },
+      "membership ops parked across all NE message queues");
+  // The delivery hooks drive the span layer and the handler profiler; the
+  // network keeps a raw pointer, so the dtor must detach it.
+  network_.set_trace_hooks(&obs_.hooks);
   build();
 }
 
-RgbSystem::~RgbSystem() = default;
+RgbSystem::~RgbSystem() { network_.set_trace_hooks(nullptr); }
 
 void RgbSystem::configure_shards(std::uint32_t count) {
   assert(count >= 1);
@@ -52,6 +74,8 @@ void RgbSystem::configure_shards(std::uint32_t count) {
   network_.configure_shards(count);
   obs_.flight.configure_shards(count);
   obs_.tracer.configure_shards(count);
+  obs_.spans.configure_shards(count);
+  obs_.profiler.configure_shards(count);
   attachments_.assign(count, {});
 
   // Region rule: tier-0 node at flattened position p anchors region p;

@@ -194,19 +194,28 @@ void NetworkEntity::reannounce_member(Guid mh, std::uint64_t claim_seq) {
 
 void NetworkEntity::enqueue_local_op(MembershipOp op) {
   // Single funnel for locally-originated ops: the birth stamp anchors the
-  // dissemination/join latency instruments downstream.
+  // dissemination/join latency instruments downstream. The send chain the
+  // enqueue triggers (token request/grant, the token hop itself) executes
+  // under the birth's causal context so its hops inherit the op's trace.
   op.born = now();
-  obs_.tracer.on_op_born(op, id(), now());
+  const obs::SpanRecorder::Scope scope{
+      obs_.spans, obs_.tracer.on_op_born(op, id(), now())};
   enqueue_op(std::move(op), Contributor{});
 }
 
 void NetworkEntity::enqueue_local_ops(std::vector<MembershipOp> ops) {
   if (ops.empty()) return;
   const std::uint64_t collapsed_before = mq_.ops_collapsed();
-  for (MembershipOp& op : ops) {
-    op.born = now();
-    obs_.tracer.on_op_born(op, id(), now());
+  // A batch triggers one shared send chain; its hops are attributed to the
+  // first op's trace (each op still gets its own root span).
+  obs::SpanRecorder::Context birth = obs_.spans.current();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ops[i].born = now();
+    const obs::SpanRecorder::Context ctx =
+        obs_.tracer.on_op_born(ops[i], id(), now());
+    if (i == 0) birth = ctx;
   }
+  const obs::SpanRecorder::Scope scope{obs_.spans, birth};
   mq_.insert_batch(std::move(ops));
   metrics_.ops_aggregated.increment(mq_.ops_collapsed() - collapsed_before);
   for (const Contributor& orphan : mq_.take_orphaned_acks()) {
@@ -500,7 +509,7 @@ void NetworkEntity::apply_ops_and_notify(const Token& token) {
     if (op.is_member_op()) {
       if (ring_members_.apply(op)) {
         metrics_.ops_disseminated.increment();
-        obs_.tracer.on_op_applied(op, tier_, now());
+        obs_.tracer.on_op_applied(op, id(), tier_, now());
       }
       // A handoff away from this AP is authoritative departure evidence:
       // without it, a racing (false) failure record could hide the
@@ -911,7 +920,7 @@ void NetworkEntity::apply_ne_op(const MembershipOp& op) {
       applied_ne_ops_order_.pop_front();
     }
     // First processing of this NE op at this node = its apply tick.
-    obs_.tracer.on_op_applied(op, tier_, now());
+    obs_.tracer.on_op_applied(op, id(), tier_, now());
   }
   switch (op.kind) {
     case OpKind::kNeFail:
@@ -1862,7 +1871,10 @@ void NetworkEntity::handle_ne_join_request(const NeJoinRequestMsg& msg,
   op.ne = msg.joiner;
   op.ne_after = id();
   op.born = now();
-  obs_.tracer.on_op_born(op, id(), now());
+  // NE ops born inside a handler open their own trace (the join is new
+  // protocol work); the triggered sends execute under it.
+  const obs::SpanRecorder::Scope scope{
+      obs_.spans, obs_.tracer.on_op_born(op, id(), now())};
   enqueue_op(std::move(op), Contributor{msg.joiner, msg.notify_id});
 }
 
@@ -1944,7 +1956,8 @@ void NetworkEntity::handle_ne_leave_request(const NeLeaveRequestMsg& msg,
   op.uid = next_op_uid();
   op.ne = msg.leaver;
   op.born = now();
-  obs_.tracer.on_op_born(op, id(), now());
+  const obs::SpanRecorder::Scope scope{
+      obs_.spans, obs_.tracer.on_op_born(op, id(), now())};
   enqueue_op(std::move(op), Contributor{msg.leaver, msg.notify_id});
 }
 

@@ -151,6 +151,40 @@ TEST(Histogram, QuantileRelativeErrorIsBoundedVsExact) {
   }
 }
 
+TEST(Histogram, TailQuantileAccessorsHoldTheSameBound) {
+  // The bench latency digests report p50/p90/p99/p999/max; the tail
+  // accessors must obey the same [exact, exact * growth] bound as
+  // quantile() so the digests are trustworthy at the 1-in-1000 tail.
+  std::vector<double> values;
+  std::uint64_t x = 0xD1B54A32D192ED03ULL;
+  for (int i = 0; i < 20'000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(1.0 + static_cast<double>(x % 10'000'000));
+  }
+  Histogram h;
+  for (const double v : values) h.add(v);
+  std::sort(values.begin(), values.end());
+
+  const auto exact_at = [&](double q) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    return values[rank - 1];
+  };
+  const struct {
+    double q;
+    double approx;
+  } probes[] = {{0.50, h.p50()}, {0.90, h.p90()},
+                {0.99, h.p99()}, {0.999, h.p999()}};
+  for (const auto& probe : probes) {
+    const double exact = exact_at(probe.q);
+    EXPECT_GE(probe.approx, exact) << "q=" << probe.q;
+    EXPECT_LE(probe.approx, exact * 1.1 + 1e-9) << "q=" << probe.q;
+  }
+  EXPECT_DOUBLE_EQ(h.max(), values.back());  // max stays exact, not bucketed
+}
+
 TEST(Histogram, MergeEqualsCombinedAddStream) {
   Histogram combined, left, right;
   for (int i = 1; i <= 400; ++i) {

@@ -10,7 +10,11 @@
 //                 [--tiers H] [--ring R] [--steady-ticks K] [--seed S]
 //                 [--warmup-ticks K] [--join-spacing US] [--shards W]
 //                 [--json PATH|-] [--smoke] [--series PATH|-] [--detect]
-//                 [--deterministic]
+//                 [--deterministic] [--spans-ab] [--profile-wall]
+//   rgb_exp trace [--members N] [--tiers H] [--ring R] [--shards W]
+//                 [--seed S] [--steady-ticks K] [--warmup-ticks K]
+//                 [--out PATH|-]
+//   rgb_exp metrics --catalog
 //
 // Aggregate output of `run` (table / CSV / JSON on stdout) is a pure
 // function of (scenario, seed, trials): byte-identical for any --threads
@@ -31,7 +35,11 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "common/rng.hpp"
 #include "exp/exp.hpp"
+#include "net/network.hpp"
+#include "rgb/rgb.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
@@ -66,6 +74,8 @@ int usage(const char* argv0, int code) {
   os << "usage: " << argv0 << " --list\n"
      << "       " << argv0 << " run <scenario-id> [options]\n"
      << "       " << argv0 << " bench [bench options]\n"
+     << "       " << argv0 << " trace [trace options]\n"
+     << "       " << argv0 << " metrics --catalog\n"
      << "run options:\n"
      << "  --threads N    worker threads (default: hardware concurrency)\n"
      << "  --trials N     override trials per cell (default: scenario's)\n"
@@ -98,8 +108,96 @@ int usage(const char* argv0, int code) {
      << "                 (churn + loss window, stability off vs on)\n"
      << "  --deterministic  zero the wall-clock fields: the JSON becomes a\n"
      << "                 pure function of (config, seed) — the CI\n"
-     << "                 byte-identity gate\n";
+     << "                 byte-identity gate\n"
+     << "  --spans-ab     run every cell twice, causal spans off then on,\n"
+     << "                 so the JSON carries the span overhead A/B\n"
+     << "  --profile-wall attribute wall-CPU to handlers; adds the\n"
+     << "                 non-deterministic profile_wall_ns block\n"
+     << "trace options (causal-span Chrome trace export; spans forced on,\n"
+     << "untimed, byte-identical for any --shards value):\n"
+     << "  --members N    members to join (default 2000)\n"
+     << "  --tiers H / --ring R / --shards W / --seed S  as for bench\n"
+     << "  --steady-ticks K / --warmup-ticks K           as for bench\n"
+     << "  --out PATH     trace JSON destination (default '-': stdout);\n"
+     << "                 load it in Perfetto or chrome://tracing\n"
+     << "metrics options:\n"
+     << "  --catalog      print every registered metric: name, type and\n"
+     << "                 one-line description\n";
   return code;
+}
+
+int run_trace(int argc, char** argv) {
+  rgb::exp::ScaleConfig config;
+  config.members = 2000;
+  std::string out_path = "-";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() { return next_arg(argc, argv, i, arg); };
+    const auto next_u64 = [&]() { return next_arg_u64(argc, argv, i, arg); };
+    if (arg == "--members") {
+      config.members = next_u64();
+    } else if (arg == "--tiers") {
+      config.tiers = static_cast<int>(next_u64());
+    } else if (arg == "--ring") {
+      config.ring_size = static_cast<int>(next_u64());
+    } else if (arg == "--shards") {
+      config.shard_workers = static_cast<unsigned>(next_u64());
+    } else if (arg == "--seed") {
+      config.seed = next_u64();
+    } else if (arg == "--steady-ticks") {
+      config.steady_ticks = static_cast<int>(next_u64());
+    } else if (arg == "--warmup-ticks") {
+      config.warmup_ticks = static_cast<int>(next_u64());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::cerr << "rgb_exp: unknown trace option '" << arg << "'\n";
+      return usage(argv[0], 2);
+    }
+  }
+  const auto run = [&config](std::ostream& os) {
+    const rgb::exp::ScaleStats stats = rgb::exp::run_trace_trial(config, os);
+    std::cerr << "trace: " << stats.spans_recorded << " span(s) ("
+              << stats.spans_dropped << " dropped), converged="
+              << (stats.converged ? "yes" : "NO") << '\n';
+    return stats.converged;
+  };
+  if (out_path == "-") return run(std::cout) ? 0 : 1;
+  std::ofstream file{out_path};
+  if (!file) {
+    std::cerr << "rgb_exp: cannot open '" << out_path << "' for writing\n";
+    return 1;
+  }
+  const bool ok = run(file);
+  std::cerr << "wrote " << out_path << '\n';
+  return ok ? 0 : 1;
+}
+
+int run_metrics(int argc, char** argv) {
+  bool catalog = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--catalog") {
+      catalog = true;
+    } else {
+      std::cerr << "rgb_exp: unknown metrics option '" << arg << "'\n";
+      return usage(argv[0], 2);
+    }
+  }
+  if (!catalog) {
+    std::cerr << "rgb_exp: metrics needs --catalog\n";
+    return usage(argv[0], 2);
+  }
+  // A minimal system is enough: registration happens in the RgbSystem
+  // constructor, so the catalog lists every metric the repo exports
+  // without running any protocol traffic.
+  rgb::common::RngStream rng{1};
+  rgb::sim::Simulator simulator;
+  rgb::net::Network network{simulator, rng.fork("net")};
+  rgb::core::RgbSystem sys{network, rgb::core::RgbConfig{},
+                           rgb::core::HierarchyLayout{1, 3}};
+  sys.obs().registry.write_catalog(std::cout);
+  return 0;
 }
 
 int run_bench(int argc, char** argv) {
@@ -179,6 +277,10 @@ int run_bench(int argc, char** argv) {
       oscillation = true;
     } else if (arg == "--deterministic") {
       deterministic = true;
+    } else if (arg == "--spans-ab") {
+      modes.spans_ab = true;
+    } else if (arg == "--profile-wall") {
+      base.profile_wall = true;
     } else {
       std::cerr << "rgb_exp: unknown bench option '" << arg << "'\n";
       return usage(argv[0], 2);
@@ -281,6 +383,8 @@ int main(int argc, char** argv) {
   if (command == "--help" || command == "-h") return usage(argv[0], 0);
   if (command == "--list" || command == "list") return list_scenarios();
   if (command == "bench") return run_bench(argc, argv);
+  if (command == "trace") return run_trace(argc, argv);
+  if (command == "metrics") return run_metrics(argc, argv);
   if (command != "run") {
     std::cerr << "rgb_exp: unknown command '" << command << "'\n";
     return usage(argv[0], 2);

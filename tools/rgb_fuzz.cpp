@@ -6,6 +6,7 @@
 //            [--crashes 0|1] [--partitions 0|1] [--bursts 0|1]
 //            [--handoffs 0|1] [--churn 0|1] [--stability 0|1]
 //            [--mask BITS] [--shard-workers W] [--schedule FILE] [--quiet]
+//            [--flight-full]
 //
 // For each seed in [start, start+N) the tool generates a random fault
 // schedule, replays it against the chosen protocol, and runs the invariant
@@ -64,7 +65,10 @@ int usage(const char* argv0, int code) {
      << "                 for every W >= 1)\n"
      << "  --mask BITS    invariant mask (default all; see EXPERIMENTS.md)\n"
      << "  --schedule F   replay schedule file F under seed --start\n"
-     << "  --quiet        only report violations and the final summary\n";
+     << "  --quiet        only report violations and the final summary\n"
+     << "  --flight-full  dump the complete retained flight ring for every\n"
+     << "                 run, pass or fail (byte-identical for any\n"
+     << "                 --shard-workers value)\n";
   return code;
 }
 
@@ -135,6 +139,8 @@ int main(int argc, char** argv) {
         schedule_path = next();
       } else if (arg == "--quiet") {
         quiet = true;
+      } else if (arg == "--flight-full") {
+        cfg.flight_full = true;
       } else {
         std::cerr << "rgb_fuzz: unknown option '" << arg << "'\n";
         return usage(argv[0], 2);
@@ -182,6 +188,7 @@ int main(int argc, char** argv) {
         std::cout << "seed " << seed << ": ok (" << result.events_applied
                   << " events, " << result.messages_sent << " msgs)\n";
       }
+      if (!result.flight_trace.empty()) std::cout << result.flight_trace;
       continue;
     }
     ++violations_found;
