@@ -117,6 +117,26 @@ if ! cmp -s "$sw1" "$sw2" || ! cmp -s "$sw1" "$sw8"; then
 fi
 "$BUILD_DIR/rgb_fuzz" --partitions 1 --seeds 12 --start 1 --shard-workers 2 \
     --quiet
+
+# Multi-group conformance gates (PR10). The adversarial profiles re-run
+# with the hierarchy multiplexing several groups (members fan out over the
+# deterministic member_groups() stride): every oracle now quantifies over
+# (group, guid) and must stay at zero violations, serially and on the
+# sharded runner — with the serial and 8-worker outputs byte-identical.
+echo "== multi-group fuzz gate (serial + sharded worker-identity) =="
+mg0="$(mktemp)"; mg8="$(mktemp)"
+"$BUILD_DIR/rgb_fuzz" --groups 4 --seeds 12 --start 1 --quiet > "$mg0"
+"$BUILD_DIR/rgb_fuzz" --groups 4 --seeds 12 --start 1 --shard-workers 8 \
+    --quiet > "$mg8"
+if ! cmp -s "$mg0" "$mg8"; then
+  echo "FAIL: multi-group fuzz output differs between serial and 8 workers" >&2
+  exit 1
+fi
+"$BUILD_DIR/rgb_fuzz" --groups 8 --partitions 1 --seeds 8 --start 1 --quiet
+"$BUILD_DIR/rgb_fuzz" --groups 8 --churn 1 --stability 1 --seeds 6 --start 1 \
+    --quiet
+rm -f "$mg0" "$mg8"
+
 echo "== sharded bench determinism gate =="
 "$BUILD_DIR/rgb_exp" bench --smoke --deterministic --shards 1 --json "$sw1" \
     2> /dev/null
@@ -128,12 +148,42 @@ if ! cmp -s "$sw1" "$sw2" || ! cmp -s "$sw1" "$sw8"; then
   echo "FAIL: deterministic bench JSON differs across 1/2/8 shard workers" >&2
   exit 1
 fi
+
+# bench.multigroup determinism + sublinearity gate (PR10): the multi-group
+# serving cell must be byte-identical at 1/2/8 shard workers, every cell
+# must converge with zero per-group divergence (exit code), and the G-cell
+# steady bytes per link must beat G independent hierarchies by >= 4x
+# (packing_ratio < 0.25 — the committed BENCH_PR10.json holds the full
+# G=1000 x 100 sweep; this smoke re-proves the shape on a bounded cell).
+echo "== bench.multigroup determinism gate =="
+"$BUILD_DIR/rgb_exp" bench --multigroup --smoke --group-members 20 \
+    --deterministic --shards 1 --json "$sw1" 2> /dev/null
+"$BUILD_DIR/rgb_exp" bench --multigroup --smoke --group-members 20 \
+    --deterministic --shards 2 --json "$sw2" 2> /dev/null
+"$BUILD_DIR/rgb_exp" bench --multigroup --smoke --group-members 20 \
+    --deterministic --shards 8 --json "$sw8" 2> /dev/null
+if ! cmp -s "$sw1" "$sw2" || ! cmp -s "$sw1" "$sw8"; then
+  echo "FAIL: multigroup bench JSON differs across 1/2/8 shard workers" >&2
+  exit 1
+fi
+python3 - "$sw1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cells = doc["cells"]
+assert all(c["converged"] and c["group_divergence"] == 0 for c in cells), \
+    "multigroup cell failed per-group convergence"
+top = max(cells, key=lambda c: c["groups"])
+assert top["groups"] > 1 and top["packing_ratio"] < 0.25, (
+    f"G={top['groups']} packing_ratio {top['packing_ratio']} >= 0.25")
+EOF
 rm -f "$sw1" "$sw2" "$sw8"
 
 # Wire codec conformance: every registered kind must round-trip
-# byte-identically on randomized messages, and a bounded mutation-fuzz
-# sweep must produce only clean accepts/rejects (no crash, no UB, accepted
-# mutants canonical). Fixed seeds keep both deterministic.
+# byte-identically on randomized messages — since wire v4 that includes the
+# group-scoped bodies (gid-stamped ops/entries, packed per-group digests,
+# the kSummary sync phase and sync-scope gid lists) — and a bounded
+# mutation-fuzz sweep must produce only clean accepts/rejects (no crash,
+# no UB, accepted mutants canonical). Fixed seeds keep both deterministic.
 echo "== rgb_wire smoke =="
 "$BUILD_DIR/rgb_wire" roundtrip --iters 50 --seed 1 > /dev/null
 "$BUILD_DIR/rgb_wire" fuzz --iters 5000 --seed 1 > /dev/null

@@ -249,6 +249,8 @@ Fixture build_fixture(const AdversarialConfig& cfg, net::Network& network,
       config.probe_period = sim::msec(250);
       config.snapshot_join = cfg.snapshot_join;
       config.stability = cfg.stability;
+      config.groups = std::max<std::uint64_t>(1, cfg.groups);
+      config.groups_per_member = std::min<std::uint64_t>(2, config.groups);
       fx.rgb = std::make_unique<core::RgbSystem>(
           network, config,
           core::HierarchyLayout{cfg.tiers, cfg.ring_size});
@@ -352,6 +354,15 @@ CheckRunResult run_schedule(const AdversarialConfig& cfg,
 
   GroundTruth truth;
   Fixture fx = build_fixture(cfg, network, truth);
+  if (fx.rgb != nullptr) {
+    // Mirror the facade's deterministic guid -> groups assignment into the
+    // ground truth, so grouped_expected() is comparable to directory views
+    // (at groups=1 both degenerate to {GroupId{1}}).
+    const core::RgbConfig rgb_config = fx.rgb->config();
+    truth.set_group_fn([rgb_config](common::Guid mh) {
+      return core::member_groups(mh, rgb_config);
+    });
+  }
 
   // Seed the initial membership round-robin across the APs.
   for (int i = 0; i < cfg.initial_members; ++i) {

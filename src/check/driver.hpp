@@ -98,6 +98,12 @@ struct AdversarialConfig {
   /// detection instead of first-observation declaration) — the A/B knob the
   /// churn conformance profile and the oscillation bench flip.
   bool stability = false;
+  /// RGB only: number of groups multiplexed over the one hierarchy
+  /// (multi-group serving). Members fan out over min(2, groups) groups each
+  /// via the deterministic member_groups() assignment, which the ground
+  /// truth mirrors; the oracles then quantify over (group, guid). 1 keeps
+  /// the classic single-group profile.
+  std::uint64_t groups = 1;
   unsigned check_mask = exp::kCheckAll;
   /// Quiet time after the last schedule event before quiescence checks.
   sim::Duration settle = sim::sec(20);

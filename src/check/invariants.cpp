@@ -27,22 +27,11 @@ std::string describe_members(const std::vector<proto::MemberRecord>& records,
 namespace {
 
 using GuidSet = std::unordered_set<std::uint64_t>;
+using GroupedRecord = std::pair<common::GroupId, proto::MemberRecord>;
 
 GuidSet uncertain_set(const SystemModel& model) {
   GuidSet out;
   for (const common::Guid g : model.uncertain()) out.insert(g.value());
-  return out;
-}
-
-/// A node's operational records minus the uncertain guids — the portion of
-/// a view the oracles may hold to strict standards.
-std::vector<proto::MemberRecord> records_of(const NodeView& view,
-                                            const GuidSet& uncertain) {
-  std::vector<proto::MemberRecord> out;
-  out.reserve(view.entries.size());
-  for (const ViewEntry& e : view.entries) {
-    if (uncertain.count(e.record.guid.value()) == 0) out.push_back(e.record);
-  }
   return out;
 }
 
@@ -52,6 +41,81 @@ std::vector<proto::MemberRecord> filter_uncertain(
     return uncertain.count(rec.guid.value()) != 0;
   });
   return records;
+}
+
+/// A node's operational (group, record) pairs minus the uncertain guids —
+/// the multi-group analogue of records_of. (gid, guid)-sorted like
+/// grouped_expected(), so lists compare element-wise.
+std::vector<GroupedRecord> grouped_records_of(const NodeView& view,
+                                              const GuidSet& uncertain) {
+  std::vector<GroupedRecord> out;
+  out.reserve(view.entries.size());
+  for (const ViewEntry& e : view.entries) {
+    if (uncertain.count(e.record.guid.value()) == 0) {
+      out.emplace_back(e.gid, e.record);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GroupedRecord& a, const GroupedRecord& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second.guid < b.second.guid;
+            });
+  return out;
+}
+
+std::vector<GroupedRecord> filter_uncertain_grouped(
+    std::vector<GroupedRecord> records, const GuidSet& uncertain) {
+  std::erase_if(records, [&](const GroupedRecord& rec) {
+    return uncertain.count(rec.second.guid.value()) != 0;
+  });
+  return records;
+}
+
+/// Renders grouped records as "gid:guid@ap ..." for violation details.
+std::string describe_grouped(const std::vector<GroupedRecord>& records,
+                             std::size_t limit = 8) {
+  std::ostringstream os;
+  os << records.size() << " (group,member) record(s)";
+  if (!records.empty()) {
+    os << " {";
+    for (std::size_t i = 0; i < records.size() && i < limit; ++i) {
+      if (i > 0) os << ' ';
+      os << records[i].first.value() << ':' << records[i].second.guid.value()
+         << '@' << records[i].second.access_proxy.value();
+    }
+    if (records.size() > limit) os << " ...";
+    os << '}';
+  }
+  return os.str();
+}
+
+/// First (gid, guid) present or differing in exactly one of two
+/// (gid, guid)-sorted lists — the grouped "differs at" anchor.
+std::string first_grouped_difference(const std::vector<GroupedRecord>& a,
+                                     const std::vector<GroupedRecord>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].first != b[i].first || !(a[i].second == b[i].second)) {
+      const GroupedRecord& lo =
+          (a[i].first != b[i].first ? a[i].first < b[i].first
+                                    : a[i].second.guid < b[i].second.guid)
+              ? a[i]
+              : b[i];
+      std::ostringstream os;
+      os << "first difference at group " << lo.first.value() << " guid "
+         << lo.second.guid.value();
+      return os.str();
+    }
+  }
+  std::ostringstream os;
+  if (a.size() != b.size()) {
+    const auto& longer = a.size() > b.size() ? a : b;
+    os << "extra group " << longer[n].first.value() << " guid "
+       << longer[n].second.guid.value();
+  } else {
+    os << "identical";
+  }
+  return os.str();
 }
 
 /// First guid present in exactly one of two guid-sorted record lists — the
@@ -117,15 +181,20 @@ void OracleSuite::check_convergence(const SystemModel& model, sim::Time now) {
     fire("convergence", now, os.str());
   }
 
+  // Per-node views are held to the *grouped* truth: a node must not only
+  // know who is live, but in which groups. At G=1 this reduces to the flat
+  // comparison (every record pairs with GroupId{1}).
+  const auto grouped_expected =
+      filter_uncertain_grouped(model.grouped_expected(), uncertain);
   for (const NodeView& view : model.node_views()) {
     if (!view.alive || !view.holds_global) continue;
-    const auto records = records_of(view, uncertain);
-    if (records != expected) {
+    const auto records = grouped_records_of(view, uncertain);
+    if (records != grouped_expected) {
       std::ostringstream os;
       os << "node " << view.id.value() << " holds "
-         << describe_members(records) << " but ground truth is "
-         << describe_members(expected) << " ("
-         << first_difference(records, expected) << ")";
+         << describe_grouped(records) << " but ground truth is "
+         << describe_grouped(grouped_expected) << " ("
+         << first_grouped_difference(records, grouped_expected) << ")";
       fire("convergence", now, os.str());
     }
   }
@@ -134,21 +203,21 @@ void OracleSuite::check_convergence(const SystemModel& model, sim::Time now) {
 void OracleSuite::check_agreement(const SystemModel& model, sim::Time now) {
   const GuidSet uncertain = uncertain_set(model);
   const NodeView* reference = nullptr;
-  std::vector<proto::MemberRecord> reference_records;
+  std::vector<GroupedRecord> reference_records;
   for (const NodeView& view : model.node_views()) {
     if (!view.alive || !view.holds_global) continue;
     if (reference == nullptr) {
       reference = &view;
-      reference_records = records_of(view, uncertain);
+      reference_records = grouped_records_of(view, uncertain);
       continue;
     }
-    const auto records = records_of(view, uncertain);
+    const auto records = grouped_records_of(view, uncertain);
     if (records != reference_records) {
       std::ostringstream os;
       os << "node " << view.id.value() << " view ("
-         << describe_members(records) << ") disagrees with node "
-         << reference->id.value() << " (" << describe_members(reference_records)
-         << "): " << first_difference(records, reference_records);
+         << describe_grouped(records) << ") disagrees with node "
+         << reference->id.value() << " (" << describe_grouped(reference_records)
+         << "): " << first_grouped_difference(records, reference_records);
       fire("agreement", now, os.str());
     }
   }
@@ -156,18 +225,28 @@ void OracleSuite::check_agreement(const SystemModel& model, sim::Time now) {
 
 void OracleSuite::check_zombies(const SystemModel& model, sim::Time now) {
   const GuidSet uncertain = uncertain_set(model);
-  GuidSet live;
-  for (const proto::MemberRecord& rec : model.expected()) {
-    live.insert(rec.guid.value());
+  // Liveness is per (group, guid): a member that left group A but stays in
+  // group B is a zombie when shown operational in A, even though the guid
+  // itself is still live elsewhere.
+  std::unordered_set<std::uint64_t> live;
+  const auto key = [](std::uint64_t gid, std::uint64_t guid) {
+    return gid * 0x9E3779B97F4A7C15ULL ^ guid;
+  };
+  for (const auto& [gid, rec] : model.grouped_expected()) {
+    live.insert(key(gid.value(), rec.guid.value()));
   }
   for (const NodeView& view : model.node_views()) {
     if (!view.alive) continue;  // a crashed node's frozen view is exempt
     for (const ViewEntry& entry : view.entries) {
       const std::uint64_t guid = entry.record.guid.value();
-      if (live.count(guid) != 0 || uncertain.count(guid) != 0) continue;
+      if (live.count(key(entry.gid.value(), guid)) != 0 ||
+          uncertain.count(guid) != 0) {
+        continue;
+      }
       std::ostringstream os;
       os << "node " << view.id.value() << " shows dead member " << guid
-         << " as operational at ap " << entry.record.access_proxy.value();
+         << " as operational in group " << entry.gid.value() << " at ap "
+         << entry.record.access_proxy.value();
       fire("zombie", now, os.str());
     }
   }
@@ -177,8 +256,8 @@ void OracleSuite::check_monotone(const SystemModel& model, sim::Time now) {
   for (const NodeView& view : model.node_views()) {
     for (const ViewEntry& entry : view.entries) {
       if (entry.seq == 0) continue;  // protocol does not track sequences
-      auto& high =
-          high_seq_[{view.id.value(), entry.record.guid.value()}];
+      auto& high = high_seq_[{view.id.value(), entry.gid.value(),
+                              entry.record.guid.value()}];
       // Lattice order (claim epoch first, seq within the epoch): a record
       // of a newer attachment epoch legitimately carries any seq, so only
       // a same-or-lower position is a regression. Epoch-less protocols
@@ -188,7 +267,8 @@ void OracleSuite::check_monotone(const SystemModel& model, sim::Time now) {
       if (position < high) {
         std::ostringstream os;
         os << "node " << view.id.value() << " regressed member "
-           << entry.record.guid.value() << " from (claim " << high.first
+           << entry.record.guid.value() << " in group " << entry.gid.value()
+           << " from (claim " << high.first
            << ", seq " << high.second << ") to (claim " << entry.claim
            << ", seq " << entry.seq << ")";
         fire("monotone", now, os.str());

@@ -27,6 +27,7 @@
 // convergence.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 
@@ -70,17 +71,20 @@ class OracleSuite {
   std::uint64_t ordinal_ = 0;
   CheckReport report_;
 
-  struct PairHash {
+  struct TripleHash {
     std::size_t operator()(
-        const std::pair<std::uint64_t, std::uint64_t>& p) const noexcept {
-      return std::hash<std::uint64_t>{}(p.first * 0x9E3779B97F4A7C15ULL ^
-                                        p.second);
+        const std::array<std::uint64_t, 3>& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (k[0] * 0x9E3779B97F4A7C15ULL ^ k[1]) * 0x9E3779B97F4A7C15ULL ^
+          k[2]);
     }
   };
-  /// Highwater (claim epoch, op sequence) observed per (node, guid) —
-  /// the protocol's record_precedes lattice position.
-  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>,
-                     std::pair<std::uint64_t, std::uint64_t>, PairHash>
+  /// Highwater (claim epoch, op sequence) observed per (node, group, guid)
+  /// — the protocol's record_precedes lattice position. Group-scoped: the
+  /// same member may legitimately sit at different sequences in different
+  /// groups (ops are per-group), but within one group it must not regress.
+  std::unordered_map<std::array<std::uint64_t, 3>,
+                     std::pair<std::uint64_t, std::uint64_t>, TripleHash>
       high_seq_;
 };
 

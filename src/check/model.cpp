@@ -23,6 +23,21 @@ std::vector<ViewEntry> entries_of(const core::MemberTable& table) {
   return out;  // export_entries() is already guid-sorted
 }
 
+/// Multi-group flattening: every group's operational entries, gid-stamped,
+/// gid-major then guid-ascending — matching grouped_expected() order.
+std::vector<ViewEntry> entries_of(const core::GroupDirectory& dir) {
+  std::vector<ViewEntry> out;
+  for (const auto& [gid, state] : dir.groups()) {
+    for (const core::TableEntry& entry : state.table.export_entries()) {
+      if (entry.record.status == proto::MemberStatus::kOperational) {
+        out.push_back(
+            ViewEntry{entry.record, entry.last_seq, entry.claim_seq, gid});
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<MemberRecord> sorted_records(
     std::vector<MemberRecord> records) {
   std::sort(records.begin(), records.end(),
@@ -99,6 +114,25 @@ std::vector<MemberRecord> GroundTruth::expected() const {
   return sorted_records(std::move(out));
 }
 
+std::vector<std::pair<GroupId, MemberRecord>> GroundTruth::grouped_expected()
+    const {
+  std::vector<std::pair<GroupId, MemberRecord>> out;
+  for (const auto& [guid, ap] : live_) {
+    const MemberRecord rec{guid, ap, proto::MemberStatus::kOperational};
+    if (group_fn_) {
+      for (const GroupId gid : group_fn_(guid)) out.emplace_back(gid, rec);
+    } else {
+      out.emplace_back(GroupId{1}, rec);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second.guid < b.second.guid;
+            });
+  return out;
+}
+
 std::vector<Guid> GroundTruth::uncertain() const {
   std::vector<Guid> out;
   out.reserve(uncertain_.size());
@@ -128,7 +162,7 @@ std::vector<NodeView> RgbModel::node_views() const {
     view.alive = !system_.network().is_crashed(id);
     view.holds_global =
         all_global || (config.retain_tier == 0 && ne->tier() == 0);
-    view.entries = entries_of(ne->ring_members());
+    view.entries = entries_of(ne->directory());
     out.push_back(std::move(view));
   }
   return out;
@@ -148,6 +182,12 @@ std::vector<MemberRecord> RgbModel::protocol_view() const {
 std::vector<MemberRecord> RgbModel::expected() const {
   return truth_ != nullptr ? truth_->expected()
                            : system_.expected_membership();
+}
+
+std::vector<std::pair<GroupId, MemberRecord>> RgbModel::grouped_expected()
+    const {
+  return truth_ != nullptr ? truth_->grouped_expected()
+                           : system_.grouped_expected_membership();
 }
 
 std::vector<Guid> RgbModel::uncertain() const {

@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "check/report.hpp"
@@ -45,6 +47,7 @@ class GossipSystem;
 
 namespace rgb::check {
 
+using common::GroupId;
 using common::Guid;
 using common::NodeId;
 using proto::MemberRecord;
@@ -53,11 +56,14 @@ using proto::MemberRecord;
 /// record (0 when the protocol does not track sequences) and the
 /// attachment epoch behind it (0 when the protocol has no epoch
 /// semantics). The monotone oracle holds the pair to the protocol's
-/// (claim, seq) lattice order.
+/// (claim, seq) lattice order. `gid` scopes the record to its group
+/// (multi-group serving); single-group protocols leave the default, so
+/// every oracle quantifies over (group, guid) uniformly.
 struct ViewEntry {
   MemberRecord record;
   std::uint64_t seq = 0;
   std::uint64_t claim = 0;
+  GroupId gid = GroupId{1};
 };
 
 /// One protocol node flattened for inspection.
@@ -95,6 +101,18 @@ class SystemModel {
   [[nodiscard]] virtual std::vector<NodeView> node_views() const = 0;
   [[nodiscard]] virtual std::vector<MemberRecord> protocol_view() const = 0;
   [[nodiscard]] virtual std::vector<MemberRecord> expected() const = 0;
+  /// Ground truth quantified over (group, guid): who should be a member of
+  /// which group, (gid, guid)-sorted. Single-group protocols inherit this
+  /// default — everything in GroupId{1} — so the per-group oracles reduce
+  /// to the flat ones.
+  [[nodiscard]] virtual std::vector<std::pair<GroupId, MemberRecord>>
+  grouped_expected() const {
+    std::vector<std::pair<GroupId, MemberRecord>> out;
+    for (const MemberRecord& rec : expected()) {
+      out.emplace_back(GroupId{1}, rec);
+    }
+    return out;
+  }
   /// Guids whose fate is timing-dependent (stranded at a crashed NE:
   /// whether the ring detected the crash before recovery is the protocol's
   /// call, not the oracle's). Excluded from convergence/agreement/zombie
@@ -133,12 +151,23 @@ class GroundTruth {
   [[nodiscard]] std::vector<Guid> live_members() const;  ///< sorted
   /// Live members as records, sorted by guid — comparable to snapshots.
   [[nodiscard]] std::vector<MemberRecord> expected() const;
+  /// Group assignment for live members (multi-group serving). Unset means
+  /// every member belongs to GroupId{1} only. The function must be pure:
+  /// it is re-evaluated on every grouped_expected() call.
+  void set_group_fn(std::function<std::vector<GroupId>(Guid)> fn) {
+    group_fn_ = std::move(fn);
+  }
+  /// Live members fanned out over their groups, (gid, guid)-sorted —
+  /// comparable to a directory export.
+  [[nodiscard]] std::vector<std::pair<GroupId, MemberRecord>>
+  grouped_expected() const;
   [[nodiscard]] std::vector<Guid> uncertain() const;  ///< sorted
   [[nodiscard]] std::size_t live_count() const { return live_.size(); }
 
  private:
   std::unordered_map<Guid, NodeId> live_;
   std::unordered_map<Guid, bool> uncertain_;
+  std::function<std::vector<GroupId>(Guid)> group_fn_;
 };
 
 // --- adapters ---------------------------------------------------------------
@@ -155,6 +184,8 @@ class RgbModel final : public SystemModel {
   [[nodiscard]] std::vector<NodeView> node_views() const override;
   [[nodiscard]] std::vector<MemberRecord> protocol_view() const override;
   [[nodiscard]] std::vector<MemberRecord> expected() const override;
+  [[nodiscard]] std::vector<std::pair<GroupId, MemberRecord>> grouped_expected()
+      const override;
   [[nodiscard]] std::vector<Guid> uncertain() const override;
   [[nodiscard]] NetMeters meters() const override;
   void hierarchy_check(sim::Time now, std::size_t cell, std::uint64_t trial,

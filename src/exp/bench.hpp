@@ -201,6 +201,96 @@ struct OscillationStats {
 [[nodiscard]] OscillationStats run_oscillation_trial(
     bool stability, std::uint64_t seed = 0x05C111ULL);
 
+/// One A/B cell aggregated over several deterministic seeds: counters are
+/// summed, `converged` is the conjunction. A single seed is one trajectory
+/// through the loss RNG, so any protocol byte-size change re-rolls its
+/// exact counts; summing a few seeds gates the flap-suppression ratio on
+/// the structural effect instead of per-trajectory luck.
+[[nodiscard]] OscillationStats run_oscillation_cell(
+    bool stability,
+    const std::vector<std::uint64_t>& seeds = {0x05C111ULL, 0x05C112ULL,
+                                               0x05C113ULL});
+
+/// Multi-group serving bench (PR10): G groups x M members each multiplexed
+/// over ONE hierarchy. One trial joins G*M distinct-guid members (guid ->
+/// group via the deterministic member_groups stride, exactly M per group),
+/// lets the directory converge, then measures a steady-state anti-entropy
+/// window. The headline is bytes per link per tick as a function of G: the
+/// kSummary combined-digest tick keeps it O(1), so the curve is flat where
+/// G independent single-group hierarchies would pay G full frames.
+struct MultigroupConfig {
+  int tiers = 2;
+  int ring_size = 3;
+  std::uint64_t groups = 1000;
+  std::uint64_t members_per_group = 100;
+  sim::Duration join_spacing = sim::usec(200);
+  sim::Duration probe_period = sim::msec(250);
+  int warmup_ticks = 10;
+  int steady_ticks = 10;
+  std::uint64_t seed = 0x96B0DF5ULL;
+  /// As ScaleConfig::shard_workers: 0 = serial, > 0 = sharded trial with
+  /// byte-identical deterministic metrics for every positive worker count.
+  unsigned shard_workers = 0;
+};
+
+struct MultigroupStats {
+  // Echo of the cell.
+  std::uint64_t groups = 0;
+  std::uint64_t members_per_group = 0;
+  std::uint64_t total_members = 0;
+  std::uint64_t ne_count = 0;
+
+  // Deterministic protocol metrics.
+  std::uint64_t join_events = 0;
+  std::uint64_t join_bytes = 0;
+  std::uint64_t steady_events = 0;
+  std::uint64_t viewsync_msgs = 0;   ///< kViewSync sends over the window
+  std::uint64_t viewsync_bytes = 0;  ///< kViewSync bytes over the window
+  std::uint64_t total_bytes = 0;     ///< all bytes over the window
+  /// kViewSync frames per probe tick = synced links (each steady-state
+  /// frame is one link-tick; no frame is a reply once converged).
+  std::uint64_t links = 0;
+  /// Steady-state kViewSync bytes per link per tick — the headline. Flat
+  /// in G under kSummary packing; ~linear for unpacked per-group syncing.
+  double bytes_per_link_tick = 0.0;
+  /// Sum over groups of per-NE record disagreement vs the grouped expected
+  /// membership (RgbSystem::group_view_divergence). Must be 0 at
+  /// quiescence — the per-group convergence acceptance gate.
+  std::uint64_t group_divergence = 0;
+  std::uint64_t groups_created = 0;   ///< rgb.groups_created at trial end
+  std::uint64_t digests_packed = 0;   ///< rgb.digest_groups_packed total
+  std::uint64_t group_fulls = 0;      ///< rgb.group_fulls_sent total
+  std::uint64_t group_diffs = 0;      ///< rgb.group_diffs_sent total
+  bool converged = false;             ///< merged-view convergence
+
+  // Wall-clock metrics (zero when only the deterministic part ran).
+  double join_wall_ms = 0.0;
+  double steady_wall_ms = 0.0;
+  long peak_rss_kb = 0;
+};
+
+/// Runs one multi-group trial. `timed` as in run_scale_trial.
+[[nodiscard]] MultigroupStats run_multigroup_trial(
+    const MultigroupConfig& config, bool timed = true);
+
+/// Runs the group-count sweep (one cell per entry of `group_counts`),
+/// logging one summary line per cell to `log`.
+[[nodiscard]] std::vector<MultigroupStats> run_multigroup_sweep(
+    const MultigroupConfig& base, const std::vector<std::uint64_t>& group_counts,
+    std::ostream& log, bool timed = true);
+
+/// Every cell converged with zero per-group divergence — the bench's gate.
+[[nodiscard]] bool all_multigroup_clean(
+    const std::vector<MultigroupStats>& stats);
+
+/// Writes the multi-group BENCH json artifact. When the sweep contains a
+/// G=1 cell, every cell also carries `packing_ratio` = bytes_per_link_tick
+/// / (G * G=1-cell bytes_per_link_tick) — the sublinearity headline (the
+/// PR10 acceptance bar is < 0.25 at G=1000).
+void write_multigroup_json(const MultigroupConfig& base,
+                           const std::vector<MultigroupStats>& stats,
+                           std::ostream& os);
+
 /// Which cells of the (anti-entropy mode x join mode) grid a sweep runs.
 struct SweepModes {
   bool digest = true;         ///< digest-first anti-entropy

@@ -184,7 +184,7 @@ void MetricsRegistry::write_catalog(std::ostream& os) const {
 // One registration line per counter; the static_assert pins the struct so
 // a new RgbMetrics field cannot ship without a line here (and a parity
 // entry below).
-static_assert(sizeof(core::RgbMetrics) == 29 * sizeof(common::Counter),
+static_assert(sizeof(core::RgbMetrics) == 33 * sizeof(common::Counter),
               "RgbMetrics changed: update register_rgb_metrics and "
               "registry_parity_ok in obs/registry.cpp");
 
@@ -251,6 +251,14 @@ void register_rgb_metrics(MetricsRegistry& registry,
   registry.add_counter("rgb.stability_timeout_fallbacks",
                        &m.stability_timeout_fallbacks,
                        "cuts forced by aggregation timeout");
+  registry.add_counter("rgb.digest_groups_packed", &m.digest_groups_packed,
+                       "per-group digests packed into kDigest sync frames");
+  registry.add_counter("rgb.group_fulls_sent", &m.group_fulls_sent,
+                       "groups shipped in scoped kFull sync replies");
+  registry.add_counter("rgb.group_diffs_sent", &m.group_diffs_sent,
+                       "groups shipped in scoped kDiff sync replies");
+  registry.add_counter("rgb.groups_created", &m.groups_created,
+                       "group states instantiated in NE directories");
 }
 
 namespace {
@@ -412,6 +420,11 @@ bool registry_parity_ok(const MetricsRegistry& registry,
                  metrics.stability_suppressed_flaps.value()) &&
          matches("rgb.stability_timeout_fallbacks",
                  metrics.stability_timeout_fallbacks.value()) &&
+         matches("rgb.digest_groups_packed",
+                 metrics.digest_groups_packed.value()) &&
+         matches("rgb.group_fulls_sent", metrics.group_fulls_sent.value()) &&
+         matches("rgb.group_diffs_sent", metrics.group_diffs_sent.value()) &&
+         matches("rgb.groups_created", metrics.groups_created.value()) &&
          matches("net.sent", n.sent) && matches("net.delivered", n.delivered) &&
          matches("net.dropped_loss", n.dropped_loss) &&
          matches("net.dropped_crash", n.dropped_crash) &&

@@ -1,0 +1,316 @@
+#include "rgb/group_directory.hpp"
+
+#include <algorithm>
+
+namespace rgb::core {
+
+namespace {
+/// SplitMix64 finalizer (same construction as MemberTable's entry hash):
+/// folds a group's id into its table digest so two groups with identical
+/// tables still contribute distinct terms to the combined digest.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+GroupDirectory::GroupState& GroupDirectory::state(GroupId gid) {
+  const auto [it, inserted] = groups_.try_emplace(gid);
+  if (inserted) {
+    it->second.mq = MessageQueue{aggregate_};
+  }
+  return it->second;
+}
+
+void GroupDirectory::insert(MembershipOp op, Contributor contributor) {
+  if (op.is_member_op() && op.gid.valid()) {
+    state(op.gid).mq.insert(std::move(op), contributor);
+  } else {
+    ne_queue_.insert(std::move(op), contributor);
+  }
+}
+
+void GroupDirectory::insert_batch(std::vector<MembershipOp> ops) {
+  for (MembershipOp& op : ops) insert(std::move(op), Contributor{});
+}
+
+MessageQueue::Batch GroupDirectory::drain(std::size_t max_ops) {
+  // NE ops first (hierarchy changes gate everything else), then groups in
+  // gid order. Non-aggregating mode keeps the one-op-per-round contract of
+  // the single queue: drain stops after the first op it obtains.
+  MessageQueue::Batch batch;
+  const auto budget = [&]() -> std::size_t {
+    if (!aggregate_) return batch.ops.empty() ? 1 : 0;
+    if (max_ops == 0) return 0;  // unlimited
+    return max_ops > batch.ops.size() ? max_ops - batch.ops.size() : 0;
+  };
+  const auto take_from = [&](MessageQueue& mq) {
+    if (mq.empty()) return;
+    if (!aggregate_ && !batch.ops.empty()) return;
+    if (aggregate_ && max_ops != 0 && batch.ops.size() >= max_ops) return;
+    MessageQueue::Batch part = mq.drain(budget());
+    for (MembershipOp& op : part.ops) batch.ops.push_back(std::move(op));
+    for (Contributor& c : part.contributors) {
+      if (std::find(batch.contributors.begin(), batch.contributors.end(), c) ==
+          batch.contributors.end()) {
+        batch.contributors.push_back(c);
+      }
+    }
+  };
+  take_from(ne_queue_);
+  for (auto& [gid, st] : groups_) take_from(st.mq);
+  return batch;
+}
+
+std::vector<Contributor> GroupDirectory::take_orphaned_acks() {
+  std::vector<Contributor> out = ne_queue_.take_orphaned_acks();
+  for (auto& [gid, st] : groups_) {
+    for (Contributor& c : st.mq.take_orphaned_acks()) {
+      if (std::find(out.begin(), out.end(), c) == out.end()) {
+        out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+bool GroupDirectory::queue_empty() const {
+  if (!ne_queue_.empty()) return false;
+  for (const auto& [gid, st] : groups_) {
+    if (!st.mq.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t GroupDirectory::queue_size() const {
+  std::size_t n = ne_queue_.size();
+  for (const auto& [gid, st] : groups_) n += st.mq.size();
+  return n;
+}
+
+std::uint64_t GroupDirectory::ops_inserted() const {
+  std::uint64_t n = ne_queue_.ops_inserted();
+  for (const auto& [gid, st] : groups_) n += st.mq.ops_inserted();
+  return n;
+}
+
+std::uint64_t GroupDirectory::ops_collapsed() const {
+  std::uint64_t n = ne_queue_.ops_collapsed();
+  for (const auto& [gid, st] : groups_) n += st.mq.ops_collapsed();
+  return n;
+}
+
+MemberTable& GroupDirectory::table(GroupId gid) { return state(gid).table; }
+
+const MemberTable* GroupDirectory::table_if(GroupId gid) const {
+  const auto it = groups_.find(gid);
+  return it == groups_.end() ? nullptr : &it->second.table;
+}
+
+bool GroupDirectory::apply(const MembershipOp& op) {
+  if (!op.is_member_op() || !op.gid.valid()) return false;
+  return state(op.gid).table.apply(op);
+}
+
+std::vector<TableEntry> GroupDirectory::export_all() const {
+  return export_groups({});
+}
+
+std::vector<TableEntry> GroupDirectory::export_groups(
+    const std::vector<GroupId>& gids) const {
+  std::vector<TableEntry> out;
+  const auto append = [&](GroupId gid, const MemberTable& tab) {
+    for (TableEntry& entry : tab.export_entries()) {
+      entry.gid = gid;
+      out.push_back(std::move(entry));
+    }
+  };
+  if (gids.empty()) {
+    for (const auto& [gid, st] : groups_) append(gid, st.table);
+  } else {
+    for (GroupId gid : gids) {
+      if (const MemberTable* tab = table_if(gid)) append(gid, *tab);
+    }
+  }
+  return out;
+}
+
+bool GroupDirectory::import_all(const std::vector<TableEntry>& entries) {
+  // Group the incoming run by gid (payloads are gid-major, so this is one
+  // pass) and lattice-merge each run into its group's table.
+  bool changed = false;
+  std::size_t i = 0;
+  std::vector<TableEntry> run;
+  while (i < entries.size()) {
+    const GroupId gid = entries[i].gid;
+    run.clear();
+    while (i < entries.size() && entries[i].gid == gid) {
+      run.push_back(entries[i]);
+      ++i;
+    }
+    if (!gid.valid()) continue;  // malformed: a group-less entry has no home
+    if (state(gid).table.import_entries(run)) changed = true;
+  }
+  return changed;
+}
+
+std::vector<TableEntry> GroupDirectory::newer_than(
+    const std::vector<TableEntry>& incoming,
+    const std::vector<GroupId>& gids) const {
+  // Split `incoming` per gid, then diff group by group.
+  std::map<GroupId, std::vector<TableEntry>> theirs;
+  for (const TableEntry& entry : incoming) {
+    theirs[entry.gid].push_back(entry);
+  }
+  std::vector<TableEntry> out;
+  const auto diff_one = [&](GroupId gid, const MemberTable& tab) {
+    static const std::vector<TableEntry> kNone;
+    const auto it = theirs.find(gid);
+    for (TableEntry& entry :
+         tab.newer_than(it == theirs.end() ? kNone : it->second)) {
+      entry.gid = gid;
+      out.push_back(std::move(entry));
+    }
+  };
+  if (gids.empty()) {
+    for (const auto& [gid, st] : groups_) diff_one(gid, st.table);
+  } else {
+    for (GroupId gid : gids) {
+      if (const MemberTable* tab = table_if(gid)) diff_one(gid, *tab);
+    }
+  }
+  return out;
+}
+
+std::vector<GroupDigest> GroupDirectory::packed_digests() const {
+  std::vector<GroupDigest> out;
+  out.reserve(groups_.size());
+  for (const auto& [gid, st] : groups_) {
+    if (st.table.empty()) continue;
+    const ViewDigest d = st.table.digest();
+    out.push_back(GroupDigest{gid, d.hash, d.count});
+  }
+  return out;
+}
+
+ViewDigest GroupDirectory::combined_digest() const {
+  ViewDigest out;
+  for (const auto& [gid, st] : groups_) {
+    if (st.table.empty()) continue;
+    const ViewDigest d = st.table.digest();
+    out.hash ^= mix(mix(gid.value()) ^ d.hash);
+    out.count += d.count;
+  }
+  return out;
+}
+
+std::vector<GroupId> GroupDirectory::differing_groups(
+    const std::vector<GroupDigest>& theirs) const {
+  std::vector<GroupId> out;
+  std::map<GroupId, const GroupDigest*> by_gid;
+  for (const GroupDigest& d : theirs) by_gid[d.gid] = &d;
+  // Local groups: differ when the sender's digest mismatches or the sender
+  // did not mention a non-empty local group.
+  for (const auto& [gid, st] : groups_) {
+    const auto it = by_gid.find(gid);
+    if (it == by_gid.end()) {
+      if (!st.table.empty()) out.push_back(gid);
+      continue;
+    }
+    const ViewDigest d = st.table.digest();
+    if (d.hash != it->second->hash || d.count != it->second->count) {
+      out.push_back(gid);
+    }
+    by_gid.erase(it);
+  }
+  // Sender-only groups this directory has never seen.
+  for (const auto& [gid, d] : by_gid) out.push_back(gid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t GroupDirectory::claim_of(GroupId gid, Guid guid) const {
+  const MemberTable* tab = table_if(gid);
+  return tab == nullptr ? 0 : tab->claim_of(guid);
+}
+
+std::optional<TableEntry> GroupDirectory::lookup(GroupId gid,
+                                                 Guid guid) const {
+  const MemberTable* tab = table_if(gid);
+  if (tab == nullptr) return std::nullopt;
+  auto entry = tab->lookup(guid);
+  if (entry) entry->gid = gid;
+  return entry;
+}
+
+bool GroupDirectory::contains(Guid guid) const {
+  for (const auto& [gid, st] : groups_) {
+    if (st.table.contains(guid)) return true;
+  }
+  return false;
+}
+
+std::vector<MemberRecord> GroupDirectory::merged_snapshot() const {
+  std::map<Guid, MemberRecord> by_guid;
+  for (const auto& [gid, st] : groups_) {
+    for (const MemberRecord& rec : st.table.snapshot()) {
+      by_guid.try_emplace(rec.guid, rec);
+    }
+  }
+  std::vector<MemberRecord> out;
+  out.reserve(by_guid.size());
+  for (const auto& [guid, rec] : by_guid) out.push_back(rec);
+  return out;
+}
+
+std::vector<MemberRecord> GroupDirectory::merged_members_at(NodeId ap) const {
+  std::map<Guid, MemberRecord> by_guid;
+  for (const auto& [gid, st] : groups_) {
+    for (const MemberRecord& rec : st.table.members_at(ap)) {
+      by_guid.try_emplace(rec.guid, rec);
+    }
+  }
+  std::vector<MemberRecord> out;
+  out.reserve(by_guid.size());
+  for (const auto& [guid, rec] : by_guid) out.push_back(rec);
+  return out;
+}
+
+std::vector<std::pair<GroupId, std::vector<MemberRecord>>>
+GroupDirectory::grouped_members_at(NodeId ap) const {
+  std::vector<std::pair<GroupId, std::vector<MemberRecord>>> out;
+  for (const auto& [gid, st] : groups_) {
+    std::vector<MemberRecord> members = st.table.members_at(ap);
+    if (!members.empty()) out.emplace_back(gid, std::move(members));
+  }
+  return out;
+}
+
+std::vector<GroupId> GroupDirectory::groups_hosting(Guid mh, NodeId ap) const {
+  std::vector<GroupId> out;
+  for (const auto& [gid, st] : groups_) {
+    const auto rec = st.table.find(mh);
+    if (rec && rec->status == MemberStatus::kOperational &&
+        rec->access_proxy == ap) {
+      out.push_back(gid);
+    }
+  }
+  return out;
+}
+
+std::size_t GroupDirectory::total_size() const {
+  std::size_t n = 0;
+  for (const auto& [gid, st] : groups_) n += st.table.size();
+  return n;
+}
+
+bool GroupDirectory::empty() const { return total_size() == 0; }
+
+void GroupDirectory::clear() {
+  groups_.clear();
+  ne_queue_ = MessageQueue{aggregate_};
+}
+
+}  // namespace rgb::core

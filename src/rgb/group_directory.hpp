@@ -1,0 +1,143 @@
+// Per-group membership state behind one shared protocol engine (multi-group
+// serving). The paper models a single group; the production shape is one AP
+// hierarchy multiplexing thousands of groups, so each NE keeps a
+// GroupDirectory: a gid-ordered map of {MemberTable, MessageQueue} pairs,
+// plus one extra queue for NE ops (NE liveness belongs to the shared
+// hierarchy, not to any group).
+//
+// The directory is a routing facade, not a protocol layer: probe ticks,
+// token rounds, alerts/stability, reconcile and failure detection all stay
+// per-link in NetworkEntity — they just read and write group-scoped state
+// through here. Iteration is gid-ascending everywhere (std::map), which is
+// what keeps sharded runs byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "rgb/member_table.hpp"
+#include "rgb/message_queue.hpp"
+#include "rgb/types.hpp"
+
+namespace rgb::core {
+
+class GroupDirectory {
+ public:
+  explicit GroupDirectory(bool aggregate_mq = true)
+      : aggregate_(aggregate_mq), ne_queue_(aggregate_mq) {}
+
+  struct GroupState {
+    MemberTable table;
+    MessageQueue mq;
+  };
+
+  // --- queue facade (routes by MembershipOp::gid) ---------------------------
+
+  /// Enqueues `op` into its group's queue (NE ops: the shared NE queue).
+  void insert(MembershipOp op, Contributor contributor = {});
+
+  /// Correlated local batch (stability cut, silent-member flush): every op
+  /// is routed to its group's queue; the caller kicks the round engine once.
+  void insert_batch(std::vector<MembershipOp> ops);
+
+  /// Next batch to ride a token round: NE ops first, then groups in gid
+  /// order, bounded by `max_ops` (0 = unlimited). Non-aggregating mode
+  /// drains exactly one op total, like the single queue did.
+  MessageQueue::Batch drain(std::size_t max_ops = 0);
+
+  /// Orphaned acks aggregated across every queue.
+  std::vector<Contributor> take_orphaned_acks();
+
+  [[nodiscard]] bool queue_empty() const;
+  [[nodiscard]] std::size_t queue_size() const;
+  [[nodiscard]] std::uint64_t ops_inserted() const;
+  [[nodiscard]] std::uint64_t ops_collapsed() const;
+
+  // --- table facade ---------------------------------------------------------
+
+  /// The group's table, created on demand.
+  [[nodiscard]] MemberTable& table(GroupId gid);
+  /// The group's table when it exists, else null (read paths must not
+  /// instantiate groups as a side effect — that would skew packed digests).
+  [[nodiscard]] const MemberTable* table_if(GroupId gid) const;
+
+  /// Routes a member op into its group's table. Returns true on change.
+  bool apply(const MembershipOp& op);
+
+  /// Every group's entries, gid-stamped, gid-major then guid-ascending —
+  /// the multi-group anti-entropy / merge / reform payload.
+  [[nodiscard]] std::vector<TableEntry> export_all() const;
+  /// export_all restricted to `gids` (empty = all groups).
+  [[nodiscard]] std::vector<TableEntry> export_groups(
+      const std::vector<GroupId>& gids) const;
+
+  /// Lattice-merges gid-stamped entries into their groups' tables.
+  bool import_all(const std::vector<TableEntry>& entries);
+
+  /// Entries of this directory newer than (or absent from) `incoming`,
+  /// restricted to `gids` (empty = every group this directory holds).
+  /// gid-major, guid-ascending.
+  [[nodiscard]] std::vector<TableEntry> newer_than(
+      const std::vector<TableEntry>& incoming,
+      const std::vector<GroupId>& gids) const;
+
+  /// One digest per non-empty group, gid-ascending — the packed kDigest
+  /// payload (sublinear sync bytes per link in the group count).
+  [[nodiscard]] std::vector<GroupDigest> packed_digests() const;
+
+  /// Order-independent digest over all groups, gid mixed into each group's
+  /// hash — the O(1) "everything matches" fast path of a packed sync tick.
+  [[nodiscard]] ViewDigest combined_digest() const;
+
+  /// Groups whose digest differs from the sender's packed set: mismatching
+  /// gids plus any non-empty local group the sender did not mention.
+  [[nodiscard]] std::vector<GroupId> differing_groups(
+      const std::vector<GroupDigest>& theirs) const;
+
+  [[nodiscard]] std::uint64_t claim_of(GroupId gid, Guid guid) const;
+  [[nodiscard]] std::optional<TableEntry> lookup(GroupId gid, Guid guid) const;
+
+  /// True when any group's table holds a record for `guid`.
+  [[nodiscard]] bool contains(Guid guid) const;
+
+  /// Operational members across every group, deduplicated by guid and
+  /// guid-sorted — the pre-v4 "merged view" a group-less query answers.
+  [[nodiscard]] std::vector<MemberRecord> merged_snapshot() const;
+
+  /// Members attached to `ap` in any group, deduplicated by guid and
+  /// guid-sorted (ListOfLocalMembers / ListOfNeighborMembers semantics).
+  [[nodiscard]] std::vector<MemberRecord> merged_members_at(NodeId ap) const;
+
+  /// Per group: operational members attached to `ap` (the batched
+  /// crash-cut flush walks this once per stranded AP). gid-ascending.
+  [[nodiscard]] std::vector<std::pair<GroupId, std::vector<MemberRecord>>>
+  grouped_members_at(NodeId ap) const;
+
+  /// Groups in which `mh` is operational at `ap`, gid-ascending (the
+  /// silent-member sweep fails a quiet MH in every group it inhabits).
+  [[nodiscard]] std::vector<GroupId> groups_hosting(Guid mh, NodeId ap) const;
+
+  /// Total entries across all groups.
+  [[nodiscard]] std::size_t total_size() const;
+  [[nodiscard]] bool empty() const;
+  /// Number of instantiated (ever-touched) groups.
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+
+  [[nodiscard]] const std::map<GroupId, GroupState>& groups() const {
+    return groups_;
+  }
+
+  void clear();
+
+ private:
+  GroupState& state(GroupId gid);
+
+  bool aggregate_;
+  std::map<GroupId, GroupState> groups_;
+  MessageQueue ne_queue_;  ///< NE ops (invalid gid) — shared, not group-scoped
+};
+
+}  // namespace rgb::core

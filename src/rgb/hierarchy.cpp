@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 
 #include "wire/metering.hpp"
 
@@ -55,7 +56,7 @@ RgbSystem::RgbSystem(net::Network& network, RgbConfig config,
       "obs.prof.mq_depth",
       [this] {
         std::uint64_t total = 0;
-        for (const auto& ne : entities_) total += ne->message_queue().size();
+        for (const auto& ne : entities_) total += ne->queue_size();
         return total;
       },
       "membership ops parked across all NE message queues");
@@ -202,7 +203,13 @@ void RgbSystem::join(Guid mh, NodeId ap) {
     }
   }
   attachments_[home][mh] = ap;
-  with_entity_shard(ap, [&] { ne->local_member_join(mh); });
+  // One wireless attachment, one membership op per subscribed group: the
+  // facade mirrors what a multi-group MobileHost sends over its link.
+  with_entity_shard(ap, [&] {
+    for (const GroupId gid : member_groups(mh, config_)) {
+      ne->local_member_join(gid, mh);
+    }
+  });
 }
 
 void RgbSystem::leave(Guid mh) {
@@ -213,7 +220,11 @@ void RgbSystem::leave(Guid mh) {
     NetworkEntity* ne = entity(ap);
     stripe.erase(it);
     if (ne != nullptr) {
-      with_entity_shard(ap, [&] { ne->local_member_leave(mh); });
+      with_entity_shard(ap, [&] {
+        for (const GroupId gid : member_groups(mh, config_)) {
+          ne->local_member_leave(gid, mh);
+        }
+      });
     }
     return;
   }
@@ -229,8 +240,11 @@ void RgbSystem::handoff(Guid mh, NodeId new_ap) {
     assert(ne != nullptr && "handoff to unknown AP");
     stripe.erase(it);
     attachments_[shard_of(new_ap)][mh] = new_ap;
-    with_entity_shard(new_ap,
-                      [&] { ne->local_member_handoff_in(mh, old_ap); });
+    with_entity_shard(new_ap, [&] {
+      for (const GroupId gid : member_groups(mh, config_)) {
+        ne->local_member_handoff_in(gid, mh, old_ap);
+      }
+    });
     return;
   }
 }
@@ -244,7 +258,11 @@ void RgbSystem::fail(Guid mh) {
     stripe.erase(it);
     // The failure is detected and reported at the member's access proxy.
     if (ne != nullptr) {
-      with_entity_shard(ap, [&] { ne->local_member_fail(mh); });
+      with_entity_shard(ap, [&] {
+        for (const GroupId gid : member_groups(mh, config_)) {
+          ne->local_member_fail(gid, mh);
+        }
+      });
     }
     return;
   }
@@ -257,7 +275,10 @@ std::vector<proto::MemberRecord> RgbSystem::membership(
   for (const NodeId target : plan.targets) {
     const NetworkEntity* ne = entity(target);
     if (ne == nullptr || network_.is_crashed(target)) continue;
-    for (const auto& rec : ne->ring_members().snapshot()) {
+    // Merged across every group the NE serves, deduplicated by guid: the
+    // scheme comparison asks "who is in the system", not "who is in group
+    // g" — issue_group() on the query client answers the latter.
+    for (const auto& rec : ne->directory().merged_snapshot()) {
       if (!combined.find(rec.guid)) combined.upsert(rec);
     }
   }
@@ -365,12 +386,12 @@ bool RgbSystem::membership_converged() const {
     const bool should_hold_global =
         config_.disseminate_down && config_.retain_tier == 0;
     if (should_hold_global) {
-      if (ne->ring_members().snapshot() != expected) return false;
+      if (ne->directory().merged_snapshot() != expected) return false;
     } else if (ne->tier() == layout_.ring_tiers - 1) {
       // APs always know their own local members.
       for (const auto& rec : expected) {
         if (rec.access_proxy == ne->id() &&
-            !ne->ring_members().contains(rec.guid)) {
+            !ne->directory().contains(rec.guid)) {
           return false;
         }
       }
@@ -427,7 +448,7 @@ std::uint64_t RgbSystem::view_divergence() const {
     // Without downward dissemination only the retained tier holds the
     // global view (IMS/BMS retain at config_.retain_tier, not at the top).
     if (!global_view && ne->tier() != config_.retain_tier) continue;
-    const auto view = ne->ring_members().snapshot();
+    const auto view = ne->directory().merged_snapshot();
     // Both sides are guid-sorted: linear symmetric-difference walk. A
     // record differing in AP or status counts on both sides (it is wrong
     // here and missing there), which matches "records that disagree".
@@ -449,6 +470,75 @@ std::uint64_t RgbSystem::view_divergence() const {
         ++i;
         ++j;
       }
+    }
+  }
+  return divergence;
+}
+
+std::vector<std::pair<GroupId, proto::MemberRecord>>
+RgbSystem::grouped_expected_membership() const {
+  std::vector<std::pair<GroupId, proto::MemberRecord>> out;
+  for (const auto& stripe : attachments_) {
+    for (const auto& [guid, ap] : stripe) {
+      for (const GroupId gid : member_groups(guid, config_)) {
+        out.emplace_back(gid, proto::MemberRecord{
+                                  guid, ap, proto::MemberStatus::kOperational});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second.guid < b.second.guid;
+            });
+  return out;
+}
+
+std::uint64_t RgbSystem::group_view_divergence() const {
+  // Per-group expected views, built once.
+  std::map<GroupId, std::vector<proto::MemberRecord>> expected;
+  for (auto& [gid, rec] : grouped_expected_membership()) {
+    expected[gid].push_back(rec);
+  }
+  const bool global_view =
+      config_.disseminate_down && config_.retain_tier == 0;
+  const auto diff_count = [](const std::vector<MemberRecord>& view,
+                             const std::vector<MemberRecord>& want) {
+    std::uint64_t divergence = 0;
+    std::size_t i = 0, j = 0;
+    while (i < view.size() || j < want.size()) {
+      if (i < view.size() && j < want.size() && view[i] == want[j]) {
+        ++i;
+        ++j;
+      } else if (j == want.size() ||
+                 (i < view.size() && view[i].guid < want[j].guid)) {
+        ++divergence;
+        ++i;
+      } else if (i == view.size() || want[j].guid < view[i].guid) {
+        ++divergence;
+        ++j;
+      } else {
+        divergence += 2;  // same guid, different record
+        ++i;
+        ++j;
+      }
+    }
+    return divergence;
+  };
+  static const std::vector<MemberRecord> kNone;
+  std::uint64_t divergence = 0;
+  for (const auto& ne : entities_) {
+    if (network_.is_crashed(ne->id())) continue;
+    if (!global_view && ne->tier() != config_.retain_tier) continue;
+    // Union of the groups either side knows: a record parked in a group
+    // the truth never populated is divergence too.
+    for (const auto& [gid, want] : expected) {
+      const MemberTable* tab = ne->directory().table_if(gid);
+      divergence += diff_count(tab == nullptr ? kNone : tab->snapshot(), want);
+    }
+    for (const auto& [gid, st] : ne->directory().groups()) {
+      if (expected.count(gid) != 0) continue;
+      divergence += diff_count(st.table.snapshot(), kNone);
     }
   }
   return divergence;

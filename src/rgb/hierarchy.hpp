@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/network.hpp"
@@ -146,6 +147,20 @@ class RgbSystem : public proto::MembershipService {
   /// historically leaves a residue at 20k members that the first
   /// anti-entropy window mops up).
   [[nodiscard]] std::uint64_t view_divergence() const;
+
+  /// `expected_membership()` quantified over (group, guid): each attached
+  /// member appears once per group the deterministic member_groups()
+  /// assignment puts it in. gid-ascending, guid-ascending within a group.
+  [[nodiscard]] std::vector<std::pair<GroupId, proto::MemberRecord>>
+  grouped_expected_membership() const;
+
+  /// `view_divergence()` quantified per group: (NE, group, record)
+  /// disagreements between each alive global-view NE's per-group tables
+  /// and `grouped_expected_membership()`. Zero iff every group's view is
+  /// exactly right on every such NE — the bench.multigroup convergence
+  /// criterion (a merged-view zero can mask a record parked in the wrong
+  /// group; this cannot).
+  [[nodiscard]] std::uint64_t group_view_divergence() const;
 
   /// AP a member is currently attached to, as tracked by this facade.
   [[nodiscard]] NodeId ap_of(Guid mh) const;

@@ -27,6 +27,11 @@ struct TableEntry {
   std::uint64_t last_seq = 0;
   /// Attachment epoch of the record (MembershipOp::claim_seq).
   std::uint64_t claim_seq = 0;
+  /// Group the entry belongs to. Stamped at the GroupDirectory boundary —
+  /// inside one MemberTable every entry belongs to the same group, so the
+  /// table itself (and its digest) stays group-agnostic, which is what
+  /// keeps a G=1 directory digest bit-identical to the v3 single table.
+  GroupId gid;
 
   friend bool operator==(const TableEntry&, const TableEntry&) = default;
 };
@@ -56,6 +61,18 @@ struct ViewDigest {
   std::uint64_t count = 0;
 
   friend bool operator==(const ViewDigest&, const ViewDigest&) = default;
+};
+
+/// One group's digest inside the packed multi-group anti-entropy frame:
+/// all groups a link serves travel as one vector of these per probe tick,
+/// so steady-state sync bytes grow ~11B per group instead of one full
+/// kDigest frame (>= 64B base) per group per link.
+struct GroupDigest {
+  GroupId gid;
+  std::uint64_t hash = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const GroupDigest&, const GroupDigest&) = default;
 };
 
 class MemberTable {

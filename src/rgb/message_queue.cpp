@@ -91,9 +91,13 @@ bool MessageQueue::try_aggregate(const MembershipOp& op,
 
     // Join then Leave/Fail: the member appeared and vanished before anyone
     // else heard of it — cancel both. Valid ONLY for locally originated,
-    // never-disseminated joins; a disseminated copy is already known
-    // elsewhere and the leave must propagate to erase it.
+    // never-disseminated *birth* joins (claim_seq == seq); a disseminated
+    // copy is already known elsewhere and the leave must propagate to erase
+    // it. A re-anchoring join (seq > claim_seq, a reaffirm repair) refreshes
+    // an epoch other tables already hold, so cancelling it with the
+    // departure would strand the earlier operational record everywhere.
     if (prev == OpKind::kMemberJoin && pending.local_origin &&
+        pending.op.claim_seq == pending.op.seq &&
         (next == OpKind::kMemberLeave || next == OpKind::kMemberFail)) {
       append_contributors(orphaned_acks_, pending.contributors);
       append_contributors(orphaned_acks_, contribs);

@@ -175,26 +175,45 @@ struct RingReformMsg {
 /// these on probe ticks towards their ring, parent and child, which
 /// restores views that lost notifications to crash/repair windows.
 ///
-/// Three phases:
-///  * kDigest — steady-state tick: only the sender's table digest (an
-///    order-independent 64-bit hash over (guid, seq, record) plus the entry
-///    count; see MemberTable::digest). A receiver whose own digest matches
-///    does nothing; on mismatch it answers with a kFull carrying its table.
-///  * kFull   — the sender's full seq-keyed view. The receiver merges
-///    monotonically and, when `reply_requested`, answers with a kDiff of
-///    the entries it alone holds newer — one bounded diff, no cascading.
-///    (Full-table mode, config.digest_anti_entropy = false, starts here
-///    directly: the PR2 behaviour, kept for equivalence tests and as the
-///    measurement baseline.)
+/// Four phases:
+///  * kSummary — steady-state tick (multi-group): only the sender's
+///    *combined* digest over every group. O(1) bytes per link per tick no
+///    matter how many groups the hierarchy serves. A receiver whose own
+///    combined digest matches does nothing; on mismatch it answers with a
+///    kDigest carrying its packed per-group digests, pulling a scoped sync.
+///  * kDigest — per-group digest exchange: the combined digest plus one
+///    digest per non-empty group. A receiver whose combined digest matches
+///    does nothing; on mismatch it compares per group and answers with a
+///    kFull scoped to just the differing groups (empty packed set: a
+///    universal kFull, the pre-v4 semantics).
+///  * kFull   — the sender's seq-keyed view of the scoped groups. The
+///    receiver merges monotonically and, when `reply_requested`, answers
+///    with a kDiff of the entries it alone holds newer — one bounded diff,
+///    no cascading. (Full-table mode, config.digest_anti_entropy = false,
+///    starts here directly: the PR2 behaviour, kept for equivalence tests
+///    and as the measurement baseline.)
 ///  * kDiff   — the bounded diff reply; merged, never answered.
 struct ViewSyncMsg {
-  enum class Phase : std::uint8_t { kFull, kDigest, kDiff };
+  enum class Phase : std::uint8_t { kFull, kDigest, kDiff, kSummary };
   Phase phase = Phase::kFull;
-  /// kDigest only: the sender's MemberTable::digest() hash and entry count.
+  /// kDigest only: the sender's *combined* digest over every group (gid
+  /// mixed into each group's hash) and the total entry count — the O(1)
+  /// "everything matches" fast path of a packed sync tick.
   std::uint64_t digest = 0;
   std::uint32_t entry_count = 0;
-  std::vector<TableEntry> entries;  ///< empty in kDigest
+  std::vector<TableEntry> entries;  ///< empty in kDigest; gid-stamped
   bool reply_requested = false;
+  /// kDigest only: one digest per non-empty group of the sender (wire v4
+  /// digest packing). When the combined fast path misses, the receiver
+  /// compares per group and answers a kFull scoped to just the groups that
+  /// differ — so G groups cost one frame plus ~11B per group per link per
+  /// tick instead of G frames.
+  std::vector<GroupDigest> group_digests;
+  /// kFull/kDiff: the groups this sync is scoped to. A kFull receiver
+  /// restricts its kDiff reply to these, so a mismatch in one group never
+  /// ships every group's view. Empty = universal (full-table mode and
+  /// pre-v4 semantics).
+  std::vector<GroupId> sync_gids;
   /// When the sender is a ring leader syncing its ring, it also carries
   /// its (roster, leader) so ring reforms are *convergent*, not
   /// delivery-dependent: a member whose RingReform was lost (drop burst,
@@ -233,6 +252,9 @@ struct SnapshotMsg {
 struct AttachClaim {
   Guid mh;
   std::uint64_t claim_seq = 0;
+  /// Group the claim is scoped to: one physical attachment is asserted per
+  /// (group, guid) pair, since the member's record lives per group.
+  GroupId gid;
 
   friend bool operator==(const AttachClaim&, const AttachClaim&) = default;
 };
@@ -290,11 +312,15 @@ struct MhRequestMsg {
   MhRequestKind kind;
   Guid mh;
   NodeId old_ap;  ///< handoff only
+  /// Group the request targets. Invalid = the AP's configured default group
+  /// (single-group MHs predating v4 keep working unchanged).
+  GroupId gid;
 };
 
 struct MhAckMsg {
   MhRequestKind kind;
   Guid mh;
+  GroupId gid;  ///< echoes the request's group
 };
 
 /// Liveness beacon from an attached MH; silence beyond
@@ -308,6 +334,10 @@ struct MhHeartbeatMsg {
 struct QueryRequestMsg {
   std::uint64_t query_id;
   NodeId reply_to;
+  /// Group the query asks about. Invalid = merged view across every group
+  /// the responder serves, deduplicated by guid (the pre-v4 semantics the
+  /// facade's scheme-comparison queries still use).
+  GroupId gid;
 };
 
 struct QueryReplyMsg {
@@ -333,18 +363,23 @@ struct QueryReplyMsg {
 namespace wire {
 /// Fixed per-message overhead: frame, ids, flags.
 inline constexpr std::uint32_t kBaseBytes = 64;
-/// One TableEntry: guid + AP + status + seq + claim epoch.
-inline constexpr std::uint32_t kTableEntryBytes = 34;
+/// One TableEntry: group + guid + AP + status + seq + claim epoch.
+inline constexpr std::uint32_t kTableEntryBytes = 40;
 /// One MemberRecord: guid + AP + status.
 inline constexpr std::uint32_t kMemberRecordBytes = 16;
 /// One NodeId (roster elements).
 inline constexpr std::uint32_t kNodeIdBytes = 8;
-/// One MembershipOp: kind + uid + seq + claim epoch + member + five ids.
-inline constexpr std::uint32_t kOpBytes = 80;
+/// One MembershipOp: kind + uid + seq + claim epoch + group + member +
+/// five ids.
+inline constexpr std::uint32_t kOpBytes = 86;
 /// One notify/round id.
 inline constexpr std::uint32_t kIdBytes = 10;
-/// One AttachClaim: guid + claim epoch.
-inline constexpr std::uint32_t kClaimBytes = 16;
+/// One AttachClaim: group + guid + claim epoch.
+inline constexpr std::uint32_t kClaimBytes = 22;
+/// One packed per-group digest: gid + hash + count.
+inline constexpr std::uint32_t kGroupDigestBytes = 24;
+/// One GroupId (sync scope elements).
+inline constexpr std::uint32_t kGroupIdBytes = 10;
 }  // namespace wire
 
 /// A bare flooded MembershipOp (the tree baseline's proposal): kOpBytes
@@ -403,7 +438,10 @@ inline constexpr std::uint32_t kClaimBytes = 16;
 [[nodiscard]] inline std::uint32_t wire_size(const ViewSyncMsg& msg) {
   return wire::kBaseBytes +
          wire::kTableEntryBytes * static_cast<std::uint32_t>(msg.entries.size()) +
-         wire::kNodeIdBytes * static_cast<std::uint32_t>(msg.roster.size());
+         wire::kNodeIdBytes * static_cast<std::uint32_t>(msg.roster.size()) +
+         wire::kGroupDigestBytes *
+             static_cast<std::uint32_t>(msg.group_digests.size()) +
+         wire::kGroupIdBytes * static_cast<std::uint32_t>(msg.sync_gids.size());
 }
 
 [[nodiscard]] inline std::uint32_t wire_size(const SnapshotRequestMsg&) {

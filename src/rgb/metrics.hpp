@@ -46,6 +46,15 @@ struct RgbMetrics {
   common::Counter stability_suppressed_flaps;  ///< alerts cancelled by
                                                ///< liveness counter-evidence
   common::Counter stability_timeout_fallbacks; ///< single-observer fallback
+  // Multi-group serving (PR10): packed anti-entropy and directory growth.
+  common::Counter digest_groups_packed;  ///< per-group digests packed into
+                                         ///< kDigest anti-entropy frames
+  common::Counter group_fulls_sent;      ///< groups shipped in scoped kFull
+                                         ///< sync replies
+  common::Counter group_diffs_sent;      ///< groups shipped in scoped kDiff
+                                         ///< sync replies
+  common::Counter groups_created;        ///< group states instantiated in
+                                         ///< NE directories
 };
 
 /// Sum of proposal-plane sends (token circulation + inter-ring

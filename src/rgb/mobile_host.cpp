@@ -1,16 +1,31 @@
 #include "rgb/mobile_host.hpp"
 
+#include <algorithm>
+
 namespace rgb::core {
 
-MobileHost::MobileHost(NodeId node_id, Guid guid, GroupId gid,
+MobileHost::MobileHost(NodeId node_id, Guid guid, std::vector<GroupId> gids,
                        net::Network& network, sim::Duration heartbeat_period)
     : proto::Process(node_id, network),
       guid_(guid),
-      gid_(gid),
-      heartbeat_period_(heartbeat_period) {}
+      gids_(std::move(gids)),
+      heartbeat_period_(heartbeat_period) {
+  std::sort(gids_.begin(), gids_.end());
+  gids_.erase(std::unique(gids_.begin(), gids_.end()), gids_.end());
+}
+
+MobileHost::MobileHost(NodeId node_id, Guid guid, GroupId gid,
+                       net::Network& network, sim::Duration heartbeat_period)
+    : MobileHost(node_id, guid, std::vector<GroupId>{gid}, network,
+                 heartbeat_period) {}
 
 void MobileHost::request(MhRequestKind kind, NodeId ap, NodeId old_ap) {
-  send(ap, kind::kMhRequest, MhRequestMsg{kind, guid_, old_ap});
+  // One group-scoped request per subscription; the shared attachment
+  // change (one wireless event) fans out into per-group membership ops on
+  // the AP side.
+  for (const GroupId gid : gids_) {
+    send(ap, kind::kMhRequest, MhRequestMsg{kind, guid_, old_ap, gid});
+  }
 }
 
 void MobileHost::on_heartbeat_tick() {

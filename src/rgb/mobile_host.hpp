@@ -2,6 +2,12 @@
 // GID / AP / GUID / LUID / Status fields, speaking the MH<->AP edge
 // protocol over the simulated wireless link.
 //
+// Multi-group serving: an MH may belong to several groups at once. The
+// attachment (AP, LUID, status, heartbeats) is per-host — one wireless
+// link — while join/leave/handoff/fail fan out one group-scoped request
+// per subscribed group, so the hierarchy tracks each membership
+// independently.
+//
 // Benches that only need the hierarchy drive APs directly through
 // RgbSystem; examples and integration tests use MobileHost to exercise the
 // full edge path (request, wireless latency, AP-side injection, ack).
@@ -9,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "proto/process.hpp"
 #include "rgb/messages.hpp"
@@ -19,22 +26,28 @@ namespace rgb::core {
 class MobileHost : public proto::Process {
  public:
   /// `node_id` is the MH's address on the simulated network (distinct id
-  /// space from NEs by convention); `guid` its globally unique identity.
-  /// With `heartbeat_period` > 0 the MH beacons liveness to its AP while
+  /// space from NEs by convention); `guid` its globally unique identity;
+  /// `gids` the groups it subscribes to (deduplicated, sorted). With
+  /// `heartbeat_period` > 0 the MH beacons liveness to its AP while
   /// operational, enabling AP-side faulty-disconnection detection
   /// (RgbConfig::mh_failure_timeout).
+  MobileHost(NodeId node_id, Guid guid, std::vector<GroupId> gids,
+             net::Network& network, sim::Duration heartbeat_period = 0);
+
+  /// Single-group convenience (the pre-v4 shape).
   MobileHost(NodeId node_id, Guid guid, GroupId gid, net::Network& network,
              sim::Duration heartbeat_period = 0);
 
-  /// Sends Member-Join via `ap`. The AP is either manually configured or
-  /// dynamically acquired (Section 4.3); here the caller supplies it.
+  /// Sends Member-Join via `ap` for every subscribed group. The AP is
+  /// either manually configured or dynamically acquired (Section 4.3);
+  /// here the caller supplies it.
   void join_via(NodeId ap);
 
-  /// Voluntary disconnection.
+  /// Voluntary disconnection (from every group).
   void leave();
 
   /// Moves to `new_ap` (handoff); the *new* AP reports the change, carrying
-  /// the old AP so upstream state can be rebound.
+  /// the old AP so upstream state can be rebound. One request per group.
   void handoff_to(NodeId new_ap);
 
   /// Faulty disconnection: the MH goes silent. Detection/reporting happens
@@ -45,7 +58,11 @@ class MobileHost : public proto::Process {
 
   // --- the paper's MH record ---------------------------------------------------
   [[nodiscard]] Guid guid() const { return guid_; }
-  [[nodiscard]] GroupId gid() const { return gid_; }
+  /// First (lowest) subscribed group — the paper's single-GID field.
+  [[nodiscard]] GroupId gid() const {
+    return gids_.empty() ? GroupId{} : gids_.front();
+  }
+  [[nodiscard]] const std::vector<GroupId>& groups() const { return gids_; }
   [[nodiscard]] NodeId current_ap() const { return ap_; }
   /// LUID: locally unique id, reassigned per attachment (modelled as a
   /// counter scoped to this MH; a stand-in for a Mobile IP care-of address).
@@ -59,7 +76,7 @@ class MobileHost : public proto::Process {
   void on_heartbeat_tick();
 
   Guid guid_;
-  GroupId gid_;
+  std::vector<GroupId> gids_;
   NodeId ap_;
   common::Luid luid_;
   MemberStatus status_ = MemberStatus::kDisconnected;

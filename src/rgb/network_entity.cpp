@@ -31,7 +31,15 @@ NetworkEntity::NetworkEntity(NodeId id, NeRole role, int tier,
       config_(config),
       metrics_(metrics),
       obs_(obs),
-      mq_(config.aggregate_mq) {}
+      dir_(config.aggregate_mq) {}
+
+void NetworkEntity::note_group_count() {
+  const std::size_t count = dir_.group_count();
+  if (count > known_group_count_) {
+    metrics_.groups_created.increment(count - known_group_count_);
+    known_group_count_ = count;
+  }
+}
 
 // --------------------------------------------------------------------------
 // Wiring
@@ -122,61 +130,74 @@ std::uint64_t NetworkEntity::next_notify_id() {
 // Local membership events (the AP edge)
 // --------------------------------------------------------------------------
 
-void NetworkEntity::local_member_join(Guid mh) {
+void NetworkEntity::local_member_join(GroupId gid, Guid mh) {
   MembershipOp op;
   op.kind = OpKind::kMemberJoin;
   op.seq = next_op_seq();
   op.uid = next_op_uid();
   op.claim_seq = op.seq;  // a physical join starts a new attachment epoch
+  op.gid = gid;
   op.member = MemberRecord{mh, id(), MemberStatus::kOperational};
-  local_attached_[mh] = op.claim_seq;
+  local_attached_[mh][gid] = op.claim_seq;
   enqueue_local_op(std::move(op));
 }
 
-std::uint64_t NetworkEntity::take_local_claim(Guid mh) {
+std::uint64_t NetworkEntity::take_local_claim(GroupId gid, Guid mh) {
   // The epoch a departure op ends: our own attachment claim when we hold
-  // one (erased — the member is no longer ours), else whatever epoch the
-  // table reflects (a departure injected for a member we never claimed).
+  // one (erased — the member is no longer ours in this group), else
+  // whatever epoch the group's table reflects (a departure injected for a
+  // member we never claimed).
   const auto it = local_attached_.find(mh);
-  if (it == local_attached_.end()) return ring_members_.claim_of(mh);
-  const std::uint64_t claim = it->second;
-  local_attached_.erase(it);
-  return claim;
+  if (it != local_attached_.end()) {
+    const auto git = it->second.find(gid);
+    if (git != it->second.end()) {
+      const std::uint64_t claim = git->second;
+      it->second.erase(git);
+      if (it->second.empty()) local_attached_.erase(it);
+      return claim;
+    }
+  }
+  return dir_.claim_of(gid, mh);
 }
 
-void NetworkEntity::local_member_leave(Guid mh) {
+void NetworkEntity::local_member_leave(GroupId gid, Guid mh) {
   MembershipOp op;
   op.kind = OpKind::kMemberLeave;
   op.seq = next_op_seq();
   op.uid = next_op_uid();
-  op.claim_seq = take_local_claim(mh);
+  op.claim_seq = take_local_claim(gid, mh);
+  op.gid = gid;
   op.member = MemberRecord{mh, id(), MemberStatus::kDisconnected};
   enqueue_local_op(std::move(op));
 }
 
-void NetworkEntity::local_member_handoff_in(Guid mh, NodeId old_ap) {
+void NetworkEntity::local_member_handoff_in(GroupId gid, Guid mh,
+                                            NodeId old_ap) {
   MembershipOp op;
   op.kind = OpKind::kMemberHandoff;
   op.seq = next_op_seq();
   op.uid = next_op_uid();
   op.claim_seq = op.seq;  // a handoff-in starts a new attachment epoch
+  op.gid = gid;
   op.member = MemberRecord{mh, id(), MemberStatus::kOperational};
   op.old_ap = old_ap;
-  local_attached_[mh] = op.claim_seq;
+  local_attached_[mh][gid] = op.claim_seq;
   enqueue_local_op(std::move(op));
 }
 
-void NetworkEntity::local_member_fail(Guid mh) {
+void NetworkEntity::local_member_fail(GroupId gid, Guid mh) {
   MembershipOp op;
   op.kind = OpKind::kMemberFail;
   op.seq = next_op_seq();
   op.uid = next_op_uid();
-  op.claim_seq = take_local_claim(mh);
+  op.claim_seq = take_local_claim(gid, mh);
+  op.gid = gid;
   op.member = MemberRecord{mh, id(), MemberStatus::kFailed};
   enqueue_local_op(std::move(op));
 }
 
-void NetworkEntity::reannounce_member(Guid mh, std::uint64_t claim_seq) {
+void NetworkEntity::reannounce_member(GroupId gid, Guid mh,
+                                      std::uint64_t claim_seq) {
   // Re-anchors an existing attachment epoch with a fresh op sequence: the
   // fresh seq out-ranks the false record *within* the epoch, while the
   // preserved claim_seq keeps the assertion strictly below any newer
@@ -188,6 +209,7 @@ void NetworkEntity::reannounce_member(Guid mh, std::uint64_t claim_seq) {
   op.seq = next_op_seq();
   op.uid = next_op_uid();
   op.claim_seq = claim_seq;
+  op.gid = gid;
   op.member = MemberRecord{mh, id(), MemberStatus::kOperational};
   enqueue_local_op(std::move(op));
 }
@@ -205,7 +227,7 @@ void NetworkEntity::enqueue_local_op(MembershipOp op) {
 
 void NetworkEntity::enqueue_local_ops(std::vector<MembershipOp> ops) {
   if (ops.empty()) return;
-  const std::uint64_t collapsed_before = mq_.ops_collapsed();
+  const std::uint64_t collapsed_before = dir_.ops_collapsed();
   // A batch triggers one shared send chain; its hops are attributed to the
   // first op's trace (each op still gets its own root span).
   obs::SpanRecorder::Context birth = obs_.spans.current();
@@ -216,9 +238,10 @@ void NetworkEntity::enqueue_local_ops(std::vector<MembershipOp> ops) {
     if (i == 0) birth = ctx;
   }
   const obs::SpanRecorder::Scope scope{obs_.spans, birth};
-  mq_.insert_batch(std::move(ops));
-  metrics_.ops_aggregated.increment(mq_.ops_collapsed() - collapsed_before);
-  for (const Contributor& orphan : mq_.take_orphaned_acks()) {
+  dir_.insert_batch(std::move(ops));
+  note_group_count();
+  metrics_.ops_aggregated.increment(dir_.ops_collapsed() - collapsed_before);
+  for (const Contributor& orphan : dir_.take_orphaned_acks()) {
     HolderAckMsg ack{{orphan.notify_id}};
     const auto bytes = wire_size(ack);
     send(orphan.ne, kind::kHolderAck, std::move(ack), bytes);
@@ -231,11 +254,12 @@ void NetworkEntity::enqueue_local_ops(std::vector<MembershipOp> ops) {
 }
 
 void NetworkEntity::enqueue_op(MembershipOp op, Contributor contributor) {
-  const std::uint64_t collapsed_before = mq_.ops_collapsed();
-  mq_.insert(std::move(op), contributor);
-  metrics_.ops_aggregated.increment(mq_.ops_collapsed() - collapsed_before);
+  const std::uint64_t collapsed_before = dir_.ops_collapsed();
+  dir_.insert(std::move(op), contributor);
+  note_group_count();
+  metrics_.ops_aggregated.increment(dir_.ops_collapsed() - collapsed_before);
   // Ops cancelled by aggregation still owe their contributors an ack.
-  for (const Contributor& orphan : mq_.take_orphaned_acks()) {
+  for (const Contributor& orphan : dir_.take_orphaned_acks()) {
     HolderAckMsg ack{{orphan.notify_id}};
     const auto bytes = wire_size(ack);
     send(orphan.ne, kind::kHolderAck, std::move(ack), bytes);
@@ -249,7 +273,7 @@ void NetworkEntity::enqueue_op(MembershipOp op, Contributor contributor) {
 // --------------------------------------------------------------------------
 
 void NetworkEntity::on_mq_activity() {
-  if (mq_.empty() || holding_round_) return;
+  if (dir_.queue_empty() || holding_round_) return;
   if (!leader_.valid()) return;  // not in a ring yet
   if (is_leader()) {
     if (token_free_) {
@@ -343,7 +367,7 @@ void NetworkEntity::handle_token_request(const TokenRequestMsg& msg,
 void NetworkEntity::handle_token_grant(const TokenGrantMsg& msg) {
   cancel_timer(request_retx_timer_);
   token_requested_ = false;
-  if (mq_.empty()) {
+  if (dir_.queue_empty()) {
     // Nothing left to send (aggregation may have cancelled everything).
     send(leader_, kind::kTokenRelease, TokenReleaseMsg{msg.round_id});
     return;
@@ -361,7 +385,7 @@ void NetworkEntity::handle_token_release(const TokenReleaseMsg& msg,
 }
 
 void NetworkEntity::start_round(std::uint64_t round_id) {
-  MessageQueue::Batch batch = mq_.drain(config_.max_ops_per_token);
+  MessageQueue::Batch batch = dir_.drain(config_.max_ops_per_token);
   if (batch.empty()) {
     if (is_leader()) {
       token_free_ = true;
@@ -507,26 +531,32 @@ void NetworkEntity::handle_token(TokenMsg msg, NodeId from) {
 void NetworkEntity::apply_ops_and_notify(const Token& token) {
   for (const MembershipOp& op : token.ops) {
     if (op.is_member_op()) {
-      if (ring_members_.apply(op)) {
+      if (dir_.apply(op)) {
         metrics_.ops_disseminated.increment();
         obs_.tracer.on_op_applied(op, id(), tier_, now());
       }
       // A handoff away from this AP is authoritative departure evidence:
       // without it, a racing (false) failure record could hide the
       // member's new attachment and trick reaffirmation into re-claiming
-      // a member that physically moved. Guarded by the claim epoch: a
-      // stale handoff-away replayed after the member re-attached here
+      // a member that physically moved. Keyed per (member, group) — the
+      // member moved in THAT group only — and guarded by the claim epoch:
+      // a stale handoff-away replayed after the member re-attached here
       // must not drop the newer claim.
       if (op.kind == OpKind::kMemberHandoff && op.old_ap == id()) {
         const auto it = local_attached_.find(op.member.guid);
-        if (it != local_attached_.end() && it->second < op.claim_seq) {
-          local_attached_.erase(it);
+        if (it != local_attached_.end()) {
+          const auto git = it->second.find(op.gid);
+          if (git != it->second.end() && git->second < op.claim_seq) {
+            it->second.erase(git);
+            if (it->second.empty()) local_attached_.erase(it);
+          }
         }
       }
     } else {
       apply_ne_op(op);
     }
   }
+  note_group_count();
   ring_ok_ = true;
 
   // Figure 3 lines 10-16: notifications fire while the token visits us.
@@ -606,7 +636,7 @@ void NetworkEntity::grant_next() {
     const NodeId grantee = pending_grants_.front();
     pending_grants_.pop_front();
     if (grantee == id()) {
-      if (!mq_.empty()) {
+      if (!dir_.queue_empty()) {
         token_free_ = false;
         active_round_id_ = next_round_id();
         start_round(active_round_id_);
@@ -618,7 +648,7 @@ void NetworkEntity::grant_next() {
     send(grantee, kind::kTokenGrant, TokenGrantMsg{active_round_id_});
     arm_round_watchdog(active_round_id_);
   }
-  if (token_free_ && !mq_.empty() && !holding_round_) {
+  if (token_free_ && !dir_.queue_empty() && !holding_round_) {
     token_free_ = false;
     active_round_id_ = next_round_id();
     start_round(active_round_id_);
@@ -754,8 +784,12 @@ void NetworkEntity::declare_cut(const std::vector<NodeId>& suspects) {
     if (crashed_at) {
       obs_.tracer.on_ne_detected(faulty, id(), now() - *crashed_at, now());
     }
+    std::size_t stranded = 0;
+    for (const auto& [gid, members] : dir_.grouped_members_at(faulty)) {
+      stranded += members.size();
+    }
     obs_.tracer.on_view_change(obs::FlightKind::kRepair, id(), faulty.value(),
-                               ring_members_.members_at(faulty).size(), now());
+                               stranded, now());
     suspected_faulty_.insert(faulty);
     was_leader = was_leader || (faulty == leader_);
     remove_from_roster(faulty);
@@ -763,6 +797,7 @@ void NetworkEntity::declare_cut(const std::vector<NodeId>& suspects) {
     // consumed (the alert resolved) rather than left to fire again.
     stability_.forget(faulty);
     cancel_alert(faulty);
+    cancel_cut_verification(faulty);
   }
 
   if (was_leader) {
@@ -789,8 +824,9 @@ void NetworkEntity::declare_cut(const std::vector<NodeId>& suspects) {
   }
 
   // Disseminate the failures as ONE batch: NE-Failure per cut node plus
-  // Member-Failure for every member stranded at one, all entering the MQ
-  // in a single flush so the entire cut rides one token round.
+  // Member-Failure for every (group, member) stranded at one, all entering
+  // the directory's queues in a single flush so the entire cut — across
+  // every group the crashed AP served — rides one token round.
   std::vector<MembershipOp> ops;
   for (const NodeId faulty : cut) {
     const auto crashed_at = network().crashed_since(faulty);
@@ -800,25 +836,31 @@ void NetworkEntity::declare_cut(const std::vector<NodeId>& suspects) {
     ne_op.uid = next_op_uid();
     ne_op.ne = faulty;
     ops.push_back(std::move(ne_op));
-    for (const MemberRecord& rec : ring_members_.members_at(faulty)) {
-      // Stranded members share the NE's detection moment: declaring them
-      // failed is the first point any detector could have noticed them.
-      if (crashed_at) {
-        obs_.tracer.on_member_detected(rec.guid, id(), now() - *crashed_at,
-                                       now());
+    std::unordered_set<Guid> detected;
+    for (const auto& [gid, members] : dir_.grouped_members_at(faulty)) {
+      for (const MemberRecord& rec : members) {
+        // Stranded members share the NE's detection moment: declaring them
+        // failed is the first point any detector could have noticed them.
+        // Detection is per member, not per (group, member).
+        if (crashed_at && detected.insert(rec.guid).second) {
+          obs_.tracer.on_member_detected(rec.guid, id(), now() - *crashed_at,
+                                         now());
+        }
+        MembershipOp m_op;
+        m_op.kind = OpKind::kMemberFail;
+        m_op.seq = next_op_seq();
+        m_op.uid = next_op_uid();
+        // A detector-inferred failure ends only the epoch it observed: if
+        // the member has since re-attached elsewhere (a handoff this
+        // accusation races with across a partition), the newer epoch
+        // out-ranks this op in record_precedes order no matter which seq
+        // disseminates first.
+        m_op.claim_seq = dir_.claim_of(gid, rec.guid);
+        m_op.gid = gid;
+        m_op.member = rec;
+        m_op.member.status = MemberStatus::kFailed;
+        ops.push_back(std::move(m_op));
       }
-      MembershipOp m_op;
-      m_op.kind = OpKind::kMemberFail;
-      m_op.seq = next_op_seq();
-      m_op.uid = next_op_uid();
-      // A detector-inferred failure ends only the epoch it observed: if the
-      // member has since re-attached elsewhere (a handoff this accusation
-      // races with across a partition), the newer epoch out-ranks this op
-      // in record_precedes order no matter which seq disseminates first.
-      m_op.claim_seq = ring_members_.claim_of(rec.guid);
-      m_op.member = rec;
-      m_op.member.status = MemberStatus::kFailed;
-      ops.push_back(std::move(m_op));
     }
   }
   enqueue_local_ops(std::move(ops));
@@ -969,7 +1011,7 @@ void NetworkEntity::apply_ne_op(const MembershipOp& op) {
         RingReformMsg reform{roster_, leader_,
                              config_.snapshot_join
                                  ? std::vector<TableEntry>{}
-                                 : ring_members_.export_entries()};
+                                 : dir_.export_all()};
         const auto bytes = wire_size(reform);
         send(op.ne, kind::kRingReform, std::move(reform), bytes);
         metrics_.ne_joins.increment();
@@ -1007,7 +1049,8 @@ void NetworkEntity::handle_ring_reform(const RingReformMsg& msg, NodeId from) {
     suspected_faulty_.erase(n);
     remember_peer(n);
   }
-  ring_members_.import_entries(msg.entries);
+  dir_.import_all(msg.entries);
+  note_group_count();
   recompute_pointers();
   ring_ok_ = true;
   if (is_leader()) {
@@ -1199,65 +1242,71 @@ void NetworkEntity::on_probe_tick() {
     }
     return;
   }
-  if (token_free_ && mq_.empty()) start_probe_round();
+  if (token_free_ && dir_.queue_empty()) start_probe_round();
   attempt_merge();
   anti_entropy_tick();
 }
 
 void NetworkEntity::reaffirm_local_members() {
   if (local_attached_.empty()) return;
-  std::vector<Guid> reannounce, departed;
-  for (const auto& [mh, claim_seq] : local_attached_) {
-    const auto entry = ring_members_.lookup(mh);
-    // No record yet: our own join/handoff op is still queued or in a
-    // round. Do NOT re-announce — a duplicate assertion could race the
-    // very op that carries the claim. The at-least-once round machinery
-    // lands the original op.
-    if (!entry) continue;
-    const MemberRecord& rec = entry->record;
-    const std::uint64_t rec_claim = entry->claim_seq;
-    const std::uint64_t rec_seq = entry->last_seq;
-    if (rec_claim > claim_seq) {
-      // A newer attachment epoch exists: the member physically joined or
-      // handed off somewhere else after our claim (and possibly departed
-      // there too). Ours is history — stop claiming. Epoch comparison,
-      // not raw seq, makes this immune to detector-inferred records and
-      // repair re-assertions, which never start an epoch.
-      departed.push_back(mh);
-      continue;
+  std::vector<std::pair<Guid, GroupId>> reannounce, departed;
+  for (const auto& [mh, by_gid] : local_attached_) {
+    for (const auto& [gid, claim_seq] : by_gid) {
+      const auto entry = dir_.lookup(gid, mh);
+      // No record yet: our own join/handoff op is still queued or in a
+      // round. Do NOT re-announce — a duplicate assertion could race the
+      // very op that carries the claim. The at-least-once round machinery
+      // lands the original op.
+      if (!entry) continue;
+      const MemberRecord& rec = entry->record;
+      const std::uint64_t rec_claim = entry->claim_seq;
+      const std::uint64_t rec_seq = entry->last_seq;
+      if (rec_claim > claim_seq) {
+        // A newer attachment epoch exists: the member physically joined or
+        // handed off somewhere else after our claim (and possibly departed
+        // there too). Ours is history — stop claiming. Epoch comparison,
+        // not raw seq, makes this immune to detector-inferred records and
+        // repair re-assertions, which never start an epoch.
+        departed.emplace_back(mh, gid);
+        continue;
+      }
+      if (rec.status == MemberStatus::kOperational &&
+          rec.access_proxy == id()) {
+        continue;  // consistent: hosted here
+      }
+      if (rec_claim == claim_seq && rec_seq > claim_seq) {
+        // Our own epoch was ended or overridden by something we never saw
+        // locally — a genuine departure goes through local_member_leave /
+        // fail / the handoff-away guard, all of which erase the claim
+        // first. So this is a false accusation (failure-detector false
+        // positive elsewhere, typically a cross-partition splice). The
+        // hosting AP is authoritative: re-anchor the epoch with a fresh op.
+        reannounce.emplace_back(mh, gid);
+        continue;
+      }
+      // rec_claim < claim_seq (stale pre-claim record), or rec_claim ==
+      // claim_seq with rec_seq <= claim_seq (our claim op not yet
+      // reflected): the in-flight claim assertion out-ranks the record in
+      // record_precedes order — outwait it.
     }
-    if (rec.status == MemberStatus::kOperational &&
-        rec.access_proxy == id()) {
-      continue;  // consistent: hosted here
-    }
-    if (rec_claim == claim_seq && rec_seq > claim_seq) {
-      // Our own epoch was ended or overridden by something we never saw
-      // locally — a genuine departure goes through local_member_leave /
-      // fail / the handoff-away guard, all of which erase the claim
-      // first. So this is a false accusation (failure-detector false
-      // positive elsewhere, typically a cross-partition splice). The
-      // hosting AP is authoritative: re-anchor the epoch with a fresh op.
-      reannounce.push_back(mh);
-      continue;
-    }
-    // rec_claim < claim_seq (stale pre-claim record), or rec_claim ==
-    // claim_seq with rec_seq <= claim_seq (our claim op not yet
-    // reflected): the in-flight claim assertion out-ranks the record in
-    // record_precedes order — outwait it.
   }
-  // Deterministic processing order regardless of hash-map iteration.
-  std::sort(departed.begin(), departed.end());
-  std::sort(reannounce.begin(), reannounce.end());
-  for (const Guid mh : departed) local_attached_.erase(mh);
-  for (const Guid mh : reannounce) {
-    const std::uint64_t claim = local_attached_.at(mh);
+  // local_attached_ iterates deterministically (both maps ordered), so the
+  // lists are already (guid, gid)-sorted.
+  for (const auto& [mh, gid] : departed) {
+    const auto it = local_attached_.find(mh);
+    if (it == local_attached_.end()) continue;
+    it->second.erase(gid);
+    if (it->second.empty()) local_attached_.erase(it);
+  }
+  for (const auto& [mh, gid] : reannounce) {
+    const std::uint64_t claim = local_attached_.at(mh).at(gid);
     RGB_LOG(kInfo, "reaffirm")
         << id() << " re-anchors falsely failed local member " << mh.value()
-        << " (epoch " << claim << ")";
+        << " (group " << gid.value() << ", epoch " << claim << ")";
     metrics_.reconcile_reanchors.increment();
     obs_.flight.record(now(), id(), obs::FlightKind::kReconcileReanchor,
                        mh.value(), claim);
-    reannounce_member(mh, claim);
+    reannounce_member(gid, mh, claim);
   }
 }
 
@@ -1266,15 +1315,15 @@ void NetworkEntity::reaffirm_local_members() {
 // --------------------------------------------------------------------------
 
 std::vector<AttachClaim> NetworkEntity::local_claims() const {
+  // Nested-map iteration is already (guid, gid)-ascending — deterministic
+  // without a sort.
   std::vector<AttachClaim> claims;
   claims.reserve(local_attached_.size());
-  for (const auto& [mh, claim] : local_attached_) {
-    claims.push_back(AttachClaim{mh, claim});
+  for (const auto& [mh, by_gid] : local_attached_) {
+    for (const auto& [gid, claim] : by_gid) {
+      claims.push_back(AttachClaim{mh, claim, gid});
+    }
   }
-  std::sort(claims.begin(), claims.end(),
-            [](const AttachClaim& a, const AttachClaim& b) {
-              return a.mh < b.mh;
-            });
   return claims;
 }
 
@@ -1368,7 +1417,9 @@ void NetworkEntity::handle_reconcile(const ReconcileMsg& msg, NodeId from) {
   ReconcileAckMsg ack;
   ack.reconcile_id = msg.reconcile_id;
   for (const AttachClaim& claim : msg.claims) {
-    const auto entry = ring_members_.lookup(claim.mh);
+    // Pre-v4 claims carry no group: answer against the default group.
+    const GroupId gid = claim.gid.valid() ? claim.gid : config_.gid;
+    const auto entry = dir_.lookup(gid, claim.mh);
     if (!entry) continue;
     // Return our entry whenever the claim's assertion (claim, claim)
     // loses to it in record_precedes order: a newer epoch supersedes the
@@ -1397,7 +1448,8 @@ void NetworkEntity::handle_reconcile_ack(const ReconcileAckMsg& msg) {
   if (it == pending_reconciles_.end()) return;  // stale or duplicate ack
   cancel_timer(it->second.timer);
   pending_reconciles_.erase(it);
-  ring_members_.import_entries(msg.superseding);
+  dir_.import_all(msg.superseding);
+  note_group_count();
   // Re-evaluate every claim against the responder-informed table: the
   // shared decision core drops superseded epochs and re-anchors falsified
   // ones through the normal round machinery.
@@ -1419,9 +1471,16 @@ void NetworkEntity::anti_entropy_tick() {
   // carries the ring shape: members adopt it when their (roster, leader)
   // drifted — the convergent replacement for a lost RingReform broadcast.
   if (config_.digest_anti_entropy) {
-    const ViewDigest digest = ring_members_.digest();
+    // Multi-group steady-state tick (wire v4): one kSummary frame per link
+    // carrying only the combined digest over every group — O(1) bytes per
+    // link per tick no matter how many groups the directory serves. The
+    // per-group digest vector ships only on mismatch (the receiver pulls
+    // it with a kDigest reply), so G groups cost a constant steady-state
+    // frame plus ~11B per group only while actually out of sync — the
+    // amortization the bench.multigroup cell measures.
+    const ViewDigest digest = dir_.combined_digest();
     ViewSyncMsg ring_sync;
-    ring_sync.phase = ViewSyncMsg::Phase::kDigest;
+    ring_sync.phase = ViewSyncMsg::Phase::kSummary;
     ring_sync.digest = digest.hash;
     ring_sync.entry_count = static_cast<std::uint32_t>(digest.count);
     ring_sync.roster = roster_;
@@ -1433,9 +1492,9 @@ void NetworkEntity::anti_entropy_tick() {
       if (peer == id()) continue;
       send(peer, kind::kViewSync, ring_payload, ring_bytes);
     }
-    if (ring_members_.empty()) return;  // cross edges carry only view state
+    if (dir_.empty()) return;  // cross edges carry only view state
     ViewSyncMsg cross_sync;
-    cross_sync.phase = ViewSyncMsg::Phase::kDigest;
+    cross_sync.phase = ViewSyncMsg::Phase::kSummary;
     cross_sync.digest = digest.hash;
     cross_sync.entry_count = static_cast<std::uint32_t>(digest.count);
     const auto cross_bytes = wire_size(cross_sync);
@@ -1450,11 +1509,14 @@ void NetworkEntity::anti_entropy_tick() {
   }
 
   // One export feeds both messages (it is an O(N log N) copy + sort).
-  std::vector<TableEntry> entries = ring_members_.export_entries();
+  std::vector<TableEntry> entries = dir_.export_all();
   const bool have_entries = !entries.empty();
-  ViewSyncMsg ring_sync{ViewSyncMsg::Phase::kFull, 0,       0,
-                        entries,                   true,    roster_,
-                        leader_};
+  ViewSyncMsg ring_sync;
+  ring_sync.phase = ViewSyncMsg::Phase::kFull;
+  ring_sync.entries = entries;
+  ring_sync.reply_requested = true;
+  ring_sync.roster = roster_;
+  ring_sync.leader = leader_;
   const auto ring_bytes = wire_size(ring_sync);
   const net::Payload ring_payload{std::move(ring_sync)};
   for (const NodeId peer : roster_) {
@@ -1462,13 +1524,10 @@ void NetworkEntity::anti_entropy_tick() {
     send(peer, kind::kViewSync, ring_payload, ring_bytes);
   }
   if (!have_entries) return;  // cross-ring edges carry only view state
-  ViewSyncMsg sync{ViewSyncMsg::Phase::kFull,
-                   0,
-                   0,
-                   std::move(entries),
-                   true,
-                   {},
-                   NodeId{}};
+  ViewSyncMsg sync;
+  sync.phase = ViewSyncMsg::Phase::kFull;
+  sync.entries = std::move(entries);
+  sync.reply_requested = true;
   const auto cross_bytes = wire_size(sync);
   const net::Payload cross_payload{std::move(sync)};
   if (parent_.valid() && tier_ - 1 >= config_.retain_tier) {
@@ -1509,22 +1568,53 @@ void NetworkEntity::handle_view_sync(const ViewSyncMsg& msg, NodeId from) {
     schedule_reconcile();
   }
 
+  if (msg.phase == ViewSyncMsg::Phase::kSummary) {
+    // Steady-state fast path: combined digests agree, nothing to do —
+    // total tick cost stayed O(1) per link regardless of the group count.
+    // On mismatch, pull: answer with our packed per-group digests so the
+    // sender can scope its kFull to just the differing groups.
+    const ViewDigest mine = dir_.combined_digest();
+    if (mine.hash == msg.digest && mine.count == msg.entry_count) return;
+    ViewSyncMsg reply;
+    reply.phase = ViewSyncMsg::Phase::kDigest;
+    reply.digest = mine.hash;
+    reply.entry_count = static_cast<std::uint32_t>(mine.count);
+    reply.group_digests = dir_.packed_digests();
+    metrics_.digest_groups_packed.increment(reply.group_digests.size());
+    const auto reply_bytes = wire_size(reply);
+    send(from, kind::kViewSync, std::move(reply), reply_bytes);
+    return;
+  }
+
   if (msg.phase == ViewSyncMsg::Phase::kDigest) {
     // In-sync views answer nothing: the common steady-state tick ends here
     // having cost one O(1) comparison. (A hash collision between unequal
     // views — ~2^-64 — also lands here; it heals on the next tick after
     // either table changes, and never corrupts state since no entries were
-    // merged.) On mismatch, ship our full view and ask for the sender's
-    // newer entries back; the pair then reconverges in one exchange.
-    const ViewDigest mine = ring_members_.digest();
+    // merged.) On mismatch, ship our view and ask for the sender's newer
+    // entries back; the pair then reconverges in one exchange. With a
+    // packed per-group digest set (v4) the reply is scoped to the groups
+    // that actually differ instead of the whole directory.
+    const ViewDigest mine = dir_.combined_digest();
     if (mine.hash == msg.digest && mine.count == msg.entry_count) return;
-    ViewSyncMsg reply{ViewSyncMsg::Phase::kFull,
-                      0,
-                      0,
-                      ring_members_.export_entries(),
-                      true,
-                      {},
-                      NodeId{}};
+    std::vector<GroupId> gids = dir_.differing_groups(msg.group_digests);
+    if (msg.group_digests.empty()) {
+      // Pre-packing sender (or a sender with an empty directory): no
+      // per-group evidence to scope by — answer with everything.
+      gids.clear();
+    } else if (gids.empty()) {
+      // Combined digests differ but every per-group digest matches: the
+      // combined hash collided (~2^-64) or the mismatch lives in groups
+      // neither side holds entries for. Nothing useful to ship.
+      return;
+    }
+    ViewSyncMsg reply;
+    reply.phase = ViewSyncMsg::Phase::kFull;
+    reply.entries = dir_.export_groups(gids);
+    reply.reply_requested = true;
+    reply.sync_gids = gids;
+    metrics_.group_fulls_sent.increment(gids.empty() ? dir_.group_count()
+                                                     : gids.size());
     const auto reply_bytes = wire_size(reply);
     send(from, kind::kViewSync, std::move(reply), reply_bytes);
     return;
@@ -1532,13 +1622,28 @@ void NetworkEntity::handle_view_sync(const ViewSyncMsg& msg, NodeId from) {
 
   RGB_LOG(kDebug, "sync") << now() << " " << id() << " imports "
                           << msg.entries.size() << " entries from " << from;
-  ring_members_.import_entries(msg.entries);
+  dir_.import_all(msg.entries);
+  note_group_count();
 
   if (!msg.reply_requested) return;
-  std::vector<TableEntry> diff = ring_members_.newer_than(msg.entries);
+  // Scope the diff to the sync's group set: a scoped kFull must not drag
+  // every unrelated group's entries into the reply (that would undo the
+  // packing amortization). Empty sync_gids = universal (pre-v4 sender).
+  std::vector<TableEntry> diff = dir_.newer_than(msg.entries, msg.sync_gids);
   if (diff.empty()) return;
-  ViewSyncMsg reply{ViewSyncMsg::Phase::kDiff, 0,  0, std::move(diff),
-                    false,                     {}, NodeId{}};
+  std::size_t diff_groups = 0;
+  GroupId last_gid;  // diff is gid-major, so distinct gids = run starts
+  for (const TableEntry& entry : diff) {
+    if (entry.gid != last_gid) {
+      ++diff_groups;
+      last_gid = entry.gid;
+    }
+  }
+  metrics_.group_diffs_sent.increment(diff_groups);
+  ViewSyncMsg reply;
+  reply.phase = ViewSyncMsg::Phase::kDiff;
+  reply.entries = std::move(diff);
+  reply.sync_gids = msg.sync_gids;
   const auto reply_bytes = wire_size(reply);
   send(from, kind::kViewSync, std::move(reply), reply_bytes);
 }
@@ -1554,7 +1659,7 @@ void NetworkEntity::attempt_merge() {
   if (candidates.empty()) return;
   const NodeId target = candidates[merge_probe_cursor_ % candidates.size()];
   ++merge_probe_cursor_;
-  MergeOfferMsg offer{roster_, ring_members_.export_entries()};
+  MergeOfferMsg offer{roster_, dir_.export_all()};
   const auto bytes = wire_size(offer);
   send(target, kind::kMergeOffer, std::move(offer), bytes);
 }
@@ -1572,7 +1677,8 @@ void NetworkEntity::merge_fragment(const std::vector<NodeId>& their_roster,
   std::sort(merged.begin(), merged.end());
   const NodeId new_leader = elect_leader(merged);
 
-  ring_members_.import_entries(entries);
+  dir_.import_all(entries);
+  note_group_count();
 
   metrics_.merges.increment();
   obs_.tracer.on_view_change(obs::FlightKind::kMerge, id(),
@@ -1628,14 +1734,14 @@ void NetworkEntity::handle_merge_offer(const MergeOfferMsg& msg,
       // elects deterministically, so it merely duplicates the leader-level
       // merge the relay triggers.
       send(leader_, kind::kMergeOffer, msg, wire_size(msg));
-      MergeAcceptMsg accept{roster_, ring_members_.export_entries()};
+      MergeAcceptMsg accept{roster_, dir_.export_all()};
       const auto bytes = wire_size(accept);
       send(from, kind::kMergeAccept, std::move(accept), bytes);
     } else {
       // Stale state: the node we believe leads us is the one telling us we
       // are not in its ring (e.g. we just recovered from a crash). Offer
       // ourselves back as a singleton fragment.
-      MergeAcceptMsg accept{{id()}, ring_members_.export_entries()};
+      MergeAcceptMsg accept{{id()}, dir_.export_all()};
       const auto bytes = wire_size(accept);
       send(from, kind::kMergeAccept, std::move(accept), bytes);
     }
@@ -1668,7 +1774,7 @@ void NetworkEntity::handle_merge_accept(const MergeAcceptMsg& msg,
 
 void NetworkEntity::broadcast_ring_reform(const std::vector<NodeId>& roster,
                                           NodeId leader) {
-  RingReformMsg msg{roster, leader, ring_members_.export_entries()};
+  RingReformMsg msg{roster, leader, dir_.export_all()};
   const auto bytes = wire_size(msg);
   const net::Payload reform{std::move(msg)};
   for (const NodeId n : roster) {
@@ -1695,15 +1801,15 @@ void NetworkEntity::schedule_snapshot_flush(bool to_ring, bool to_child) {
 
 SnapshotMsg NetworkEntity::make_snapshot_msg() const {
   SnapshotMsg msg;
-  const ViewDigest digest = ring_members_.digest();
+  const ViewDigest digest = dir_.combined_digest();
   msg.digest = digest.hash;
   msg.entry_count = digest.count;
-  rgb::wire::encode_snapshot(ring_members_.export_entries(), msg.blob);
+  rgb::wire::encode_snapshot(dir_.export_all(), msg.blob);
   return msg;
 }
 
 const net::Payload& NetworkEntity::snapshot_payload() {
-  const ViewDigest digest = ring_members_.digest();
+  const ViewDigest digest = dir_.combined_digest();
   if (!snapshot_payload_valid_ || snapshot_payload_digest_ != digest.hash ||
       snapshot_payload_count_ != digest.count) {
     SnapshotMsg msg = make_snapshot_msg();
@@ -1793,14 +1899,14 @@ void NetworkEntity::handle_snapshot_ack(const SnapshotAckMsg& msg,
 
 void NetworkEntity::request_snapshot_from(NodeId peer) {
   if (!peer.valid() || peer == id()) return;
-  const ViewDigest mine = ring_members_.digest();
+  const ViewDigest mine = dir_.combined_digest();
   send(peer, kind::kSnapshotRequest,
        SnapshotRequestMsg{mine.hash, mine.count});
 }
 
 void NetworkEntity::handle_snapshot_request(const SnapshotRequestMsg& msg,
                                             NodeId from) {
-  const ViewDigest mine = ring_members_.digest();
+  const ViewDigest mine = dir_.combined_digest();
   if (mine.hash == msg.digest && mine.count == msg.entry_count) return;
   // Sequenced: snapshot_payload() refreshes snapshot_payload_bytes_, so
   // the two must not be read in one unordered argument list.
@@ -1810,7 +1916,7 @@ void NetworkEntity::handle_snapshot_request(const SnapshotRequestMsg& msg,
 }
 
 void NetworkEntity::handle_snapshot(const SnapshotMsg& msg, NodeId from) {
-  const ViewDigest mine = ring_members_.digest();
+  const ViewDigest mine = dir_.combined_digest();
   if (mine.hash == msg.digest && mine.count == msg.entry_count) {
     // Already in sync: skip the decode entirely, but still confirm the
     // receipt so a pending flush push stops retransmitting.
@@ -1834,7 +1940,9 @@ void NetworkEntity::handle_snapshot(const SnapshotMsg& msg, NodeId from) {
     return;
   }
   send(from, kind::kSnapshotAck, SnapshotAckMsg{msg.digest, msg.entry_count});
-  if (!ring_members_.import_entries(decoded.value())) return;
+  const bool changed = dir_.import_all(decoded.value());
+  note_group_count();
+  if (!changed) return;
   metrics_.snapshots_applied.increment();
   obs_.flight.record(now(), id(), obs::FlightKind::kSnapshotApplied,
                      from.value(), decoded.value().size());
@@ -1891,7 +1999,7 @@ void NetworkEntity::request_ring_leave() {
       if (n != id()) rest.push_back(n);
     }
     const NodeId successor = elect_leader(rest);
-    RingReformMsg msg{rest, successor, ring_members_.export_entries()};
+    RingReformMsg msg{rest, successor, dir_.export_all()};
     const auto bytes = wire_size(msg);
     const net::Payload reform{std::move(msg)};
     for (const NodeId n : rest) send(n, kind::kRingReform, reform, bytes);
@@ -1974,7 +2082,18 @@ void NetworkEntity::form_singleton_ring() {
 
 void NetworkEntity::handle_query(const QueryRequestMsg& msg, NodeId from) {
   const NodeId reply_to = msg.reply_to.valid() ? msg.reply_to : from;
-  QueryReplyMsg reply{msg.query_id, ring_members_.snapshot()};
+  // Group-scoped queries (v4) answer from that group's table alone; a
+  // group-less query keeps the pre-v4 meaning — every member this NE
+  // knows, deduplicated across groups.
+  std::vector<MemberRecord> members;
+  if (msg.gid.valid()) {
+    if (const MemberTable* tab = dir_.table_if(msg.gid)) {
+      members = tab->snapshot();
+    }
+  } else {
+    members = dir_.merged_snapshot();
+  }
+  QueryReplyMsg reply{msg.query_id, std::move(members)};
   const auto reply_bytes = wire_size(reply);
   send(reply_to, kind::kQueryReply, std::move(reply), reply_bytes);
 }
@@ -2094,6 +2213,18 @@ void NetworkEntity::handle_alert(const AlertMsg& msg, NodeId from) {
 }
 
 void NetworkEntity::handle_alert_ack(const AlertAckMsg& msg, NodeId /*from*/) {
+  const auto vit = pending_verifies_.find(msg.responder);
+  if (vit != pending_verifies_.end() && vit->second.alert_id == msg.alert_id) {
+    // Pre-cut verification answered: the suspect is alive, its pending
+    // observation was a stale flap (a lost retraction) — drop it outright.
+    metrics_.stability_suppressed_flaps.increment();
+    RGB_LOG(kDebug, "stability") << now() << " " << id() << " verified "
+                                 << msg.responder << " live; cut averted";
+    cancel_cut_verification(msg.responder);
+    stability_.forget(msg.responder);
+    arm_stability_cut_timer();
+    return;
+  }
   const auto it = pending_alerts_.find(msg.responder);
   if (it == pending_alerts_.end() || it->second.alert_id != msg.alert_id) {
     return;
@@ -2127,7 +2258,21 @@ void NetworkEntity::check_stability_cut() {
       roster_.size() > 1 ? static_cast<int>(roster_.size()) - 1 : 1;
   const int k = std::max(1, std::min(config_.stability_k, feasible));
   if (stability_.ready(now(), config_.stability_window, k)) {
+    // A K-corroborated cut fires immediately. A deadline-only cut first
+    // verifies its suspects: the dominant false-cut path is a suppressed
+    // flap whose one-shot retraction was lost in transit, leaving a stale
+    // single observation to ride out the window. The verification ping is
+    // the same alert/ack liveness exchange the observers use; only the
+    // suspects that stay silent through the retx budget are cut.
+    if (!stability_.corroborated(k)) {
+      start_cut_verifications();
+      if (cut_verifies_in_flight()) {
+        arm_stability_cut_timer();
+        return;
+      }
+    }
     const StabilityAggregator::Cut cut = stability_.take();
+    for (const NodeId suspect : cut.suspects) cancel_cut_verification(suspect);
     metrics_.stability_cuts.increment();
     metrics_.stability_batched_failures.increment(cut.suspects.size());
     obs_.flight.record(now(), id(), obs::FlightKind::kCutApplied,
@@ -2138,6 +2283,61 @@ void NetworkEntity::check_stability_cut() {
     declare_cut(cut.suspects);
   }
   arm_stability_cut_timer();
+}
+
+bool NetworkEntity::start_cut_verifications() {
+  bool started = false;
+  for (const NodeId suspect : stability_.suspects()) {
+    if (pending_verifies_.count(suspect) != 0) continue;
+    PendingVerify pv;
+    pv.alert_id = (id().value() << 24) | ++alert_counter_;
+    pv.pings_left = config_.max_retx;
+    RGB_LOG(kDebug, "stability") << now() << " " << id()
+                                 << " verifies suspect " << suspect
+                                 << " before a deadline cut";
+    AlertMsg ping{id(), pv.alert_id, {suspect}, false};
+    const auto bytes = wire_size(ping);
+    send(suspect, kind::kAlert, std::move(ping), bytes);
+    const NodeId s = suspect;
+    pv.ping_timer = set_timer(config_.retx_timeout,
+                              [this, s]() { on_verify_ping_timeout(s); });
+    pending_verifies_.emplace(suspect, std::move(pv));
+    started = true;
+  }
+  return started;
+}
+
+bool NetworkEntity::cut_verifies_in_flight() const {
+  for (const auto& [suspect, pv] : pending_verifies_) {
+    if (!pv.expired) return true;
+  }
+  return false;
+}
+
+void NetworkEntity::on_verify_ping_timeout(NodeId suspect) {
+  const auto it = pending_verifies_.find(suspect);
+  if (it == pending_verifies_.end() || it->second.expired) return;
+  if (it->second.pings_left <= 0) {
+    // Silent through the whole budget: the suspect no longer blocks the
+    // deadline cut. The entry stays (expired) so it is not re-verified.
+    it->second.expired = true;
+    check_stability_cut();
+    return;
+  }
+  --it->second.pings_left;
+  AlertMsg ping{id(), it->second.alert_id, {suspect}, false};
+  const auto bytes = wire_size(ping);
+  send(suspect, kind::kAlert, std::move(ping), bytes);
+  it->second.ping_timer = set_timer(config_.retx_timeout, [this, suspect]() {
+    on_verify_ping_timeout(suspect);
+  });
+}
+
+void NetworkEntity::cancel_cut_verification(NodeId suspect) {
+  const auto it = pending_verifies_.find(suspect);
+  if (it == pending_verifies_.end()) return;
+  cancel_timer(it->second.ping_timer);
+  pending_verifies_.erase(it);
 }
 
 void NetworkEntity::arm_stability_cut_timer() {
@@ -2154,6 +2354,10 @@ void NetworkEntity::reset_stability_state() {
     cancel_timer(pending.fallback_timer);
   }
   pending_alerts_.clear();
+  for (auto& [suspect, pending] : pending_verifies_) {
+    cancel_timer(pending.ping_timer);
+  }
+  pending_verifies_.clear();
   stability_.clear();
   cancel_timer(stability_cut_timer_);
 }
@@ -2196,10 +2400,9 @@ void NetworkEntity::sweep_silent_members() {
     const MhLiveness liveness = it->second;
     it = mh_last_heard_.erase(it);
     // Only members still attached here are ours to report; a handed-off
-    // member is monitored by its new AP.
-    const auto record = ring_members_.find(mh);
-    if (record && record->status == MemberStatus::kOperational &&
-        record->access_proxy == id()) {
+    // member is monitored by its new AP. Liveness is per-member, not
+    // per-group: a silent MH is silent in every group it inhabits.
+    if (!dir_.groups_hosting(mh, id()).empty()) {
       if (config_.stability) {
         // Defer into the stability window instead of failing on the first
         // silent sweep, and counter-probe the member — a live-but-quiet MH
@@ -2238,20 +2441,23 @@ void NetworkEntity::flush_silent_members() {
   for (const Guid mh : expired) {
     const PendingSilent pending = pending_silent_.at(mh);
     pending_silent_.erase(mh);
-    const auto record = ring_members_.find(mh);
-    if (!record || record->status != MemberStatus::kOperational ||
-        record->access_proxy != id()) {
+    const std::vector<GroupId> gids = dir_.groups_hosting(mh, id());
+    if (gids.empty()) {
       continue;  // handed off or departed while deferred
     }
+    // One detection event per member, one fail op per group it inhabits.
     obs_.tracer.on_member_detected(mh, id(), now() - pending.last_heard,
                                    now());
-    MembershipOp op;
-    op.kind = OpKind::kMemberFail;
-    op.seq = next_op_seq();
-    op.uid = next_op_uid();
-    op.claim_seq = take_local_claim(mh);
-    op.member = MemberRecord{mh, id(), MemberStatus::kFailed};
-    ops.push_back(std::move(op));
+    for (const GroupId gid : gids) {
+      MembershipOp op;
+      op.kind = OpKind::kMemberFail;
+      op.gid = gid;
+      op.seq = next_op_seq();
+      op.uid = next_op_uid();
+      op.claim_seq = take_local_claim(gid, mh);
+      op.member = MemberRecord{mh, id(), MemberStatus::kFailed};
+      ops.push_back(std::move(op));
+    }
   }
   // A correlated silence (regional outage, crashed coverage area) becomes
   // ONE batched flush — one token round — instead of one round per member.
@@ -2264,13 +2470,13 @@ void NetworkEntity::flush_silent_members() {
 // --------------------------------------------------------------------------
 
 std::vector<MemberRecord> NetworkEntity::local_members() const {
-  return ring_members_.members_at(id());
+  return dir_.merged_members_at(id());
 }
 
 std::vector<MemberRecord> NetworkEntity::neighbor_members() const {
-  std::vector<MemberRecord> out = ring_members_.members_at(previous_);
+  std::vector<MemberRecord> out = dir_.merged_members_at(previous_);
   if (next_ != previous_) {
-    const auto more = ring_members_.members_at(next_);
+    const auto more = dir_.merged_members_at(next_);
     out.insert(out.end(), more.begin(), more.end());
   }
   std::sort(out.begin(), out.end(),
@@ -2383,21 +2589,23 @@ void NetworkEntity::deliver(const net::Envelope& env) {
       break;
     case kind::kMhRequest: {
       const MhRequestMsg& req = env.payload.get<MhRequestMsg>();
+      // Pre-v4 hosts send no gid; they mean the NE's default group.
+      const GroupId gid = req.gid.valid() ? req.gid : config_.gid;
       switch (req.kind) {
         case MhRequestKind::kJoin:
-          local_member_join(req.mh);
+          local_member_join(gid, req.mh);
           break;
         case MhRequestKind::kLeave:
-          local_member_leave(req.mh);
+          local_member_leave(gid, req.mh);
           break;
         case MhRequestKind::kHandoff:
-          local_member_handoff_in(req.mh, req.old_ap);
+          local_member_handoff_in(gid, req.mh, req.old_ap);
           break;
         case MhRequestKind::kFail:
-          local_member_fail(req.mh);
+          local_member_fail(gid, req.mh);
           break;
       }
-      send(env.src, kind::kMhAck, MhAckMsg{req.kind, req.mh});
+      send(env.src, kind::kMhAck, MhAckMsg{req.kind, req.mh, req.gid});
       break;
     }
     case kind::kMhHeartbeat:

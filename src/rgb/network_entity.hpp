@@ -35,8 +35,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include <map>
+
 #include "obs/obs.hpp"
 #include "proto/process.hpp"
+#include "rgb/group_directory.hpp"
 #include "rgb/member_table.hpp"
 #include "rgb/message_queue.hpp"
 #include "rgb/messages.hpp"
@@ -76,13 +79,24 @@ class NetworkEntity : public proto::Process {
 
   /// An MH joined / left / failed at this AP, or handed off to this AP from
   /// `old_ap`. These inject ops exactly like MH-originated requests do.
-  void local_member_join(Guid mh);
-  void local_member_leave(Guid mh);
-  void local_member_handoff_in(Guid mh, NodeId old_ap);
-  void local_member_fail(Guid mh);
+  /// The group-less overloads target the NE's configured default group
+  /// (config.gid) — the pre-v4 single-group call shape.
+  void local_member_join(Guid mh) { local_member_join(config_.gid, mh); }
+  void local_member_leave(Guid mh) { local_member_leave(config_.gid, mh); }
+  void local_member_handoff_in(Guid mh, NodeId old_ap) {
+    local_member_handoff_in(config_.gid, mh, old_ap);
+  }
+  void local_member_fail(Guid mh) { local_member_fail(config_.gid, mh); }
+
+  /// Group-scoped verbs (multi-group serving): the op lands in `gid`'s
+  /// table/queue; attachment claims are kept per (member, group).
+  void local_member_join(GroupId gid, Guid mh);
+  void local_member_leave(GroupId gid, Guid mh);
+  void local_member_handoff_in(GroupId gid, Guid mh, NodeId old_ap);
+  void local_member_fail(GroupId gid, Guid mh);
 
   /// Claims this AP currently asserts (tests / reconcile introspection):
-  /// guid-sorted (member, attachment-epoch) pairs.
+  /// (member, group, attachment-epoch) triples, (guid, gid)-sorted.
   [[nodiscard]] std::vector<AttachClaim> local_claims() const;
 
   // --- dynamic NE membership (Section 4.3) -----------------------------------
@@ -116,18 +130,25 @@ class NetworkEntity : public proto::Process {
   [[nodiscard]] bool is_leader() const { return leader_ == id(); }
   [[nodiscard]] const std::vector<NodeId>& roster() const { return roster_; }
 
-  /// The paper's ListOfRingMembers: all members within the coverage of this
-  /// NE's ring (at an AP ring: members of all its APs; higher up: subtree).
+  /// The paper's ListOfRingMembers for the NE's configured default group
+  /// (config.gid): all members within the coverage of this NE's ring. The
+  /// pre-v4 single-group view — multi-group callers go through directory().
   [[nodiscard]] const MemberTable& ring_members() const {
-    return ring_members_;
+    static const MemberTable kEmptyTable;
+    const MemberTable* table = dir_.table_if(config_.gid);
+    return table != nullptr ? *table : kEmptyTable;
   }
-  /// The paper's ListOfLocalMembers: members attached to this NE.
+  /// Per-group membership state (multi-group serving).
+  [[nodiscard]] const GroupDirectory& directory() const { return dir_; }
+  /// The paper's ListOfLocalMembers: members attached to this NE (merged
+  /// across groups, deduplicated by guid).
   [[nodiscard]] std::vector<MemberRecord> local_members() const;
   /// The paper's ListOfNeighborMembers: members at the previous and next
   /// ring neighbours (fast-handoff candidates).
   [[nodiscard]] std::vector<MemberRecord> neighbor_members() const;
 
-  [[nodiscard]] const MessageQueue& message_queue() const { return mq_; }
+  [[nodiscard]] bool queue_empty() const { return dir_.queue_empty(); }
+  [[nodiscard]] std::size_t queue_size() const { return dir_.queue_size(); }
   [[nodiscard]] bool round_in_flight() const { return holding_round_; }
   [[nodiscard]] bool token_parked_here() const {
     return is_leader() && token_free_;
@@ -280,8 +301,14 @@ class NetworkEntity : public proto::Process {
   bool ring_ok_ = false;
   bool parent_ok_ = false;
   bool child_ok_ = false;
-  MemberTable ring_members_;
-  MessageQueue mq_;
+  /// Per-group {MemberTable, MessageQueue} state behind the shared engine:
+  /// probe ticks, token rounds, stability and reconcile run once per link
+  /// and route group-scoped reads/writes through here.
+  GroupDirectory dir_;
+  /// Meters directory growth (metrics_.groups_created): compared against
+  /// dir_.group_count() after every mutation funnel.
+  std::size_t known_group_count_ = 0;
+  void note_group_count();
 
   /// Ring order as known locally; repaired views may lag one round.
   /// `roster_` is canonical (iteration order, pointer derivation);
@@ -442,6 +469,16 @@ class NetworkEntity : public proto::Process {
   void observe_alert(NodeId suspect, NodeId observer);
   void check_stability_cut();
   void arm_stability_cut_timer();
+  /// Deadline-path cuts verify first: an alert whose observer-side
+  /// retraction was lost would otherwise fire a single-observation cut at
+  /// the window deadline. The aggregator pings each pending suspect with
+  /// the normal alert/ack exchange (retx budget as any hop); an answer
+  /// forgets the suspect, silence lets the cut proceed. Returns true when
+  /// any verification was started by this call.
+  bool start_cut_verifications();
+  [[nodiscard]] bool cut_verifies_in_flight() const;
+  void on_verify_ping_timeout(NodeId suspect);
+  void cancel_cut_verification(NodeId suspect);
   /// Cancels every pending alert and pending cut (ring reconfigured: the
   /// evidence predates the new shape; live detectors re-alert).
   void reset_stability_state();
@@ -457,6 +494,16 @@ class NetworkEntity : public proto::Process {
   StabilityAggregator stability_;
   sim::EventId stability_cut_timer_{};
   std::uint64_t alert_counter_ = 0;
+  /// Aggregator-side pre-cut liveness verification, keyed by suspect. An
+  /// entry with `expired == true` failed verification and no longer blocks
+  /// the cut (and is not re-verified).
+  struct PendingVerify {
+    std::uint64_t alert_id = 0;
+    int pings_left = 0;          ///< remaining retransmissions
+    bool expired = false;
+    sim::EventId ping_timer{};
+  };
+  std::map<NodeId, PendingVerify> pending_verifies_;
 
   // --- MH liveness monitoring (faulty-disconnection detection) ----------------
   void handle_mh_heartbeat(const MhHeartbeatMsg& msg, NodeId from);
@@ -497,9 +544,11 @@ class NetworkEntity : public proto::Process {
   // record_precedes order). Checked from the probe tick and from
   // reconcile-round replies.
   void reaffirm_local_members();
-  void reannounce_member(Guid mh, std::uint64_t claim_seq);
-  std::uint64_t take_local_claim(Guid mh);
-  std::unordered_map<Guid, std::uint64_t> local_attached_;
+  void reannounce_member(GroupId gid, Guid mh, std::uint64_t claim_seq);
+  std::uint64_t take_local_claim(GroupId gid, Guid mh);
+  /// guid-major, gid-minor (both std::map: deterministic iteration for the
+  /// reaffirmation / reconcile passes); one claim per (member, group).
+  std::map<Guid, std::map<GroupId, std::uint64_t>> local_attached_;
 
   // --- counters ---------------------------------------------------------------------------
   std::uint64_t op_seq_counter_ = 0;

@@ -10,6 +10,12 @@ QueryClient::QueryClient(NodeId id, net::Network& network)
 
 void QueryClient::issue(const QueryPlan& plan, sim::Duration timeout,
                         std::function<void(Result)> on_done) {
+  issue_group(plan, GroupId{}, timeout, std::move(on_done));
+}
+
+void QueryClient::issue_group(const QueryPlan& plan, GroupId gid,
+                              sim::Duration timeout,
+                              std::function<void(Result)> on_done) {
   assert(active_query_ == 0 && "one outstanding query per client");
   active_query_ = next_query_id_++;
   issued_at_ = now();
@@ -24,7 +30,8 @@ void QueryClient::issue(const QueryPlan& plan, sim::Duration timeout,
     return;
   }
   for (const NodeId target : plan.targets) {
-    send(target, kind::kQueryRequest, QueryRequestMsg{active_query_, id()});
+    send(target, kind::kQueryRequest,
+         QueryRequestMsg{active_query_, id(), gid});
     ++pending_result_.messages;
   }
   timeout_timer_ = set_timer(timeout, [this]() {

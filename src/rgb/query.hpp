@@ -35,9 +35,16 @@ class QueryClient : public proto::Process {
 
   /// Issues one query per plan target; `on_done` fires when all replies
   /// arrived or `timeout` elapsed. One outstanding query at a time per
-  /// client.
+  /// client. Group-less: responders answer their merged cross-group view,
+  /// deduplicated by guid (the pre-v4 semantics).
   void issue(const QueryPlan& plan, sim::Duration timeout,
              std::function<void(Result)> on_done);
+
+  /// Group-scoped membership query (multi-group serving): the same
+  /// fan-out, but every responder answers from group `gid`'s table alone,
+  /// so the union is that one group's membership.
+  void issue_group(const QueryPlan& plan, GroupId gid, sim::Duration timeout,
+                   std::function<void(Result)> on_done);
 
   void deliver(const net::Envelope& env) override;
 

@@ -24,6 +24,13 @@ void StabilityAggregator::retract(NodeId suspect, NodeId observer) {
 
 void StabilityAggregator::forget(NodeId suspect) { pending_.erase(suspect); }
 
+std::vector<NodeId> StabilityAggregator::suspects() const {
+  std::vector<NodeId> out;
+  out.reserve(pending_.size());
+  for (const auto& [suspect, p] : pending_) out.push_back(suspect);
+  return out;
+}
+
 sim::Time StabilityAggregator::deadline(sim::Duration window) const {
   sim::Time earliest = 0;
   for (const auto& [suspect, p] : pending_) {
@@ -38,6 +45,10 @@ bool StabilityAggregator::ready(sim::Time now, sim::Duration window,
   if (pending_.empty()) return false;
   const sim::Time d = deadline(window);
   if (d != 0 && now >= d) return true;
+  return corroborated(k);
+}
+
+bool StabilityAggregator::corroborated(int k) const {
   for (const auto& [suspect, p] : pending_) {
     if (p.observers.size() >= static_cast<std::size_t>(k)) return true;
   }

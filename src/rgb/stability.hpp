@@ -56,12 +56,19 @@ class StabilityAggregator {
   [[nodiscard]] bool empty() const { return pending_.empty(); }
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
 
+  /// NodeId-sorted pending suspects (the would-be cut composition).
+  [[nodiscard]] std::vector<NodeId> suspects() const;
+
   /// Earliest (first alert + window) across pending suspects; 0 when none.
   [[nodiscard]] sim::Time deadline(sim::Duration window) const;
 
   /// True when the cut should fire: the window deadline passed, or some
   /// suspect reached `k` distinct observers.
   [[nodiscard]] bool ready(sim::Time now, sim::Duration window, int k) const;
+
+  /// True when some suspect reached `k` distinct observers (the corroborated
+  /// early-fire path, independent of the window deadline).
+  [[nodiscard]] bool corroborated(int k) const;
 
   /// Removes and returns all pending suspects as one correlated cut.
   [[nodiscard]] Cut take();

@@ -1,5 +1,7 @@
 #include "rgb/types.hpp"
 
+#include <algorithm>
+
 namespace rgb::core {
 
 const char* to_string(OpKind kind) {
@@ -20,6 +22,19 @@ const char* to_string(OpKind kind) {
       return "NE-Failure";
   }
   return "?";
+}
+
+std::vector<GroupId> member_groups(Guid guid, std::uint64_t groups,
+                                   std::uint64_t groups_per_member) {
+  if (groups == 0) groups = 1;
+  const std::uint64_t k = std::min(std::max<std::uint64_t>(groups_per_member, 1), groups);
+  std::vector<GroupId> out;
+  out.reserve(k);
+  for (std::uint64_t j = 0; j < k; ++j) {
+    out.push_back(GroupId{1 + ((guid.value() % groups) + j) % groups});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace rgb::core

@@ -61,6 +61,11 @@ struct MembershipOp {
   std::uint64_t uid = 0;
   std::uint64_t seq = 0;
 
+  /// Group the member op belongs to (multi-group serving): the directory
+  /// routes the op into that group's table/queue. Invalid on NE ops — NE
+  /// liveness is a property of the shared hierarchy, not of any one group.
+  GroupId gid;
+
   /// Attachment-epoch provenance (member ops): the op sequence of the
   /// *physical* attachment claim this op asserts or ends — a join or
   /// handoff-in starts a new epoch (claim_seq == seq); a leave/fail ends
@@ -122,6 +127,17 @@ struct QueryPlan {
 /// formula (6)), aggregation enabled.
 struct RgbConfig {
   GroupId gid{1};
+
+  /// Number of groups multiplexed over the one hierarchy (multi-group
+  /// serving). Groups are identified GroupId{1}..GroupId{groups}; the
+  /// probe/token/stability/detection machinery is shared per-link while
+  /// membership state (table, queue, digests) is per-group.
+  std::uint64_t groups = 1;
+
+  /// How many groups each facade-injected member joins (clamped to
+  /// `groups`). The assignment is the deterministic member_groups() stride,
+  /// so every node computes the same membership without coordination.
+  std::uint64_t groups_per_member = 1;
 
   /// Per-hop token retransmission timeout; the paper's single-fault
   /// detection mechanism ("detected quickly by Token retransmission
@@ -248,5 +264,20 @@ struct RgbConfig {
   /// single-observer + stability_timeout even if the aggregator died.
   sim::Duration stability_timeout = sim::msec(400);
 };
+
+/// Deterministic guid -> group assignment used by the facade and the
+/// check-layer ground truth: member `guid` belongs to
+/// `min(groups_per_member, groups)` groups, starting at
+/// GroupId{1 + guid % groups} and striding cyclically. Sorted ascending.
+/// Every participant computes the same set locally, which is what lets the
+/// oracles quantify over (group, guid) without a coordination channel.
+[[nodiscard]] std::vector<GroupId> member_groups(Guid guid,
+                                                 std::uint64_t groups,
+                                                 std::uint64_t groups_per_member);
+
+[[nodiscard]] inline std::vector<GroupId> member_groups(Guid guid,
+                                                        const RgbConfig& config) {
+  return member_groups(guid, config.groups, config.groups_per_member);
+}
 
 }  // namespace rgb::core

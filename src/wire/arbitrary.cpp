@@ -47,6 +47,7 @@ struct Gen {
     o.seq = options.realistic ? rng.next_below(1ULL << 62) : rng.next_u64();
     o.claim_seq =
         options.realistic ? rng.next_below(1ULL << 62) : rng.next_u64();
+    o.gid = id<common::GroupId>();
     o.member = record();
     o.old_ap = id<common::NodeId>();
     o.ne = id<common::NodeId>();
@@ -68,6 +69,7 @@ struct Gen {
     e.last_seq = options.realistic ? rng.next_below(1ULL << 62) : rng.next_u64();
     e.claim_seq =
         options.realistic ? rng.next_below(1ULL << 62) : rng.next_u64();
+    e.gid = id<common::GroupId>();
     return e;
   }
 
@@ -77,6 +79,7 @@ struct Gen {
       c.mh = id<common::Guid>();
       c.claim_seq =
           options.realistic ? rng.next_below(1ULL << 62) : rng.next_u64();
+      c.gid = id<common::GroupId>();
     }
     return out;
   }
@@ -93,14 +96,39 @@ struct Gen {
     return out;
   }
 
-  /// A valid encoded snapshot blob: strictly guid-ascending entries.
+  [[nodiscard]] std::vector<common::GroupId> gids() {
+    std::vector<common::GroupId> out(count());
+    for (auto& gid : out) gid = id<common::GroupId>();
+    return out;
+  }
+
+  [[nodiscard]] std::vector<core::GroupDigest> group_digests() {
+    std::vector<core::GroupDigest> out(count());
+    for (auto& d : out) {
+      d.gid = id<common::GroupId>();
+      d.hash = rng.next_u64();  // hashes are full-range by nature
+      d.count = u64();
+    }
+    return out;
+  }
+
+  /// A valid encoded snapshot blob: gid-major groups (strictly
+  /// gid-ascending), strictly guid-ascending entries within each group.
   [[nodiscard]] std::vector<std::uint8_t> snapshot_blob() {
-    std::vector<core::TableEntry> sorted(count());
-    std::uint64_t guid = 0;
-    for (auto& e : sorted) {
-      guid += 1 + rng.next_below(1000);
-      e = entry();
-      e.record.guid = common::Guid{guid};
+    const std::size_t groups = 1 + rng.next_below(3);
+    std::vector<core::TableEntry> sorted;
+    std::uint64_t gid = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      gid += 1 + rng.next_below(100);
+      std::uint64_t guid = 0;
+      const std::size_t n = count();
+      for (std::size_t i = 0; i < n; ++i) {
+        guid += 1 + rng.next_below(1000);
+        core::TableEntry e = entry();
+        e.gid = common::GroupId{gid};
+        e.record.guid = common::Guid{guid};
+        sorted.push_back(e);
+      }
     }
     std::vector<std::uint8_t> blob;
     encode_snapshot(sorted, blob);
@@ -161,13 +189,15 @@ net::Payload arbitrary_payload(net::MessageKind kind, common::RngStream& rng,
       return core::NeLeaveRequestMsg{g.id<common::NodeId>(), g.u64()};
     case core::kind::kViewSync: {
       core::ViewSyncMsg m;
-      m.phase = static_cast<core::ViewSyncMsg::Phase>(g.rng.next_below(3));
+      m.phase = static_cast<core::ViewSyncMsg::Phase>(g.rng.next_below(4));
       m.digest = g.rng.next_u64();  // hashes are full-range by nature
       m.entry_count = static_cast<std::uint32_t>(g.rng.next_below(1U << 20));
       m.reply_requested = g.coin();
       m.entries = g.entries();
       m.roster = g.roster();
       m.leader = g.id<common::NodeId>();
+      m.group_digests = g.group_digests();
+      m.sync_gids = g.gids();
       return m;
     }
     case core::kind::kSnapshotRequest:
@@ -193,15 +223,17 @@ net::Payload arbitrary_payload(net::MessageKind kind, common::RngStream& rng,
     case core::kind::kMhRequest:
       return core::MhRequestMsg{
           static_cast<core::MhRequestKind>(g.rng.next_below(4)),
-          g.id<common::Guid>(), g.id<common::NodeId>()};
+          g.id<common::Guid>(), g.id<common::NodeId>(),
+          g.id<common::GroupId>()};
     case core::kind::kMhAck:
       return core::MhAckMsg{
           static_cast<core::MhRequestKind>(g.rng.next_below(4)),
-          g.id<common::Guid>()};
+          g.id<common::Guid>(), g.id<common::GroupId>()};
     case core::kind::kMhHeartbeat:
       return core::MhHeartbeatMsg{g.id<common::Guid>()};
     case core::kind::kQueryRequest:
-      return core::QueryRequestMsg{g.u64(), g.id<common::NodeId>()};
+      return core::QueryRequestMsg{g.u64(), g.id<common::NodeId>(),
+                                   g.id<common::GroupId>()};
     case core::kind::kQueryReply: {
       core::QueryReplyMsg m;
       m.query_id = g.u64();
@@ -214,7 +246,8 @@ net::Payload arbitrary_payload(net::MessageKind kind, common::RngStream& rng,
   }
   if (kind == tree::kTreeProposal) return g.op();
   if (kind == tree::kTreeQuery) {
-    return core::QueryRequestMsg{g.u64(), g.id<common::NodeId>()};
+    return core::QueryRequestMsg{g.u64(), g.id<common::NodeId>(),
+                                 g.id<common::GroupId>()};
   }
   if (kind == tree::kTreeQueryReply) {
     core::QueryReplyMsg m;

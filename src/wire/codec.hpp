@@ -35,10 +35,13 @@
 namespace rgb::wire {
 
 /// Version byte leading every framed message (WireRegistry::encode).
+/// v4: multi-group serving — GroupId on MembershipOp / TableEntry /
+/// AttachClaim / MhRequest / MhAck / QueryRequest bodies, packed per-group
+/// digests + sync scope on ViewSync, group-major snapshot format.
 /// v3: kAlert / kAlertAck stability-plane kinds.
 /// v2: attachment-epoch claim_seq on MembershipOp / TableEntry bodies,
 /// kReconcile / kReconcileAck / kSnapshotAck kinds.
-inline constexpr std::uint8_t kWireVersion = 3;
+inline constexpr std::uint8_t kWireVersion = 4;
 
 enum class DecodeStatus : std::uint8_t {
   kOk = 0,

@@ -1,4 +1,6 @@
-// Per-message body codecs (wire format version 3 — version 2 plus the
+// Per-message body codecs (wire format version 4 — version 3 plus the
+// multi-group GroupId on every group-scoped body and the packed per-group
+// digest vector + sync scope on ViewSync; version 3 was version 2 plus the
 // kAlert / kAlertAck stability-plane messages; version 2 was version 1
 // plus the attachment-epoch claim_seq field on MembershipOp and
 // TableEntry, and the kReconcile / kReconcileAck / kSnapshotAck messages).
@@ -47,12 +49,28 @@ void write_body(Writer<Sink>& w, const core::TableEntry& v) {
   write_body(w, v.record);
   w.varint(v.last_seq);
   w.varint(v.claim_seq);
+  w.id(v.gid);
 }
 
 inline void read_body(Reader& r, core::TableEntry& v) {
   read_body(r, v.record);
   v.last_seq = r.varint();
   v.claim_seq = r.varint();
+  v.gid = r.id<common::GroupIdTag>();
+}
+
+/// One group's digest in the packed kDigest frame.
+template <typename Sink>
+void write_body(Writer<Sink>& w, const core::GroupDigest& v) {
+  w.id(v.gid);
+  w.u64le(v.hash);
+  w.varint(v.count);
+}
+
+inline void read_body(Reader& r, core::GroupDigest& v) {
+  v.gid = r.id<common::GroupIdTag>();
+  v.hash = r.u64le();
+  v.count = r.varint();
 }
 
 template <typename Sink>
@@ -61,6 +79,7 @@ void write_body(Writer<Sink>& w, const core::MembershipOp& v) {
   w.varint(v.uid);
   w.varint(v.seq);
   w.varint(v.claim_seq);
+  w.id(v.gid);
   write_body(w, v.member);
   w.id(v.old_ap);
   w.id(v.ne);
@@ -75,6 +94,7 @@ inline void read_body(Reader& r, core::MembershipOp& v) {
   v.uid = r.varint();
   v.seq = r.varint();
   v.claim_seq = r.varint();
+  v.gid = r.id<common::GroupIdTag>();
   read_body(r, v.member);
   v.old_ap = r.id<common::NodeIdTag>();
   v.ne = r.id<common::NodeIdTag>();
@@ -134,7 +154,7 @@ inline void read_body(Reader& r, core::TokenMsg& v) {
   v.token.gid = r.id<common::GroupIdTag>();
   v.token.holder = r.id<common::NodeIdTag>();
   v.token.round_id = r.varint();
-  read_seq(r, v.token.ops, 10);  // op: kind + 9 one-byte-minimum fields
+  read_seq(r, v.token.ops, 11);  // op: kind + 10 one-byte-minimum fields
 }
 
 template <typename Sink>
@@ -182,7 +202,7 @@ void write_body(Writer<Sink>& w, const core::NotifyMsg& v) {
 inline void read_body(Reader& r, core::NotifyMsg& v) {
   v.notify_id = r.varint();
   v.downward = r.boolean();
-  read_seq(r, v.ops, 10);
+  read_seq(r, v.ops, 11);
 }
 
 template <typename Sink>
@@ -269,7 +289,7 @@ void write_body(Writer<Sink>& w, const core::MergeOfferMsg& v) {
 }
 inline void read_body(Reader& r, core::MergeOfferMsg& v) {
   read_ids(r, v.roster);
-  read_seq(r, v.entries, 5);  // entry: guid + ap + status + seq + claim
+  read_seq(r, v.entries, 6);  // entry: guid + ap + status + seq + claim + gid
 }
 
 template <typename Sink>
@@ -279,7 +299,7 @@ void write_body(Writer<Sink>& w, const core::MergeAcceptMsg& v) {
 }
 inline void read_body(Reader& r, core::MergeAcceptMsg& v) {
   read_ids(r, v.roster);
-  read_seq(r, v.entries, 5);
+  read_seq(r, v.entries, 6);
 }
 
 template <typename Sink>
@@ -291,7 +311,7 @@ void write_body(Writer<Sink>& w, const core::RingReformMsg& v) {
 inline void read_body(Reader& r, core::RingReformMsg& v) {
   read_ids(r, v.roster);
   v.leader = r.id<common::NodeIdTag>();
-  read_seq(r, v.entries, 5);
+  read_seq(r, v.entries, 6);
 }
 
 template <typename Sink>
@@ -303,18 +323,22 @@ void write_body(Writer<Sink>& w, const core::ViewSyncMsg& v) {
   write_seq(w, v.entries);
   write_ids(w, v.roster);
   w.id(v.leader);
+  write_seq(w, v.group_digests);
+  write_ids(w, v.sync_gids);
 }
 inline void read_body(Reader& r, core::ViewSyncMsg& v) {
   v.phase = r.enum8<core::ViewSyncMsg::Phase>(
-      static_cast<std::uint8_t>(core::ViewSyncMsg::Phase::kDiff));
+      static_cast<std::uint8_t>(core::ViewSyncMsg::Phase::kSummary));
   v.digest = r.u64le();
   const std::uint64_t count = r.varint();
   if (count > UINT32_MAX) r.fail(DecodeStatus::kMalformed);
   v.entry_count = static_cast<std::uint32_t>(count);
   v.reply_requested = r.boolean();
-  read_seq(r, v.entries, 5);
+  read_seq(r, v.entries, 6);
   read_ids(r, v.roster);
   v.leader = r.id<common::NodeIdTag>();
+  read_seq(r, v.group_digests, 10);  // digest: gid + 8B hash + count
+  read_ids(r, v.sync_gids);
 }
 
 template <typename Sink>
@@ -356,10 +380,12 @@ template <typename Sink>
 void write_body(Writer<Sink>& w, const core::AttachClaim& v) {
   w.id(v.mh);
   w.varint(v.claim_seq);
+  w.id(v.gid);
 }
 inline void read_body(Reader& r, core::AttachClaim& v) {
   v.mh = r.id<common::GuidTag>();
   v.claim_seq = r.varint();
+  v.gid = r.id<common::GroupIdTag>();
 }
 
 template <typename Sink>
@@ -369,7 +395,7 @@ void write_body(Writer<Sink>& w, const core::ReconcileMsg& v) {
 }
 inline void read_body(Reader& r, core::ReconcileMsg& v) {
   v.reconcile_id = r.varint();
-  read_seq(r, v.claims, 2);  // claim: guid + epoch
+  read_seq(r, v.claims, 3);  // claim: guid + epoch + gid
 }
 
 template <typename Sink>
@@ -379,7 +405,7 @@ void write_body(Writer<Sink>& w, const core::ReconcileAckMsg& v) {
 }
 inline void read_body(Reader& r, core::ReconcileAckMsg& v) {
   v.reconcile_id = r.varint();
-  read_seq(r, v.superseding, 5);
+  read_seq(r, v.superseding, 6);
 }
 
 template <typename Sink>
@@ -409,23 +435,27 @@ void write_body(Writer<Sink>& w, const core::MhRequestMsg& v) {
   w.u8(static_cast<std::uint8_t>(v.kind));
   w.id(v.mh);
   w.id(v.old_ap);
+  w.id(v.gid);
 }
 inline void read_body(Reader& r, core::MhRequestMsg& v) {
   v.kind = r.enum8<core::MhRequestKind>(
       static_cast<std::uint8_t>(core::MhRequestKind::kFail));
   v.mh = r.id<common::GuidTag>();
   v.old_ap = r.id<common::NodeIdTag>();
+  v.gid = r.id<common::GroupIdTag>();
 }
 
 template <typename Sink>
 void write_body(Writer<Sink>& w, const core::MhAckMsg& v) {
   w.u8(static_cast<std::uint8_t>(v.kind));
   w.id(v.mh);
+  w.id(v.gid);
 }
 inline void read_body(Reader& r, core::MhAckMsg& v) {
   v.kind = r.enum8<core::MhRequestKind>(
       static_cast<std::uint8_t>(core::MhRequestKind::kFail));
   v.mh = r.id<common::GuidTag>();
+  v.gid = r.id<common::GroupIdTag>();
 }
 
 template <typename Sink>
@@ -442,10 +472,12 @@ template <typename Sink>
 void write_body(Writer<Sink>& w, const core::QueryRequestMsg& v) {
   w.varint(v.query_id);
   w.id(v.reply_to);
+  w.id(v.gid);
 }
 inline void read_body(Reader& r, core::QueryRequestMsg& v) {
   v.query_id = r.varint();
   v.reply_to = r.id<common::NodeIdTag>();
+  v.gid = r.id<common::GroupIdTag>();
 }
 
 template <typename Sink>
@@ -478,7 +510,7 @@ void write_body(Writer<Sink>& w, const flatring::RingTokenMsg& v) {
   w.id(v.wake_target);
 }
 inline void read_body(Reader& r, flatring::RingTokenMsg& v) {
-  read_seq(r, v.entries, 11);  // op + hop count
+  read_seq(r, v.entries, 12);  // op + hop count
   v.wake_target = r.id<common::NodeIdTag>();
 }
 
@@ -513,7 +545,7 @@ void write_body(Writer<Sink>& w, const gossip::PingMsg& v) {
 }
 inline void read_body(Reader& r, gossip::PingMsg& v) {
   v.ping_id = r.varint();
-  read_seq(r, v.updates, 11);
+  read_seq(r, v.updates, 12);
 }
 
 template <typename Sink>
@@ -523,7 +555,7 @@ void write_body(Writer<Sink>& w, const gossip::AckMsg& v) {
 }
 inline void read_body(Reader& r, gossip::AckMsg& v) {
   v.ping_id = r.varint();
-  read_seq(r, v.updates, 11);
+  read_seq(r, v.updates, 12);
 }
 
 }  // namespace rgb::wire

@@ -6,28 +6,64 @@ namespace rgb::wire {
 
 namespace {
 
-/// Shared field walk of the encoder and the size pass.
+/// Shared field walk of the encoder and the size pass. `entries` must be
+/// gid-major (consecutive runs per group, gids strictly ascending) and
+/// strictly guid-ascending within each run.
 template <typename Sink>
 void write_snapshot(Writer<Sink>& w,
                     const std::vector<core::TableEntry>& entries) {
   w.u8(kSnapshotVersion);
-  w.varint(entries.size());
-  std::uint64_t previous_guid = 0;
-  bool first = true;
-  for (const core::TableEntry& entry : entries) {
-    const std::uint64_t guid = entry.record.guid.value();
-    if (first) {
-      w.varint(guid);
-      first = false;
-    } else {
-      assert(guid > previous_guid && "snapshot entries must be guid-ascending");
-      w.varint(guid - previous_guid);
+  // One pass to count the group runs for the header.
+  std::uint64_t group_count = 0;
+  {
+    common::GroupId last = common::GroupId::invalid();
+    for (const core::TableEntry& entry : entries) {
+      assert(entry.gid.valid() && "snapshot entries must be gid-stamped");
+      if (entry.gid != last) {
+        ++group_count;
+        last = entry.gid;
+      }
     }
-    previous_guid = guid;
-    w.id(entry.record.access_proxy);
-    w.u8(static_cast<std::uint8_t>(entry.record.status));
-    w.varint(entry.last_seq);
-    w.varint(entry.claim_seq);
+  }
+  w.varint(group_count);
+
+  std::size_t i = 0;
+  std::uint64_t previous_gid = 0;
+  bool first_group = true;
+  while (i < entries.size()) {
+    const std::uint64_t gid = entries[i].gid.value();
+    std::size_t end = i;
+    while (end < entries.size() && entries[end].gid.value() == gid) ++end;
+
+    if (first_group) {
+      w.varint(gid);
+      first_group = false;
+    } else {
+      assert(gid > previous_gid && "snapshot groups must be gid-ascending");
+      w.varint(gid - previous_gid);
+    }
+    previous_gid = gid;
+    w.varint(end - i);
+
+    std::uint64_t previous_guid = 0;
+    bool first_entry = true;
+    for (; i < end; ++i) {
+      const core::TableEntry& entry = entries[i];
+      const std::uint64_t guid = entry.record.guid.value();
+      if (first_entry) {
+        w.varint(guid);
+        first_entry = false;
+      } else {
+        assert(guid > previous_guid &&
+               "snapshot entries must be guid-ascending within their group");
+        w.varint(guid - previous_guid);
+      }
+      previous_guid = guid;
+      w.id(entry.record.access_proxy);
+      w.u8(static_cast<std::uint8_t>(entry.record.status));
+      w.varint(entry.last_seq);
+      w.varint(entry.claim_seq);
+    }
   }
 }
 
@@ -53,35 +89,61 @@ Result<std::vector<core::TableEntry>> decode_snapshot(const std::uint8_t* data,
   if (r.ok() && version != kSnapshotVersion) {
     r.fail(DecodeStatus::kBadVersion);
   }
-  // Minimum 5 bytes per entry: guid delta + ap + status + seq + claim.
-  const std::uint64_t count = r.length(5);
+  // Minimum 7 bytes per group: gid delta + entry count + one entry (guid
+  // delta + ap + status + seq + claim).
+  const std::uint64_t group_count = r.length(7);
   if (!r.ok()) return r.error();
 
   std::vector<core::TableEntry> entries;
-  entries.reserve(count);
-  std::uint64_t guid = 0;
-  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
-    const std::uint64_t delta = r.varint();
+  std::uint64_t gid = 0;
+  for (std::uint64_t g = 0; g < group_count && r.ok(); ++g) {
+    const std::uint64_t gid_delta = r.varint();
     if (!r.ok()) break;
-    if (i > 0) {
-      // Strict ascent, no wraparound: a zero delta (duplicate guid) or an
+    if (g > 0) {
+      // Strict ascent, no wraparound: a zero delta (duplicate group) or an
       // accumulator overflow marks a corrupted stream.
-      if (delta == 0 || guid + delta < guid) {
+      if (gid_delta == 0 || gid + gid_delta < gid) {
         r.fail(DecodeStatus::kMalformed);
         break;
       }
-      guid += delta;
+      gid += gid_delta;
     } else {
-      guid = delta;
+      gid = gid_delta;
     }
-    core::TableEntry entry;
-    entry.record.guid = common::Guid{guid};
-    entry.record.access_proxy = r.id<common::NodeIdTag>();
-    entry.record.status = r.enum8<proto::MemberStatus>(
-        static_cast<std::uint8_t>(proto::MemberStatus::kFailed));
-    entry.last_seq = r.varint();
-    entry.claim_seq = r.varint();
-    entries.push_back(entry);
+    // Minimum 5 bytes per entry: guid delta + ap + status + seq + claim.
+    const std::uint64_t count = r.length(5);
+    if (!r.ok()) break;
+    if (count == 0) {
+      // An empty group run is never encoded; only corruption produces one.
+      r.fail(DecodeStatus::kMalformed);
+      break;
+    }
+    entries.reserve(entries.size() + count);
+    std::uint64_t guid = 0;
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint64_t delta = r.varint();
+      if (!r.ok()) break;
+      if (i > 0) {
+        // Strict ascent within the group: a zero delta (duplicate
+        // (group, guid)) or wraparound marks a corrupted stream.
+        if (delta == 0 || guid + delta < guid) {
+          r.fail(DecodeStatus::kMalformed);
+          break;
+        }
+        guid += delta;
+      } else {
+        guid = delta;
+      }
+      core::TableEntry entry;
+      entry.gid = common::GroupId{gid};
+      entry.record.guid = common::Guid{guid};
+      entry.record.access_proxy = r.id<common::NodeIdTag>();
+      entry.record.status = r.enum8<proto::MemberStatus>(
+          static_cast<std::uint8_t>(proto::MemberStatus::kFailed));
+      entry.last_seq = r.varint();
+      entry.claim_seq = r.varint();
+      entries.push_back(entry);
+    }
   }
   if (!r.ok()) return r.error();
   if (!r.exhausted()) {

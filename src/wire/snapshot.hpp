@@ -1,18 +1,25 @@
-// Framed MemberTable snapshot codec — the payload of the kSnapshot bulk
+// Framed member-view snapshot codec — the payload of the kSnapshot bulk
 // state-transfer path.
 //
-// Format (snapshot version 1, independent of the message-frame version so
-// the two can evolve separately):
+// Format (snapshot version 3, independent of the message-frame version so
+// the two can evolve separately) — group-major:
 //
-//   [u8 version][varint count]
-//   [entry 0: varint guid][entry i>0: varint (guid_i - guid_{i-1})]
-//   per entry after the guid: [varint ap+1][u8 status][varint last_seq]
+//   [u8 version][varint group_count]
+//   per group:
+//     [group 0: varint gid][group j>0: varint (gid_j - gid_{j-1})]
+//     [varint entry_count]
+//     [entry 0: varint guid][entry i>0: varint (guid_i - guid_{i-1})]
+//     per entry after the guid: [varint ap+1][u8 status][varint last_seq]
+//                               [varint claim_seq]
 //
-// Entries are strictly guid-ascending (MemberTable::export_entries already
-// sorts), which the delta encoding exploits: consecutive guids in a dense
-// member population cost one byte each instead of up to five. The decoder
-// enforces strict ascent (a zero delta or accumulator wraparound is
-// kMalformed), so a decoded snapshot is always a valid import_entries
+// Groups are strictly gid-ascending and entries strictly guid-ascending
+// within their group (GroupDirectory::export_all already emits gid-major,
+// guid-ascending), which the double delta encoding exploits: the per-group
+// header costs ~2 bytes and consecutive guids in a dense member population
+// cost one byte each, keeping the ~9B/entry density of the single-group
+// format. The decoder enforces strict ascent on both axes (a zero delta or
+// accumulator wraparound — i.e. an unsorted or duplicate (group, guid) —
+// is kMalformed), so a decoded snapshot is always a valid import_all
 // payload and re-encodes byte-identically.
 #pragma once
 
@@ -24,11 +31,13 @@
 
 namespace rgb::wire {
 
+/// v3: group-major multi-group format (gid-delta group headers).
 /// v2: per-entry attachment-epoch claim_seq after the op sequence.
-inline constexpr std::uint8_t kSnapshotVersion = 2;
+inline constexpr std::uint8_t kSnapshotVersion = 3;
 
-/// Encodes `entries` (strictly guid-ascending, as export_entries returns
-/// them) into `out`. Asserts the sort order in debug builds.
+/// Encodes `entries` (gid-stamped, gid-major, strictly guid-ascending per
+/// group, as GroupDirectory::export_all returns them) into `out`. Asserts
+/// the sort order in debug builds.
 void encode_snapshot(const std::vector<core::TableEntry>& entries,
                      std::vector<std::uint8_t>& out);
 

@@ -58,5 +58,34 @@ TEST(StrongId, InvalidSentinelDoesNotCollideWithSmallValues) {
   EXPECT_TRUE(NodeId{0}.valid());
 }
 
+// GroupId is the multi-group serving key: it must behave like every other
+// strong id (orderable, hashable, invalid-aware) because it keys std::map
+// directories, op routing, and wire bodies.
+TEST(GroupId, OrdersAndHashesLikeAStrongId) {
+  EXPECT_LT(GroupId{1}, GroupId{2});
+  EXPECT_EQ(GroupId{5}, GroupId{5});
+  std::unordered_set<GroupId> set;
+  set.insert(GroupId{1});
+  set.insert(GroupId{1});
+  set.insert(GroupId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(GroupId, InvalidMarksNeOps) {
+  // An op with an invalid gid is an NE op by convention; GroupId{0} is a
+  // real (if unused) group, distinct from the sentinel.
+  GroupId none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_EQ(none, GroupId::invalid());
+  EXPECT_NE(GroupId{0}, GroupId::invalid());
+  EXPECT_TRUE(GroupId{0}.valid());
+}
+
+TEST(GroupId, DoesNotConvertToOtherIdTypes) {
+  static_assert(!std::is_convertible_v<GroupId, NodeId>);
+  static_assert(!std::is_convertible_v<GroupId, Guid>);
+  static_assert(!std::is_convertible_v<std::uint64_t, GroupId>);
+}
+
 }  // namespace
 }  // namespace rgb::common

@@ -1,0 +1,78 @@
+// bench.multigroup determinism and sublinearity: the deterministic
+// (timed=false) artifact must be byte-identical for every shard worker
+// count, every cell must converge with zero per-group divergence, and the
+// steady-state kViewSync bytes per link per tick must stay flat as the
+// group count grows (the kSummary push-pull keeps the steady frame O(1) in
+// G, which is the whole point of multi-group serving on one hierarchy).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/bench.hpp"
+
+namespace rgb::exp {
+namespace {
+
+MultigroupConfig small_base(unsigned shard_workers) {
+  MultigroupConfig base;
+  base.members_per_group = 20;
+  base.warmup_ticks = 4;
+  base.steady_ticks = 4;
+  base.shard_workers = shard_workers;
+  return base;
+}
+
+std::string multigroup_json(unsigned shard_workers) {
+  std::ostringstream log, json;
+  const auto cells = run_multigroup_sweep(small_base(shard_workers), {1, 6},
+                                          log, /*timed=*/false);
+  EXPECT_TRUE(all_multigroup_clean(cells));
+  write_multigroup_json(small_base(shard_workers), cells, json);
+  return json.str();
+}
+
+TEST(MultigroupBench, ArtifactByteIdenticalAcrossWorkerCounts) {
+  const std::string one = multigroup_json(1);
+  EXPECT_NE(one.find("\"bench\": \"bench_multigroup\""), std::string::npos);
+  EXPECT_NE(one.find("\"sharded\": true"), std::string::npos);
+  EXPECT_EQ(multigroup_json(2), one);
+  EXPECT_EQ(multigroup_json(8), one);
+}
+
+TEST(MultigroupBench, SteadyBytesPerLinkStayFlatInGroupCount) {
+  std::ostringstream log;
+  const auto cells =
+      run_multigroup_sweep(small_base(0), {1, 8}, log, /*timed=*/false);
+  ASSERT_EQ(cells.size(), 2u);
+  ASSERT_TRUE(all_multigroup_clean(cells));
+  const MultigroupStats& g1 = cells[0];
+  const MultigroupStats& g8 = cells[1];
+  EXPECT_EQ(g8.total_members, 8 * g1.total_members);
+  ASSERT_GT(g1.bytes_per_link_tick, 0.0);
+  // Acceptance shape: G groups on one hierarchy must beat G independent
+  // single-group hierarchies by at least 4x on steady bytes per link; the
+  // kSummary fast path actually keeps the per-tick frame near-constant.
+  EXPECT_LT(g8.bytes_per_link_tick,
+            0.25 * 8.0 * g1.bytes_per_link_tick);
+  EXPECT_LT(g8.bytes_per_link_tick, 2.0 * g1.bytes_per_link_tick);
+}
+
+TEST(MultigroupBench, TrialReportsPerGroupConvergence) {
+  MultigroupConfig config = small_base(2);
+  config.groups = 5;
+  const MultigroupStats stats = run_multigroup_trial(config, /*timed=*/false);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.group_divergence, 0u);
+  EXPECT_EQ(stats.total_members, 100u);
+  // Every NE in the 2-tier ring-3 hierarchy hosts all 5 groups.
+  EXPECT_EQ(stats.groups_created, 5u * stats.ne_count);
+  // Untimed runs zero the wall-clock fields (the determinism contract).
+  EXPECT_EQ(stats.join_wall_ms, 0.0);
+  EXPECT_EQ(stats.steady_wall_ms, 0.0);
+  EXPECT_EQ(stats.peak_rss_kb, 0);
+}
+
+}  // namespace
+}  // namespace rgb::exp

@@ -6,11 +6,19 @@ namespace rgb::core {
 namespace {
 
 MembershipOp op(OpKind kind, std::uint64_t seq, std::uint64_t guid,
-                std::uint64_t ap, std::uint64_t old_ap = 0) {
+                std::uint64_t ap, std::uint64_t old_ap = 0,
+                std::uint64_t claim = 0) {
   MembershipOp o;
   o.kind = kind;
   o.seq = seq;
   o.uid = seq;  // tests reuse the seq as the unique id
+  // Epoch invariant unless overridden: a join/handoff starts its own
+  // attachment epoch (claim_seq == seq); departures name the epoch they end
+  // via the explicit `claim` argument.
+  o.claim_seq = claim != 0 ? claim
+                : (kind == OpKind::kMemberJoin || kind == OpKind::kMemberHandoff)
+                    ? seq
+                    : 0;
   o.member = MemberRecord{Guid{guid}, NodeId{ap},
                           proto::MemberStatus::kOperational};
   if (old_ap != 0) o.old_ap = NodeId{old_ap};
@@ -66,7 +74,7 @@ TEST(MessageQueue, DuplicateSeqDropped) {
 TEST(MessageQueue, JoinThenLeaveCancels) {
   MessageQueue mq{true};
   mq.insert(op(OpKind::kMemberJoin, 1, 9, 100));
-  mq.insert(op(OpKind::kMemberLeave, 2, 9, 100));
+  mq.insert(op(OpKind::kMemberLeave, 2, 9, 100, 0, /*claim=*/1));
   EXPECT_TRUE(mq.empty());
   EXPECT_EQ(mq.ops_collapsed(), 1u);
 }
@@ -74,8 +82,21 @@ TEST(MessageQueue, JoinThenLeaveCancels) {
 TEST(MessageQueue, JoinThenFailCancels) {
   MessageQueue mq{true};
   mq.insert(op(OpKind::kMemberJoin, 1, 9, 100));
-  mq.insert(op(OpKind::kMemberFail, 2, 9, 100));
+  mq.insert(op(OpKind::kMemberFail, 2, 9, 100, 0, /*claim=*/1));
   EXPECT_TRUE(mq.empty());
+}
+
+TEST(MessageQueue, ReanchoringJoinIsNotCancelledByDeparture) {
+  // A reaffirm repair re-anchors an existing attachment epoch (claim_seq <
+  // seq), so the epoch is already in tables elsewhere even though the op is
+  // locally originated. A following departure must NOT annihilate with it:
+  // cancelling the pair would strand the previously disseminated
+  // operational record as a permanent zombie.
+  MessageQueue mq{true};
+  mq.insert(op(OpKind::kMemberJoin, 5, 9, 100, 0, /*claim=*/3));
+  mq.insert(op(OpKind::kMemberFail, 6, 9, 100, 0, /*claim=*/3));
+  EXPECT_EQ(mq.size(), 2u);
+  EXPECT_EQ(mq.ops_collapsed(), 0u);
 }
 
 TEST(MessageQueue, HandoffChainCollapses) {
@@ -149,7 +170,8 @@ TEST(MessageQueue, CancelledOpsOrphanTheirContributors) {
   // A locally originated join (cancellable) annihilated by a notified fail:
   // the fail's contributor is owed an immediate ack.
   mq.insert(op(OpKind::kMemberJoin, 1, 9, 100));
-  mq.insert(op(OpKind::kMemberFail, 2, 9, 100), Contributor{NodeId{51}, 502});
+  mq.insert(op(OpKind::kMemberFail, 2, 9, 100, 0, /*claim=*/1),
+            Contributor{NodeId{51}, 502});
   EXPECT_TRUE(mq.empty());
   const auto orphans = mq.take_orphaned_acks();
   ASSERT_EQ(orphans.size(), 1u);
@@ -242,7 +264,7 @@ TEST(MessageQueue, DisseminatedJoinCopyIsNotCancelledByLeave) {
   // propagate rather than annihilate locally.
   MessageQueue mq{true};
   mq.insert(op(OpKind::kMemberJoin, 1, 9, 100), Contributor{NodeId{50}, 501});
-  mq.insert(op(OpKind::kMemberLeave, 2, 9, 100));
+  mq.insert(op(OpKind::kMemberLeave, 2, 9, 100, 0, /*claim=*/1));
   ASSERT_EQ(mq.size(), 2u);  // both queued, nothing cancelled
   const auto batch = mq.drain();
   EXPECT_EQ(batch.ops[1].kind, OpKind::kMemberLeave);
@@ -253,7 +275,7 @@ TEST(MessageQueue, ProvenancedJoinCopyIsNotCancelledByLeave) {
   MembershipOp join = op(OpKind::kMemberJoin, 1, 9, 100);
   join.from_parent_of = NodeId{7};  // disseminated downwards to this node
   mq.insert(std::move(join));
-  mq.insert(op(OpKind::kMemberFail, 2, 9, 100));
+  mq.insert(op(OpKind::kMemberFail, 2, 9, 100, 0, /*claim=*/1));
   EXPECT_EQ(mq.size(), 2u);
 }
 
@@ -263,7 +285,7 @@ TEST(MessageQueue, CollapsedLocalJoinRemainsCancellable) {
   MessageQueue mq{true};
   mq.insert(op(OpKind::kMemberJoin, 1, 9, 100));
   mq.insert(op(OpKind::kMemberHandoff, 2, 9, 200, 100));
-  mq.insert(op(OpKind::kMemberLeave, 3, 9, 200));
+  mq.insert(op(OpKind::kMemberLeave, 3, 9, 200, 0, /*claim=*/2));
   EXPECT_TRUE(mq.empty());
 }
 

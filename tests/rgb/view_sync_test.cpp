@@ -114,7 +114,9 @@ TEST(ViewSyncCollision, CollidingDigestIsBenignAndNextTickHeals) {
   simulator.run();
   const NodeId receiver = sys.aps()[1];
   const NetworkEntity* entity = sys.entity(receiver);
-  const ViewDigest before = entity->ring_members().digest();
+  // The receiver compares the *combined* (gid-mixed) directory digest, so
+  // that is what a collision has to spoof.
+  const ViewDigest before = entity->directory().combined_digest();
   ASSERT_GT(before.count, 0u);
 
   const auto viewsync_sends = [&] {
@@ -134,7 +136,8 @@ TEST(ViewSyncCollision, CollidingDigestIsBenignAndNextTickHeals) {
   simulator.run();
   EXPECT_EQ(viewsync_sends(), sends_before + 1)  // ours; no reply sent
       << "a matching digest must not trigger reconciliation";
-  EXPECT_EQ(entity->ring_members().digest(), before) << "no state change";
+  EXPECT_EQ(entity->directory().combined_digest(), before)
+      << "no state change";
 
   // The genuine mismatch path: a digest that does not match provokes the
   // full-table reply that reconciliation rides on.

@@ -1,5 +1,6 @@
-// MemberTable snapshot codec: round-trip against export_entries, delta
-// compactness, and rejection of truncated / corrupted / unsorted blobs.
+// Group-major snapshot codec (v3): round-trip against gid-stamped exports,
+// multi-group runs, delta compactness, and rejection of truncated /
+// corrupted / unsorted / duplicate-(group,guid) blobs.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -32,11 +33,20 @@ MemberTable random_table(std::uint64_t seed, std::size_t members) {
   return table;
 }
 
+/// The snapshot codec serializes gid-major directory exports; a bare
+/// MemberTable export is one group's run, stamped here like
+/// GroupDirectory::export_groups does.
+std::vector<TableEntry> stamped(const MemberTable& table, common::GroupId gid) {
+  std::vector<TableEntry> entries = table.export_entries();
+  for (TableEntry& entry : entries) entry.gid = gid;
+  return entries;
+}
+
 TEST(SnapshotCodec, RoundTripsExportedEntries) {
   for (const std::size_t members : {std::size_t{0}, std::size_t{1},
                                     std::size_t{57}, std::size_t{2000}}) {
     const MemberTable table = random_table(0xABC + members, members);
-    const std::vector<TableEntry> entries = table.export_entries();
+    const std::vector<TableEntry> entries = stamped(table, common::GroupId{1});
 
     std::vector<std::uint8_t> blob;
     encode_snapshot(entries, blob);
@@ -54,6 +64,25 @@ TEST(SnapshotCodec, RoundTripsExportedEntries) {
   }
 }
 
+TEST(SnapshotCodec, RoundTripsMultiGroupRuns) {
+  // Three groups with distinct (and partially overlapping) member sets —
+  // the directory-export shape: gid-major, guid-ascending per run.
+  std::vector<TableEntry> entries;
+  for (const std::uint64_t gid : {1ULL, 2ULL, 9ULL}) {
+    const MemberTable table = random_table(0x9A0 + gid, 40 + 3 * gid);
+    const auto run = stamped(table, common::GroupId{gid});
+    entries.insert(entries.end(), run.begin(), run.end());
+  }
+
+  std::vector<std::uint8_t> blob;
+  encode_snapshot(entries, blob);
+  EXPECT_EQ(blob.size(), snapshot_encoded_size(entries));
+
+  const auto decoded = decode_snapshot(blob);
+  ASSERT_TRUE(decoded.ok()) << to_string(decoded.error().status);
+  EXPECT_EQ(decoded.value(), entries);
+}
+
 TEST(SnapshotCodec, DeltaEncodingIsCompactOnDenseGuids) {
   // Dense consecutive guids (the bench population): ~1 byte per guid.
   MemberTable table;
@@ -65,9 +94,10 @@ TEST(SnapshotCodec, DeltaEncodingIsCompactOnDenseGuids) {
     op.member.access_proxy = common::NodeId{1 + (g % 25)};
     table.apply(op);
   }
-  const auto entries = table.export_entries();
+  const auto entries = stamped(table, common::GroupId{1});
   const std::uint32_t size = snapshot_encoded_size(entries);
-  // guid ~1 + ap ~1 + status 1 + seq <=3  =>  well under 8 bytes/entry.
+  // guid ~1 + ap ~1 + status 1 + seq <=3  =>  well under 8 bytes/entry
+  // (the group header adds a constant handful of bytes).
   EXPECT_LT(size, 8u * 10000u) << "delta encoding lost its compactness";
   EXPECT_GT(size, 4u * 10000u - 64u);  // sanity: not under-counting either
 }
@@ -75,7 +105,7 @@ TEST(SnapshotCodec, DeltaEncodingIsCompactOnDenseGuids) {
 TEST(SnapshotCodec, TruncationRejectsCleanlyAtEveryPrefix) {
   const MemberTable table = random_table(0xDEAD, 40);
   std::vector<std::uint8_t> blob;
-  encode_snapshot(table.export_entries(), blob);
+  encode_snapshot(stamped(table, common::GroupId{3}), blob);
   for (std::size_t len = 0; len < blob.size(); ++len) {
     const auto decoded = decode_snapshot(blob.data(), len);
     EXPECT_FALSE(decoded.ok()) << "prefix " << len << "/" << blob.size();
@@ -85,7 +115,7 @@ TEST(SnapshotCodec, TruncationRejectsCleanlyAtEveryPrefix) {
 TEST(SnapshotCodec, BitFlipsNeverCrashAndOftenReject) {
   const MemberTable table = random_table(0xF11B, 60);
   std::vector<std::uint8_t> blob;
-  encode_snapshot(table.export_entries(), blob);
+  encode_snapshot(stamped(table, common::GroupId{1}), blob);
   common::RngStream rng{0xC0DE};
   int rejected = 0;
   for (int iter = 0; iter < 500; ++iter) {
@@ -106,40 +136,79 @@ TEST(SnapshotCodec, BitFlipsNeverCrashAndOftenReject) {
   EXPECT_GT(rejected, 0);
 }
 
+namespace {
+
+/// One hand-written group run: gid field (first or delta), entry count,
+/// then `guids` as first-value/delta encoding with fixed member fields.
+void write_run(Writer<VectorSink>& w, std::uint64_t gid_field,
+               const std::vector<std::uint64_t>& guid_fields) {
+  w.varint(gid_field);
+  w.varint(guid_fields.size());
+  for (const std::uint64_t guid_field : guid_fields) {
+    w.varint(guid_field);
+    w.id(common::NodeId{1});  // ap
+    w.u8(0);                  // status
+    w.varint(9);              // seq
+    w.varint(9);              // claim epoch
+  }
+}
+
+}  // namespace
+
 TEST(SnapshotCodec, RejectsWrongVersionAndUnsortedStreams) {
   const MemberTable table = random_table(1, 3);
   std::vector<std::uint8_t> blob;
-  encode_snapshot(table.export_entries(), blob);
+  encode_snapshot(stamped(table, common::GroupId{1}), blob);
 
   auto bad_version = blob;
   bad_version[0] = kSnapshotVersion + 7;
   EXPECT_EQ(decode_snapshot(bad_version).error().status,
             DecodeStatus::kBadVersion);
 
-  // A zero guid delta (duplicate guid) is structural corruption. Build it
-  // by hand: version, count 2, guid 5, entry fields, delta 0, entry fields.
+  // A zero guid delta (duplicate (group, guid)) is structural corruption.
   std::vector<std::uint8_t> dup;
-  Writer<VectorSink> w{VectorSink{dup}};
-  w.u8(kSnapshotVersion);
-  w.varint(2);
-  w.varint(5);                       // guid 5
-  w.id(common::NodeId{1});           // ap
-  w.u8(0);                           // status
-  w.varint(9);                       // seq
-  w.varint(9);                       // claim epoch
-  w.varint(0);                       // delta 0: duplicate guid
-  w.id(common::NodeId{1});
-  w.u8(0);
-  w.varint(9);
-  w.varint(9);
+  {
+    Writer<VectorSink> w{VectorSink{dup}};
+    w.u8(kSnapshotVersion);
+    w.varint(1);              // one group
+    write_run(w, 5, {7, 0});  // guid 7, then delta 0: duplicate
+  }
   EXPECT_EQ(decode_snapshot(dup).error().status, DecodeStatus::kMalformed);
+
+  // A zero *gid* delta (duplicate group run) is rejected the same way —
+  // the canonical stream has exactly one run per group.
+  std::vector<std::uint8_t> dup_group;
+  {
+    Writer<VectorSink> w{VectorSink{dup_group}};
+    w.u8(kSnapshotVersion);
+    w.varint(2);            // two groups
+    write_run(w, 5, {7});   // group 5
+    write_run(w, 0, {7});   // delta 0: group 5 again
+  }
+  EXPECT_EQ(decode_snapshot(dup_group).error().status,
+            DecodeStatus::kMalformed);
+
+  // An empty group run never appears in a canonical encoding. (The first
+  // run carries two entries so the stream clears the min-bytes-per-group
+  // length guard and actually reaches the empty-run check.)
+  std::vector<std::uint8_t> empty_run;
+  {
+    Writer<VectorSink> w{VectorSink{empty_run}};
+    w.u8(kSnapshotVersion);
+    w.varint(2);               // two groups
+    write_run(w, 5, {7, 3});   // group 5: guids 7, 10
+    w.varint(1);               // group 6...
+    w.varint(0);               // ...with zero entries
+  }
+  EXPECT_EQ(decode_snapshot(empty_run).error().status,
+            DecodeStatus::kMalformed);
 }
 
 TEST(SnapshotCodec, LengthGuardBlocksGiantCounts) {
   std::vector<std::uint8_t> bytes;
   Writer<VectorSink> w{VectorSink{bytes}};
   w.u8(kSnapshotVersion);
-  w.varint(1ULL << 50);  // claims 2^50 entries in a few bytes
+  w.varint(1ULL << 50);  // claims 2^50 groups in a few bytes
   const auto decoded = decode_snapshot(bytes);
   EXPECT_EQ(decoded.error().status, DecodeStatus::kTruncated);
 }

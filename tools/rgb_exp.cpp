@@ -113,6 +113,14 @@ int usage(const char* argv0, int code) {
      << "                 so the JSON carries the span overhead A/B\n"
      << "  --profile-wall attribute wall-CPU to handlers; adds the\n"
      << "                 non-deterministic profile_wall_ns block\n"
+     << "  --multigroup   run the multi-group serving cell instead of the\n"
+     << "                 scale sweep: G groups x M members on ONE shared\n"
+     << "                 hierarchy, measuring steady-state kViewSync bytes\n"
+     << "                 per link per tick as G grows (defaults: ring 3,\n"
+     << "                 join spacing 200us, groups 1,10,100,1000;\n"
+     << "                 --smoke bounds it to groups 1,8)\n"
+     << "  --groups LIST  comma-separated group counts (with --multigroup)\n"
+     << "  --group-members M  members per group (default 100)\n"
      << "trace options (causal-span Chrome trace export; spans forced on,\n"
      << "untimed, byte-identical for any --shards value):\n"
      << "  --members N    members to join (default 2000)\n"
@@ -212,6 +220,16 @@ int run_bench(int argc, char** argv) {
   bool deterministic = false;
   std::string json_path;
   std::string series_path;
+  // Multi-group cell (bench.multigroup): G x M sweep measuring steady-state
+  // kViewSync bytes per link per tick as the group count grows. Flags shared
+  // with the scale sweep (--tiers, --ring, ...) apply to it only when given
+  // explicitly, because the two cells have different defaults.
+  bool multigroup = false;
+  std::vector<std::uint64_t> group_counts;
+  std::uint64_t group_members = 0;
+  bool saw_tiers = false, saw_ring = false, saw_steady = false;
+  bool saw_warmup = false, saw_spacing = false, saw_shards = false;
+  bool saw_seed = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -251,20 +269,52 @@ int run_bench(int argc, char** argv) {
         std::cerr << "rgb_exp: --join must be dissem, snapshot or both\n";
         return 2;
       }
+    } else if (arg == "--multigroup") {
+      multigroup = true;
+    } else if (arg == "--groups") {
+      group_counts.clear();
+      std::stringstream list{next()};
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        char* end = nullptr;
+        const std::uint64_t value = std::strtoull(item.c_str(), &end, 0);
+        if (end == item.c_str() || *end != '\0' || value == 0) {
+          std::cerr << "rgb_exp: bad group count '" << item << "'\n";
+          return 2;
+        }
+        group_counts.push_back(value);
+      }
+      if (group_counts.empty()) {
+        std::cerr << "rgb_exp: --groups needs at least one count\n";
+        return 2;
+      }
+    } else if (arg == "--group-members") {
+      group_members = next_u64();
+      if (group_members == 0) {
+        std::cerr << "rgb_exp: --group-members must be positive\n";
+        return 2;
+      }
     } else if (arg == "--tiers") {
       base.tiers = static_cast<int>(next_u64());
+      saw_tiers = true;
     } else if (arg == "--ring") {
       base.ring_size = static_cast<int>(next_u64());
+      saw_ring = true;
     } else if (arg == "--steady-ticks") {
       base.steady_ticks = static_cast<int>(next_u64());
+      saw_steady = true;
     } else if (arg == "--warmup-ticks") {
       base.warmup_ticks = static_cast<int>(next_u64());
+      saw_warmup = true;
     } else if (arg == "--join-spacing") {
       base.join_spacing = next_u64();
+      saw_spacing = true;
     } else if (arg == "--shards") {
       base.shard_workers = static_cast<unsigned>(next_u64());
+      saw_shards = true;
     } else if (arg == "--seed") {
       base.seed = next_u64();
+      saw_seed = true;
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--smoke") {
@@ -286,6 +336,43 @@ int run_bench(int argc, char** argv) {
       return usage(argv[0], 2);
     }
   }
+  if (!multigroup && (!group_counts.empty() || group_members != 0)) {
+    std::cerr << "rgb_exp: --groups/--group-members need --multigroup\n";
+    return 2;
+  }
+  if (multigroup) {
+    rgb::exp::MultigroupConfig mg;
+    if (saw_tiers) mg.tiers = base.tiers;
+    if (saw_ring) mg.ring_size = base.ring_size;
+    if (saw_steady) mg.steady_ticks = base.steady_ticks;
+    if (saw_warmup) mg.warmup_ticks = base.warmup_ticks;
+    if (saw_spacing) mg.join_spacing = base.join_spacing;
+    if (saw_shards) mg.shard_workers = base.shard_workers;
+    if (saw_seed) mg.seed = base.seed;
+    if (group_members != 0) mg.members_per_group = group_members;
+    if (group_counts.empty()) {
+      group_counts = smoke ? std::vector<std::uint64_t>{1, 8}
+                           : std::vector<std::uint64_t>{1, 10, 100, 1000};
+    }
+    const std::vector<rgb::exp::MultigroupStats> cells =
+        rgb::exp::run_multigroup_sweep(mg, group_counts, std::cerr,
+                                       /*timed=*/!deterministic);
+    if (!json_path.empty()) {
+      if (json_path == "-") {
+        rgb::exp::write_multigroup_json(mg, cells, std::cout);
+      } else {
+        std::ofstream file{json_path};
+        if (!file) {
+          std::cerr << "rgb_exp: cannot open '" << json_path
+                    << "' for writing\n";
+          return 1;
+        }
+        rgb::exp::write_multigroup_json(mg, cells, file);
+        std::cerr << "wrote " << json_path << '\n';
+      }
+    }
+    return rgb::exp::all_multigroup_clean(cells) ? 0 : 1;
+  }
   // --smoke bounds the sweep; explicit --members / --join override it (in
   // any argument order), so the flags never silently fight. Absent an
   // explicit --join, the smoke profile covers both join modes so CI keeps
@@ -304,7 +391,7 @@ int run_bench(int argc, char** argv) {
   std::vector<rgb::exp::OscillationStats> oscillation_stats;
   if (oscillation) {
     for (const bool with_stability : {false, true}) {
-      const auto o = rgb::exp::run_oscillation_trial(with_stability);
+      const auto o = rgb::exp::run_oscillation_cell(with_stability);
       std::cerr << "oscillation: stability="
                 << (with_stability ? "on" : "off") << " view_changes="
                 << o.view_changes << " repairs=" << o.repairs

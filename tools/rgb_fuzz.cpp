@@ -2,7 +2,7 @@
 // schedules, with automatic repro minimization.
 //
 //   rgb_fuzz [--proto rgb|tree|flatring|gossip] [--seeds N] [--start S]
-//            [--tiers H] [--ring R] [--members M] [--events E]
+//            [--tiers H] [--ring R] [--members M] [--groups G] [--events E]
 //            [--crashes 0|1] [--partitions 0|1] [--bursts 0|1]
 //            [--handoffs 0|1] [--churn 0|1] [--stability 0|1]
 //            [--mask BITS] [--shard-workers W] [--schedule FILE] [--quiet]
@@ -50,6 +50,9 @@ int usage(const char* argv0, int code) {
      << "  --tiers H      ring tiers (default 2)\n"
      << "  --ring R       ring size / branching (default 3)\n"
      << "  --members M    initial members (default 8)\n"
+     << "  --groups G     RGB: groups served by the one hierarchy (default\n"
+     << "                 1); members join min(2, G) groups each and every\n"
+     << "                 oracle quantifies over (group, guid)\n"
      << "  --events E     schedule events per seed (default 10)\n"
      << "  --crashes B    enable NE crash/recover faults (default 1)\n"
      << "  --partitions B enable partition/heal faults (default 0)\n"
@@ -115,6 +118,8 @@ int main(int argc, char** argv) {
         cfg.ring_size = static_cast<int>(next_u64());
       } else if (arg == "--members") {
         cfg.initial_members = static_cast<int>(next_u64());
+      } else if (arg == "--groups") {
+        cfg.groups = next_u64();
       } else if (arg == "--events") {
         cfg.gen.events = static_cast<int>(next_u64());
       } else if (arg == "--crashes") {
@@ -209,6 +214,8 @@ int main(int argc, char** argv) {
               << cfg.tiers << " --ring " << cfg.ring_size << " --members "
               << cfg.initial_members << " --start " << seed
               << (cfg.stability ? " --stability 1" : "")
+              << (cfg.groups > 1 ? " --groups " + std::to_string(cfg.groups)
+                                 : "")
               << " --schedule <file> ---\n";
   }
 
